@@ -1,0 +1,461 @@
+use crate::{merge_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
+use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats};
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Dataset, Mbr, Point};
+use repose_zorder::geohash_cell;
+use std::time::{Duration, Instant};
+
+/// DITA configuration (Section VII-A: `NL = 32`, pivot size 4, neighbor
+/// distance pivot selection).
+#[derive(Debug, Clone, Copy)]
+pub struct DitaConfig {
+    /// Simulated cluster topology.
+    pub cluster: ClusterConfig,
+    /// Number of partitions.
+    pub num_partitions: usize,
+    /// Maximum pivot points per trajectory (`NL`).
+    pub nl: usize,
+    /// Candidate budget factor: threshold halving stops when the candidate
+    /// count drops below `C·k`.
+    pub c_factor: usize,
+    /// Homogeneous (paper DITA) or heterogeneous (Heter-DITA, Table VIII).
+    pub placement: BaselinePlacement,
+}
+
+impl DitaConfig {
+    /// The paper's settings on the default cluster.
+    pub fn paper_default() -> Self {
+        DitaConfig {
+            cluster: ClusterConfig::paper_default(),
+            num_partitions: ClusterConfig::paper_default().total_cores(),
+            nl: 32,
+            c_factor: 5,
+            placement: BaselinePlacement::Homogeneous,
+        }
+    }
+}
+
+/// A trajectory with its DITA pivot representation.
+#[derive(Debug, Clone)]
+struct DitaTraj {
+    id: u64,
+    points: Vec<Point>,
+    /// Pivot points: first, last, and high-curvature interior points
+    /// (the neighbor-distance strategy).
+    pivots: Vec<Point>,
+}
+
+#[derive(Debug)]
+struct DitaPartition {
+    trajs: Vec<DitaTraj>,
+}
+
+/// The DITA baseline: pivot-based distributed trajectory search.
+///
+/// Top-k works the way the paper describes DITA's adaptation: estimate a
+/// range threshold, halve it until the candidate count falls below `C·k`,
+/// refine candidates exactly, then run a final range query at the k-th
+/// exact distance (Section VII-A, baseline 2). No Hausdorff support.
+#[derive(Debug)]
+pub struct Dita {
+    cluster: Cluster,
+    config: DitaConfig,
+    data: DistDataset<DitaPartition>,
+    region_diag: f64,
+    measure: Measure,
+    params: MeasureParams,
+    index_time: Duration,
+    index_bytes: usize,
+}
+
+/// Pivot selection: first + last + interior points with the largest
+/// neighbor distance `d(p_{i-1}, p_i) + d(p_i, p_{i+1})`.
+fn select_pivots(points: &[Point], nl: usize) -> Vec<Point> {
+    let n = points.len();
+    if n <= 2 || nl <= 2 {
+        let mut p = vec![points[0]];
+        if n > 1 {
+            p.push(points[n - 1]);
+        }
+        return p;
+    }
+    let mut scored: Vec<(f64, usize)> = (1..n - 1)
+        .map(|i| {
+            (
+                points[i - 1].dist(&points[i]) + points[i].dist(&points[i + 1]),
+                i,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut idx: Vec<usize> = scored.iter().take(nl - 2).map(|s| s.1).collect();
+    idx.sort_unstable();
+    let mut pivots = Vec::with_capacity(idx.len() + 2);
+    pivots.push(points[0]);
+    pivots.extend(idx.into_iter().map(|i| points[i]));
+    pivots.push(points[n - 1]);
+    pivots
+}
+
+/// Lower bound on `D(query, t)` from endpoints and pivots. Valid for
+/// Frechet and DTW: both must align `(q_1, p_1)` and `(q_m, p_n)`, and both
+/// are bounded below by `max_j min_i d(q_i, p_j)` over any subset of `t`'s
+/// points (every reference point is matched by some query point).
+fn pivot_lb(query: &[Point], t: &DitaTraj) -> f64 {
+    let q1 = query[0];
+    let qm = *query.last().expect("non-empty query");
+    let p1 = t.points[0];
+    let pn = *t.points.last().expect("non-empty trajectory");
+    let mut lb = q1.dist(&p1).max(qm.dist(&pn));
+    for pv in &t.pivots {
+        let mut best = f64::INFINITY;
+        for q in query {
+            let d = q.dist(pv);
+            if d < best {
+                best = d;
+            }
+        }
+        if best > lb {
+            lb = best;
+        }
+    }
+    lb
+}
+
+impl Dita {
+    /// Whether DITA supports `measure` (no Hausdorff, no ERP — Section I).
+    pub fn supports(measure: Measure) -> bool {
+        matches!(
+            measure,
+            Measure::Frechet | Measure::Dtw | Measure::Edr | Measure::Lcss
+        )
+    }
+
+    /// Builds the pivot representation and partitions trajectories by
+    /// (first point, last point) order — DITA "places trajectories with
+    /// close first and last points in the same partition".
+    pub fn build(
+        dataset: &Dataset,
+        config: DitaConfig,
+        measure: Measure,
+        params: MeasureParams,
+    ) -> Self {
+        assert!(
+            Self::supports(measure),
+            "DITA does not support {measure} (Section I)"
+        );
+        let t0 = Instant::now();
+        let region = dataset
+            .enclosing_square()
+            .unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let region_diag = region.min.dist(&region.max);
+
+        // Order by (first-point cell, last-point cell).
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let keys: Vec<(u64, u64)> = dataset
+            .trajectories()
+            .iter()
+            .map(|t| {
+                (
+                    geohash_cell(t.first().expect("non-empty"), &region, 6),
+                    geohash_cell(t.last().expect("non-empty"), &region, 6),
+                )
+            })
+            .collect();
+        order.sort_by_key(|&i| (keys[i], dataset.trajectories()[i].id));
+
+        let n = config.num_partitions;
+        let mut parts: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+        match config.placement {
+            BaselinePlacement::Homogeneous => {
+                let chunk = order.len().div_ceil(n).max(1);
+                for (i, ti) in order.into_iter().enumerate() {
+                    parts[(i / chunk).min(n - 1)].push(ti);
+                }
+            }
+            BaselinePlacement::Heterogeneous => {
+                for (i, ti) in order.into_iter().enumerate() {
+                    parts[i % n].push(ti);
+                }
+            }
+        }
+
+        let cluster = Cluster::new(config.cluster);
+        let raw = DistDataset::from_partitions(parts.into_iter().map(|p| vec![p]).collect());
+        let all = dataset.trajectories();
+        let (built, times, wall) = cluster.run_partitions(&raw, |_, chunk| {
+            let trajs: Vec<DitaTraj> = chunk[0]
+                .iter()
+                .map(|&ti| {
+                    let t = &all[ti];
+                    DitaTraj {
+                        id: t.id,
+                        points: t.points.clone(),
+                        pivots: select_pivots(&t.points, config.nl),
+                    }
+                })
+                .collect();
+            DitaPartition { trajs }
+        });
+        let build_stats = JobStats::simulate(
+            times,
+            (0..n).collect(),
+            config.cluster.workers,
+            config.cluster.cores_per_worker,
+            wall,
+        );
+        let index_time = t0.elapsed() - wall + build_stats.makespan;
+        let data = DistDataset::from_partitions(built.into_iter().map(|p| vec![p]).collect());
+        let index_bytes = data
+            .partitions()
+            .iter()
+            .map(|p| {
+                p[0].trajs
+                    .iter()
+                    .map(|t| t.pivots.capacity() * std::mem::size_of::<Point>() + 16)
+                    .sum::<usize>()
+            })
+            .sum();
+        Dita {
+            cluster,
+            config,
+            data,
+            region_diag,
+            measure,
+            params,
+            index_time,
+            index_bytes,
+        }
+    }
+
+    /// Counts candidates under range threshold `r` (a cheap distributed
+    /// lower-bound pass).
+    fn count_candidates(&self, query: &[Point], r: f64) -> (usize, Vec<Duration>, Duration) {
+        let (counts, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
+            chunk[0]
+                .trajs
+                .iter()
+                .filter(|t| pivot_lb(query, t) <= r)
+                .count()
+        });
+        (counts.into_iter().sum(), times, wall)
+    }
+
+    /// Distributed top-k by iterative threshold halving + final range
+    /// refinement.
+    pub fn query(&self, query: &[Point], k: usize) -> BaselineOutcome {
+        let measure = self.measure;
+        let params = self.params;
+        let n_parts = self.data.num_partitions();
+        let empty_job = |wall| {
+            JobStats::simulate(
+                vec![Duration::ZERO; n_parts],
+                (0..n_parts).collect(),
+                self.config.cluster.workers,
+                self.config.cluster.cores_per_worker,
+                wall,
+            )
+        };
+        if k == 0 || query.is_empty() || self.data.total_items() == 0 {
+            return BaselineOutcome { hits: Vec::new(), job: empty_job(Duration::ZERO) };
+        }
+
+        // Phase 1: halve the range threshold until < C·k candidates
+        // survive the lower-bound test (accumulating the cost of every
+        // counting pass into the query's schedule).
+        let budget = (self.c_factor_k(k)).max(k);
+        let mut r = self.region_diag;
+        let mut acc_times = vec![Duration::ZERO; n_parts];
+        let mut acc_wall = Duration::ZERO;
+        loop {
+            let (count, times, wall) = self.count_candidates(query, r * 0.5);
+            for (a, t) in acc_times.iter_mut().zip(&times) {
+                *a += *t;
+            }
+            acc_wall += wall;
+            if count < budget {
+                break;
+            }
+            r *= 0.5;
+        }
+
+        // Phase 2: refine the surviving candidates exactly; their k-th
+        // distance is a correct (conservative) range for the final pass.
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
+            chunk[0]
+                .trajs
+                .iter()
+                .filter(|t| pivot_lb(query, t) <= r)
+                .map(|t| BaselineHit {
+                    id: t.id,
+                    dist: params.distance(measure, query, &t.points),
+                })
+                .collect::<Vec<_>>()
+        });
+        for (a, t) in acc_times.iter_mut().zip(&times) {
+            *a += *t;
+        }
+        acc_wall += wall;
+        let mut phase2: Vec<BaselineHit> = locals.into_iter().flatten().collect();
+        phase2.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        let dk = if phase2.len() >= k {
+            phase2[k - 1].dist
+        } else {
+            f64::INFINITY // too few candidates: fall back to a full range
+        };
+
+        // Phase 3: final range query at dk over all partitions (correct
+        // top-k: every true hit has exact distance <= dk, hence lb <= dk).
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
+            let mut hits: Vec<BaselineHit> = chunk[0]
+                .trajs
+                .iter()
+                .filter(|t| pivot_lb(query, t) <= dk)
+                .map(|t| BaselineHit {
+                    id: t.id,
+                    dist: params.distance(measure, query, &t.points),
+                })
+                .collect();
+            hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            hits.truncate(k);
+            hits
+        });
+        for (a, t) in acc_times.iter_mut().zip(&times) {
+            *a += *t;
+        }
+        acc_wall += wall;
+
+        let job = JobStats::simulate(
+            acc_times,
+            (0..n_parts).collect(),
+            self.config.cluster.workers,
+            self.config.cluster.cores_per_worker,
+            acc_wall,
+        );
+        let hits = merge_top_k(locals.into_iter().flatten().collect(), k);
+        BaselineOutcome { hits, job }
+    }
+
+    fn c_factor_k(&self, k: usize) -> usize {
+        self.config.c_factor * k
+    }
+
+    /// Index size in bytes (pivot representation).
+    pub fn index_bytes(&self) -> usize {
+        self.index_bytes
+    }
+
+    /// Simulated index construction time.
+    pub fn index_time(&self) -> Duration {
+        self.index_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_model::Trajectory;
+
+    fn dataset() -> Dataset {
+        Dataset::from_trajectories(
+            (0..60u64)
+                .map(|i| {
+                    let y = (i % 12) as f64;
+                    let x0 = (i / 12) as f64 * 3.0;
+                    Trajectory::new(
+                        i,
+                        (0..10).map(|j| Point::new(x0 + j as f64 * 0.3, y)).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn small_cfg() -> DitaConfig {
+        DitaConfig {
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            num_partitions: 4,
+            nl: 8,
+            c_factor: 5,
+            placement: BaselinePlacement::Homogeneous,
+        }
+    }
+
+    fn brute(d: &Dataset, q: &[Point], k: usize, m: Measure) -> Vec<u64> {
+        let p = MeasureParams::default();
+        let mut v: Vec<(f64, u64)> = d
+            .trajectories()
+            .iter()
+            .map(|t| (p.distance(m, q, &t.points), t.id))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.truncate(k);
+        v.into_iter().map(|e| e.1).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_frechet_and_dtw() {
+        let d = dataset();
+        let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64 * 0.3, 5.4)).collect();
+        for m in [Measure::Frechet, Measure::Dtw] {
+            let dita = Dita::build(&d, small_cfg(), m, MeasureParams::default());
+            for k in [1, 3, 10] {
+                let got: Vec<u64> = dita.query(&q, k).hits.iter().map(|h| h.id).collect();
+                assert_eq!(got, brute(&d, &q, k, m), "{m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_placement_matches_too() {
+        let d = dataset();
+        let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64 * 0.3, 2.1)).collect();
+        let mut cfg = small_cfg();
+        cfg.placement = BaselinePlacement::Heterogeneous;
+        let dita = Dita::build(&d, cfg, Measure::Frechet, MeasureParams::default());
+        let got: Vec<u64> = dita.query(&q, 5).hits.iter().map(|h| h.id).collect();
+        assert_eq!(got, brute(&d, &q, 5, Measure::Frechet));
+    }
+
+    #[test]
+    fn pivot_selection_keeps_endpoints() {
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, (i % 3) as f64)).collect();
+        let p = select_pivots(&pts, 6);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], pts[0]);
+        assert_eq!(*p.last().unwrap(), *pts.last().unwrap());
+    }
+
+    #[test]
+    fn pivot_lb_is_a_lower_bound() {
+        let d = dataset();
+        let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64 * 0.3, 5.4)).collect();
+        let params = MeasureParams::default();
+        for t in d.trajectories().iter().take(20) {
+            let dt = DitaTraj {
+                id: t.id,
+                points: t.points.clone(),
+                pivots: select_pivots(&t.points, 8),
+            };
+            let lb = pivot_lb(&q, &dt);
+            for m in [Measure::Frechet, Measure::Dtw] {
+                let exact = params.distance(m, &q, &t.points);
+                assert!(lb <= exact + 1e-9, "{m}: lb {lb} > exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DITA does not support")]
+    fn rejects_hausdorff() {
+        Dita::build(&dataset(), small_cfg(), Measure::Hausdorff, MeasureParams::default());
+    }
+
+    #[test]
+    fn supports_flags() {
+        assert!(Dita::supports(Measure::Frechet));
+        assert!(Dita::supports(Measure::Dtw));
+        assert!(!Dita::supports(Measure::Hausdorff));
+        assert!(!Dita::supports(Measure::Erp));
+    }
+}

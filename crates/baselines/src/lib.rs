@@ -1,0 +1,74 @@
+//! The competing algorithms of Section VII: distributed linear scan (LS),
+//! DFT (segment R-trees, Xie et al. PVLDB'17) and DITA (pivot-based tries,
+//! Shang et al. SIGMOD'18).
+//!
+//! Each baseline follows its paper's algorithmic skeleton at the fidelity
+//! the REPOSE evaluation depends on:
+//!
+//! * **LS** — exact distances in every partition, master-side merge.
+//! * **DFT** — trajectories are decomposed into segments; segments are
+//!   globally partitioned by centroid (homogeneous); each partition holds
+//!   an STR R-tree over its segment MBRs *and a copy of every trajectory
+//!   owning a local segment* (the "regrouping" requirement that gives DFT
+//!   its ~4× index size in Table IV). Queries estimate a distance threshold
+//!   from `C·k` random samples — the source of DFT's unstable query times.
+//! * **DITA** — per-trajectory pivot points (first/last + high-curvature
+//!   interior points), global STR partitioning by (first, last) point,
+//!   local first/last-cell trie with pivot-based lower bounds, and top-k by
+//!   iterative threshold halving over range queries. No Hausdorff support,
+//!   matching the paper.
+//!
+//! All three execute on the same simulated [`repose_cluster::Cluster`] as
+//! REPOSE, so query times (simulated makespans) are directly comparable.
+
+#![warn(missing_docs)]
+
+mod dft;
+mod dita;
+mod ls;
+
+pub use dft::{Dft, DftConfig};
+pub use dita::{Dita, DitaConfig};
+pub use ls::LinearScan;
+
+use repose_cluster::JobStats;
+use repose_model::TrajId;
+
+/// A scored hit returned by a baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineHit {
+    /// Trajectory id.
+    pub id: TrajId,
+    /// Distance to the query.
+    pub dist: f64,
+}
+
+/// Outcome of one distributed baseline query.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Global top-k, ascending by distance (ties by id).
+    pub hits: Vec<BaselineHit>,
+    /// Scheduling stats; `job.makespan` is the simulated query time.
+    pub job: JobStats,
+}
+
+pub(crate) fn merge_top_k(
+    mut hits: Vec<BaselineHit>,
+    k: usize,
+) -> Vec<BaselineHit> {
+    hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    hits.dedup_by_key(|h| h.id);
+    hits.truncate(k);
+    hits
+}
+
+/// Whether baseline partitions follow their paper's homogeneous placement
+/// or REPOSE's heterogeneous round-robin (the Heter-DITA / Heter-DFT
+/// variants of Tables VIII and IX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselinePlacement {
+    /// The baseline's own similar-together partitioning.
+    Homogeneous,
+    /// REPOSE-style heterogeneous round-robin over the similarity order.
+    Heterogeneous,
+}

@@ -1,0 +1,153 @@
+use crate::{merge_top_k, BaselineHit, BaselineOutcome};
+use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats, Partitioner, RoundRobinPartitioner};
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Dataset, Point, Trajectory};
+
+/// Brute-force distributed linear scan: computes the exact distance between
+/// the query and every trajectory in every partition, then merges
+/// (Section VII-A, baseline 3).
+#[derive(Debug)]
+pub struct LinearScan {
+    cluster: Cluster,
+    data: DistDataset<Trajectory>,
+    measure: Measure,
+    params: MeasureParams,
+    workers: usize,
+    cores: usize,
+}
+
+impl LinearScan {
+    /// Distributes `dataset` round-robin over `num_partitions`.
+    pub fn build(
+        dataset: &Dataset,
+        cluster_cfg: ClusterConfig,
+        num_partitions: usize,
+        measure: Measure,
+        params: MeasureParams,
+    ) -> Self {
+        let cluster = Cluster::new(cluster_cfg);
+        let part = RoundRobinPartitioner::new(num_partitions);
+        let data = cluster.parallelize(dataset.trajectories().to_vec(), &part);
+        LinearScan {
+            cluster,
+            data,
+            measure,
+            params,
+            workers: cluster_cfg.workers,
+            cores: cluster_cfg.cores_per_worker,
+        }
+    }
+
+    /// Like [`LinearScan::build`] but with an arbitrary partitioner (used
+    /// to reproduce LS's skew sensitivity in Fig. 9).
+    pub fn build_with_partitioner<P: Partitioner<Trajectory>>(
+        dataset: &Dataset,
+        cluster_cfg: ClusterConfig,
+        partitioner: &P,
+        measure: Measure,
+        params: MeasureParams,
+    ) -> Self {
+        let cluster = Cluster::new(cluster_cfg);
+        let data = cluster.parallelize(dataset.trajectories().to_vec(), partitioner);
+        LinearScan {
+            cluster,
+            data,
+            measure,
+            params,
+            workers: cluster_cfg.workers,
+            cores: cluster_cfg.cores_per_worker,
+        }
+    }
+
+    /// Distributed top-k by exhaustive scan.
+    pub fn query(&self, query: &[Point], k: usize) -> BaselineOutcome {
+        let measure = self.measure;
+        let params = self.params;
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, part| {
+            let mut hits: Vec<BaselineHit> = part
+                .iter()
+                .map(|t| BaselineHit {
+                    id: t.id,
+                    dist: params.distance(measure, query, &t.points),
+                })
+                .collect();
+            hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            hits.truncate(k);
+            hits
+        });
+        let job = JobStats::simulate(
+            times,
+            (0..self.data.num_partitions()).collect(),
+            self.workers,
+            self.cores,
+            wall,
+        );
+        let hits = merge_top_k(locals.into_iter().flatten().collect(), k);
+        BaselineOutcome { hits, job }
+    }
+
+    /// LS keeps no index (Table IV reports "/" for its IS and IT).
+    pub fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_trajectories(
+            (0..50u64)
+                .map(|i| {
+                    let y = i as f64;
+                    Trajectory::new(i, (0..10).map(|j| Point::new(j as f64, y)).collect())
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn finds_exact_top_k() {
+        let d = dataset();
+        let ls = LinearScan::build(
+            &d,
+            ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            4,
+            Measure::Hausdorff,
+            MeasureParams::default(),
+        );
+        let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64, 10.2)).collect();
+        let out = ls.query(&q, 3);
+        let ids: Vec<u64> = out.hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![10, 11, 9]); // 10 at 0.2, 11 at 0.8, 9 at 1.2
+        assert_eq!(out.job.partition_times.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let d = dataset();
+        let ls = LinearScan::build(
+            &d,
+            ClusterConfig { workers: 2, cores_per_worker: 1, timing_repeats: 1 },
+            2,
+            Measure::Dtw,
+            MeasureParams::default(),
+        );
+        let q = vec![Point::new(0.0, 0.0)];
+        assert!(ls.query(&q, 0).hits.is_empty());
+    }
+
+    #[test]
+    fn no_index_cost() {
+        let d = dataset();
+        let ls = LinearScan::build(
+            &d,
+            ClusterConfig::paper_default(),
+            8,
+            Measure::Frechet,
+            MeasureParams::default(),
+        );
+        assert_eq!(ls.index_bytes(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation (Section IV-C): the O(m) incremental `CompLB` versus naive
+//! O(mn) recomputation of the Hausdorff bounds along a trie path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose_distance::{hausdorff, HausdorffState};
+use repose_model::Point;
+use std::hint::black_box;
+
+fn path(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(i as f64 * 0.1, ((i * 7) % 13) as f64 * 0.05))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let query = path(64);
+    let reference = path(48);
+    let mut group = c.benchmark_group("complb");
+
+    group.bench_function("incremental_o_m", |b| {
+        b.iter(|| {
+            // One push per trie level, as the search descends.
+            let mut st = HausdorffState::new(query.len());
+            let mut acc = 0.0;
+            for p in &reference {
+                st.push(&query, *p);
+                acc += st.cmax();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("naive_o_mn", |b| {
+        b.iter(|| {
+            // Recompute the full prefix distance at every level.
+            let mut acc = 0.0;
+            for j in 1..=reference.len() {
+                acc += hausdorff(&query, &reference[..j]);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

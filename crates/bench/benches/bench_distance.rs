@@ -1,0 +1,36 @@
+//! Micro-benchmarks of the six distance kernels — the refinement cost every
+//! algorithm in Table IV ultimately pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose_distance::{Measure, MeasureParams};
+use repose_model::Point;
+use std::hint::black_box;
+
+fn traj(n: usize, phase: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.1 + phase;
+            Point::new(t, (t * 1.7).sin())
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let params = MeasureParams::with_eps(0.2);
+    let mut group = c.benchmark_group("distance_kernels");
+    for n in [32usize, 128] {
+        let a = traj(n, 0.0);
+        let b = traj(n, 0.35);
+        for m in Measure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), n),
+                &n,
+                |bch, _| bch.iter(|| black_box(params.distance(m, &a, &b))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

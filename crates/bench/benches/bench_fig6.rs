@@ -1,0 +1,33 @@
+//! Criterion companion to Fig. 6: REPOSE query latency as k grows.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let r = Repose::build(
+        &data,
+        ReposeConfig::new(Measure::Hausdorff)
+            .with_cluster(cfg.cluster)
+            .with_partitions(cfg.partitions)
+            .with_delta(PaperDataset::TDrive.paper_delta(Measure::Hausdorff)),
+    );
+    let mut group = c.benchmark_group("fig6_vary_k");
+    group.sample_size(10);
+    for k in [1usize, 10, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(r.query(&queries[0].points, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

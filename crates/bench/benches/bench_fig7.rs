@@ -1,0 +1,41 @@
+//! Criterion companion to Fig. 7: optimized vs unoptimized trie — build
+//! time and query latency.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_rptrie::RpTrieConfig;
+use std::hint::black_box;
+
+fn config(optimize: bool) -> ReposeConfig {
+    let cfg = bench_cfg();
+    ReposeConfig::new(Measure::Hausdorff)
+        .with_cluster(cfg.cluster)
+        .with_partitions(cfg.partitions)
+        .with_delta(PaperDataset::TDrive.paper_delta(Measure::Hausdorff))
+        .with_trie(RpTrieConfig::for_measure(Measure::Hausdorff).with_optimize(optimize))
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let mut group = c.benchmark_group("fig7_trie_opt");
+    group.sample_size(10);
+    for (label, optimize) in [("optimized", true), ("unoptimized", false)] {
+        group.bench_function(format!("build_{label}"), |b| {
+            b.iter(|| black_box(Repose::build(&data, config(optimize))))
+        });
+        let r = Repose::build(&data, config(optimize));
+        group.bench_function(format!("query_{label}"), |b| {
+            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion companion to Fig. 8: REPOSE query latency vs dataset scale.
+
+mod common;
+
+use common::bench_cfg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig8_cardinality");
+    group.sample_size(10);
+    for scale in [0.01f64, 0.02, 0.04] {
+        let data = PaperDataset::Osm.generate(scale, cfg.seed);
+        let queries = sample_queries(&data, 1, 3);
+        let r = Repose::build(
+            &data,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_cluster(cfg.cluster)
+                .with_partitions(cfg.partitions)
+                .with_delta(PaperDataset::Osm.paper_delta(Measure::Hausdorff)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
+            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

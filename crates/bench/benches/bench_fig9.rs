@@ -1,0 +1,33 @@
+//! Criterion companion to Fig. 9: REPOSE query latency vs partition count.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::Osm);
+    let mut group = c.benchmark_group("fig9_partitions");
+    group.sample_size(10);
+    for parts in [4usize, 8, 16] {
+        let r = Repose::build(
+            &data,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_cluster(cfg.cluster)
+                .with_partitions(parts)
+                .with_delta(PaperDataset::Osm.paper_delta(Measure::Hausdorff)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, _| {
+            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion companion to Table IV: query latency of the four algorithms
+//! on the same (small) dataset and measure.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose::PartitionStrategy;
+use repose_baselines::BaselinePlacement;
+use repose_bench::runner::build_algo;
+use repose_datagen::PaperDataset;
+use repose_distance::{Measure, MeasureParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let measure = Measure::Frechet;
+    let params = MeasureParams::default();
+    let delta = PaperDataset::TDrive.paper_delta(measure);
+    let mut group = c.benchmark_group("table4_query");
+    group.sample_size(10);
+    for name in ["REPOSE", "DITA", "DFT", "LS"] {
+        let algo = build_algo(
+            name,
+            &data,
+            measure,
+            params,
+            delta,
+            BaselinePlacement::Homogeneous,
+            PartitionStrategy::Heterogeneous,
+            &cfg,
+        )
+        .expect("Frechet supported everywhere");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(algo.query_secs(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

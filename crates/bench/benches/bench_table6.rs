@@ -1,0 +1,35 @@
+//! Criterion companion to Table VI: REPOSE query latency across pivot
+//! counts.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let mut group = c.benchmark_group("table6_np");
+    group.sample_size(10);
+    for np in [0usize, 1, 5, 11] {
+        let r = Repose::build(
+            &data,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_cluster(cfg.cluster)
+                .with_partitions(cfg.partitions)
+                .with_delta(PaperDataset::TDrive.paper_delta(Measure::Hausdorff))
+                .with_np(np),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, _| {
+            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion companion to Table VII: REPOSE query latency per partitioning
+//! strategy.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose::{PartitionStrategy, Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::Xian);
+    let mut group = c.benchmark_group("table7_partitioning");
+    group.sample_size(10);
+    for strategy in [
+        PartitionStrategy::Heterogeneous,
+        PartitionStrategy::Homogeneous,
+        PartitionStrategy::Random,
+    ] {
+        let r = Repose::build(
+            &data,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_cluster(cfg.cluster)
+                .with_partitions(cfg.partitions)
+                .with_delta(PaperDataset::Xian.paper_delta(Measure::Hausdorff))
+                .with_strategy(strategy),
+        );
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion companion to Table VIII: DITA vs Heter-DITA query latency.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose_baselines::{BaselinePlacement, Dita, DitaConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::{Measure, MeasureParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let mut group = c.benchmark_group("table8_heter_dita");
+    group.sample_size(10);
+    for (label, placement) in [
+        ("DITA", BaselinePlacement::Homogeneous),
+        ("Heter-DITA", BaselinePlacement::Heterogeneous),
+    ] {
+        let dita = Dita::build(
+            &data,
+            DitaConfig {
+                cluster: cfg.cluster,
+                num_partitions: cfg.partitions,
+                nl: 32,
+                c_factor: 5,
+                placement,
+            },
+            Measure::Frechet,
+            MeasureParams::default(),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(dita.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion companion to Table IX: DFT vs Heter-DFT query latency.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose_baselines::{BaselinePlacement, Dft, DftConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::{Measure, MeasureParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let mut group = c.benchmark_group("table9_heter_dft");
+    group.sample_size(10);
+    for (label, placement) in [
+        ("DFT", BaselinePlacement::Homogeneous),
+        ("Heter-DFT", BaselinePlacement::Heterogeneous),
+    ] {
+        let dft = Dft::build(
+            &data,
+            DftConfig {
+                cluster: cfg.cluster,
+                num_partitions: cfg.partitions,
+                sample_factor: 5,
+                placement,
+                seed: cfg.seed,
+            },
+            Measure::Hausdorff,
+            MeasureParams::default(),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(dft.query(&queries[0].points, cfg.k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation (beyond the paper): single-phase distributed query vs the
+//! two-phase threshold-propagated variant (`Repose::query_two_phase`).
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::Xian);
+    let r = Repose::build(
+        &data,
+        ReposeConfig::new(Measure::Hausdorff)
+            .with_cluster(cfg.cluster)
+            .with_partitions(cfg.partitions)
+            .with_delta(PaperDataset::Xian.paper_delta(Measure::Hausdorff)),
+    );
+    let mut group = c.benchmark_group("twophase_threshold");
+    group.sample_size(10);
+    group.bench_function("single_phase", |b| {
+        b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+    });
+    group.bench_function("two_phase", |b| {
+        b.iter(|| black_box(r.query_two_phase(&queries[0].points, cfg.k)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

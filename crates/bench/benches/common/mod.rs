@@ -1,0 +1,29 @@
+//! Shared setup for the criterion benches: a tiny, fixed-seed workload so
+//! `cargo bench --workspace` finishes quickly while still exercising the
+//! exact code paths of each table/figure.
+
+use repose_bench::runner::ExpConfig;
+use repose_cluster::ClusterConfig;
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_model::{Dataset, Trajectory};
+
+/// Small experiment config for benches.
+pub fn bench_cfg() -> ExpConfig {
+    ExpConfig {
+        scale: 0.05,
+        queries: 1,
+        k: 10,
+        partitions: 4,
+        cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+        seed: 0xBE7C,
+    }
+}
+
+/// A small fixed dataset + one query.
+#[allow(dead_code)] // not every bench target uses every helper
+pub fn small_workload(ds: PaperDataset) -> (Dataset, Vec<Trajectory>) {
+    let cfg = bench_cfg();
+    let data = ds.generate(cfg.scale, cfg.seed);
+    let queries = sample_queries(&data, cfg.queries, cfg.seed ^ 0xABCD);
+    (data, queries)
+}

@@ -1,0 +1,64 @@
+//! Fig. 8: effect of dataset cardinality — OSM scaled to 0.2 .. 1.0 of its
+//! base size, Hausdorff and Frechet, all four algorithms.
+
+use crate::runner::{build_algo, params_for, ExpConfig};
+use crate::{fmt_secs, print_table, Series};
+use repose::PartitionStrategy;
+use repose_baselines::BaselinePlacement;
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_distance::Measure;
+use serde_json::Value;
+
+const SCALES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Sweeps the dataset scale and reports query times.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::Osm;
+    let mut series: Vec<Series> = Vec::new();
+    for measure in [Measure::Hausdorff, Measure::Frechet] {
+        println!("\n== Fig. 8: OSM with {measure} ==");
+        let params = params_for(ds, measure);
+        let delta = ds.paper_delta(measure);
+        let mut table: Vec<Vec<String>> = Vec::new();
+        let mut per_algo: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+        for &scale in &SCALES {
+            eprintln!("fig8: {measure} scale {scale}...");
+            let data = ds.generate(exp.scale * scale, exp.seed);
+            let queries = sample_queries(&data, exp.queries, exp.seed ^ 0xABCD);
+            for algo_name in ["REPOSE", "DITA", "DFT", "LS"] {
+                let Some(algo) = build_algo(
+                    algo_name,
+                    &data,
+                    measure,
+                    params,
+                    delta,
+                    BaselinePlacement::Homogeneous,
+                    PartitionStrategy::Heterogeneous,
+                    exp,
+                ) else {
+                    continue;
+                };
+                per_algo
+                    .entry(algo_name)
+                    .or_default()
+                    .push(algo.batch_secs(&queries, exp.k));
+            }
+        }
+        for (algo, ys) in &per_algo {
+            let mut row = vec![algo.to_string()];
+            row.extend(ys.iter().map(|&y| fmt_secs(y)));
+            table.push(row);
+            series.push(Series {
+                label: format!("{algo} OSM {measure}"),
+                x: SCALES.to_vec(),
+                y: ys.clone(),
+            });
+        }
+        table.sort();
+        let mut header = vec!["Algorithm".to_string()];
+        header.extend(SCALES.iter().map(|s| format!("scale {s}")));
+        let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_table(&refs, &table);
+    }
+    serde_json::to_value(&series).expect("serializable")
+}

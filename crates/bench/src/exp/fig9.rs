@@ -1,0 +1,65 @@
+//! Fig. 9: effect of the number of partitions (16, 32, 48, 64) on OSM for
+//! Hausdorff and Frechet, all four algorithms.
+
+use crate::runner::{build_algo, load, params_for, ExpConfig};
+use crate::{fmt_secs, print_table, Series};
+use repose::PartitionStrategy;
+use repose_baselines::BaselinePlacement;
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use serde_json::Value;
+
+const PARTS: [usize; 4] = [16, 32, 48, 64];
+
+/// Sweeps the partition count and reports query times.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::Osm;
+    let (data, queries) = load(ds, exp);
+    let mut series: Vec<Series> = Vec::new();
+    for measure in [Measure::Hausdorff, Measure::Frechet] {
+        println!("\n== Fig. 9: OSM with {measure} ==");
+        let params = params_for(ds, measure);
+        let delta = ds.paper_delta(measure);
+        let mut per_algo: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+        for &n in &PARTS {
+            eprintln!("fig9: {measure} partitions {n}...");
+            let mut cfg = *exp;
+            cfg.partitions = n;
+            for algo_name in ["REPOSE", "DITA", "DFT", "LS"] {
+                let Some(algo) = build_algo(
+                    algo_name,
+                    &data,
+                    measure,
+                    params,
+                    delta,
+                    BaselinePlacement::Homogeneous,
+                    PartitionStrategy::Heterogeneous,
+                    &cfg,
+                ) else {
+                    continue;
+                };
+                per_algo
+                    .entry(algo_name)
+                    .or_default()
+                    .push(algo.batch_secs(&queries, exp.k));
+            }
+        }
+        let mut table: Vec<Vec<String>> = Vec::new();
+        for (algo, ys) in &per_algo {
+            let mut row = vec![algo.to_string()];
+            row.extend(ys.iter().map(|&y| fmt_secs(y)));
+            table.push(row);
+            series.push(Series {
+                label: format!("{algo} OSM {measure}"),
+                x: PARTS.iter().map(|&p| p as f64).collect(),
+                y: ys.clone(),
+            });
+        }
+        table.sort();
+        let mut header = vec!["Algorithm".to_string()];
+        header.extend(PARTS.iter().map(|p| format!("{p} parts")));
+        let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_table(&refs, &table);
+    }
+    serde_json::to_value(&series).expect("serializable")
+}

@@ -1,0 +1,56 @@
+//! Table VIII: applying REPOSE's heterogeneous partitioning to DITA
+//! (Heter-DITA), compared on DTW and Frechet over T-drive, Xi'an and OSM.
+
+use crate::runner::{load, params_for, run_dita, run_repose, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::PartitionStrategy;
+use repose_baselines::BaselinePlacement;
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use serde_json::{json, Value};
+
+const DATASETS: [PaperDataset; 3] =
+    [PaperDataset::TDrive, PaperDataset::Xian, PaperDataset::Osm];
+
+/// REPOSE vs Heter-DITA vs DITA.
+pub fn run(exp: &ExpConfig) -> Value {
+    let mut out = Vec::new();
+    for measure in [Measure::Dtw, Measure::Frechet] {
+        println!("\n== Table VIII: {measure} ==");
+        let mut rows: Vec<Vec<String>> = vec![
+            vec!["REPOSE".into()],
+            vec!["Heter-DITA".into()],
+            vec!["DITA".into()],
+        ];
+        for ds in DATASETS {
+            eprintln!("table8: {} / {measure}...", ds.name());
+            let (data, queries) = load(ds, exp);
+            let params = params_for(ds, measure);
+            let delta = ds.paper_delta(measure);
+            let repose = run_repose(
+                &data, &queries, measure, params, delta,
+                PartitionStrategy::Heterogeneous, exp,
+            );
+            let heter = run_dita(
+                &data, &queries, measure, params,
+                BaselinePlacement::Heterogeneous, exp,
+            );
+            let homo = run_dita(
+                &data, &queries, measure, params,
+                BaselinePlacement::Homogeneous, exp,
+            );
+            rows[0].push(fmt_secs(repose.qt_s));
+            rows[1].push(fmt_secs(heter.qt_s));
+            rows[2].push(fmt_secs(homo.qt_s));
+            out.push(json!({
+                "measure": measure.name(),
+                "dataset": ds.name(),
+                "repose_qt_s": repose.qt_s,
+                "heter_dita_qt_s": heter.qt_s,
+                "dita_qt_s": homo.qt_s,
+            }));
+        }
+        print_table(&["Algorithm", "T-drive", "Xi'an", "OSM"], &rows);
+    }
+    Value::Array(out)
+}

@@ -1,0 +1,319 @@
+//! Shared runners: build each algorithm once, time a query batch, report
+//! the three Table IV metrics.
+
+use repose::{PartitionStrategy, Repose, ReposeConfig};
+use repose_baselines::{BaselinePlacement, Dft, DftConfig, Dita, DitaConfig, LinearScan};
+use repose_cluster::ClusterConfig;
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Dataset, Trajectory};
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Dataset scale factor (1.0 = the datagen base sizes).
+    pub scale: f64,
+    /// Queries per measurement (paper: 100; default here: 5).
+    pub queries: usize,
+    /// Top-k (paper default 100).
+    pub k: usize,
+    /// Number of partitions (paper default 64).
+    pub partitions: usize,
+    /// Simulated cluster.
+    pub cluster: ClusterConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 1.0,
+            queries: 5,
+            k: 100,
+            partitions: 64,
+            cluster: ClusterConfig::paper_default().with_timing_repeats(3),
+            seed: 0xE5E5,
+        }
+    }
+}
+
+/// The per-algorithm measurement of one (dataset, measure) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Mean simulated distributed query time (seconds).
+    pub qt_s: f64,
+    /// Index bytes (None = not applicable).
+    pub is_bytes: Option<u64>,
+    /// Index construction seconds (None = not applicable).
+    pub it_s: Option<f64>,
+}
+
+/// Builds + times REPOSE.
+pub fn run_repose(
+    data: &Dataset,
+    queries: &[Trajectory],
+    measure: Measure,
+    params: MeasureParams,
+    delta: f64,
+    strategy: PartitionStrategy,
+    exp: &ExpConfig,
+) -> Measured {
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(delta)
+        .with_strategy(strategy)
+        .with_params(params)
+        .with_seed(exp.seed);
+    let r = Repose::build(data, cfg);
+    let mut qt = 0.0;
+    for q in queries {
+        qt += r.query(&q.points, exp.k).query_time().as_secs_f64();
+    }
+    Measured {
+        qt_s: qt / queries.len().max(1) as f64,
+        is_bytes: Some(r.index_bytes() as u64),
+        it_s: Some(r.index_time().as_secs_f64()),
+    }
+}
+
+/// Builds + times the linear scan.
+pub fn run_ls(
+    data: &Dataset,
+    queries: &[Trajectory],
+    measure: Measure,
+    params: MeasureParams,
+    exp: &ExpConfig,
+) -> Measured {
+    let ls = LinearScan::build(data, exp.cluster, exp.partitions, measure, params);
+    let mut qt = 0.0;
+    for q in queries {
+        qt += ls.query(&q.points, exp.k).job.makespan.as_secs_f64();
+    }
+    Measured {
+        qt_s: qt / queries.len().max(1) as f64,
+        is_bytes: None,
+        it_s: None,
+    }
+}
+
+/// Builds + times DFT.
+pub fn run_dft(
+    data: &Dataset,
+    queries: &[Trajectory],
+    measure: Measure,
+    params: MeasureParams,
+    placement: BaselinePlacement,
+    exp: &ExpConfig,
+) -> Measured {
+    let cfg = DftConfig {
+        cluster: exp.cluster,
+        num_partitions: exp.partitions,
+        sample_factor: 5,
+        placement,
+        seed: exp.seed,
+    };
+    let dft = Dft::build(data, cfg, measure, params);
+    let mut qt = 0.0;
+    for q in queries {
+        qt += dft.query(&q.points, exp.k).job.makespan.as_secs_f64();
+    }
+    Measured {
+        qt_s: qt / queries.len().max(1) as f64,
+        is_bytes: Some(dft.index_bytes() as u64),
+        it_s: Some(dft.index_time().as_secs_f64()),
+    }
+}
+
+/// Builds + times DITA (caller must check `Dita::supports(measure)`).
+pub fn run_dita(
+    data: &Dataset,
+    queries: &[Trajectory],
+    measure: Measure,
+    params: MeasureParams,
+    placement: BaselinePlacement,
+    exp: &ExpConfig,
+) -> Measured {
+    let cfg = DitaConfig {
+        cluster: exp.cluster,
+        num_partitions: exp.partitions,
+        nl: 32,
+        c_factor: 5,
+        placement,
+    };
+    let dita = Dita::build(data, cfg, measure, params);
+    let mut qt = 0.0;
+    for q in queries {
+        qt += dita.query(&q.points, exp.k).job.makespan.as_secs_f64();
+    }
+    Measured {
+        qt_s: qt / queries.len().max(1) as f64,
+        is_bytes: Some(dita.index_bytes() as u64),
+        it_s: Some(dita.index_time().as_secs_f64()),
+    }
+}
+
+/// A built algorithm instance, for sweeps that reuse one index across many
+/// queries/k values.
+pub enum Algo {
+    /// REPOSE deployment.
+    Repose(Repose),
+    /// DITA baseline.
+    Dita(Dita),
+    /// DFT baseline.
+    Dft(Dft),
+    /// Linear scan.
+    Ls(LinearScan),
+}
+
+impl Algo {
+    /// Display name (Table IV row labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Repose(_) => "REPOSE",
+            Algo::Dita(_) => "DITA",
+            Algo::Dft(_) => "DFT",
+            Algo::Ls(_) => "LS",
+        }
+    }
+
+    /// Runs one query, returning the simulated distributed time (seconds).
+    pub fn query_secs(&self, query: &[repose_model::Point], k: usize) -> f64 {
+        match self {
+            Algo::Repose(r) => r.query(query, k).query_time().as_secs_f64(),
+            Algo::Dita(d) => d.query(query, k).job.makespan.as_secs_f64(),
+            Algo::Dft(d) => d.query(query, k).job.makespan.as_secs_f64(),
+            Algo::Ls(l) => l.query(query, k).job.makespan.as_secs_f64(),
+        }
+    }
+
+    /// Mean query time over a batch.
+    pub fn batch_secs(&self, queries: &[Trajectory], k: usize) -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        queries
+            .iter()
+            .map(|q| self.query_secs(&q.points, k))
+            .sum::<f64>()
+            / queries.len() as f64
+    }
+}
+
+/// Builds one algorithm over a dataset (`None` when the measure is
+/// unsupported — DITA×Hausdorff, DFT×{LCSS,EDR,ERP}).
+#[allow(clippy::too_many_arguments)]
+pub fn build_algo(
+    name: &str,
+    data: &Dataset,
+    measure: Measure,
+    params: MeasureParams,
+    delta: f64,
+    placement: BaselinePlacement,
+    strategy: PartitionStrategy,
+    exp: &ExpConfig,
+) -> Option<Algo> {
+    match name {
+        "REPOSE" => Some(Algo::Repose(Repose::build(
+            data,
+            ReposeConfig::new(measure)
+                .with_cluster(exp.cluster)
+                .with_partitions(exp.partitions)
+                .with_delta(delta)
+                .with_strategy(strategy)
+                .with_params(params)
+                .with_seed(exp.seed),
+        ))),
+        "DITA" => Dita::supports(measure).then(|| {
+            Algo::Dita(Dita::build(
+                data,
+                DitaConfig {
+                    cluster: exp.cluster,
+                    num_partitions: exp.partitions,
+                    nl: 32,
+                    c_factor: 5,
+                    placement,
+                },
+                measure,
+                params,
+            ))
+        }),
+        "DFT" => matches!(
+            measure,
+            Measure::Hausdorff | Measure::Frechet | Measure::Dtw
+        )
+        .then(|| {
+            Algo::Dft(Dft::build(
+                data,
+                DftConfig {
+                    cluster: exp.cluster,
+                    num_partitions: exp.partitions,
+                    sample_factor: 5,
+                    placement,
+                    seed: exp.seed,
+                },
+                measure,
+                params,
+            ))
+        }),
+        "LS" => Some(Algo::Ls(LinearScan::build(
+            data,
+            exp.cluster,
+            exp.partitions,
+            measure,
+            params,
+        ))),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Generates a dataset + its query batch for an experiment.
+pub fn load(ds: PaperDataset, exp: &ExpConfig) -> (Dataset, Vec<Trajectory>) {
+    let data = ds.generate(exp.scale, exp.seed);
+    let queries = sample_queries(&data, exp.queries, exp.seed ^ 0xABCD);
+    (data, queries)
+}
+
+/// Measure parameters used throughout the experiments: ε tied to the
+/// dataset's grid cell (like the paper ties δ to the dataset).
+pub fn params_for(ds: PaperDataset, measure: Measure) -> MeasureParams {
+    MeasureParams::with_eps(ds.paper_delta(measure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 0.02,
+            queries: 2,
+            k: 5,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_runners_produce_measurements() {
+        let exp = tiny();
+        let (data, queries) = load(PaperDataset::TDrive, &exp);
+        let m = Measure::Frechet;
+        let p = params_for(PaperDataset::TDrive, m);
+        let delta = PaperDataset::TDrive.paper_delta(m);
+
+        let r = run_repose(&data, &queries, m, p, delta, PartitionStrategy::Heterogeneous, &exp);
+        assert!(r.qt_s >= 0.0 && r.is_bytes.unwrap() > 0 && r.it_s.unwrap() >= 0.0);
+
+        let l = run_ls(&data, &queries, m, p, &exp);
+        assert!(l.qt_s > 0.0 && l.is_bytes.is_none());
+
+        let f = run_dft(&data, &queries, m, p, BaselinePlacement::Homogeneous, &exp);
+        assert!(f.qt_s > 0.0 && f.is_bytes.unwrap() > 0);
+
+        let d = run_dita(&data, &queries, m, p, BaselinePlacement::Homogeneous, &exp);
+        assert!(d.qt_s > 0.0 && d.is_bytes.unwrap() > 0);
+    }
+}

@@ -1,0 +1,79 @@
+/// A partitioned in-memory dataset — the analogue of an RDD whose element
+/// type packages a partition's data (the paper's `RpTrieRDD`, Section V-C).
+#[derive(Debug, Clone)]
+pub struct DistDataset<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T> DistDataset<T> {
+    /// Wraps explicit partitions.
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
+        DistDataset { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The items of partition `p`.
+    pub fn partition(&self, p: usize) -> &[T] {
+        &self.partitions[p]
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.partitions
+    }
+
+    /// Consumes the dataset into its partitions.
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.partitions
+    }
+
+    /// Total number of items across partitions.
+    pub fn total_items(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Sizes of all partitions (for skew diagnostics).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Transforms each partition wholesale (a `mapPartitions` that builds a
+    /// new dataset on the master, e.g. `(trajectories) -> (trajectories,
+    /// local index)`).
+    pub fn map_partitions_local<R>(self, mut f: impl FnMut(usize, Vec<T>) -> Vec<R>) -> DistDataset<R> {
+        DistDataset {
+            partitions: self
+                .partitions
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| f(i, p))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let d = DistDataset::from_partitions(vec![vec![1, 2], vec![3]]);
+        assert_eq!(d.num_partitions(), 2);
+        assert_eq!(d.total_items(), 3);
+        assert_eq!(d.partition_sizes(), vec![2, 1]);
+        assert_eq!(d.partition(1), &[3]);
+    }
+
+    #[test]
+    fn map_partitions_local_transforms() {
+        let d = DistDataset::from_partitions(vec![vec![1, 2], vec![3]]);
+        let e = d.map_partitions_local(|i, p| vec![(i, p.len())]);
+        assert_eq!(e.partition(0), &[(0, 2)]);
+        assert_eq!(e.partition(1), &[(1, 1)]);
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{ClusterConfig, DistDataset, Partitioner};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// The simulated cluster: a topology plus a physical thread pool that
+/// executes partition closures and measures their single-core durations.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    pool_threads: usize,
+}
+
+impl Cluster {
+    /// A cluster with the given topology, using as many physical threads as
+    /// the host offers.
+    pub fn new(config: ClusterConfig) -> Self {
+        let pool_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Cluster { config, pool_threads }
+    }
+
+    /// The paper's 16x4 cluster.
+    pub fn paper_default() -> Self {
+        Cluster::new(ClusterConfig::paper_default())
+    }
+
+    /// The configured topology.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Distributes `items` into partitions with `partitioner`, assigning
+    /// partitions to workers round-robin (partition `p` lives on worker
+    /// `p % workers`), like Spark's default placement.
+    pub fn parallelize<T, P: Partitioner<T>>(&self, items: Vec<T>, partitioner: &P) -> DistDataset<T> {
+        let n = partitioner.num_partitions();
+        let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            let p = partitioner.partition(i, &item);
+            assert!(p < n, "partitioner returned {p} >= {n}");
+            parts[p].push(item);
+        }
+        DistDataset::from_partitions(parts)
+    }
+
+    /// Runs `f` once per partition (Spark's `mapPartitions` + `collect`),
+    /// returning per-partition results and measured durations.
+    ///
+    /// Results come back in partition order. Durations are per-partition
+    /// single-core execution times, which [`crate::JobStats`] turns into a
+    /// simulated cluster makespan.
+    pub fn run_partitions<T, R, F>(&self, data: &DistDataset<T>, f: F) -> (Vec<R>, Vec<Duration>, Duration)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let started = Instant::now();
+        let n = data.num_partitions();
+        let results: Mutex<Vec<Option<(R, Duration)>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = self.pool_threads.min(n.max(1));
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if p >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let r = f(p, data.partition(p));
+                    let mut dt = t0.elapsed();
+                    // Extra timing runs: keep the minimum (steady state).
+                    for _ in 1..self.config.timing_repeats {
+                        let t0 = Instant::now();
+                        let _ = f(p, data.partition(p));
+                        dt = dt.min(t0.elapsed());
+                    }
+                    results.lock()[p] = Some((r, dt));
+                });
+            }
+        })
+        .expect("partition worker panicked");
+        let host_wall = started.elapsed();
+        let mut out = Vec::with_capacity(n);
+        let mut times = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            let (r, t) = slot.expect("all partitions executed");
+            out.push(r);
+            times.push(t);
+        }
+        (out, times, host_wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobStats, RoundRobinPartitioner};
+
+    #[test]
+    fn parallelize_round_robin() {
+        let c = Cluster::new(ClusterConfig { workers: 2, cores_per_worker: 1, timing_repeats: 1 });
+        let d = c.parallelize((0..10).collect(), &RoundRobinPartitioner::new(4));
+        assert_eq!(d.num_partitions(), 4);
+        assert_eq!(d.partition(0), &[0, 4, 8]);
+        assert_eq!(d.partition(3), &[3, 7]);
+        assert_eq!(d.total_items(), 10);
+    }
+
+    #[test]
+    fn run_partitions_collects_in_order() {
+        let c = Cluster::new(ClusterConfig { workers: 4, cores_per_worker: 2, timing_repeats: 1 });
+        let d = c.parallelize((0..100).collect(), &RoundRobinPartitioner::new(8));
+        let (sums, times, _wall) = c.run_partitions(&d, |_, part: &[i32]| -> i32 {
+            part.iter().sum()
+        });
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums.iter().sum::<i32>(), (0..100).sum::<i32>());
+        assert_eq!(times.len(), 8);
+    }
+
+    #[test]
+    fn job_stats_integration() {
+        let cfg = ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 };
+        let c = Cluster::new(cfg);
+        let d = c.parallelize((0..64).collect(), &RoundRobinPartitioner::new(4));
+        let (_r, times, wall) = c.run_partitions(&d, |_, part: &[i32]| part.len());
+        let stats = JobStats::simulate(
+            times,
+            (0..4).collect(),
+            cfg.workers,
+            cfg.cores_per_worker,
+            wall,
+        );
+        assert_eq!(stats.worker_times.len(), 2);
+        assert!(stats.makespan <= stats.total_work + Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let c = Cluster::paper_default();
+        let d = c.parallelize(Vec::<i32>::new(), &RoundRobinPartitioner::new(4));
+        let (r, times, _) = c.run_partitions(&d, |_, p: &[i32]| p.len());
+        assert_eq!(r, vec![0, 0, 0, 0]);
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioner returned")]
+    fn bad_partitioner_panics() {
+        struct Bad;
+        impl Partitioner<i32> for Bad {
+            fn num_partitions(&self) -> usize {
+                2
+            }
+            fn partition(&self, _: usize, _: &i32) -> usize {
+                7
+            }
+        }
+        Cluster::paper_default().parallelize(vec![1], &Bad);
+    }
+}

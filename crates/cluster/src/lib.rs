@@ -1,0 +1,83 @@
+//! A deterministic in-process distributed in-memory compute substrate — the
+//! repository's stand-in for the paper's Spark cluster (1 master + 16
+//! workers × 4 cores).
+//!
+//! # Why a simulation is faithful here
+//!
+//! Every distributed claim of the paper (load balance, computing-resource
+//! utilization, per-partition query time, makespan as the number of
+//! partitions grows) is a function of *how long each partition's local work
+//! takes* and *how partitions are scheduled onto worker cores*. This crate
+//! executes partition closures on a physical thread pool, records each
+//! partition's CPU-work duration, and then *simulates* the cluster schedule
+//! (per-worker core queues, Spark-style in-order task dispatch) to produce
+//! the distributed makespan. The simulated makespan is independent of how
+//! many physical cores the host happens to have.
+//!
+//! The paper's `RpTrieRDD.mapPartitions` becomes [`DistDataset::map_partitions`];
+//! `collect` becomes the returned `Vec` of per-partition results.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod executor;
+mod partitioner;
+mod stats;
+
+pub use dataset::DistDataset;
+pub use executor::Cluster;
+pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};
+pub use stats::{list_schedule, JobStats, SimTime};
+
+/// Cluster topology: the paper's default is 16 workers with 4 cores each
+/// and one partition per core (64 partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Cores per worker node.
+    pub cores_per_worker: usize,
+    /// How many times each partition closure is executed when measuring;
+    /// the per-partition duration is the *minimum* across repeats (the
+    /// robust steady-state estimator). The paper repeats each query 20
+    /// times; 1 (the default) measures a single cold run.
+    pub timing_repeats: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's experimental cluster (Section VII-A).
+    pub fn paper_default() -> Self {
+        ClusterConfig { workers: 16, cores_per_worker: 4, timing_repeats: 1 }
+    }
+
+    /// Total cores — the natural default number of partitions.
+    pub fn total_cores(&self) -> usize {
+        self.workers * self.cores_per_worker
+    }
+
+    /// Sets [`ClusterConfig::timing_repeats`].
+    pub fn with_timing_repeats(mut self, repeats: usize) -> Self {
+        assert!(repeats >= 1, "need at least one timing run");
+        self.timing_repeats = repeats;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_topology() {
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.workers, 16);
+        assert_eq!(c.cores_per_worker, 4);
+        assert_eq!(c.total_cores(), 64);
+    }
+}

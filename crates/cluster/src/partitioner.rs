@@ -1,0 +1,136 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Decides which partition each item of a dataset goes to — the analogue of
+/// Spark's abstract `Partitioner` class the paper subclasses (Section V-C).
+pub trait Partitioner<T>: Send + Sync {
+    /// Number of partitions produced.
+    fn num_partitions(&self) -> usize;
+    /// Target partition of the item at position `index`.
+    fn partition(&self, index: usize, item: &T) -> usize;
+}
+
+/// Round-robin by position — what REPOSE applies *after* sorting by
+/// (cluster id, trajectory id).
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRobinPartitioner {
+    n: usize,
+}
+
+impl RoundRobinPartitioner {
+    /// `n` must be positive.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one partition");
+        RoundRobinPartitioner { n }
+    }
+}
+
+impl<T> Partitioner<T> for RoundRobinPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.n
+    }
+    fn partition(&self, index: usize, _item: &T) -> usize {
+        index % self.n
+    }
+}
+
+/// Uniform random placement (the paper's "random" baseline strategy,
+/// Table VII). Deterministic per seed and index.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    n: usize,
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// `n` must be positive.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one partition");
+        RandomPartitioner { n, seed }
+    }
+}
+
+impl<T> Partitioner<T> for RandomPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.n
+    }
+    fn partition(&self, index: usize, _item: &T) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        rng.random_range(0..self.n)
+    }
+}
+
+/// Hash of the item (requires `T: Hash`) — Spark's default `HashPartitioner`.
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    /// `n` must be positive.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one partition");
+        HashPartitioner { n }
+    }
+}
+
+impl<T: Hash> Partitioner<T> for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.n
+    }
+    fn partition(&self, _index: usize, item: &T) -> usize {
+        let mut h = DefaultHasher::new();
+        item.hash(&mut h);
+        (h.finish() % self.n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = RoundRobinPartitioner::new(4);
+        let assigned: Vec<usize> = (0..8).map(|i| Partitioner::<u32>::partition(&p, i, &0)).collect();
+        assert_eq!(assigned, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let p = RandomPartitioner::new(7, 42);
+        for i in 0..100 {
+            let a = Partitioner::<u32>::partition(&p, i, &0);
+            let b = Partitioner::<u32>::partition(&p, i, &0);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn random_spreads_items() {
+        let p = RandomPartitioner::new(4, 7);
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            counts[Partitioner::<u32>::partition(&p, i, &0)] += 1;
+        }
+        for c in counts {
+            assert!(c > 40, "partition starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_consistent() {
+        let p = HashPartitioner::new(5);
+        assert_eq!(p.partition(0, &"abc"), p.partition(9, &"abc"));
+        assert!(p.partition(0, &"abc") < 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        RoundRobinPartitioner::new(0);
+    }
+}

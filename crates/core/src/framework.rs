@@ -1,0 +1,482 @@
+use crate::{partition_dataset, ReposeConfig};
+use repose_cluster::{Cluster, DistDataset, JobStats};
+use repose_model::{Dataset, Mbr, Point, Trajectory};
+use repose_rptrie::{Hit, RpTrie, SearchStats};
+use repose_zorder::Grid;
+use std::time::{Duration, Instant};
+
+/// One partition's package of data + local index — the paper's
+/// `RpTraj(trajectory: Array, Index: RP-Trie)` (Section V-C).
+#[derive(Debug, Clone)]
+pub(crate) struct LocalPartition {
+    pub(crate) trajs: Vec<Trajectory>,
+    pub(crate) trie: RpTrie,
+}
+
+/// The outcome of one distributed top-k query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Global top-k hits, ascending by distance.
+    pub hits: Vec<Hit>,
+    /// Distributed scheduling stats; `job.makespan` is the simulated
+    /// distributed query time (the paper's QT).
+    pub job: JobStats,
+    /// Local-search work counters summed over partitions.
+    pub search: SearchStats,
+}
+
+impl QueryOutcome {
+    /// Simulated distributed query time.
+    pub fn query_time(&self) -> Duration {
+        self.job.makespan
+    }
+}
+
+/// A built REPOSE deployment: partitioned trajectories, one RP-Trie per
+/// partition, and the simulated cluster that executes queries.
+#[derive(Debug)]
+pub struct Repose {
+    config: ReposeConfig,
+    cluster: Cluster,
+    data: DistDataset<LocalPartition>,
+    region: Mbr,
+    build_stats: JobStats,
+    partition_wall: Duration,
+}
+
+impl Repose {
+    /// Partitions `dataset` and builds every local index.
+    ///
+    /// The paper's index-construction time (IT) covers "converting
+    /// trajectories to reference trajectories, clustering the trajectories,
+    /// and building the trie" — here: the master-side partitioning wall
+    /// time plus the simulated makespan of the parallel per-partition
+    /// builds.
+    pub fn build(dataset: &Dataset, config: ReposeConfig) -> Self {
+        let region = dataset
+            .enclosing_square()
+            .unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let t0 = Instant::now();
+        let parts = partition_dataset(
+            dataset,
+            &region,
+            config.strategy,
+            config.num_partitions,
+            config.seed,
+        );
+        let partition_wall = t0.elapsed();
+
+        let cluster = Cluster::new(config.cluster);
+        let raw = DistDataset::from_partitions(
+            parts.into_iter().map(|p| vec![p]).collect(),
+        );
+        let grid = Grid::with_delta(region, config.delta);
+        let trie_cfg = config.trie;
+        let (built, times, wall) = cluster.run_partitions(&raw, |pi, chunk| {
+            let trajs = chunk[0].clone();
+            let trie = RpTrie::build(
+                &trajs,
+                grid.clone(),
+                trie_cfg.with_seed(trie_cfg.seed ^ pi as u64),
+            );
+            LocalPartition { trajs, trie }
+        });
+        let build_stats = JobStats::simulate(
+            times,
+            (0..config.num_partitions).collect(),
+            config.cluster.workers,
+            config.cluster.cores_per_worker,
+            wall,
+        );
+        let data = DistDataset::from_partitions(built.into_iter().map(|p| vec![p]).collect());
+        Repose { config, cluster, data, region, build_stats, partition_wall }
+    }
+
+    /// Runs a distributed top-k query: local search per partition
+    /// (`mapPartitions`), then a master-side merge (`collect`).
+    pub fn query(&self, query: &[Point], k: usize) -> QueryOutcome {
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
+            let part = &chunk[0];
+            part.trie.top_k(&part.trajs, query, k)
+        });
+        let job = JobStats::simulate(
+            times,
+            (0..self.config.num_partitions).collect(),
+            self.config.cluster.workers,
+            self.config.cluster.cores_per_worker,
+            wall,
+        );
+        let mut search = SearchStats::default();
+        let mut hits: Vec<Hit> = Vec::with_capacity(k * locals.len().min(8));
+        for l in &locals {
+            search.nodes_visited += l.stats.nodes_visited;
+            search.nodes_pruned += l.stats.nodes_pruned;
+            search.leaves_visited += l.stats.leaves_visited;
+            search.leaves_pruned += l.stats.leaves_pruned;
+            search.exact_computations += l.stats.exact_computations;
+            hits.extend_from_slice(&l.hits);
+        }
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        QueryOutcome { hits, job, search }
+    }
+
+    /// Two-phase distributed top-k (an extension beyond the paper):
+    /// phase 1 answers the query on a single partition; its local k-th
+    /// distance upper-bounds the global k-th distance (any partition's
+    /// local top-k is a superset restriction), so phase 2 can push it into
+    /// every other partition's search as an initial pruning threshold.
+    ///
+    /// Exact like [`Repose::query`] up to tie resolution (Definition 3
+    /// permits any tied subset). Most effective with heterogeneous
+    /// partitioning, where every partition is a representative sample and
+    /// the seed threshold is already near the global k-th distance.
+    pub fn query_two_phase(&self, query: &[Point], k: usize) -> QueryOutcome {
+        if self.config.num_partitions <= 1 || k == 0 {
+            return self.query(query, k);
+        }
+        // Phase 1: seed partition (partition 0) answers locally.
+        let seed_part = &self.data.partition(0)[0];
+        let t0 = Instant::now();
+        let seed = seed_part.trie.top_k(&seed_part.trajs, query, k);
+        let seed_time = t0.elapsed();
+        let threshold = seed.kth_distance(k).unwrap_or(f64::INFINITY);
+
+        // Phase 2: all other partitions search under the seed threshold.
+        let (locals, mut times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
+            if pi == 0 {
+                return None;
+            }
+            let part = &chunk[0];
+            Some(part.trie.top_k_bounded(&part.trajs, query, k, threshold))
+        });
+        // The seed partition's cost happened in phase 1; schedule it as the
+        // first task so the makespan accounts for both phases honestly.
+        times[0] = seed_time;
+        let job = JobStats::simulate(
+            times,
+            (0..self.config.num_partitions).collect(),
+            self.config.cluster.workers,
+            self.config.cluster.cores_per_worker,
+            wall + seed_time,
+        );
+        let mut search = seed.stats;
+        let mut hits: Vec<Hit> = seed.hits;
+        for l in locals.into_iter().flatten() {
+            search.nodes_visited += l.stats.nodes_visited;
+            search.nodes_pruned += l.stats.nodes_pruned;
+            search.leaves_visited += l.stats.leaves_visited;
+            search.leaves_pruned += l.stats.leaves_pruned;
+            search.exact_computations += l.stats.exact_computations;
+            hits.extend_from_slice(&l.hits);
+        }
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        QueryOutcome { hits, job, search }
+    }
+
+    /// Executes a *batch* of queries as one distributed job — the paper's
+    /// motivating analytics workload ("ride-hailing companies tend to
+    /// issue a batch of analysis queries", Section V-A).
+    ///
+    /// Each partition answers every query in one pass over its local index,
+    /// so the simulated makespan reflects batch amortization: one task per
+    /// partition rather than one job per query.
+    pub fn query_batch(&self, queries: &[Vec<Point>], k: usize) -> Vec<QueryOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let (locals, times, wall) = self.run_local(|part| {
+            queries
+                .iter()
+                .map(|q| part.trie.top_k(&part.trajs, q, k))
+                .collect::<Vec<_>>()
+        });
+        let job = JobStats::simulate(
+            times,
+            (0..self.config.num_partitions).collect(),
+            self.config.cluster.workers,
+            self.config.cluster.cores_per_worker,
+            wall,
+        );
+        (0..queries.len())
+            .map(|qi| {
+                let mut search = SearchStats::default();
+                let mut hits: Vec<Hit> = Vec::new();
+                for part_results in &locals {
+                    let l = &part_results[qi];
+                    search.nodes_visited += l.stats.nodes_visited;
+                    search.nodes_pruned += l.stats.nodes_pruned;
+                    search.leaves_visited += l.stats.leaves_visited;
+                    search.leaves_pruned += l.stats.leaves_pruned;
+                    search.exact_computations += l.stats.exact_computations;
+                    hits.extend_from_slice(&l.hits);
+                }
+                hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+                hits.truncate(k);
+                // The batch shares one schedule; report it on every outcome.
+                QueryOutcome { hits, job: job.clone(), search }
+            })
+            .collect()
+    }
+
+    /// Runs a closure on every local partition with timing — shared by the
+    /// query variants (plain, bounded, filtered).
+    pub(crate) fn run_local<R: Send>(
+        &self,
+        f: impl Fn(&LocalPartition) -> R + Sync,
+    ) -> (Vec<R>, Vec<Duration>, Duration) {
+        self.cluster.run_partitions(&self.data, |_, chunk| f(&chunk[0]))
+    }
+
+    /// The configuration the deployment was built with.
+    pub fn config(&self) -> &ReposeConfig {
+        &self.config
+    }
+
+    /// The enclosing square region `A`.
+    pub fn region(&self) -> Mbr {
+        self.region
+    }
+
+    /// Simulated index construction time (the paper's IT): master-side
+    /// clustering + simulated parallel build makespan.
+    pub fn index_time(&self) -> Duration {
+        self.partition_wall + self.build_stats.makespan
+    }
+
+    /// Scheduling stats of the build job.
+    pub fn build_stats(&self) -> &JobStats {
+        &self.build_stats
+    }
+
+    /// Total index size in bytes across partitions (the paper's IS).
+    pub fn index_bytes(&self) -> usize {
+        self.data
+            .partitions()
+            .iter()
+            .map(|p| p[0].trie.mem_bytes())
+            .sum()
+    }
+
+    /// Total trie nodes across partitions (Fig. 7's metric).
+    pub fn trie_nodes(&self) -> usize {
+        self.data
+            .partitions()
+            .iter()
+            .map(|p| p[0].trie.node_count())
+            .sum()
+    }
+
+    /// Per-partition trajectory counts.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.data
+            .partitions()
+            .iter()
+            .map(|p| p[0].trajs.len())
+            .collect()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.config.num_partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionStrategy;
+    use repose_distance::{Measure, MeasureParams};
+
+    fn dataset() -> Dataset {
+        // 200 trajectories in 20 groups of 10 near-duplicates.
+        let mut trajs = Vec::new();
+        for g in 0..20u64 {
+            let gx = (g % 5) as f64 * 10.0;
+            let gy = (g / 5) as f64 * 10.0;
+            for j in 0..10u64 {
+                let id = g * 10 + j;
+                let jit = j as f64 * 0.05;
+                trajs.push(Trajectory::new(
+                    id,
+                    (0..12)
+                        .map(|s| Point::new(gx + s as f64 * 0.3 + jit, gy + jit))
+                        .collect(),
+                ));
+            }
+        }
+        Dataset::from_trajectories(trajs)
+    }
+
+    fn brute_force(d: &Dataset, q: &[Point], k: usize, m: Measure, p: MeasureParams) -> Vec<u64> {
+        let mut v: Vec<(f64, u64)> = d
+            .trajectories()
+            .iter()
+            .map(|t| (p.distance(m, q, &t.points), t.id))
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.truncate(k);
+        v.into_iter().map(|e| e.1).collect()
+    }
+
+    #[test]
+    fn distributed_matches_brute_force_all_measures() {
+        let d = dataset();
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 0.1)).collect();
+        let params = MeasureParams::with_eps(0.5);
+        for measure in Measure::ALL {
+            let cfg = ReposeConfig::new(measure)
+                .with_partitions(8)
+                .with_delta(0.7)
+                .with_params(params);
+            let r = Repose::build(&d, cfg);
+            let got: Vec<u64> = r.query(&q, 10).hits.iter().map(|h| h.id).collect();
+            let expect = brute_force(&d, &q, 10, measure, params);
+            assert_eq!(got, expect, "{measure}");
+        }
+    }
+
+    #[test]
+    fn strategies_return_identical_results() {
+        let d = dataset();
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 10.2)).collect();
+        let mut all = Vec::new();
+        for s in [
+            PartitionStrategy::Heterogeneous,
+            PartitionStrategy::Homogeneous,
+            PartitionStrategy::Random,
+        ] {
+            let cfg = ReposeConfig::new(Measure::Hausdorff)
+                .with_partitions(6)
+                .with_delta(0.7)
+                .with_strategy(s);
+            let r = Repose::build(&d, cfg);
+            all.push(r.query(&q, 7).hits.iter().map(|h| h.id).collect::<Vec<_>>());
+        }
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[0], all[2]);
+    }
+
+    #[test]
+    fn heterogeneous_partitions_are_balanced() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(8)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        let sizes = r.partition_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), d.len());
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(4)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        assert!(r.index_bytes() > 0);
+        assert!(r.trie_nodes() > 4);
+        assert!(r.index_time() > Duration::ZERO);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 0.1)).collect();
+        let out = r.query(&q, 5);
+        assert_eq!(out.hits.len(), 5);
+        assert!(out.search.exact_computations > 0);
+        assert_eq!(out.job.partition_times.len(), 4);
+        assert!(out.query_time() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn two_phase_matches_single_phase_distances() {
+        let d = dataset();
+        let params = MeasureParams::with_eps(0.5);
+        for measure in [Measure::Hausdorff, Measure::Frechet, Measure::Dtw] {
+            let cfg = ReposeConfig::new(measure)
+                .with_partitions(8)
+                .with_delta(0.7)
+                .with_params(params);
+            let r = Repose::build(&d, cfg);
+            for qy in [0.1, 5.3, 19.7] {
+                let q: Vec<Point> =
+                    (0..12).map(|s| Point::new(s as f64 * 0.3, qy)).collect();
+                let one = r.query(&q, 10);
+                let two = r.query_two_phase(&q, 10);
+                assert_eq!(one.hits.len(), two.hits.len(), "{measure}");
+                for (a, b) in one.hits.iter().zip(&two.hits) {
+                    assert!(
+                        (a.dist - b.dist).abs() < 1e-9,
+                        "{measure}: {} vs {}",
+                        a.dist,
+                        b.dist
+                    );
+                }
+                // the threshold must help, never hurt, total pruning work
+                assert!(two.search.exact_computations <= one.search.exact_computations);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_individual_queries() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(6)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        let queries: Vec<Vec<Point>> = [0.1, 5.3, 12.7]
+            .iter()
+            .map(|&qy| (0..12).map(|s| Point::new(s as f64 * 0.3, qy)).collect())
+            .collect();
+        let batch = r.query_batch(&queries, 7);
+        assert_eq!(batch.len(), 3);
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = r.query(q, 7);
+            assert_eq!(
+                single.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                b.hits.iter().map(|h| h.id).collect::<Vec<_>>()
+            );
+        }
+        assert!(r.query_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn two_phase_k_exceeding_partition_size() {
+        let d = dataset(); // 200 trajectories over 8 partitions = 25 each
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(8)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 0.1)).collect();
+        // k = 60 > 25: phase 1 cannot fill k, threshold stays infinite,
+        // but the result must still be the exact top-60.
+        let one = r.query(&q, 60);
+        let two = r.query_two_phase(&q, 60);
+        assert_eq!(
+            one.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            two.hits.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn query_on_empty_dataset() {
+        let d = Dataset::new();
+        let cfg = ReposeConfig::new(Measure::Hausdorff).with_partitions(4);
+        let r = Repose::build(&d, cfg);
+        let out = r.query(&[Point::new(0.0, 0.0)], 3);
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn k_exceeding_dataset() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(4)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 0.1)).collect();
+        let out = r.query(&q, 1000);
+        assert_eq!(out.hits.len(), d.len());
+    }
+}

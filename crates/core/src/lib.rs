@@ -1,0 +1,40 @@
+//! REPOSE: distributed top-k trajectory similarity search with local
+//! reference point tries — the paper's end-to-end framework (Section V).
+//!
+//! ```
+//! use repose::{Repose, ReposeConfig, PartitionStrategy};
+//! use repose_distance::Measure;
+//! use repose_model::{Dataset, Point, Trajectory};
+//!
+//! // A toy dataset: straight trips at different offsets.
+//! let trajs: Vec<Trajectory> = (0..100)
+//!     .map(|i| {
+//!         let y = (i % 10) as f64;
+//!         Trajectory::new(i, (0..12).map(|j| Point::new(j as f64, y)).collect())
+//!     })
+//!     .collect();
+//! let dataset = Dataset::from_trajectories(trajs);
+//!
+//! let config = ReposeConfig::new(Measure::Hausdorff)
+//!     .with_partitions(4)
+//!     .with_delta(0.5);
+//! let repose = Repose::build(&dataset, config);
+//!
+//! let query: Vec<Point> = (0..12).map(|j| Point::new(j as f64, 0.2)).collect();
+//! let outcome = repose.query(&query, 3);
+//! assert_eq!(outcome.hits.len(), 3);
+//! assert_eq!(outcome.hits[0].id, 0); // the y = 0 trip is closest
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod framework;
+mod partition;
+pub mod temporal;
+
+pub use config::ReposeConfig;
+pub use framework::{QueryOutcome, Repose};
+pub use partition::{partition_dataset, PartitionStrategy};
+pub use repose_rptrie::Hit;
+pub use temporal::{TemporalRepose, TimeWindow};

@@ -1,0 +1,225 @@
+//! Spatio-temporal top-k search — the extension the paper's Section IX
+//! names as future work ("take the temporal dimension into account to
+//! enable top-k spatial-temporal trajectory similarity search in
+//! distributed settings").
+//!
+//! Design: each trajectory carries a time span `[start, end]`. A
+//! spatio-temporal query adds a [`TimeWindow`]; only trajectories whose
+//! span overlaps the window qualify. The spatial RP-Trie machinery is
+//! reused unchanged through the filtered search hook
+//! (`RpTrie::top_k_where`): temporal selection composes with — and never
+//! weakens — the spatial pruning bounds.
+
+use crate::{QueryOutcome, Repose, ReposeConfig};
+use repose_cluster::JobStats;
+use repose_model::{Dataset, Point, TrajId};
+use repose_rptrie::{Hit, SearchStats};
+use std::collections::HashMap;
+
+/// A closed time interval (units are the application's choice — epoch
+/// seconds in the examples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWindow {
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (inclusive).
+    pub end: f64,
+}
+
+impl TimeWindow {
+    /// Creates a window; `start` must not exceed `end`.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(start <= end, "window start after end");
+        TimeWindow { start, end }
+    }
+
+    /// Whether `[a, b]` overlaps this window.
+    pub fn overlaps(&self, a: f64, b: f64) -> bool {
+        a <= self.end && b >= self.start
+    }
+}
+
+/// A REPOSE deployment whose trajectories carry time spans, answering
+/// top-k queries restricted to a [`TimeWindow`].
+#[derive(Debug)]
+pub struct TemporalRepose {
+    inner: Repose,
+    spans: HashMap<TrajId, (f64, f64)>,
+}
+
+impl TemporalRepose {
+    /// Builds over `dataset` with a span per trajectory id.
+    ///
+    /// # Panics
+    /// When a trajectory id has no span, or a span is inverted.
+    pub fn build(
+        dataset: &Dataset,
+        spans: HashMap<TrajId, (f64, f64)>,
+        config: ReposeConfig,
+    ) -> Self {
+        for t in dataset.trajectories() {
+            let (a, b) = spans
+                .get(&t.id)
+                .unwrap_or_else(|| panic!("missing time span for trajectory {}", t.id));
+            assert!(a <= b, "inverted time span for trajectory {}", t.id);
+        }
+        TemporalRepose { inner: Repose::build(dataset, config), spans }
+    }
+
+    /// The underlying spatial deployment.
+    pub fn spatial(&self) -> &Repose {
+        &self.inner
+    }
+
+    /// Distributed top-k among trajectories whose span overlaps `window`.
+    pub fn query(&self, query: &[Point], window: TimeWindow, k: usize) -> QueryOutcome {
+        let spans = &self.spans;
+        self.inner.query_where(query, k, &move |t: &repose_model::Trajectory| {
+            let (a, b) = spans[&t.id];
+            window.overlaps(a, b)
+        })
+    }
+}
+
+impl Repose {
+    /// Distributed top-k restricted to trajectories accepted by `filter`
+    /// (exposed for attribute predicates; `TemporalRepose` builds on it).
+    pub fn query_where(
+        &self,
+        query: &[Point],
+        k: usize,
+        filter: &(dyn Fn(&repose_model::Trajectory) -> bool + Sync),
+    ) -> QueryOutcome {
+        let (locals, times, wall) = self.run_local(|part| {
+            part.trie.top_k_where(&part.trajs, query, k, filter)
+        });
+        let job = JobStats::simulate(
+            times,
+            (0..self.num_partitions()).collect(),
+            self.config().cluster.workers,
+            self.config().cluster.cores_per_worker,
+            wall,
+        );
+        let mut search = SearchStats::default();
+        let mut hits: Vec<Hit> = Vec::new();
+        for l in &locals {
+            search.nodes_visited += l.stats.nodes_visited;
+            search.nodes_pruned += l.stats.nodes_pruned;
+            search.leaves_visited += l.stats.leaves_visited;
+            search.leaves_pruned += l.stats.leaves_pruned;
+            search.exact_computations += l.stats.exact_computations;
+            hits.extend_from_slice(&l.hits);
+        }
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        QueryOutcome { hits, job, search }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_distance::Measure;
+    use repose_model::Trajectory;
+
+    fn dataset_with_spans() -> (Dataset, HashMap<TrajId, (f64, f64)>) {
+        // 60 trajectories; trajectory i is active in [i, i + 10].
+        let mut spans = HashMap::new();
+        let mut trajs = Vec::new();
+        for i in 0..60u64 {
+            let y = (i % 12) as f64;
+            trajs.push(Trajectory::new(
+                i,
+                (0..12).map(|s| Point::new(s as f64 * 0.4, y)).collect(),
+            ));
+            spans.insert(i, (i as f64, i as f64 + 10.0));
+        }
+        (Dataset::from_trajectories(trajs), spans)
+    }
+
+    fn build(k_parts: usize) -> TemporalRepose {
+        let (d, spans) = dataset_with_spans();
+        TemporalRepose::build(
+            &d,
+            spans,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_partitions(k_parts)
+                .with_delta(0.7),
+        )
+    }
+
+    #[test]
+    fn window_restricts_results() {
+        let tr = build(4);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.4, 0.1)).collect();
+        // Only trajectories 0..=15 overlap [5, 15].
+        let out = tr.query(&q, TimeWindow::new(5.0, 15.0), 10);
+        assert!(!out.hits.is_empty());
+        for h in &out.hits {
+            assert!(h.id <= 15, "trajectory {} outside the window", h.id);
+        }
+        // The unrestricted query must rank trajectory 0 (exact y match)
+        // first; windowed away from it, the winner changes.
+        let far = tr.query(&q, TimeWindow::new(40.0, 45.0), 3);
+        assert!(far.hits.iter().all(|h| h.id >= 30));
+    }
+
+    #[test]
+    fn windowed_matches_filtered_brute_force() {
+        let (d, spans) = dataset_with_spans();
+        let tr = build(6);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.4, 6.3)).collect();
+        let w = TimeWindow::new(20.0, 33.0);
+        let got: Vec<u64> = tr.query(&q, w, 8).hits.iter().map(|h| h.id).collect();
+        let params = repose_distance::MeasureParams::default();
+        let mut expect: Vec<(f64, u64)> = d
+            .trajectories()
+            .iter()
+            .filter(|t| {
+                let (a, b) = spans[&t.id];
+                w.overlaps(a, b)
+            })
+            .map(|t| (params.distance(Measure::Hausdorff, &q, &t.points), t.id))
+            .collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        expect.truncate(8);
+        assert_eq!(got, expect.into_iter().map(|e| e.1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_window_yields_nothing() {
+        let tr = build(4);
+        let q = vec![Point::new(0.0, 0.0)];
+        let out = tr.query(&q, TimeWindow::new(1000.0, 2000.0), 5);
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn window_overlap_semantics() {
+        let w = TimeWindow::new(5.0, 10.0);
+        assert!(w.overlaps(0.0, 5.0)); // touching counts
+        assert!(w.overlaps(10.0, 20.0));
+        assert!(w.overlaps(6.0, 7.0));
+        assert!(w.overlaps(0.0, 20.0));
+        assert!(!w.overlaps(0.0, 4.9));
+        assert!(!w.overlaps(10.1, 12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing time span")]
+    fn missing_span_panics() {
+        let (d, mut spans) = dataset_with_spans();
+        spans.remove(&3);
+        TemporalRepose::build(
+            &d,
+            spans,
+            ReposeConfig::new(Measure::Hausdorff).with_partitions(2).with_delta(0.7),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window start after end")]
+    fn inverted_window_panics() {
+        TimeWindow::new(5.0, 1.0);
+    }
+}

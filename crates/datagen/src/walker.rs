@@ -1,0 +1,142 @@
+use crate::DataSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use repose_model::{Dataset, Point, Trajectory};
+use std::f64::consts::PI;
+
+/// Generates a dataset from a spec (see crate docs for the movement model).
+pub fn generate(spec: &DataSpec, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_6E4E);
+    let (w, h) = spec.spatial_span;
+
+    // Hotspots with a weight distribution: a few dominate (Zipf-ish),
+    // reproducing taxi-data skew.
+    let hotspots: Vec<(Point, f64)> = (0..spec.hotspots)
+        .map(|i| {
+            let p = Point::new(rng.random_range(0.0..w), rng.random_range(0.0..h));
+            let weight = 1.0 / (i as f64 + 1.0);
+            (p, weight)
+        })
+        .collect();
+    let total_weight: f64 = hotspots.iter().map(|(_, w)| *w).sum();
+
+    // Hotspot neighbourhood radius: a few percent of the span.
+    let radius = 0.04 * w.min(h);
+    // Step length so an average trajectory covers a plausible trip: about
+    // 15% of the smaller span dimension.
+    let step = 0.15 * w.min(h) / spec.avg_len as f64;
+
+    let mut trajs = Vec::with_capacity(spec.cardinality);
+    for id in 0..spec.cardinality {
+        // Pick a hotspot by weight.
+        let mut pick = rng.random_range(0.0..total_weight);
+        let mut center = hotspots[0].0;
+        for (p, wt) in &hotspots {
+            if pick < *wt {
+                center = *p;
+                break;
+            }
+            pick -= *wt;
+        }
+        // Length around the target average (0.5x .. 1.8x), at least 10.
+        let len = ((spec.avg_len as f64 * rng.random_range(0.5..1.8)) as usize).max(10);
+        let mut x = (center.x + rng.random_range(-radius..radius)).clamp(0.0, w);
+        let mut y = (center.y + rng.random_range(-radius..radius)).clamp(0.0, h);
+        let mut heading = rng.random_range(0.0..(2.0 * PI));
+        let mut pts = Vec::with_capacity(len);
+        pts.push(Point::new(x, y));
+        for _ in 1..len {
+            // Heading momentum with jitter; occasional sharp turn
+            // (junctions).
+            if rng.random_range(0.0..1.0) < 0.08 {
+                heading += rng.random_range(-PI / 2.0..PI / 2.0);
+            } else {
+                heading += rng.random_range(-0.25..0.25);
+            }
+            let s = step * rng.random_range(0.5..1.5);
+            x = (x + s * heading.cos()).clamp(0.0, w);
+            y = (y + s * heading.sin()).clamp(0.0, h);
+            // Bounce off the region border.
+            if x <= 0.0 || x >= w {
+                heading = PI - heading;
+            }
+            if y <= 0.0 || y >= h {
+                heading = -heading;
+            }
+            pts.push(Point::new(x, y));
+        }
+        trajs.push(Trajectory::new(id as u64, pts));
+    }
+    Dataset::from_trajectories(trajs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PaperDataset;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = PaperDataset::SF.spec();
+        let mut small = s;
+        small.cardinality = 50;
+        let a = generate(&small, 9);
+        let b = generate(&small, 9);
+        assert_eq!(a.trajectories(), b.trajectories());
+        let c = generate(&small, 10);
+        assert_ne!(a.trajectories(), c.trajectories());
+    }
+
+    #[test]
+    fn matches_spec_statistics() {
+        let d = PaperDataset::TDrive.generate(0.5, 3);
+        let stats = d.stats();
+        let spec = PaperDataset::TDrive.spec();
+        assert_eq!(stats.cardinality, 1200);
+        // Average length within 40% of the target.
+        let ratio = stats.avg_len / spec.avg_len as f64;
+        assert!(ratio > 0.6 && ratio < 1.4, "avg_len ratio {ratio}");
+        // Span within the declared region.
+        assert!(stats.spatial_span.0 <= spec.spatial_span.0 + 1e-9);
+        assert!(stats.spatial_span.1 <= spec.spatial_span.1 + 1e-9);
+        // Span should fill most of the region (hotspots spread out).
+        assert!(stats.spatial_span.0 > 0.5 * spec.spatial_span.0);
+    }
+
+    #[test]
+    fn all_points_finite_and_in_region() {
+        let d = PaperDataset::Osm.generate(0.02, 5);
+        d.validate().unwrap();
+        let spec = PaperDataset::Osm.spec();
+        for t in d.trajectories() {
+            for p in &t.points {
+                assert!(p.x >= 0.0 && p.x <= spec.spatial_span.0);
+                assert!(p.y >= 0.0 && p.y <= spec.spatial_span.1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_length_respected() {
+        let d = PaperDataset::SF.generate(0.05, 2);
+        assert!(d.trajectories().iter().all(|t| t.len() >= 10));
+    }
+
+    #[test]
+    fn density_skew_exists() {
+        // With Zipf hotspot weights, the busiest cell should hold many more
+        // trajectory starts than the median cell.
+        let d = PaperDataset::Xian.generate(0.2, 11);
+        let spec = PaperDataset::Xian.spec();
+        let mut counts = std::collections::HashMap::new();
+        for t in d.trajectories() {
+            let p = t.first().unwrap();
+            let gx = (p.x / spec.spatial_span.0 * 8.0) as i32;
+            let gy = (p.y / spec.spatial_span.1 * 8.0) as i32;
+            *counts.entry((gx, gy)).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = d.len() / counts.len();
+        assert!(max > 2 * avg, "expected hotspot skew: max {max}, avg {avg}");
+    }
+}

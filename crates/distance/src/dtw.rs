@@ -1,0 +1,190 @@
+use repose_model::Point;
+
+/// Dynamic time warping distance between two trajectories (Eq. 12),
+/// with Euclidean ground distance and no warping window.
+pub fn dtw(t1: &[Point], t2: &[Point]) -> f64 {
+    if t1.is_empty() || t2.is_empty() {
+        return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let mut col = DtwColumn::new(t1.len());
+    for p in t2 {
+        col.push_with(t1, |q| q.dist(p));
+    }
+    col.last()
+}
+
+/// Incremental DTW column kernel (Section VI-B).
+///
+/// Maintains the last column of the DTW matrix between a fixed query (rows)
+/// and a reference sequence growing one element at a time (columns), via
+/// Eq. 15:
+///
+/// ```text
+/// f_{i,j} = d'(q_i, p*_j) + min(f_{i-1,j-1}, f_{i-1,j}, f_{i,j-1})
+/// ```
+///
+/// `cmin` of the newly added column is the one-side bound (Eq. 13) and
+/// `last` (`f_{m,n}`) is the two-side bound (Eq. 14). The ground distance is
+/// caller-supplied so the trie search can use the minimum distance from a
+/// query point to a grid *cell* (`d'`), which the paper requires because DTW
+/// does not obey the triangle inequality.
+#[derive(Debug, Clone)]
+pub struct DtwColumn {
+    col: Vec<f64>,
+    cmin: f64,
+    len: usize,
+}
+
+impl DtwColumn {
+    /// State for a query with `m` points, before any reference element.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "query must be non-empty");
+        DtwColumn { col: vec![0.0; m], cmin: f64::INFINITY, len: 0 }
+    }
+
+    /// Number of reference elements consumed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no reference element has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes the next reference point with Euclidean ground distance.
+    pub fn push(&mut self, query: &[Point], p: Point) {
+        self.push_with(query, |q| q.dist(&p));
+    }
+
+    /// Pushes the next reference element with a caller-supplied ground
+    /// distance.
+    #[allow(clippy::needless_range_loop)] // i also indexes the DP column
+    pub fn push_with<F: Fn(&Point) -> f64>(&mut self, query: &[Point], ground: F) {
+        debug_assert_eq!(query.len(), self.col.len());
+        let m = self.col.len();
+        let mut cmin = f64::INFINITY;
+        if self.len == 0 {
+            // First column: f_{i,1} = sum_{t<=i} d(q_t, p_1).
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += ground(&query[i]);
+                self.col[i] = acc;
+                if acc < cmin {
+                    cmin = acc;
+                }
+            }
+        } else {
+            let mut prev_im1 = self.col[0];
+            for i in 0..m {
+                let d = ground(&query[i]);
+                let best_pred = if i == 0 {
+                    self.col[0] // f_{1,j} = d + f_{1,j-1}
+                } else {
+                    prev_im1.min(self.col[i]).min(self.col[i - 1])
+                };
+                prev_im1 = self.col[i];
+                self.col[i] = d + best_pred;
+                if self.col[i] < cmin {
+                    cmin = self.col[i];
+                }
+            }
+        }
+        self.cmin = cmin;
+        self.len += 1;
+    }
+
+    /// Minimum of the most recently added column (Eq. 13).
+    pub fn cmin(&self) -> f64 {
+        self.cmin
+    }
+
+    /// `f_{m,n}`: DTW between the query and the consumed reference prefix
+    /// (Eq. 14). Only meaningful when `len() > 0`.
+    pub fn last(&self) -> f64 {
+        *self.col.last().expect("non-empty query")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pts(&[(0.0, 0.0), (1.0, 3.0), (2.0, 0.5)]);
+        let b = pts(&[(0.0, 1.0), (2.0, 2.0), (4.0, 0.0), (5.0, 1.0)]);
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_small_case() {
+        // 1-D points on the x axis: q = [0, 1], t = [0, 2].
+        // matrix: f11=0, f21=1, f12=2+0=2, f22=|1-2|+min(0,1,2)=1
+        let q = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let t = pts(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(dtw(&q, &t), 1.0);
+    }
+
+    #[test]
+    fn single_row_and_column_are_sums() {
+        let q = pts(&[(0.0, 0.0)]);
+        let t = pts(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(dtw(&q, &t), 6.0); // sum of distances to q1
+        assert_eq!(dtw(&t, &q), 6.0);
+    }
+
+    #[test]
+    fn time_shift_cheaper_than_euclidean_alignment() {
+        // DTW should align a shifted copy nearly for free.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(dtw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert_eq!(dtw(&a, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn column_kernel_matches_prefix_batch() {
+        let q = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let t = pts(&[(0.5, 0.5), (1.0, 0.0), (2.5, 1.0), (3.0, 3.0)]);
+        let mut col = DtwColumn::new(q.len());
+        for (j, p) in t.iter().enumerate() {
+            col.push(&q, *p);
+            let batch = dtw(&q, &t[..=j]);
+            assert!((col.last() - batch).abs() < 1e-12, "prefix {j}");
+        }
+    }
+
+    #[test]
+    fn optimistic_ground_distance_lower_bounds_exact() {
+        // Using a ground distance that under-estimates d(q, p) must yield a
+        // DTW value no larger than the exact one — the property the trie
+        // lower bound relies on.
+        let q = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let t = pts(&[(0.5, 0.5), (1.0, 0.0), (2.5, 1.0)]);
+        let mut exact = DtwColumn::new(q.len());
+        let mut optimistic = DtwColumn::new(q.len());
+        for p in &t {
+            exact.push(&q, *p);
+            optimistic.push_with(&q, |a| (a.dist(p) - 0.3).max(0.0));
+        }
+        assert!(optimistic.last() <= exact.last());
+        assert!(optimistic.cmin() <= exact.cmin());
+    }
+}

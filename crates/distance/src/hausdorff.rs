@@ -1,0 +1,248 @@
+use repose_model::Point;
+
+/// Directed Hausdorff distance `max_{a in from} min_{b in to} d(a, b)`.
+///
+/// Both slices must be non-empty.
+pub fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
+    debug_assert!(!from.is_empty() && !to.is_empty());
+    let mut worst = 0.0f64;
+    for a in from {
+        let mut best = f64::INFINITY;
+        for b in to {
+            let d = a.dist_sq(b);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst.sqrt()
+}
+
+/// The (symmetric) Hausdorff distance between two trajectories
+/// (Definition 2, Eq. 1).
+pub fn hausdorff(t1: &[Point], t2: &[Point]) -> f64 {
+    if t1.is_empty() || t2.is_empty() {
+        return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    // Single pass over the m x n matrix keeping row minima for one direction
+    // and column minima for the other (this is what Fig. 4 of the paper
+    // depicts).
+    let mut col_min = vec![f64::INFINITY; t2.len()];
+    let mut worst_row = 0.0f64;
+    for a in t1 {
+        let mut row_min = f64::INFINITY;
+        for (j, b) in t2.iter().enumerate() {
+            let d = a.dist_sq(b);
+            if d < row_min {
+                row_min = d;
+            }
+            if d < col_min[j] {
+                col_min[j] = d;
+            }
+        }
+        if row_min > worst_row {
+            worst_row = row_min;
+        }
+    }
+    let worst_col = col_min.iter().cloned().fold(0.0f64, f64::max);
+    worst_row.max(worst_col).sqrt()
+}
+
+/// Incremental Hausdorff state for growing reference trajectories
+/// (Section IV-C / Algorithm 1 `CompLB`).
+///
+/// For a fixed query `τq` with `m` points and a reference trajectory that is
+/// extended one point at a time (as the best-first search descends the trie),
+/// the state keeps:
+///
+/// * `r[i]` — the minimum distance from query point `q_i` to any reference
+///   point seen so far (row minima of the distance matrix),
+/// * `cmax` — the maximum over reference points of the minimum distance from
+///   that reference point to any query point (max of column minima).
+///
+/// Pushing one more reference point costs `O(m)`. At any time:
+///
+/// * `DH(τq, τ*) = max(rmax, cmax)` where `rmax = max_i r[i]`, and
+/// * the one-side term of Eq. 2 is exactly `cmax`.
+#[derive(Debug, Clone)]
+pub struct HausdorffState {
+    /// Row minima `r[i] = min_j d(q_i, p*_j)` (squared distances internally).
+    r_sq: Vec<f64>,
+    /// Max over columns of the column minimum (squared).
+    cmax_sq: f64,
+    /// Number of reference points pushed so far.
+    len: usize,
+}
+
+impl HausdorffState {
+    /// Creates the state for a query of `m` points with no reference points
+    /// consumed yet.
+    pub fn new(m: usize) -> Self {
+        HausdorffState { r_sq: vec![f64::INFINITY; m], cmax_sq: 0.0, len: 0 }
+    }
+
+    /// Number of reference points pushed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no reference point has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Consumes the next reference point, updating all intermediate results
+    /// in `O(m)` (the body of Algorithm 1).
+    pub fn push(&mut self, query: &[Point], p: Point) {
+        debug_assert_eq!(query.len(), self.r_sq.len());
+        let mut col_min = f64::INFINITY;
+        for (i, q) in query.iter().enumerate() {
+            let d = q.dist_sq(&p);
+            if d < self.r_sq[i] {
+                self.r_sq[i] = d;
+            }
+            if d < col_min {
+                col_min = d;
+            }
+        }
+        if col_min > self.cmax_sq {
+            self.cmax_sq = col_min;
+        }
+        self.len += 1;
+    }
+
+    /// `cmax`: the directed (reference -> query) Hausdorff distance, i.e. the
+    /// quantity inside Eq. 2's one-side lower bound.
+    pub fn cmax(&self) -> f64 {
+        self.cmax_sq.sqrt()
+    }
+
+    /// `max(rmax, cmax)`: the full Hausdorff distance between the query and
+    /// the reference prefix consumed so far. Only meaningful once at least
+    /// one point was pushed.
+    pub fn full(&self) -> f64 {
+        let rmax_sq = self.r_sq.iter().cloned().fold(0.0f64, f64::max);
+        rmax_sq.max(self.cmax_sq).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    /// The running example of the paper (Table II / Example 1).
+    fn paper_data() -> (Vec<Point>, Vec<Vec<Point>>) {
+        let tq = pts(&[(0.5, 6.5), (2.5, 6.5), (4.5, 6.5)]);
+        let ts = vec![
+            pts(&[(0.5, 7.5), (2.5, 7.5), (6.5, 7.5), (6.5, 4.5)]),
+            pts(&[(1.5, 0.5), (2.5, 0.5), (2.5, 4.5), (4.5, 4.5)]),
+            pts(&[(4.5, 0.5), (7.5, 0.5), (7.5, 2.5), (4.5, 2.5), (4.5, 1.5)]),
+            pts(&[(0.5, 7.5), (2.5, 7.5), (5.5, 7.5), (5.5, 3.5)]),
+            pts(&[(1.5, 0.5), (2.5, 0.5), (2.5, 5.5), (0.5, 5.5), (0.5, 2.5)]),
+        ];
+        (tq, ts)
+    }
+
+    #[test]
+    fn example_1_of_the_paper() {
+        let (tq, ts) = paper_data();
+        let expected = [2.83, 6.08, 6.71, 3.16, 6.08];
+        for (t, e) in ts.iter().zip(expected) {
+            assert!((hausdorff(&tq, t) - e).abs() < 0.01, "expected {e}");
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let (tq, ts) = paper_data();
+        for t in &ts {
+            assert_eq!(hausdorff(&tq, t), hausdorff(t, &tq));
+        }
+    }
+
+    #[test]
+    fn identity() {
+        let (tq, _) = paper_data();
+        assert_eq!(hausdorff(&tq, &tq), 0.0);
+    }
+
+    #[test]
+    fn directed_vs_symmetric() {
+        let (tq, ts) = paper_data();
+        for t in &ts {
+            let d = hausdorff(&tq, t);
+            let f = directed_hausdorff(&tq, t);
+            let b = directed_hausdorff(t, &tq);
+            assert!((d - f.max(b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert_eq!(hausdorff(&[], &[]), 0.0);
+        assert_eq!(hausdorff(&a, &[]), f64::INFINITY);
+        assert_eq!(hausdorff(&[], &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn order_independence() {
+        // Hausdorff ignores point order (Section III-C).
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let mut b = a.clone();
+        b.reverse();
+        let q = pts(&[(0.5, 0.5), (1.5, 0.5)]);
+        assert_eq!(hausdorff(&q, &a), hausdorff(&q, &b));
+    }
+
+    #[test]
+    fn incremental_state_matches_batch() {
+        let (tq, ts) = paper_data();
+        for t in &ts {
+            let mut st = HausdorffState::new(tq.len());
+            for (j, p) in t.iter().enumerate() {
+                st.push(&tq, *p);
+                let prefix = &t[..=j];
+                let batch = hausdorff(&tq, prefix);
+                assert!(
+                    (st.full() - batch).abs() < 1e-9,
+                    "prefix {} full mismatch: {} vs {}",
+                    j,
+                    st.full(),
+                    batch
+                );
+                let directed = directed_hausdorff(prefix, &tq);
+                assert!(
+                    (st.cmax() - directed).abs() < 1e-9,
+                    "prefix {j} cmax mismatch"
+                );
+            }
+            assert_eq!(st.len(), t.len());
+        }
+    }
+
+    #[test]
+    fn cmax_monotone_in_prefix_length() {
+        // Lemma 2 rests on cmax never decreasing as the reference grows.
+        let (tq, ts) = paper_data();
+        for t in &ts {
+            let mut st = HausdorffState::new(tq.len());
+            let mut prev = 0.0;
+            for p in t {
+                st.push(&tq, *p);
+                assert!(st.cmax() >= prev - 1e-12);
+                prev = st.cmax();
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+use repose_model::Point;
+
+/// Length of the longest common subsequence of two trajectories under a
+/// spatial matching threshold `eps` (Vlachos et al., ICDE'02).
+///
+/// Two points match when both coordinate differences are at most `eps`
+/// (the per-dimension formulation of the original paper).
+pub fn lcss_length(t1: &[Point], t2: &[Point], eps: f64) -> usize {
+    if t1.is_empty() || t2.is_empty() {
+        return 0;
+    }
+    let n = t2.len();
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for a in t1 {
+        for (j, b) in t2.iter().enumerate() {
+            cur[j + 1] = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// LCSS *distance*: `1 - LCSS(τ1, τ2) / min(|τ1|, |τ2|)`.
+///
+/// Zero when one trajectory's points all match a common subsequence of the
+/// other; one when nothing matches. This is the standard distance form used
+/// so that top-k "most similar" becomes top-k "smallest distance" uniformly
+/// across measures.
+pub fn lcss_distance(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
+    if t1.is_empty() || t2.is_empty() {
+        return if t1.is_empty() && t2.is_empty() { 0.0 } else { 1.0 };
+    }
+    let l = lcss_length(t1, t2, eps) as f64;
+    1.0 - l / t1.len().min(t2.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_full_match() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(lcss_length(&a, &a, 0.1), 3);
+        assert_eq!(lcss_distance(&a, &a, 0.1), 0.0);
+    }
+
+    #[test]
+    fn disjoint_no_match() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(10.0, 10.0), (11.0, 10.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.5), 0);
+        assert_eq!(lcss_distance(&a, &b, 0.5), 1.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        let a = pts(&[(0.0, 0.0), (5.0, 5.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.1), 2);
+        assert_eq!(lcss_distance(&a, &b, 0.1), 0.0); // min len = 2, both match
+    }
+
+    #[test]
+    fn respects_order() {
+        // common subsequence must be order-preserving
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(1.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(lcss_length(&a, &b, 0.1), 1);
+    }
+
+    #[test]
+    fn threshold_widens_matches() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(0.4, 0.4)]);
+        assert_eq!(lcss_length(&a, &b, 0.1), 0);
+        assert_eq!(lcss_length(&a, &b, 0.5), 1);
+    }
+
+    #[test]
+    fn per_dimension_threshold_not_euclidean() {
+        // dx = dy = 0.9 <= 1.0 matches even though Euclidean dist > 1.
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(0.9, 0.9)]);
+        assert_eq!(lcss_length(&a, &b, 1.0), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert_eq!(lcss_length(&[], &a, 0.1), 0);
+        assert_eq!(lcss_distance(&[], &[], 0.1), 0.0);
+        assert_eq!(lcss_distance(&a, &[], 0.1), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)]);
+        let b = pts(&[(0.1, 0.1), (2.1, 0.1), (3.0, 0.9)]);
+        assert_eq!(lcss_length(&a, &b, 0.2), lcss_length(&b, &a, 0.2));
+    }
+}

@@ -1,0 +1,26 @@
+//! The six trajectory similarity measures REPOSE supports (Sections II and
+//! VI of the paper): Hausdorff, Frechet, DTW, LCSS, EDR, and ERP.
+//!
+//! Besides the plain pairwise distances, this crate exposes the *incremental
+//! column kernels* that the RP-Trie search uses to evaluate lower bounds in
+//! `O(m)` per trie node (Section IV-C, Algorithm 1): when a reference
+//! trajectory grows by one point, only one new column of the distance matrix
+//! has to be computed, given the parent node's intermediate results.
+
+#![warn(missing_docs)]
+
+mod dtw;
+mod edr;
+mod erp;
+mod frechet;
+mod hausdorff;
+mod lcss;
+mod measure;
+
+pub use dtw::{dtw, DtwColumn};
+pub use edr::edr;
+pub use erp::erp;
+pub use frechet::{frechet, FrechetColumn};
+pub use hausdorff::{directed_hausdorff, hausdorff, HausdorffState};
+pub use lcss::{lcss_distance, lcss_length};
+pub use measure::{Measure, MeasureParams};

@@ -1,0 +1,168 @@
+use crate::{dtw, edr, erp, frechet, hausdorff, lcss_distance};
+use repose_model::Point;
+
+/// The similarity measures supported by REPOSE (Section I, contribution 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Measure {
+    /// Hausdorff distance — metric, order-independent.
+    Hausdorff,
+    /// Discrete Frechet distance — metric, order-sensitive.
+    Frechet,
+    /// Dynamic time warping — non-metric, order-sensitive.
+    Dtw,
+    /// LCSS distance (`1 - LCSS/min(m,n)`) — non-metric.
+    Lcss,
+    /// Edit distance on real sequences — non-metric.
+    Edr,
+    /// Edit distance with real penalty — metric.
+    Erp,
+}
+
+impl Measure {
+    /// All six measures, in the paper's order.
+    pub const ALL: [Measure; 6] = [
+        Measure::Hausdorff,
+        Measure::Frechet,
+        Measure::Dtw,
+        Measure::Lcss,
+        Measure::Edr,
+        Measure::Erp,
+    ];
+
+    /// Whether the measure satisfies the triangle inequality, enabling
+    /// pivot-based pruning (Section IV-D / VI).
+    pub fn is_metric(&self) -> bool {
+        matches!(self, Measure::Hausdorff | Measure::Frechet | Measure::Erp)
+    }
+
+    /// Whether the measure ignores point order, enabling the z-value
+    /// re-arrangement trie optimization (Section III-C: Hausdorff only).
+    pub fn is_order_independent(&self) -> bool {
+        matches!(self, Measure::Hausdorff)
+    }
+
+    /// Human-readable name, matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Measure::Hausdorff => "Hausdorff",
+            Measure::Frechet => "Frechet",
+            Measure::Dtw => "DTW",
+            Measure::Lcss => "LCSS",
+            Measure::Edr => "EDR",
+            Measure::Erp => "ERP",
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Measure {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hausdorff" => Ok(Measure::Hausdorff),
+            "frechet" | "fréchet" => Ok(Measure::Frechet),
+            "dtw" => Ok(Measure::Dtw),
+            "lcss" => Ok(Measure::Lcss),
+            "edr" => Ok(Measure::Edr),
+            "erp" => Ok(Measure::Erp),
+            other => Err(format!("unknown measure: {other}")),
+        }
+    }
+}
+
+/// Per-measure parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasureParams {
+    /// Matching threshold for LCSS and EDR.
+    pub eps: f64,
+    /// Gap point for ERP.
+    pub erp_gap: Point,
+}
+
+impl Default for MeasureParams {
+    fn default() -> Self {
+        MeasureParams { eps: 0.01, erp_gap: Point::new(0.0, 0.0) }
+    }
+}
+
+impl MeasureParams {
+    /// Parameters with a given LCSS/EDR threshold.
+    pub fn with_eps(eps: f64) -> Self {
+        MeasureParams { eps, ..Default::default() }
+    }
+
+    /// Computes the distance between two trajectories under `measure`.
+    pub fn distance(&self, measure: Measure, t1: &[Point], t2: &[Point]) -> f64 {
+        match measure {
+            Measure::Hausdorff => hausdorff(t1, t2),
+            Measure::Frechet => frechet(t1, t2),
+            Measure::Dtw => dtw(t1, t2),
+            Measure::Lcss => lcss_distance(t1, t2, self.eps),
+            Measure::Edr => edr(t1, t2, self.eps),
+            Measure::Erp => erp(t1, t2, self.erp_gap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn metric_and_order_flags_match_the_paper() {
+        use Measure::*;
+        assert!(Hausdorff.is_metric());
+        assert!(Frechet.is_metric());
+        assert!(Erp.is_metric());
+        assert!(!Dtw.is_metric());
+        assert!(!Lcss.is_metric());
+        assert!(!Edr.is_metric());
+        assert!(Hausdorff.is_order_independent());
+        for m in [Frechet, Dtw, Lcss, Edr, Erp] {
+            assert!(!m.is_order_independent(), "{m} should be order sensitive");
+        }
+    }
+
+    #[test]
+    fn dispatch_agrees_with_direct_calls() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let b = pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 0.5)]);
+        let p = MeasureParams::with_eps(0.6);
+        assert_eq!(p.distance(Measure::Hausdorff, &a, &b), hausdorff(&a, &b));
+        assert_eq!(p.distance(Measure::Frechet, &a, &b), frechet(&a, &b));
+        assert_eq!(p.distance(Measure::Dtw, &a, &b), dtw(&a, &b));
+        assert_eq!(p.distance(Measure::Lcss, &a, &b), lcss_distance(&a, &b, 0.6));
+        assert_eq!(p.distance(Measure::Edr, &a, &b), edr(&a, &b, 0.6));
+        assert_eq!(
+            p.distance(Measure::Erp, &a, &b),
+            erp(&a, &b, Point::new(0.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn identity_for_all_measures() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let p = MeasureParams::default();
+        for m in Measure::ALL {
+            assert_eq!(p.distance(m, &a, &a), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for m in Measure::ALL {
+            let parsed: Measure = m.name().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("nope".parse::<Measure>().is_err());
+    }
+}

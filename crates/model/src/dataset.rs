@@ -1,0 +1,294 @@
+use crate::{Mbr, ModelError, Point, TrajId, Trajectory};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Preprocessing rules from Section VII-A of the paper: "we remove the
+/// trajectories with length smaller than 10, and we split the trajectories
+/// with length larger than 1,000 into multiple trajectories".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Trajectories with fewer points are dropped (paper: 10).
+    pub min_len: usize,
+    /// Trajectories with more points are split (paper: 1000).
+    pub max_len: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig { min_len: 10, max_len: 1000 }
+    }
+}
+
+/// Summary statistics mirroring Table III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub cardinality: usize,
+    /// Average number of points per trajectory.
+    pub avg_len: f64,
+    /// Width and height of the spatial span (degrees in the paper).
+    pub spatial_span: (f64, f64),
+    /// Total number of sample points.
+    pub total_points: usize,
+    /// Approximate in-memory size in bytes.
+    pub mem_bytes: usize,
+}
+
+/// An in-memory trajectory dataset `D = {τ1, ..., τN}`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    trajectories: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Wraps a vector of trajectories.
+    pub fn from_trajectories(trajectories: Vec<Trajectory>) -> Self {
+        Dataset { trajectories }
+    }
+
+    /// Read-only view of the trajectories.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Consumes the dataset, yielding its trajectories.
+    pub fn into_trajectories(self) -> Vec<Trajectory> {
+        self.trajectories
+    }
+
+    /// Adds a trajectory.
+    pub fn push(&mut self, t: Trajectory) {
+        self.trajectories.push(t);
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the dataset holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Looks a trajectory up by id (linear scan; build an id map for bulk
+    /// lookups).
+    pub fn get(&self, id: TrajId) -> Option<&Trajectory> {
+        self.trajectories.iter().find(|t| t.id == id)
+    }
+
+    /// Builds a `TrajId -> index` map for O(1) id lookups.
+    pub fn id_index(&self) -> HashMap<TrajId, usize> {
+        self.trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i))
+            .collect()
+    }
+
+    /// Validates that all coordinates are finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for t in &self.trajectories {
+            if !t.is_finite() {
+                return Err(ModelError::NonFiniteCoordinate { traj_id: t.id });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the paper's preprocessing (drop short, split long) and
+    /// reassigns contiguous ids `0..N`.
+    pub fn preprocess(self, cfg: PreprocessConfig) -> Dataset {
+        let mut out = Vec::with_capacity(self.trajectories.len());
+        let mut next_id: TrajId = 0;
+        for t in self.trajectories {
+            if t.len() < cfg.min_len {
+                continue;
+            }
+            if t.len() > cfg.max_len {
+                let (chunks, nid) = t.split(cfg.max_len, next_id);
+                next_id = nid;
+                // chunks shorter than min_len (the tail) are dropped too
+                out.extend(chunks.into_iter().filter(|c| c.len() >= cfg.min_len));
+            } else {
+                out.push(Trajectory::new(next_id, t.points));
+                next_id += 1;
+            }
+        }
+        // splitting may leave id gaps when tails were dropped; renumber
+        for (i, t) in out.iter_mut().enumerate() {
+            t.id = i as TrajId;
+        }
+        Dataset { trajectories: out }
+    }
+
+    /// The square region `A` with side length `U` that encloses all
+    /// trajectories (Section III-A). Returns the tight MBR expanded to a
+    /// square, or `None` for an empty dataset.
+    pub fn enclosing_square(&self) -> Option<Mbr> {
+        let mut mbr = Mbr::empty();
+        for t in &self.trajectories {
+            for p in &t.points {
+                mbr.expand(*p);
+            }
+        }
+        if mbr.is_empty() {
+            return None;
+        }
+        let side = mbr.width().max(mbr.height());
+        // Expand the shorter dimension symmetrically to a square.
+        let c = mbr.center();
+        let half = side * 0.5;
+        Some(Mbr::new(
+            Point::new(c.x - half, c.y - half),
+            Point::new(c.x + half, c.y + half),
+        ))
+    }
+
+    /// Computes Table III style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let cardinality = self.trajectories.len();
+        let total_points: usize = self.trajectories.iter().map(Trajectory::len).sum();
+        let mut mbr = Mbr::empty();
+        for t in &self.trajectories {
+            for p in &t.points {
+                mbr.expand(*p);
+            }
+        }
+        let spatial_span = if mbr.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (mbr.width(), mbr.height())
+        };
+        let mem_bytes: usize = self.trajectories.iter().map(Trajectory::mem_bytes).sum();
+        DatasetStats {
+            cardinality,
+            avg_len: if cardinality == 0 {
+                0.0
+            } else {
+                total_points as f64 / cardinality as f64
+            },
+            spatial_span,
+            total_points,
+            mem_bytes,
+        }
+    }
+}
+
+impl FromIterator<Trajectory> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        Dataset { trajectories: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: TrajId, n: usize) -> Trajectory {
+        Trajectory::new(id, (0..n).map(|i| Point::new(i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn push_len_get() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.push(traj(5, 12));
+        assert_eq!(d.len(), 1);
+        assert!(d.get(5).is_some());
+        assert!(d.get(6).is_none());
+    }
+
+    #[test]
+    fn preprocess_drops_short() {
+        let d = Dataset::from_trajectories(vec![traj(0, 5), traj(1, 12)]);
+        let p = d.preprocess(PreprocessConfig::default());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.trajectories()[0].len(), 12);
+        assert_eq!(p.trajectories()[0].id, 0); // renumbered
+    }
+
+    #[test]
+    fn preprocess_splits_long() {
+        let cfg = PreprocessConfig { min_len: 10, max_len: 100 };
+        let d = Dataset::from_trajectories(vec![traj(0, 250)]);
+        let p = d.preprocess(cfg);
+        // 250 -> chunks of 100,100,50, all >= 10
+        assert_eq!(p.len(), 3);
+        let total: usize = p.trajectories().iter().map(Trajectory::len).sum();
+        assert_eq!(total, 250);
+        let ids: Vec<TrajId> = p.trajectories().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn preprocess_drops_short_tail_chunks() {
+        let cfg = PreprocessConfig { min_len: 10, max_len: 100 };
+        // 205 points -> 100,100,5; the 5-point tail is dropped
+        let d = Dataset::from_trajectories(vec![traj(0, 205)]);
+        let p = d.preprocess(cfg);
+        assert_eq!(p.len(), 2);
+        let total: usize = p.trajectories().iter().map(Trajectory::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn enclosing_square_is_square_and_covers() {
+        let d = Dataset::from_trajectories(vec![Trajectory::new(
+            0,
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 2.0)],
+        )]);
+        let sq = d.enclosing_square().unwrap();
+        assert!((sq.width() - sq.height()).abs() < 1e-12);
+        assert!(sq.contains(Point::new(0.0, 0.0)));
+        assert!(sq.contains(Point::new(10.0, 2.0)));
+        assert_eq!(sq.width(), 10.0);
+    }
+
+    #[test]
+    fn enclosing_square_empty_none() {
+        assert!(Dataset::new().enclosing_square().is_none());
+    }
+
+    #[test]
+    fn stats_match_table_iii_semantics() {
+        let d = Dataset::from_trajectories(vec![traj(0, 10), traj(1, 20)]);
+        let s = d.stats();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.total_points, 30);
+        assert_eq!(s.avg_len, 15.0);
+        assert_eq!(s.spatial_span, (19.0, 0.0));
+        assert!(s.mem_bytes > 0);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Dataset::new().stats();
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.avg_len, 0.0);
+        assert_eq!(s.spatial_span, (0.0, 0.0));
+    }
+
+    #[test]
+    fn validate_flags_nan() {
+        let mut d = Dataset::new();
+        d.push(Trajectory::new(3, vec![Point::new(f64::NAN, 0.0)]));
+        assert_eq!(
+            d.validate(),
+            Err(ModelError::NonFiniteCoordinate { traj_id: 3 })
+        );
+    }
+
+    #[test]
+    fn id_index_maps_ids() {
+        let d = Dataset::from_trajectories(vec![traj(10, 10), traj(20, 10)]);
+        let idx = d.id_index();
+        assert_eq!(idx[&10], 0);
+        assert_eq!(idx[&20], 1);
+    }
+}

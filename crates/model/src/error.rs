@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced when constructing or validating model types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A trajectory contained a non-finite coordinate.
+    NonFiniteCoordinate {
+        /// Trajectory id containing the bad point.
+        traj_id: u64,
+    },
+    /// A dataset operation referenced an unknown trajectory id.
+    UnknownTrajectory {
+        /// The id that was not found.
+        traj_id: u64,
+    },
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonFiniteCoordinate { traj_id } => {
+                write!(f, "trajectory {traj_id} contains a non-finite coordinate")
+            }
+            ModelError::UnknownTrajectory { traj_id } => {
+                write!(f, "unknown trajectory id {traj_id}")
+            }
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::NonFiniteCoordinate { traj_id: 3 }.to_string(),
+            "trajectory 3 contains a non-finite coordinate"
+        );
+        assert_eq!(
+            ModelError::UnknownTrajectory { traj_id: 9 }.to_string(),
+            "unknown trajectory id 9"
+        );
+        assert_eq!(
+            ModelError::InvalidConfig("k must be > 0".into()).to_string(),
+            "invalid configuration: k must be > 0"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text trajectory I/O.
+//!
+//! Real trajectory corpora (T-drive, Porto, ...) ship as CSV-like text.
+//! This module reads and writes a simple line format so users can run the
+//! library against real data:
+//!
+//! ```text
+//! # one trajectory per line:
+//! <id>:<x1>,<y1>;<x2>,<y2>;...
+//! ```
+//!
+//! Lines starting with `#` and blank lines are skipped.
+
+use crate::{Dataset, ModelError, Point, Trajectory};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses one `<id>:<x1>,<y1>;...` line.
+fn parse_line(line: &str, lineno: usize) -> Result<Trajectory, ModelError> {
+    let bad = |msg: &str| ModelError::InvalidConfig(format!("line {lineno}: {msg}"));
+    let (id_s, rest) = line
+        .split_once(':')
+        .ok_or_else(|| bad("missing ':' separator"))?;
+    let id = id_s
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| bad("invalid trajectory id"))?;
+    let mut points = Vec::new();
+    for (pi, pair) in rest.split(';').enumerate() {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (xs, ys) = pair
+            .split_once(',')
+            .ok_or_else(|| bad(&format!("point {pi}: missing ','")))?;
+        let x = xs
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| bad(&format!("point {pi}: bad x")))?;
+        let y = ys
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| bad(&format!("point {pi}: bad y")))?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(ModelError::NonFiniteCoordinate { traj_id: id });
+        }
+        points.push(Point::new(x, y));
+    }
+    Ok(Trajectory::new(id, points))
+}
+
+/// Reads a dataset from the line format.
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset, ModelError> {
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line =
+            line.map_err(|e| ModelError::InvalidConfig(format!("io error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed, lineno + 1)?);
+    }
+    Ok(Dataset::from_trajectories(out))
+}
+
+/// Writes a dataset in the line format.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    for t in dataset.trajectories() {
+        buf.clear();
+        write!(buf, "{}:", t.id).expect("write to String");
+        for (i, p) in t.points.iter().enumerate() {
+            if i > 0 {
+                buf.push(';');
+            }
+            write!(buf, "{},{}", p.x, p.y).expect("write to String");
+        }
+        buf.push('\n');
+        writer.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_line() {
+        let t = parse_line("7:1.5,2.5;3.0,4.0", 1).unwrap();
+        assert_eq!(t.id, 7);
+        assert_eq!(t.points, vec![Point::new(1.5, 2.5), Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let t = parse_line(" 3 : 1.0 , 2.0 ; 3.0 , 4.0 ", 1).unwrap();
+        assert_eq!(t.id, 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(parse_line("no-colon", 5).unwrap_err().to_string().contains("line 5"));
+        assert!(parse_line("x:1,2", 1).is_err()); // bad id
+        assert!(parse_line("1:1;2", 1).is_err()); // missing comma
+        assert!(parse_line("1:a,2", 1).is_err()); // bad coord
+        assert!(matches!(
+            parse_line("1:inf,2", 1),
+            Err(ModelError::NonFiniteCoordinate { traj_id: 1 })
+        ));
+    }
+
+    #[test]
+    fn read_skips_comments_and_blanks() {
+        let text = "# header\n\n1:0,0;1,1\n  \n2:2,2;3,3\n";
+        let d = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.trajectories()[1].id, 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let d = Dataset::from_trajectories(vec![
+            Trajectory::new(0, vec![Point::new(0.125, -7.5), Point::new(1e-9, 2.0)]),
+            Trajectory::new(42, vec![Point::new(-1.0, -2.0)]),
+        ]);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(d.trajectories(), back.trajectories());
+    }
+
+    #[test]
+    fn read_bad_line_reports_line_number() {
+        let text = "1:0,0;1,1\nbroken line\n";
+        let err = read_dataset(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

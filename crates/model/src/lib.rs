@@ -1,0 +1,26 @@
+//! Core trajectory data model for the REPOSE reproduction.
+//!
+//! This crate defines the geometric primitives ([`Point`], [`Mbr`], [`Segment`]),
+//! the [`Trajectory`] type, and the [`Dataset`] container together with the
+//! preprocessing rules the paper applies (drop trajectories shorter than 10
+//! points, split trajectories longer than 1,000 points).
+//!
+//! Everything downstream — the distance measures, the z-order discretization,
+//! the RP-Trie, and the distributed framework — is built on these types.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+pub mod io;
+mod mbr;
+mod point;
+mod segment;
+mod trajectory;
+
+pub use dataset::{Dataset, DatasetStats, PreprocessConfig};
+pub use error::ModelError;
+pub use mbr::Mbr;
+pub use point::Point;
+pub use segment::Segment;
+pub use trajectory::{TrajId, Trajectory};

@@ -1,0 +1,378 @@
+//! Per-measure incremental lower-bound state carried by each frontier entry
+//! of the best-first search (Sections IV and VI).
+//!
+//! Every state supports `push` (consume one more reference cell in `O(m)`,
+//! Algorithm 1), `lbo` (one-side bound for internal-node pruning) and
+//! `lbt` (two-side bound for leaf pruning). Soundness per measure:
+//!
+//! * **Hausdorff** — Eq. 2 / Eq. 3 verbatim.
+//! * **Frechet** — Eq. 7 / Eq. 8, with the leaf slack tightened from
+//!   `√2δ/2` to the leaf's stored `Dmax` (≤ `√2δ/2` by construction).
+//! * **DTW** — Eq. 13 / Eq. 14, ground distance `d'` = min distance from the
+//!   query point to the reference *cell*.
+//! * **ERP** — DTW-style optimistic DP: match cost `d'(q_i, cell_j)`,
+//!   reference-gap cost `minDist(cell_j, g)`, query-gap cost `d(q_i, g)`.
+//!   Every cost underestimates its exact counterpart, so any alignment of
+//!   the true trajectory induces a cheaper alignment of the cell sequence.
+//! * **EDR** — optimistic edit DP: substitution is free iff the `ε`-box of
+//!   the query point intersects the cell.
+//! * **LCSS** — optimistic match DP gives an *upper* bound on the LCSS
+//!   length; only the leaf bound is usable (internal `lbo` is 0), because
+//!   the distance normalizer `min(m, n)` needs the member lengths.
+
+use crate::frozen::LeafPayload;
+use repose_distance::{DtwColumn, FrechetColumn, HausdorffState, Measure, MeasureParams};
+use repose_model::{Mbr, Point};
+use repose_zorder::{Grid, ZValue};
+
+/// Incremental bound state for one root-to-node path.
+#[derive(Debug, Clone)]
+pub(crate) enum BoundState {
+    Hausdorff(HausdorffState),
+    Frechet(FrechetColumn),
+    Dtw(DtwColumn),
+    Erp(ErpColumn),
+    Edr(EdrColumn),
+    Lcss(LcssColumn),
+}
+
+impl BoundState {
+    /// Fresh state at the root (no reference cell consumed).
+    pub fn new(measure: Measure, params: &MeasureParams, query: &[Point]) -> Self {
+        let m = query.len();
+        match measure {
+            Measure::Hausdorff => BoundState::Hausdorff(HausdorffState::new(m)),
+            Measure::Frechet => BoundState::Frechet(FrechetColumn::new(m)),
+            Measure::Dtw => BoundState::Dtw(DtwColumn::new(m)),
+            Measure::Erp => BoundState::Erp(ErpColumn::new(query, params.erp_gap)),
+            Measure::Edr => BoundState::Edr(EdrColumn::new(m)),
+            Measure::Lcss => BoundState::Lcss(LcssColumn::new(m)),
+        }
+    }
+
+    /// Consumes the reference cell `z` (the label of the child node being
+    /// entered), updating intermediate results in `O(m)`.
+    pub fn push(&mut self, query: &[Point], grid: &Grid, z: ZValue, params: &MeasureParams) {
+        match self {
+            BoundState::Hausdorff(s) => s.push(query, grid.reference_point(z)),
+            BoundState::Frechet(s) => {
+                let rp = grid.reference_point(z);
+                s.push(query, rp);
+            }
+            BoundState::Dtw(s) => {
+                let cell = grid.cell_mbr(z);
+                s.push_with(query, |q| cell.min_dist(*q));
+            }
+            BoundState::Erp(s) => s.push(query, grid.cell_mbr(z)),
+            BoundState::Edr(s) => s.push(query, grid.cell_mbr(z), params.eps),
+            BoundState::Lcss(s) => s.push(query, grid.cell_mbr(z), params.eps),
+        }
+    }
+
+    /// One-side lower bound `LBo` for pruning the subtree below this node.
+    pub fn lbo(&self, grid: &Grid) -> f64 {
+        let slack = grid.half_diagonal();
+        match self {
+            BoundState::Hausdorff(s) => (s.cmax() - slack).max(0.0),
+            BoundState::Frechet(s) => (s.cmin() - slack).max(0.0),
+            BoundState::Dtw(s) => s.cmin(),
+            BoundState::Erp(s) => s.cmin(),
+            BoundState::Edr(s) => s.cmin(),
+            // LCSS has no sound internal bound (the normalizer is unknown).
+            BoundState::Lcss(_) => 0.0,
+        }
+    }
+
+    /// Two-side lower bound `LBt` for the trajectories stored in a leaf.
+    pub fn lbt(&self, grid: &Grid, leaf: &LeafPayload, query_len: usize) -> f64 {
+        let slack = grid.half_diagonal();
+        match self {
+            BoundState::Hausdorff(s) => (s.full() - leaf.dmax).max(0.0),
+            // Dmax <= √2δ/2 for Frechet; use the tighter stored value.
+            BoundState::Frechet(s) => (s.last() - leaf.dmax.min(slack)).max(0.0),
+            BoundState::Dtw(s) => s.last(),
+            BoundState::Erp(s) => s.last(),
+            BoundState::Edr(s) => s.last(),
+            BoundState::Lcss(s) => {
+                let denom = query_len.min(leaf.nmin as usize).max(1) as f64;
+                (1.0 - s.max_len() as f64 / denom).max(0.0)
+            }
+        }
+    }
+}
+
+/// Optimistic ERP column kernel (see module docs). Row 0 is the
+/// all-reference-gaps boundary, so the column has `m + 1` entries.
+#[derive(Debug, Clone)]
+pub(crate) struct ErpColumn {
+    col: Vec<f64>,
+    /// `d(q_i, g)` per query point, precomputed.
+    qgap: Vec<f64>,
+    gap: Point,
+    cmin: f64,
+}
+
+impl ErpColumn {
+    pub fn new(query: &[Point], gap: Point) -> Self {
+        let qgap: Vec<f64> = query.iter().map(|q| q.dist(&gap)).collect();
+        // f_{i,0} = sum of query gap costs (delete all query points so far).
+        let mut col = Vec::with_capacity(query.len() + 1);
+        col.push(0.0);
+        for &g in &qgap {
+            col.push(col.last().unwrap() + g);
+        }
+        ErpColumn { col, qgap, gap, cmin: f64::INFINITY }
+    }
+
+    pub fn push(&mut self, query: &[Point], cell: Mbr) {
+        let rgap = cell.min_dist(self.gap);
+        let mut cmin;
+        let mut prev_im1 = self.col[0];
+        self.col[0] += rgap;
+        cmin = self.col[0];
+        for i in 1..self.col.len() {
+            let matchc = cell.min_dist(query[i - 1]);
+            let old = self.col[i];
+            self.col[i] = (prev_im1 + matchc)
+                .min(old + rgap)
+                .min(self.col[i - 1] + self.qgap[i - 1]);
+            prev_im1 = old;
+            if self.col[i] < cmin {
+                cmin = self.col[i];
+            }
+        }
+        self.cmin = cmin;
+    }
+
+    pub fn cmin(&self) -> f64 {
+        if self.cmin.is_finite() {
+            self.cmin
+        } else {
+            0.0 // no reference cell consumed yet (root)
+        }
+    }
+
+    pub fn last(&self) -> f64 {
+        *self.col.last().expect("non-empty column")
+    }
+}
+
+/// Optimistic EDR column kernel: substitution cost is 0 iff the query
+/// point's `ε`-box intersects the cell (a necessary condition for the exact
+/// per-dimension EDR match), otherwise 1; insert/delete cost 1.
+#[derive(Debug, Clone)]
+pub(crate) struct EdrColumn {
+    col: Vec<u32>,
+    cmin: u32,
+}
+
+impl EdrColumn {
+    pub fn new(m: usize) -> Self {
+        // f_{i,0} = i deletions of query points.
+        EdrColumn { col: (0..=m as u32).collect(), cmin: u32::MAX }
+    }
+
+    fn can_match(q: Point, cell: &Mbr, eps: f64) -> bool {
+        q.x >= cell.min.x - eps
+            && q.x <= cell.max.x + eps
+            && q.y >= cell.min.y - eps
+            && q.y <= cell.max.y + eps
+    }
+
+    pub fn push(&mut self, query: &[Point], cell: Mbr, eps: f64) {
+        let mut prev_im1 = self.col[0];
+        self.col[0] += 1;
+        let mut cmin = self.col[0];
+        for i in 1..self.col.len() {
+            let sub = u32::from(!Self::can_match(query[i - 1], &cell, eps));
+            let old = self.col[i];
+            self.col[i] = (prev_im1 + sub).min(old + 1).min(self.col[i - 1] + 1);
+            prev_im1 = old;
+            cmin = cmin.min(self.col[i]);
+        }
+        self.cmin = cmin;
+    }
+
+    pub fn cmin(&self) -> f64 {
+        if self.cmin == u32::MAX {
+            0.0
+        } else {
+            f64::from(self.cmin)
+        }
+    }
+
+    pub fn last(&self) -> f64 {
+        f64::from(*self.col.last().expect("non-empty column"))
+    }
+}
+
+/// Optimistic LCSS column kernel: maintains an upper bound on the LCSS
+/// length between the query and any trajectory whose reference prefix is
+/// the consumed cell sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct LcssColumn {
+    col: Vec<u32>,
+}
+
+impl LcssColumn {
+    pub fn new(m: usize) -> Self {
+        LcssColumn { col: vec![0; m + 1] }
+    }
+
+    pub fn push(&mut self, query: &[Point], cell: Mbr, eps: f64) {
+        let mut prev_im1 = self.col[0];
+        for i in 1..self.col.len() {
+            let old = self.col[i];
+            self.col[i] = if EdrColumn::can_match(query[i - 1], &cell, eps) {
+                (prev_im1 + 1).max(old).max(self.col[i - 1])
+            } else {
+                old.max(self.col[i - 1])
+            };
+            prev_im1 = old;
+        }
+    }
+
+    /// Upper bound on the LCSS length (last row of the DP).
+    pub fn max_len(&self) -> u32 {
+        *self.col.last().expect("non-empty column")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_distance::{edr, erp, lcss_length};
+    use repose_model::Mbr;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn grid8() -> Grid {
+        Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 3)
+    }
+
+    /// ERP optimistic kernel must lower-bound the exact ERP against any
+    /// trajectory whose points lie in the pushed cells.
+    #[test]
+    fn erp_column_lower_bounds_exact() {
+        let g = grid8();
+        let gap = Point::new(0.0, 0.0);
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7), (3.6, 2.2)]);
+        let t = pts(&[(0.6, 0.6), (2.5, 1.5), (3.5, 2.5), (5.5, 5.5)]);
+        let mut col = ErpColumn::new(&q, gap);
+        for p in &t {
+            col.push(&q, g.cell_mbr(g.z_value(*p)));
+        }
+        let exact = erp(&q, &t, gap);
+        assert!(
+            col.last() <= exact + 1e-9,
+            "lbt {} > exact {exact}",
+            col.last()
+        );
+        assert!(col.cmin() <= exact + 1e-9);
+    }
+
+    #[test]
+    fn erp_cmin_monotone() {
+        let g = grid8();
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7)]);
+        let t = pts(&[(7.5, 7.5), (6.5, 6.5), (5.5, 7.5)]);
+        let mut col = ErpColumn::new(&q, Point::new(0.0, 0.0));
+        let mut prev = 0.0;
+        for p in &t {
+            col.push(&q, g.cell_mbr(g.z_value(*p)));
+            assert!(col.cmin() >= prev - 1e-12);
+            prev = col.cmin();
+        }
+    }
+
+    #[test]
+    fn edr_column_lower_bounds_exact() {
+        let g = grid8();
+        let eps = 0.4;
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7), (3.6, 2.2)]);
+        let t = pts(&[(0.6, 0.6), (2.5, 1.5), (3.5, 2.5), (5.5, 5.5)]);
+        let mut col = EdrColumn::new(q.len());
+        for p in &t {
+            col.push(&q, g.cell_mbr(g.z_value(*p)), eps);
+        }
+        let exact = edr(&q, &t, eps);
+        assert!(col.last() <= exact + 1e-9);
+        assert!(col.cmin() <= exact + 1e-9);
+    }
+
+    #[test]
+    fn edr_cmin_monotone() {
+        let g = grid8();
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7), (2.0, 2.0)]);
+        let t = pts(&[(7.5, 7.5), (6.5, 6.5), (5.5, 7.5), (4.5, 7.5)]);
+        let mut col = EdrColumn::new(q.len());
+        let mut prev = 0.0;
+        for p in &t {
+            col.push(&q, g.cell_mbr(g.z_value(*p)), 0.1);
+            assert!(col.cmin() >= prev);
+            prev = col.cmin();
+        }
+    }
+
+    #[test]
+    fn lcss_column_upper_bounds_exact_length() {
+        let g = grid8();
+        let eps = 0.4;
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7), (3.6, 2.2), (5.0, 5.0)]);
+        let t = pts(&[(0.6, 0.6), (1.4, 1.6), (3.5, 2.5), (5.5, 5.5)]);
+        let mut col = LcssColumn::new(q.len());
+        for p in &t {
+            col.push(&q, g.cell_mbr(g.z_value(*p)), eps);
+        }
+        let exact = lcss_length(&q, &t, eps) as u32;
+        assert!(col.max_len() >= exact, "{} < {exact}", col.max_len());
+        assert!(col.max_len() <= q.len().min(t.len()) as u32);
+    }
+
+    #[test]
+    fn bound_state_dispatch_runs_for_all_measures() {
+        let g = grid8();
+        let q = pts(&[(0.4, 0.3), (1.2, 1.7), (3.6, 2.2)]);
+        let params = MeasureParams::with_eps(0.4);
+        let leaf = LeafPayload { members: vec![0], dmax: 0.5, nmin: 3 };
+        for m in Measure::ALL {
+            let mut st = BoundState::new(m, &params, &q);
+            for z in [g.z_value(q[0]), g.z_value(q[1])] {
+                st.push(&q, &g, z, &params);
+            }
+            let lbo = st.lbo(&g);
+            let lbt = st.lbt(&g, &leaf, q.len());
+            assert!(lbo >= 0.0 && lbo.is_finite(), "{m}: lbo {lbo}");
+            assert!(lbt >= 0.0 && lbt.is_finite(), "{m}: lbt {lbt}");
+        }
+    }
+
+    #[test]
+    fn hausdorff_lbo_matches_eq_2() {
+        // Query far from the pushed cells: LBo = directed dist - √2δ/2.
+        let g = grid8();
+        let q = pts(&[(0.5, 0.5)]);
+        let params = MeasureParams::default();
+        let mut st = BoundState::new(Measure::Hausdorff, &params, &q);
+        let z = g.z_value(Point::new(7.5, 0.5)); // ref point (7.5, 0.5)
+        st.push(&q, &g, z, &params);
+        let expect = (7.0 - g.half_diagonal()).max(0.0);
+        assert!((st.lbo(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcss_lbt_uses_nmin() {
+        let g = grid8();
+        let q = pts(&[(0.5, 0.5), (1.5, 1.5), (2.5, 2.5), (3.5, 3.5)]);
+        let params = MeasureParams::with_eps(0.1);
+        let mut st = BoundState::new(Measure::Lcss, &params, &q);
+        // push one matching cell
+        st.push(&q, &g, g.z_value(q[0]), &params);
+        assert_eq!(st.lbo(&g), 0.0, "LCSS internal bound must stay zero");
+        // leaf with min member length 2: denom = min(4, 2) = 2, L_ub = 1
+        let leaf = LeafPayload { members: vec![0], dmax: 0.0, nmin: 2 };
+        assert!((st.lbt(&g, &leaf, q.len()) - 0.5).abs() < 1e-12);
+    }
+}

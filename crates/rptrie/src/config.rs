@@ -1,0 +1,99 @@
+use repose_distance::{Measure, MeasureParams};
+
+/// Build/search configuration for an [`crate::RpTrie`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RpTrieConfig {
+    /// The similarity measure the index serves.
+    pub measure: Measure,
+    /// Per-measure parameters (LCSS/EDR threshold, ERP gap).
+    pub params: MeasureParams,
+    /// Number of pivot trajectories `Np` (paper default 5). Ignored for
+    /// non-metric measures. Zero disables pivot pruning.
+    pub np: usize,
+    /// Number of sampled candidate pivot groups `m` (Section III-B).
+    pub pivot_groups: usize,
+    /// Apply the z-value re-arrangement optimization (Section III-C).
+    /// Only effective for order-independent measures (Hausdorff).
+    pub optimize: bool,
+    /// Number of upper trie levels stored in the bitmap (LOUDS-dense)
+    /// encoding; deeper levels use byte sequences (Section III-B,
+    /// "Succinct trie structure").
+    pub dense_levels: u8,
+    /// RNG seed for pivot sampling (determinism across partitions/runs).
+    pub seed: u64,
+}
+
+impl RpTrieConfig {
+    /// The paper's defaults for a given measure (`Np = 5`, optimization on
+    /// exactly for order-independent measures).
+    pub fn for_measure(measure: Measure) -> Self {
+        RpTrieConfig {
+            measure,
+            params: MeasureParams::default(),
+            np: 5,
+            pivot_groups: 8,
+            optimize: measure.is_order_independent(),
+            dense_levels: 2,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the measure parameters.
+    pub fn with_params(mut self, params: MeasureParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides `Np`.
+    pub fn with_np(mut self, np: usize) -> Self {
+        self.np = np;
+        self
+    }
+
+    /// Forces the trie optimization on or off (Fig. 7's ablation).
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of dense (bitmap-encoded) levels.
+    pub fn with_dense_levels(mut self, dense_levels: u8) -> Self {
+        self.dense_levels = dense_levels;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = RpTrieConfig::for_measure(Measure::Hausdorff);
+        assert_eq!(c.np, 5);
+        assert!(c.optimize);
+        let c = RpTrieConfig::for_measure(Measure::Frechet);
+        assert!(!c.optimize, "Frechet is order sensitive (Section VI-A)");
+        let c = RpTrieConfig::for_measure(Measure::Dtw);
+        assert!(!c.optimize);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = RpTrieConfig::for_measure(Measure::Hausdorff)
+            .with_np(7)
+            .with_optimize(false)
+            .with_seed(42)
+            .with_dense_levels(3);
+        assert_eq!(c.np, 7);
+        assert!(!c.optimize);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.dense_levels, 3);
+    }
+}

@@ -1,0 +1,266 @@
+use crate::builder::BuildTrie;
+use crate::RpTrieConfig;
+use repose_succinct::{varint, BitVec, RankSelect};
+use repose_zorder::{Grid, ZValue};
+
+/// Index of a node in the frozen trie (BFS order, root = 0).
+pub type NodeId = u32;
+
+/// A leaf's payload: the trajectories whose reference trajectory ends here.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LeafPayload {
+    /// Indices into the partition's trajectory slice (`Tid` in Fig. 2).
+    pub members: Vec<u32>,
+    /// `Dmax`: maximum distance from the members to the leaf's reference
+    /// trajectory under the index measure.
+    pub dmax: f64,
+    /// Shortest member trajectory length (tightens the LCSS leaf bound).
+    pub nmin: u32,
+}
+
+/// The immutable, succinct physical form of an RP-Trie (Section III-B,
+/// "Succinct trie structure").
+///
+/// Nodes live in BFS order. The upper `dense_levels` levels use the paper's
+/// bitmap layout: per dense node, an `M`-bit child bitmap (`Bc`) where `M`
+/// is the number of grid cells; child ids fall out of `rank1` over the
+/// concatenated bitmaps. Deeper levels are serialized as byte sequences
+/// (varint-coded child lists). The paper's `Bl` bitmap (leaf-ness) is kept
+/// per *node* (`has_leaf`) rather than per (node, cell) — equivalent
+/// information, one bit per node cheaper.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenTrie {
+    n_nodes: usize,
+    /// Nodes `0..n_dense` are bitmap-encoded (a BFS prefix).
+    n_dense: usize,
+    /// Bitmap width: number of grid cells.
+    m_cells: usize,
+    /// Concatenated `Bc` bitmaps of the dense nodes.
+    bc: RankSelect,
+    /// Byte offsets of each sparse node's child list in `sparse_bytes`.
+    sparse_offsets: Vec<u32>,
+    /// Varint-coded child lists of the sparse nodes.
+    sparse_bytes: Vec<u8>,
+    /// One bit per node: does a reference trajectory end here?
+    has_leaf: RankSelect,
+    /// Leaf payloads, indexed by `has_leaf.rank1(node)`.
+    leaves: Vec<LeafPayload>,
+    /// Per-node pivot distance intervals, `np` per node (flattened).
+    hr: Vec<(f64, f64)>,
+    np: usize,
+}
+
+impl FrozenTrie {
+    /// Freezes a pointer trie into the succinct layout.
+    pub fn from_build(build: &BuildTrie, grid: &Grid, cfg: &RpTrieConfig) -> Self {
+        let m_cells = (grid.cells_per_side() as u64 * grid.cells_per_side() as u64) as usize;
+        // A dense level costs M bits per node; refuse pathological widths.
+        const MAX_DENSE_CELLS: usize = 1 << 16;
+        let dense_levels = if m_cells > MAX_DENSE_CELLS { 0 } else { cfg.dense_levels };
+
+        // BFS order with per-node depth.
+        let mut bfs: Vec<u32> = Vec::with_capacity(build.node_count());
+        let mut depth: Vec<u8> = Vec::with_capacity(build.node_count());
+        bfs.push(build.root());
+        depth.push(0);
+        let mut head = 0;
+        while head < bfs.len() {
+            let id = bfs[head];
+            let d = depth[head];
+            head += 1;
+            for &c in build.children_of(id) {
+                bfs.push(c);
+                depth.push(d.saturating_add(1));
+            }
+        }
+        let n_nodes = bfs.len();
+        // old arena id -> new BFS id
+        let mut remap = vec![0u32; n_nodes];
+        for (new_id, &old) in bfs.iter().enumerate() {
+            remap[old as usize] = new_id as u32;
+        }
+        let n_dense = depth.iter().filter(|&&d| d < dense_levels).count();
+
+        // Dense bitmaps.
+        let mut bc = BitVec::zeros(n_dense * m_cells);
+        for (new_id, &old) in bfs.iter().enumerate().take(n_dense) {
+            for &c in build.children_of(old) {
+                let label = build.label(c) as usize;
+                debug_assert!(label < m_cells);
+                bc.set(new_id * m_cells + label, true);
+            }
+        }
+
+        // Sparse byte lists.
+        let mut sparse_offsets = Vec::with_capacity(n_nodes - n_dense + 1);
+        let mut sparse_bytes: Vec<u8> = Vec::new();
+        sparse_offsets.push(0);
+        for &old in bfs.iter().skip(n_dense) {
+            let children = build.children_of(old);
+            varint::write_u64(&mut sparse_bytes, children.len() as u64);
+            if !children.is_empty() {
+                // children are contiguous in BFS order (per-parent blocks)
+                let first = remap[children[0] as usize];
+                debug_assert!(children
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &c)| remap[c as usize] == first + i as u32));
+                varint::write_u64(&mut sparse_bytes, u64::from(first));
+                // delta-coded, strictly increasing labels
+                let mut prev = 0u64;
+                for (i, &c) in children.iter().enumerate() {
+                    let label = build.label(c);
+                    let delta = if i == 0 { label } else { label - prev - 1 };
+                    varint::write_u64(&mut sparse_bytes, delta);
+                    prev = label;
+                }
+            }
+            sparse_offsets.push(sparse_bytes.len() as u32);
+        }
+
+        // Leaves + HR.
+        let mut has_leaf = BitVec::zeros(n_nodes);
+        let mut leaves = Vec::new();
+        let np = build.np();
+        let mut hr = Vec::with_capacity(if np > 0 { n_nodes * np } else { 0 });
+        for (new_id, &old) in bfs.iter().enumerate() {
+            if let Some((members, dmax, nmin)) = build.leaf_of(old) {
+                has_leaf.set(new_id, true);
+                leaves.push(LeafPayload { members: members.to_vec(), dmax, nmin });
+            }
+            if np > 0 {
+                hr.extend_from_slice(build.hr_of(old));
+            }
+        }
+
+        FrozenTrie {
+            n_nodes,
+            n_dense,
+            m_cells,
+            bc: RankSelect::new(bc),
+            sparse_offsets,
+            sparse_bytes,
+            has_leaf: RankSelect::new(has_leaf),
+            leaves,
+            hr,
+            np,
+        }
+    }
+
+    /// Total number of nodes (root included).
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of bitmap-encoded (upper level) nodes.
+    pub fn dense_count(&self) -> usize {
+        self.n_dense
+    }
+
+    /// Number of pivots per `HR` entry.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Appends `(label, child)` pairs of `node` to `out` in ascending label
+    /// order.
+    pub fn children_into(&self, node: NodeId, out: &mut Vec<(ZValue, NodeId)>) {
+        let n = node as usize;
+        if n < self.n_dense {
+            let start_bit = n * self.m_cells;
+            // Base rank gives the BFS id of this node's first child.
+            let mut child = 1 + self.bc.rank1(start_bit) as u32;
+            let words = self.bc.bits().as_words();
+            let mut bit = start_bit;
+            let end_bit = start_bit + self.m_cells;
+            while bit < end_bit {
+                let w = bit / 64;
+                let mut word = words[w];
+                // mask off bits below `bit` and at/after `end_bit`
+                word &= !0u64 << (bit % 64);
+                if (w + 1) * 64 > end_bit {
+                    let keep = end_bit - w * 64;
+                    if keep < 64 {
+                        word &= (1u64 << keep) - 1;
+                    }
+                }
+                while word != 0 {
+                    let tz = word.trailing_zeros() as usize;
+                    let pos = w * 64 + tz;
+                    out.push(((pos - start_bit) as ZValue, child));
+                    child += 1;
+                    word &= word - 1;
+                }
+                bit = (w + 1) * 64;
+            }
+        } else {
+            let sidx = n - self.n_dense;
+            let range =
+                self.sparse_offsets[sidx] as usize..self.sparse_offsets[sidx + 1] as usize;
+            let mut buf = &self.sparse_bytes[range];
+            let count = varint::read_u64(&mut buf) as usize;
+            if count == 0 {
+                return;
+            }
+            let first = varint::read_u64(&mut buf) as u32;
+            let mut label = 0u64;
+            for i in 0..count {
+                let delta = varint::read_u64(&mut buf);
+                label = if i == 0 { delta } else { label + delta + 1 };
+                out.push((label, first + i as u32));
+            }
+        }
+    }
+
+    /// Convenience wrapper over [`FrozenTrie::children_into`].
+    pub fn children(&self, node: NodeId) -> Vec<(ZValue, NodeId)> {
+        let mut out = Vec::new();
+        self.children_into(node, &mut out);
+        out
+    }
+
+    /// The leaf payload ending at `node`, if any.
+    pub fn leaf(&self, node: NodeId) -> Option<&LeafPayload> {
+        if self.has_leaf.bits().get(node as usize) {
+            Some(&self.leaves[self.has_leaf.rank1(node as usize)])
+        } else {
+            None
+        }
+    }
+
+    /// The node's pivot-distance intervals (empty when pivots are
+    /// disabled).
+    pub fn hr(&self, node: NodeId) -> &[(f64, f64)] {
+        if self.np == 0 {
+            &[]
+        } else {
+            let s = node as usize * self.np;
+            &self.hr[s..s + self.np]
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Approximate heap size in bytes — the paper's index-size (IS) metric
+    /// for the local index.
+    pub fn mem_bytes(&self) -> usize {
+        self.bc.mem_bytes()
+            + self.sparse_offsets.capacity() * 4
+            + self.sparse_bytes.capacity()
+            + self.has_leaf.mem_bytes()
+            + self
+                .leaves
+                .iter()
+                .map(|l| std::mem::size_of::<LeafPayload>() + l.members.capacity() * 4)
+                .sum::<usize>()
+            + self.hr.capacity() * 16
+    }
+}

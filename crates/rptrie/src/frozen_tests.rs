@@ -1,0 +1,183 @@
+//! Direct tests of the succinct frozen layout: the dense (bitmap) and
+//! sparse (byte-sequence) encodings must navigate identically.
+
+use crate::builder::BuildTrie;
+use crate::pivot::PivotSet;
+use crate::{RpTrie, RpTrieConfig};
+use repose_distance::Measure;
+use repose_model::{Mbr, Point, Trajectory};
+use repose_zorder::Grid;
+
+fn grid(level: u8) -> Grid {
+    Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(64.0, 64.0)), level)
+}
+
+fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
+    Trajectory::new(id, pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+}
+
+/// A spread of trajectories that creates a multi-level trie with both
+/// branching and shared prefixes.
+fn sample_trajs() -> Vec<Trajectory> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for a in 0..6 {
+        for b in 0..4 {
+            let x0 = 4.0 + a as f64 * 9.0;
+            let y0 = 4.0 + b as f64 * 13.0;
+            out.push(traj(
+                id,
+                &[
+                    (x0, y0),
+                    (x0 + 5.0, y0 + 1.0),
+                    (x0 + 11.0, y0 + 3.0),
+                    (x0 + 17.0, y0 + 2.0),
+                ],
+            ));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// The structural invariant behind the whole layout: for every
+/// `dense_levels` choice, the frozen trie must expose the same logical tree.
+#[test]
+fn dense_and_sparse_encodings_expose_the_same_tree() {
+    let trajs = sample_trajs();
+    let g = grid(4);
+    let reference = RpTrie::build(
+        &trajs,
+        g.clone(),
+        RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(0),
+    );
+    for dense in [1u8, 2, 3, 8] {
+        let other = RpTrie::build(
+            &trajs,
+            g.clone(),
+            RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(dense),
+        );
+        assert_eq!(reference.node_count(), other.node_count(), "dense={dense}");
+        // BFS both, comparing (labels, leaf members, hr) per node.
+        let (fa, fb) = (reference.frozen(), other.frozen());
+        let mut qa = vec![fa.root()];
+        let mut qb = vec![fb.root()];
+        let mut seen = 0;
+        while let (Some(na), Some(nb)) = (qa.pop(), qb.pop()) {
+            seen += 1;
+            let ca = fa.children(na);
+            let cb = fb.children(nb);
+            assert_eq!(
+                ca.iter().map(|c| c.0).collect::<Vec<_>>(),
+                cb.iter().map(|c| c.0).collect::<Vec<_>>(),
+                "labels diverge at node pair ({na}, {nb}), dense={dense}"
+            );
+            match (fa.leaf(na), fb.leaf(nb)) {
+                (None, None) => {}
+                (Some(la), Some(lb)) => {
+                    assert_eq!(la.members, lb.members);
+                    assert_eq!(la.dmax, lb.dmax);
+                    assert_eq!(la.nmin, lb.nmin);
+                }
+                _ => panic!("leaf-ness diverges, dense={dense}"),
+            }
+            assert_eq!(fa.hr(na), fb.hr(nb));
+            qa.extend(ca.iter().map(|c| c.1));
+            qb.extend(cb.iter().map(|c| c.1));
+        }
+        assert_eq!(seen, reference.node_count(), "traversal covered all nodes");
+    }
+}
+
+#[test]
+fn every_trajectory_reachable_via_some_leaf() {
+    let trajs = sample_trajs();
+    let trie = RpTrie::build(
+        &trajs,
+        grid(4),
+        RpTrieConfig::for_measure(Measure::Hausdorff),
+    );
+    let f = trie.frozen();
+    let mut members = Vec::new();
+    let mut stack = vec![f.root()];
+    while let Some(n) = stack.pop() {
+        if let Some(l) = f.leaf(n) {
+            members.extend_from_slice(&l.members);
+        }
+        stack.extend(f.children(n).iter().map(|c| c.1));
+    }
+    members.sort_unstable();
+    assert_eq!(members, (0..trajs.len() as u32).collect::<Vec<_>>());
+}
+
+#[test]
+fn leaf_count_matches_reachable_leaves() {
+    let trajs = sample_trajs();
+    let trie = RpTrie::build(&trajs, grid(3), RpTrieConfig::for_measure(Measure::Dtw));
+    let f = trie.frozen();
+    let mut leaves = 0;
+    let mut stack = vec![f.root()];
+    while let Some(n) = stack.pop() {
+        if f.leaf(n).is_some() {
+            leaves += 1;
+        }
+        stack.extend(f.children(n).iter().map(|c| c.1));
+    }
+    assert_eq!(leaves, f.leaf_count());
+}
+
+#[test]
+fn wide_grid_falls_back_to_sparse_encoding() {
+    // level 12 -> 2^24 cells per bitmap would be pathological; the freezer
+    // must refuse dense encoding.
+    let trajs = sample_trajs();
+    let trie = RpTrie::build(
+        &trajs,
+        grid(12),
+        RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(2),
+    );
+    assert_eq!(trie.frozen().dense_count(), 0);
+    // still queryable
+    let r = trie.top_k(&trajs, &trajs[0].points, 3);
+    assert_eq!(r.hits[0].id, 0);
+}
+
+#[test]
+fn single_trajectory_trie() {
+    let trajs = vec![traj(9, &[(1.0, 1.0), (2.0, 2.0)])];
+    let trie = RpTrie::build(
+        &trajs,
+        grid(4),
+        RpTrieConfig::for_measure(Measure::Hausdorff),
+    );
+    assert!(trie.node_count() >= 2);
+    assert_eq!(trie.frozen().leaf_count(), 1);
+    let r = trie.top_k(&trajs, &[Point::new(1.5, 1.5)], 1);
+    assert_eq!(r.hits[0].id, 9);
+}
+
+#[test]
+fn build_trie_accessors_consistent_with_frozen() {
+    let trajs = sample_trajs();
+    let g = grid(4);
+    let cfg = RpTrieConfig::for_measure(Measure::Frechet).with_np(0);
+    let build = BuildTrie::construct(&trajs, &g, &cfg, &PivotSet::empty());
+    let frozen = build.freeze(&g, &cfg);
+    assert_eq!(build.node_count(), frozen.node_count());
+}
+
+#[test]
+fn mem_bytes_accounts_for_structures() {
+    let trajs = sample_trajs();
+    let small = RpTrie::build(
+        &trajs[..4],
+        grid(4),
+        RpTrieConfig::for_measure(Measure::Hausdorff),
+    );
+    let large = RpTrie::build(
+        &trajs,
+        grid(4),
+        RpTrieConfig::for_measure(Measure::Hausdorff),
+    );
+    assert!(large.mem_bytes() > small.mem_bytes());
+}

@@ -1,0 +1,172 @@
+//! The Reference Point Trie (RP-Trie) — the paper's core index
+//! (Sections III and IV).
+//!
+//! Trajectories are discretized into reference trajectories (sequences of
+//! grid-cell z-values); the trie indexes those sequences. Query processing
+//! traverses the trie best-first, ordered by incrementally-computed lower
+//! bounds:
+//!
+//! * `LBo` — one-side lower bound on internal nodes (Definition 6),
+//! * `LBt` — two-side lower bound on leaf nodes (Definition 7),
+//! * `LBp` — pivot-based lower bound for metric measures (Section IV-D).
+//!
+//! The physical layout is the paper's succinct two-layer structure: bitmap
+//! (LOUDS-dense) upper levels and byte-serialized lower levels. For the
+//! order-independent Hausdorff measure, the builder applies the z-value
+//! re-arrangement optimization (Section III-C): a greedy hitting-set
+//! construction that maximizes prefix sharing.
+
+#![warn(missing_docs)]
+
+mod bounds;
+mod builder;
+mod config;
+mod frozen;
+#[cfg(test)]
+mod frozen_tests;
+mod pivot;
+mod search;
+
+pub use builder::{BuildTrie, ZSeqPolicy};
+pub use config::RpTrieConfig;
+pub use frozen::{FrozenTrie, LeafPayload, NodeId};
+pub use pivot::{select_pivots, PivotSet};
+pub use search::{SearchResult, SearchStats};
+
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Point, TrajId, Trajectory};
+use repose_zorder::Grid;
+
+/// A built RP-Trie over one partition of trajectories.
+///
+/// The trie does not own the trajectories; queries must be given the same
+/// slice the index was built from (this mirrors the paper's `RpTraj`
+/// packaging of `(trajectory array, RP-Trie)` inside one RDD element —
+/// the owning pair lives in the `repose` crate).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RpTrie {
+    frozen: FrozenTrie,
+    grid: Grid,
+    config: RpTrieConfig,
+    pivots: PivotSet,
+    built_over: usize,
+}
+
+impl RpTrie {
+    /// Builds an RP-Trie over `trajs` using `grid` for discretization.
+    ///
+    /// Policy decisions made from `config.measure` (Section VI):
+    /// * Hausdorff — full z-value dedup + greedy re-arrangement (when
+    ///   `config.optimize`), pivots enabled;
+    /// * Frechet — consecutive dedup, pivots enabled;
+    /// * ERP — raw sequence, pivots enabled;
+    /// * DTW / LCSS / EDR — basic trie, no pivots.
+    pub fn build(trajs: &[Trajectory], grid: Grid, config: RpTrieConfig) -> Self {
+        let pivots = if config.measure.is_metric() && config.np > 0 {
+            select_pivots(trajs, &config)
+        } else {
+            PivotSet::empty()
+        };
+        let build = BuildTrie::construct(trajs, &grid, &config, &pivots);
+        let frozen = build.freeze(&grid, &config);
+        RpTrie { frozen, grid, config, pivots, built_over: trajs.len() }
+    }
+
+    /// Runs a top-k query (Algorithm 2). `trajs` must be the slice the trie
+    /// was built over.
+    pub fn top_k(&self, trajs: &[Trajectory], query: &[Point], k: usize) -> SearchResult {
+        assert_eq!(
+            trajs.len(),
+            self.built_over,
+            "query must use the trajectory slice the index was built over"
+        );
+        search::top_k(self, trajs, query, k)
+    }
+
+    /// Like [`RpTrie::top_k`] but only keeps results strictly better than
+    /// `threshold`. Used by the distributed layer to push the current global
+    /// k-th distance into local searches.
+    pub fn top_k_bounded(
+        &self,
+        trajs: &[Trajectory],
+        query: &[Point],
+        k: usize,
+        threshold: f64,
+    ) -> SearchResult {
+        assert_eq!(trajs.len(), self.built_over);
+        search::top_k_bounded(self, trajs, query, k, threshold)
+    }
+
+    /// Like [`RpTrie::top_k`] but restricted to trajectories accepted by
+    /// `filter` — the hook for attribute predicates such as the temporal
+    /// windows of `repose::temporal` (the paper's Section IX future work).
+    ///
+    /// Pruning stays sound under any filter: bounds hold for supersets of
+    /// the qualifying trajectories, and `dk` only tightens from accepted
+    /// hits.
+    pub fn top_k_where(
+        &self,
+        trajs: &[Trajectory],
+        query: &[Point],
+        k: usize,
+        filter: &(dyn Fn(&Trajectory) -> bool + Sync),
+    ) -> SearchResult {
+        assert_eq!(trajs.len(), self.built_over);
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter))
+    }
+
+    /// The frozen physical trie.
+    pub fn frozen(&self) -> &FrozenTrie {
+        &self.frozen
+    }
+
+    /// The discretization grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &RpTrieConfig {
+        &self.config
+    }
+
+    /// The selected pivot trajectories (empty for non-metric measures).
+    pub fn pivots(&self) -> &PivotSet {
+        &self.pivots
+    }
+
+    /// Number of trie nodes (Fig. 7's "# of trie nodes").
+    pub fn node_count(&self) -> usize {
+        self.frozen.node_count()
+    }
+
+    /// Approximate index size in bytes (the paper's IS metric).
+    pub fn mem_bytes(&self) -> usize {
+        self.frozen.mem_bytes() + self.pivots.mem_bytes()
+    }
+
+    /// The measure this index serves.
+    pub fn measure(&self) -> Measure {
+        self.config.measure
+    }
+
+    /// The measure parameters this index serves.
+    pub fn params(&self) -> MeasureParams {
+        self.config.params
+    }
+
+    /// Exact distance from `query` to trajectory points under this index's
+    /// measure/params.
+    pub fn exact_distance(&self, query: &[Point], t: &[Point]) -> f64 {
+        self.config.params.distance(self.config.measure, query, t)
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Trajectory id.
+    pub id: TrajId,
+    /// Distance to the query under the index's measure.
+    pub dist: f64,
+}

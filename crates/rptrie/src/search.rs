@@ -1,0 +1,405 @@
+//! Best-first top-k search over a frozen RP-Trie (Section IV-A,
+//! Algorithm 2 of the paper's appendix).
+
+use crate::bounds::BoundState;
+use crate::pivot::pivot_lower_bound;
+use crate::{Hit, NodeId, RpTrie};
+use repose_model::{Point, Trajectory};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Counters describing how much work a query did — used by the experiment
+/// harness to show pruning power.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes popped from the frontier.
+    pub nodes_visited: usize,
+    /// Child nodes discarded by `LBo`/`LBp` before entering the frontier.
+    pub nodes_pruned: usize,
+    /// Leaf payloads whose bounds were evaluated.
+    pub leaves_visited: usize,
+    /// Leaf payloads skipped by `LBt`/`LBp`.
+    pub leaves_pruned: usize,
+    /// Exact trajectory distance computations.
+    pub exact_computations: usize,
+}
+
+/// The outcome of a local top-k query.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Up to `k` hits, ascending by distance (ties by trajectory id).
+    pub hits: Vec<Hit>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The k-th (worst) distance among the hits, or `None` with fewer than
+    /// `k` hits.
+    pub fn kth_distance(&self, k: usize) -> Option<f64> {
+        (self.hits.len() >= k).then(|| self.hits[k - 1].dist)
+    }
+}
+
+/// Frontier entry: a trie node with the lower bound of its path and the
+/// incremental bound state of Algorithm 1 (`t.r`, `t.cmax` in the paper's
+/// pseudocode).
+struct Frontier {
+    lb: f64,
+    node: NodeId,
+    state: BoundState,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.lb == other.lb && self.node == other.node
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap on lb; ties toward the shallower node id for stability
+        other
+            .lb
+            .total_cmp(&self.lb)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Result-heap entry (the paper's `minHeap`, actually a max-heap over the
+/// current best k so the worst element is at the top).
+#[derive(Debug, Clone, Copy)]
+struct Worst {
+    dist: f64,
+    id: u64,
+}
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.id == other.id
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+pub(crate) fn top_k(
+    trie: &RpTrie,
+    trajs: &[Trajectory],
+    query: &[Point],
+    k: usize,
+) -> SearchResult {
+    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None)
+}
+
+pub(crate) fn top_k_bounded(
+    trie: &RpTrie,
+    trajs: &[Trajectory],
+    query: &[Point],
+    k: usize,
+    threshold: f64,
+) -> SearchResult {
+    top_k_filtered(trie, trajs, query, k, threshold, None)
+}
+
+pub(crate) fn top_k_filtered(
+    trie: &RpTrie,
+    trajs: &[Trajectory],
+    query: &[Point],
+    k: usize,
+    threshold: f64,
+    filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+) -> SearchResult {
+    let mut stats = SearchStats::default();
+    if k == 0 || query.is_empty() || trajs.is_empty() {
+        return SearchResult { hits: Vec::new(), stats };
+    }
+    let grid = trie.grid();
+    let frozen = trie.frozen();
+    let cfg = trie.config();
+    let params = cfg.params;
+
+    // dqp: distances from the query to every pivot (Section IV-D).
+    let dqp = trie.pivots().query_distances(cfg, query);
+    stats.exact_computations += dqp.len();
+
+    let mut best: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    let dk = |best: &BinaryHeap<Worst>| -> f64 {
+        if best.len() == k {
+            best.peek().expect("non-empty").dist
+        } else {
+            threshold
+        }
+    };
+
+    let mut frontier: BinaryHeap<Frontier> = BinaryHeap::new();
+    frontier.push(Frontier {
+        lb: 0.0,
+        node: frozen.root(),
+        state: BoundState::new(cfg.measure, &params, query),
+    });
+
+    let mut kids: Vec<(u64, NodeId)> = Vec::new();
+    while let Some(entry) = frontier.pop() {
+        // Step 2): stop as soon as the best unexplored bound cannot beat dk.
+        if entry.lb >= dk(&best) {
+            break;
+        }
+        stats.nodes_visited += 1;
+
+        // Leaf payload at this node ('$'-terminated reference trajectory).
+        if let Some(leaf) = frozen.leaf(entry.node) {
+            stats.leaves_visited += 1;
+            let lbt = entry.state.lbt(grid, leaf, query.len());
+            let lbp = pivot_lower_bound(&dqp, frozen.hr(entry.node));
+            if lbt.max(lbp) < dk(&best) {
+                for &mi in &leaf.members {
+                    let t = &trajs[mi as usize];
+                    if let Some(f) = filter {
+                        if !f(t) {
+                            continue;
+                        }
+                    }
+                    let d = params.distance(cfg.measure, query, &t.points);
+                    stats.exact_computations += 1;
+                    if d < dk(&best) {
+                        best.push(Worst { dist: d, id: t.id });
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            } else {
+                stats.leaves_pruned += 1;
+            }
+        }
+
+        // Step 3): expand children with fresh incremental bounds.
+        kids.clear();
+        frozen.children_into(entry.node, &mut kids);
+        for &(z, child) in &kids {
+            let mut state = entry.state.clone();
+            state.push(query, grid, z, &params);
+            let lbo = state.lbo(grid);
+            let lbp = pivot_lower_bound(&dqp, frozen.hr(child));
+            let lb = lbo.max(lbp);
+            if lb < dk(&best) {
+                frontier.push(Frontier { lb, node: child, state });
+            } else {
+                stats.nodes_pruned += 1;
+            }
+        }
+    }
+
+    let mut hits: Vec<Hit> = best
+        .into_sorted_vec()
+        .into_iter()
+        .map(|w| Hit { id: w.id, dist: w.dist })
+        .collect();
+    debug_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+    hits.truncate(k);
+    SearchResult { hits, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RpTrieConfig;
+    use repose_distance::{Measure, MeasureParams};
+    use repose_model::Mbr;
+    use repose_zorder::Grid;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn grid8() -> Grid {
+        Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 3)
+    }
+
+    /// The paper's running example: Table II, Example 1 (top-2 under
+    /// Hausdorff is {τ1, τ4}).
+    fn paper_dataset() -> Vec<Trajectory> {
+        vec![
+            Trajectory::new(1, pts(&[(0.5, 7.5), (2.5, 7.5), (6.5, 7.5), (6.5, 4.5)])),
+            Trajectory::new(2, pts(&[(1.5, 0.5), (2.5, 0.5), (2.5, 4.5), (4.5, 4.5)])),
+            Trajectory::new(
+                3,
+                pts(&[(4.5, 0.5), (7.5, 0.5), (7.5, 2.5), (4.5, 2.5), (4.5, 1.5)]),
+            ),
+            Trajectory::new(4, pts(&[(0.5, 7.5), (2.5, 7.5), (5.5, 7.5), (5.5, 3.5)])),
+            Trajectory::new(
+                5,
+                pts(&[(1.5, 0.5), (2.5, 0.5), (2.5, 5.5), (0.5, 5.5), (0.5, 2.5)]),
+            ),
+        ]
+    }
+
+    fn query() -> Vec<Point> {
+        pts(&[(0.5, 6.5), (2.5, 6.5), (4.5, 6.5)])
+    }
+
+    #[test]
+    fn example_1_top_2() {
+        let trajs = paper_dataset();
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
+        );
+        let r = trie.top_k(&trajs, &query(), 2);
+        let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 4]);
+        assert!((r.hits[0].dist - 2.83).abs() < 0.01);
+        assert!((r.hits[1].dist - 3.16).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_linear_scan_for_every_measure() {
+        let trajs = paper_dataset();
+        let q = query();
+        let params = MeasureParams::with_eps(1.5);
+        for measure in Measure::ALL {
+            let trie = RpTrie::build(
+                &trajs,
+                grid8(),
+                RpTrieConfig::for_measure(measure)
+                    .with_params(params)
+                    .with_np(2),
+            );
+            for k in 1..=5 {
+                let got = trie.top_k(&trajs, &q, k);
+                // brute force
+                let mut expect: Vec<(f64, u64)> = trajs
+                    .iter()
+                    .map(|t| (params.distance(measure, &q, &t.points), t.id))
+                    .collect();
+                expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let expect_ids: Vec<u64> = expect.iter().take(k).map(|e| e.1).collect();
+                let got_ids: Vec<u64> = got.hits.iter().map(|h| h.id).collect();
+                assert_eq!(got_ids, expect_ids, "{measure} k={k}");
+                for (h, e) in got.hits.iter().zip(expect.iter()) {
+                    assert!((h.dist - e.0).abs() < 1e-9, "{measure} dist mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all() {
+        let trajs = paper_dataset();
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff),
+        );
+        let r = trie.top_k(&trajs, &query(), 50);
+        assert_eq!(r.hits.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_and_empty_query() {
+        let trajs = paper_dataset();
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff),
+        );
+        assert!(trie.top_k(&trajs, &query(), 0).hits.is_empty());
+        assert!(trie.top_k(&trajs, &[], 3).hits.is_empty());
+    }
+
+    #[test]
+    fn bounded_search_respects_threshold() {
+        let trajs = paper_dataset();
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff),
+        );
+        // Only τ1 (2.83) beats a threshold of 3.0.
+        let r = trie.top_k_bounded(&trajs, &query(), 5, 3.0);
+        let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn pruning_happens_on_selective_queries() {
+        // Build a larger structured dataset: many far-away trajectories and
+        // one near the query; expect substantially fewer exact computations
+        // than a scan.
+        let mut trajs = paper_dataset();
+        for i in 0..200u64 {
+            let bx = 5.0 + (i % 3) as f64;
+            let by = (i % 5) as f64 * 0.5;
+            trajs.push(Trajectory::new(
+                100 + i,
+                pts(&[(bx, by), (bx + 0.4, by + 0.2), (bx + 0.9, by + 0.4)]),
+            ));
+        }
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff).with_np(3),
+        );
+        let r = trie.top_k(&trajs, &query(), 2);
+        assert_eq!(r.hits[0].id, 1);
+        assert!(
+            r.stats.exact_computations < trajs.len() / 2,
+            "expected pruning, got {} exact computations over {} trajectories",
+            r.stats.exact_computations,
+            trajs.len()
+        );
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_tries_agree() {
+        let trajs = paper_dataset();
+        let q = query();
+        let opt = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff).with_optimize(true),
+        );
+        let unopt = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff).with_optimize(false),
+        );
+        for k in 1..=5 {
+            let a: Vec<u64> = opt.top_k(&trajs, &q, k).hits.iter().map(|h| h.id).collect();
+            let b: Vec<u64> = unopt.top_k(&trajs, &q, k).hits.iter().map(|h| h.id).collect();
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dense_level_variations_agree() {
+        let trajs = paper_dataset();
+        let q = query();
+        for dense in [0u8, 1, 2, 4] {
+            let trie = RpTrie::build(
+                &trajs,
+                grid8(),
+                RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(dense),
+            );
+            let ids: Vec<u64> = trie.top_k(&trajs, &q, 3).hits.iter().map(|h| h.id).collect();
+            assert_eq!(ids.len(), 3, "dense={dense}");
+            assert_eq!(ids[0], 1, "dense={dense}");
+        }
+    }
+}

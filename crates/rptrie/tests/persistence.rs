@@ -1,0 +1,77 @@
+//! Index persistence: a built RP-Trie serializes (serde) and deserializes
+//! into an observationally identical index — build once, query anywhere.
+
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Mbr, Point, Trajectory};
+use repose_rptrie::{RpTrie, RpTrieConfig};
+use repose_zorder::Grid;
+
+fn sample() -> (Vec<Trajectory>, Grid) {
+    let trajs: Vec<Trajectory> = (0..40u64)
+        .map(|i| {
+            let y = (i % 8) as f64 * 3.0 + 1.0;
+            let x0 = (i / 8) as f64 * 5.0 + 1.0;
+            Trajectory::new(
+                i,
+                (0..6)
+                    .map(|s| Point::new(x0 + s as f64 * 0.5, y + (s % 2) as f64 * 0.3))
+                    .collect(),
+            )
+        })
+        .collect();
+    let grid = Grid::new(
+        Mbr::new(Point::new(0.0, 0.0), Point::new(32.0, 32.0)),
+        4,
+    );
+    (trajs, grid)
+}
+
+#[test]
+fn serde_roundtrip_preserves_query_behaviour() {
+    let (trajs, grid) = sample();
+    for measure in Measure::ALL {
+        let trie = RpTrie::build(
+            &trajs,
+            grid.clone(),
+            RpTrieConfig::for_measure(measure)
+                .with_params(MeasureParams::with_eps(0.8))
+                .with_np(3),
+        );
+        let json = serde_json::to_string(&trie).expect("serialize");
+        let back: RpTrie = serde_json::from_str(&json).expect("deserialize");
+
+        assert_eq!(trie.node_count(), back.node_count(), "{measure}");
+        assert_eq!(trie.frozen().leaf_count(), back.frozen().leaf_count());
+        assert_eq!(trie.pivots().len(), back.pivots().len());
+
+        let q: Vec<Point> = vec![Point::new(6.2, 4.1), Point::new(7.0, 4.4)];
+        for k in [1, 5, 17] {
+            let a = trie.top_k(&trajs, &q, k);
+            let b = back.top_k(&trajs, &q, k);
+            assert_eq!(
+                a.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                b.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                "{measure} k={k}"
+            );
+            assert_eq!(a.stats, b.stats, "{measure} k={k}: identical work");
+        }
+    }
+}
+
+#[test]
+fn serialized_form_is_compact_relative_to_json_of_raw_data() {
+    // Sanity guard against accidental payload bloat: the index JSON should
+    // not dwarf the raw trajectory JSON.
+    let (trajs, grid) = sample();
+    let trie = RpTrie::build(
+        &trajs,
+        grid,
+        RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
+    );
+    let index_json = serde_json::to_string(&trie).unwrap().len();
+    let data_json = serde_json::to_string(&trajs).unwrap().len();
+    assert!(
+        index_json < 20 * data_json,
+        "index JSON {index_json} vs data JSON {data_json}"
+    );
+}

@@ -1,0 +1,15 @@
+//! Succinct building blocks for the RP-Trie's two-layer physical layout
+//! (Section III-B, "Succinct trie structure", inspired by SuRF).
+//!
+//! The upper, frequently-accessed trie levels are encoded as bitmaps with
+//! O(1) rank support ([`BitVec`] + [`RankSelect`]); the lower, sparse levels
+//! are serialized as byte sequences (varint helpers in [`varint`]).
+
+#![warn(missing_docs)]
+
+mod bitvec;
+mod rank;
+pub mod varint;
+
+pub use bitvec::BitVec;
+pub use rank::RankSelect;

@@ -1,0 +1,108 @@
+use crate::interleave;
+use repose_model::{Mbr, Point};
+
+/// A geohash-style cluster key for a trajectory: the sequence of geohash
+/// cells its points traverse (consecutive duplicates collapsed).
+///
+/// Two trajectories belong to the same SOM-TC style cluster when their keys
+/// are equal at the current granularity (Section V-B: "If τ*_1 = τ*_2, we
+/// group τ1 and τ2 into a cluster").
+pub type GeohashKey = Vec<u64>;
+
+/// Encodes the geohash cell of a point within `region` at `bits` bits per
+/// coordinate.
+///
+/// Like a textual geohash, the code is the bit-interleaving of the
+/// binary-search paths over longitude and latitude; we keep it as an integer
+/// (plus the precision) instead of base-32 text since the partitioner only
+/// compares cells for equality. Lower `bits` means coarser cells.
+pub fn geohash_cell(p: Point, region: &Mbr, bits: u8) -> u64 {
+    debug_assert!((1..=31).contains(&bits));
+    let w = region.width().max(f64::MIN_POSITIVE);
+    let h = region.height().max(f64::MIN_POSITIVE);
+    let cells = (1u64 << bits) as f64;
+    let ix = (((p.x - region.min.x) / w * cells).floor() as i64)
+        .clamp(0, (1i64 << bits) - 1) as u32;
+    let iy = (((p.y - region.min.y) / h * cells).floor() as i64)
+        .clamp(0, (1i64 << bits) - 1) as u32;
+    interleave(ix, iy, bits)
+}
+
+/// The cluster key of a trajectory at a given granularity: geohash cells of
+/// its points with consecutive duplicates collapsed.
+pub fn geohash_key(points: &[Point], region: &Mbr, bits: u8) -> GeohashKey {
+    let mut key: GeohashKey = Vec::with_capacity(points.len().min(16));
+    for p in points {
+        let c = geohash_cell(*p, region, bits);
+        if key.last() != Some(&c) {
+            key.push(c);
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Mbr {
+        Mbr::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn same_cell_same_code() {
+        let r = region();
+        let a = geohash_cell(Point::new(10.0, 10.0), &r, 2);
+        let b = geohash_cell(Point::new(20.0, 20.0), &r, 2); // both in cell (0,0) of 4x4
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finer_bits_separate_points() {
+        let r = region();
+        let p1 = Point::new(10.0, 10.0);
+        let p2 = Point::new(20.0, 20.0);
+        assert_eq!(geohash_cell(p1, &r, 2), geohash_cell(p2, &r, 2));
+        assert_ne!(geohash_cell(p1, &r, 4), geohash_cell(p2, &r, 4));
+    }
+
+    #[test]
+    fn key_collapses_consecutive_duplicates() {
+        let r = region();
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(60.0, 60.0),
+            Point::new(61.0, 61.0),
+        ];
+        let key = geohash_key(&pts, &r, 1);
+        assert_eq!(key.len(), 2);
+    }
+
+    #[test]
+    fn equal_keys_for_similar_trajectories() {
+        // The clustering criterion: similar trajectories share a key at a
+        // coarse granularity but not necessarily at a fine one.
+        let r = region();
+        let t1 = [Point::new(5.0, 5.0), Point::new(30.0, 5.0), Point::new(70.0, 40.0)];
+        let t2 = [Point::new(8.0, 9.0), Point::new(28.0, 2.0), Point::new(68.0, 44.0)];
+        assert_eq!(geohash_key(&t1, &r, 2), geohash_key(&t2, &r, 2));
+        assert_ne!(geohash_key(&t1, &r, 5), geohash_key(&t2, &r, 5));
+    }
+
+    #[test]
+    fn clamps_outside_points() {
+        let r = region();
+        let c = geohash_cell(Point::new(-50.0, 150.0), &r, 3);
+        let corner = geohash_cell(Point::new(0.0, 99.9), &r, 3);
+        assert_eq!(c, corner);
+    }
+
+    #[test]
+    fn non_square_region_supported() {
+        let r = Mbr::new(Point::new(0.0, 0.0), Point::new(200.0, 50.0));
+        let a = geohash_cell(Point::new(150.0, 40.0), &r, 2);
+        let b = geohash_cell(Point::new(199.0, 49.0), &r, 2);
+        assert_eq!(a, b); // both in the top-right quarter cell
+    }
+}

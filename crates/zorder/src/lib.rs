@@ -1,0 +1,19 @@
+//! Z-order discretization of trajectories (Section III-A of the paper) and
+//! the geohash encoding used by the heterogeneous global partitioning
+//! strategy (Section V-B).
+//!
+//! A square region `A` with side `U` is partitioned by a regular `l x l`
+//! grid with cell side `δ` (`l = U/δ`, a power of two). Every cell has a
+//! z-value (bit-interleaved coordinates) and a *reference point* (its
+//! center); a trajectory maps to the *reference trajectory* of the cells its
+//! points fall in.
+
+#![warn(missing_docs)]
+
+mod geohash;
+mod grid;
+mod zcurve;
+
+pub use geohash::{geohash_cell, geohash_key, GeohashKey};
+pub use grid::{Grid, ZValue};
+pub use zcurve::{deinterleave, interleave};

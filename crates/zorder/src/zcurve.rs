@@ -1,0 +1,90 @@
+/// Interleaves the bits of two grid coordinates into a z-value.
+///
+/// Following Example 2 of the paper, the *horizontal* coordinate contributes
+/// the more significant bit of each pair: `x = 010, y = 101` (3 bits each)
+/// interleave to `011001`.
+///
+/// `bits` is the number of bits per coordinate (the grid level); at most 31.
+#[inline]
+pub fn interleave(x: u32, y: u32, bits: u8) -> u64 {
+    debug_assert!(bits <= 31);
+    debug_assert!(bits == 0 || (x >> bits.min(31)) == 0, "x out of range");
+    debug_assert!(bits == 0 || (y >> bits.min(31)) == 0, "y out of range");
+    let mut z: u64 = 0;
+    for i in (0..bits).rev() {
+        z = (z << 1) | u64::from((x >> i) & 1);
+        z = (z << 1) | u64::from((y >> i) & 1);
+    }
+    z
+}
+
+/// Inverse of [`interleave`]: recovers `(x, y)` from a z-value.
+#[inline]
+pub fn deinterleave(z: u64, bits: u8) -> (u32, u32) {
+    debug_assert!(bits <= 31);
+    let mut x: u32 = 0;
+    let mut y: u32 = 0;
+    for i in (0..bits).rev() {
+        let pair = z >> (2 * i);
+        x = (x << 1) | ((pair >> 1) & 1) as u32;
+        y = (y << 1) | (pair & 1) as u32;
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_2() {
+        // horizontal 010, vertical 101 -> z-value 011001
+        assert_eq!(interleave(0b010, 0b101, 3), 0b011001);
+    }
+
+    #[test]
+    fn zero_bits() {
+        assert_eq!(interleave(0, 0, 0), 0);
+        assert_eq!(deinterleave(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn single_bit() {
+        assert_eq!(interleave(1, 0, 1), 0b10);
+        assert_eq!(interleave(0, 1, 1), 0b01);
+        assert_eq!(interleave(1, 1, 1), 0b11);
+    }
+
+    #[test]
+    fn z_order_locality_of_quadrants() {
+        // All cells of the lower-left quadrant of a 4x4 grid come before all
+        // cells of the upper-right quadrant in z-order.
+        let max_ll = (0..2)
+            .flat_map(|x| (0..2).map(move |y| interleave(x, y, 2)))
+            .max()
+            .unwrap();
+        let min_ur = (2..4)
+            .flat_map(|x| (2..4).map(move |y| interleave(x, y, 2)))
+            .min()
+            .unwrap();
+        assert!(max_ll < min_ur);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(x in 0u32..(1 << 16), y in 0u32..(1 << 16)) {
+            let z = interleave(x, y, 16);
+            prop_assert_eq!(deinterleave(z, 16), (x, y));
+        }
+
+        #[test]
+        fn strictly_monotone_in_each_coordinate(x in 0u32..1000, y in 0u32..1000) {
+            // For a fixed other coordinate, increasing one coordinate
+            // strictly increases the z-value (bit spreading is monotone).
+            let z = interleave(x, y, 10);
+            prop_assert!(interleave(x + 1, y, 10) > z);
+            prop_assert!(interleave(x, y + 1, 10) > z);
+        }
+    }
+}

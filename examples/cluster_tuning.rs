@@ -1,0 +1,62 @@
+//! Operations-style parameter tuning: sweep the grid side `δ` and the
+//! pivot count `Np` on one dataset and watch the U-shaped query-time curves
+//! the paper reports in Tables V and VI.
+//!
+//! ```sh
+//! cargo run --release --example cluster_tuning
+//! ```
+
+use repose::{Repose, ReposeConfig};
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_distance::Measure;
+use std::time::Duration;
+
+fn main() {
+    let dataset = PaperDataset::TDrive.generate(0.6, 21);
+    let queries = sample_queries(&dataset, 5, 77);
+    println!(
+        "T-drive-like dataset: {} trajectories, {} tuning queries\n",
+        dataset.len(),
+        queries.len()
+    );
+
+    println!("-- Table V shape: query time vs grid side δ (Hausdorff) --");
+    for delta in [0.01, 0.05, 0.10, 0.15, 0.20, 0.30] {
+        let config = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(8)
+            .with_delta(delta);
+        let repose = Repose::build(&dataset, config);
+        let (t, comps) = run_batch(&repose, &queries);
+        println!(
+            "  δ = {delta:<5} query time {t:>10.3?}  exact comps {comps:>8}  trie nodes {:>7}",
+            repose.trie_nodes()
+        );
+    }
+
+    println!("\n-- Table VI shape: query time vs pivot count Np (Hausdorff) --");
+    for np in [0, 1, 3, 5, 7, 9, 11] {
+        let config = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(8)
+            .with_delta(0.15)
+            .with_np(np);
+        let repose = Repose::build(&dataset, config);
+        let (t, comps) = run_batch(&repose, &queries);
+        println!("  Np = {np:<3} query time {t:>10.3?}  exact comps {comps:>8}");
+    }
+
+    println!("\nThe two opposing forces of Tables V and VI are visible in the columns:");
+    println!("finer grids / more pivots prune better (fewer exact computations) but pay");
+    println!("more per-node bound work (larger tries, more pivot distances); the best");
+    println!("setting balances them — pick δ and Np at the bottom of the curve.");
+}
+
+fn run_batch(repose: &Repose, queries: &[repose_model::Trajectory]) -> (Duration, usize) {
+    let mut total = Duration::ZERO;
+    let mut comps = 0;
+    for q in queries {
+        let out = repose.query(&q.points, 10);
+        total += out.query_time();
+        comps += out.search.exact_computations;
+    }
+    (total, comps)
+}

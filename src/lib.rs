@@ -1,0 +1,15 @@
+//! Umbrella crate for the REPOSE reproduction workspace.
+//!
+//! This crate only re-exports the member crates so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` have a
+//! single dependency root. Library users should depend on the individual
+//! crates (`repose`, `repose-rptrie`, ...) directly.
+
+pub use repose;
+pub use repose_baselines as baselines;
+pub use repose_cluster as cluster;
+pub use repose_datagen as datagen;
+pub use repose_distance as distance;
+pub use repose_model as model;
+pub use repose_rptrie as rptrie;
+pub use repose_zorder as zorder;

@@ -1,0 +1,170 @@
+//! Property-based integration tests of the paper's core invariants: every
+//! lower bound must actually lower-bound the exact distances, and the index
+//! answer must always equal the scan answer, for randomized datasets.
+
+use proptest::prelude::*;
+use repose_datagen::sample_queries;
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Dataset, Mbr, Point, Trajectory};
+use repose_rptrie::{RpTrie, RpTrieConfig};
+use repose_zorder::Grid;
+
+/// Random trajectory set in [0, 64)^2 with modest lengths.
+fn arb_trajectories() -> impl Strategy<Value = Vec<Trajectory>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0.0f64..64.0, 0.0f64..64.0), 2..12),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, pts)| {
+                Trajectory::new(
+                    i as u64,
+                    pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+fn region() -> Mbr {
+    Mbr::new(Point::new(0.0, 0.0), Point::new(64.0, 64.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: for random data, random queries, every
+    /// measure, and every k — the RP-Trie answer equals brute force.
+    #[test]
+    fn rptrie_always_matches_brute_force(
+        trajs in arb_trajectories(),
+        query in proptest::collection::vec((0.0f64..64.0, 0.0f64..64.0), 1..10),
+        level in 2u8..6,
+        k in 1usize..8,
+        measure_idx in 0usize..6,
+    ) {
+        let measure = Measure::ALL[measure_idx];
+        let query: Vec<Point> = query.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let params = MeasureParams::with_eps(2.0);
+        let grid = Grid::new(region(), level);
+        let trie = RpTrie::build(
+            &trajs,
+            grid,
+            RpTrieConfig::for_measure(measure).with_params(params).with_np(3),
+        );
+        let got = trie.top_k(&trajs, &query, k).hits;
+
+        let mut expect: Vec<(f64, u64)> = trajs
+            .iter()
+            .map(|t| (params.distance(measure, &query, &t.points), t.id))
+            .collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        expect.truncate(k);
+        // Ties may resolve differently (Definition 3 permits any tied
+        // subset), so compare the distance vector and verify each reported
+        // distance is exact.
+        prop_assert_eq!(got.len(), expect.len());
+        for (h, e) in got.iter().zip(&expect) {
+            prop_assert!((h.dist - e.0).abs() < 1e-9,
+                "distance vector differs: {} vs {}", h.dist, e.0);
+            let t = trajs.iter().find(|t| t.id == h.id).expect("known id");
+            let true_d = params.distance(measure, &query, &t.points);
+            prop_assert!((h.dist - true_d).abs() < 1e-9, "reported distance wrong");
+        }
+    }
+
+    /// Pivot-interval containment: distances from any trajectory to any
+    /// pivot must fall inside the root HR interval.
+    #[test]
+    fn hr_intervals_cover_all_distances(
+        trajs in arb_trajectories(),
+        measure_idx in 0usize..3,
+    ) {
+        let measure = [Measure::Hausdorff, Measure::Frechet, Measure::Erp][measure_idx];
+        let params = MeasureParams::default();
+        let grid = Grid::new(region(), 4);
+        let trie = RpTrie::build(
+            &trajs,
+            grid,
+            RpTrieConfig::for_measure(measure).with_params(params).with_np(2),
+        );
+        let hr = trie.frozen().hr(trie.frozen().root());
+        for (pi, pivot) in trie.pivots().pivots().iter().enumerate() {
+            for t in &trajs {
+                let d = params.distance(measure, &t.points, pivot);
+                prop_assert!(d >= hr[pi].0 - 1e-9 && d <= hr[pi].1 + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_queries_always_rank_themselves_first() {
+    // A dataset member queried against the index must come back as the top
+    // hit with distance 0 for every measure (identity law, end to end).
+    let dataset = repose_datagen::PaperDataset::SF.generate(0.05, 77);
+    let queries = sample_queries(&dataset, 3, 123);
+    let trajs = dataset.trajectories().to_vec();
+    let grid = Grid::with_delta(dataset.enclosing_square().unwrap(), 0.05);
+    for measure in Measure::ALL {
+        let trie = RpTrie::build(
+            &trajs,
+            grid.clone(),
+            RpTrieConfig::for_measure(measure).with_params(MeasureParams::with_eps(0.01)),
+        );
+        for q in &queries {
+            let r = trie.top_k(&trajs, &q.points, 1);
+            assert_eq!(r.hits[0].id, q.id, "{measure}");
+            assert!(r.hits[0].dist.abs() < 1e-12, "{measure}");
+        }
+    }
+}
+
+#[test]
+fn dataset_stats_survive_partition_roundtrip() {
+    use repose::{partition_dataset, PartitionStrategy};
+    let dataset = repose_datagen::PaperDataset::Porto.generate(0.02, 3);
+    let region = dataset.enclosing_square().unwrap();
+    for strategy in [
+        PartitionStrategy::Heterogeneous,
+        PartitionStrategy::Homogeneous,
+        PartitionStrategy::Random,
+    ] {
+        let parts = partition_dataset(&dataset, &region, strategy, 7, 1);
+        let total_pts: usize = parts
+            .iter()
+            .flatten()
+            .map(Trajectory::len)
+            .sum();
+        assert_eq!(total_pts, dataset.stats().total_points, "{strategy:?}");
+    }
+}
+
+#[test]
+fn grid_fidelity_improves_with_finer_delta() {
+    // Finer grids must never make the reference trajectory a worse
+    // Hausdorff approximation of the original.
+    let dataset = repose_datagen::PaperDataset::TDrive.generate(0.02, 9);
+    let sq = dataset.enclosing_square().unwrap();
+    let coarse = Grid::with_delta(sq, 0.5);
+    let fine = Grid::with_delta(sq, 0.05);
+    for t in dataset.trajectories().iter().take(20) {
+        let rc = coarse.reference_trajectory(&t.points);
+        let rf = fine.reference_trajectory(&t.points);
+        let dc = repose_distance::hausdorff(&t.points, &rc);
+        let df = repose_distance::hausdorff(&t.points, &rf);
+        assert!(df <= dc + 1e-12, "fine {df} vs coarse {dc}");
+        assert!(dc <= coarse.half_diagonal() + 1e-12);
+        assert!(df <= fine.half_diagonal() + 1e-12);
+    }
+}
+
+#[test]
+fn dataset_roundtrips_through_serde() {
+    let dataset = repose_datagen::PaperDataset::Rome.generate(0.02, 4);
+    let json = serde_json::to_string(&dataset).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(dataset.trajectories(), back.trajectories());
+}
