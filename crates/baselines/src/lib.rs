@@ -20,6 +20,29 @@
 //!
 //! All three execute on the same simulated [`repose_cluster::Cluster`] as
 //! REPOSE, so query times (simulated makespans) are directly comparable.
+//!
+//! ```
+//! use repose_baselines::LinearScan;
+//! use repose_cluster::ClusterConfig;
+//! use repose_distance::{Measure, MeasureParams};
+//! use repose_model::{Dataset, Point, Trajectory};
+//!
+//! let trajs: Vec<Trajectory> = (0..40)
+//!     .map(|i| {
+//!         let y = (i % 8) as f64;
+//!         Trajectory::new(i, (0..6).map(|j| Point::new(j as f64, y)).collect())
+//!     })
+//!     .collect();
+//! let data = Dataset::from_trajectories(trajs);
+//! let cluster = ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 };
+//!
+//! // The exact-but-slow yardstick every index is measured against.
+//! let ls = LinearScan::build(&data, cluster, 4, Measure::Hausdorff, MeasureParams::default());
+//! let query: Vec<Point> = (0..6).map(|j| Point::new(j as f64, 0.2)).collect();
+//! let out = ls.query(&query, 3);
+//! assert_eq!(out.hits.len(), 3);
+//! assert_eq!(out.hits[0].id, 0); // the y = 0 trip wins
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,67 @@
+//! Criterion companion to the `serve` experiment: single-call latencies of
+//! the serving layer — cold query, cached query, query with a populated
+//! delta buffer, and insert.
+
+mod common;
+
+use common::{bench_cfg, small_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_model::{Point, Trajectory};
+use repose_service::{ReposeService, ServiceConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let (data, queries) = small_workload(PaperDataset::TDrive);
+    let build = || {
+        Repose::build(
+            &data,
+            ReposeConfig::new(Measure::Hausdorff)
+                .with_cluster(cfg.cluster)
+                .with_partitions(cfg.partitions)
+                .with_delta(PaperDataset::TDrive.paper_delta(Measure::Hausdorff)),
+        )
+    };
+    let q = &queries[0].points;
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    let uncached = ReposeService::with_config(build(), ServiceConfig { cache_capacity: 0 });
+    group.bench_function("query_uncached", |b| {
+        b.iter(|| black_box(uncached.query(q, cfg.k)))
+    });
+
+    let cached = ReposeService::new(build());
+    cached.query(q, cfg.k); // prime
+    group.bench_function("query_cached", |b| {
+        b.iter(|| black_box(cached.query(q, cfg.k)))
+    });
+
+    let with_delta = ReposeService::with_config(build(), ServiceConfig { cache_capacity: 0 });
+    for i in 0..200u64 {
+        let jit = i as f64 * 1e-5;
+        with_delta.insert(Trajectory::new(
+            5_000_000 + i,
+            q.iter().map(|p| Point::new(p.x + jit, p.y + jit)).collect(),
+        ));
+    }
+    group.bench_function("query_with_200_delta", |b| {
+        b.iter(|| black_box(with_delta.query(q, cfg.k)))
+    });
+
+    let sink = ReposeService::new(build());
+    let mut next_id = 9_000_000u64;
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            next_id += 1;
+            sink.insert(Trajectory::new(next_id, q.clone()));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod table4;
 pub mod table5;
 pub mod table6;
@@ -37,4 +38,9 @@ pub const ALL: &[Experiment] = &[
     Experiment { name: "table7", what: "Effect of partitioning strategy", run: table7::run },
     Experiment { name: "table8", what: "Heterogeneous partitioning in DITA", run: table8::run },
     Experiment { name: "table9", what: "Heterogeneous partitioning in DFT", run: table9::run },
+    Experiment {
+        name: "serve",
+        what: "Online serving: mixed read/write QPS + latency percentiles",
+        run: serve::run,
+    },
 ];

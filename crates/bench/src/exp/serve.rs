@@ -1,0 +1,200 @@
+//! Online-serving experiment (beyond the paper): a mixed read/write
+//! workload against `repose-service`, reporting throughput (QPS) and host
+//! latency percentiles — the serving-path numbers the static Section VII
+//! experiments cannot express.
+//!
+//! N reader threads replay a pool of cached-and-uncached queries while M
+//! writer threads stream inserts into the delta buffers; a compaction run
+//! in the middle exercises swap-on-compact under load. Latencies are host
+//! wall times of `ReposeService` calls, not simulated cluster times.
+
+use crate::runner::{load, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, ReposeConfig};
+use repose_cluster::LatencySummary;
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_model::{Point, Trajectory};
+use repose_service::{ReposeService, ServiceConfig};
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const READERS: usize = 4;
+const WRITERS: usize = 2;
+/// Reads per reader thread (writers scale to half of this).
+const OPS_PER_READER: usize = 200;
+
+struct WorkloadResult {
+    reads: u64,
+    writes: u64,
+    wall: Duration,
+    read_latency: LatencySummary,
+    write_latency: LatencySummary,
+    cache_hit_rate: f64,
+}
+
+fn run_mixed(service: &Arc<ReposeService>, queries: &[Trajectory], k: usize) -> WorkloadResult {
+    let read_samples: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let write_samples: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for r in 0..READERS {
+            let service = Arc::clone(service);
+            let read_samples = &read_samples;
+            let reads = &reads;
+            s.spawn(move || {
+                let mut local = Vec::with_capacity(OPS_PER_READER);
+                for i in 0..OPS_PER_READER {
+                    let q = &queries[(r + i) % queries.len()];
+                    let out = service.query(&q.points, k);
+                    local.push(out.latency);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+                read_samples.lock().expect("samples").extend(local);
+            });
+        }
+        for w in 0..WRITERS {
+            let service = Arc::clone(service);
+            let write_samples = &write_samples;
+            let writes = &writes;
+            s.spawn(move || {
+                let mut local = Vec::new();
+                for i in 0..OPS_PER_READER / 2 {
+                    // Fresh ids far above the dataset's range.
+                    let id = 10_000_000 + (w * OPS_PER_READER + i) as u64;
+                    let base = &queries[(w + i) % queries.len()];
+                    let jit = (i as f64 + 1.0) * 1e-5;
+                    let traj = Trajectory::new(
+                        id,
+                        base.points
+                            .iter()
+                            .map(|p| Point::new(p.x + jit, p.y + jit))
+                            .collect(),
+                    );
+                    let t = Instant::now();
+                    service.insert(traj);
+                    local.push(t.elapsed());
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    // Fold the delta in once, mid-stream, under load.
+                    if w == 0 && i == OPS_PER_READER / 4 {
+                        service.compact();
+                    }
+                }
+                write_samples.lock().expect("samples").extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let stats = service.stats();
+    WorkloadResult {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        wall,
+        read_latency: LatencySummary::from_durations(
+            read_samples.into_inner().expect("samples"),
+        ),
+        write_latency: LatencySummary::from_durations(
+            write_samples.into_inner().expect("samples"),
+        ),
+        cache_hit_rate: stats.cache_hit_rate(),
+    }
+}
+
+/// Runs the mixed read/write serving workload.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let measure = Measure::Hausdorff;
+    let (data, queries) = load(ds, exp);
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(ds.paper_delta(measure))
+        .with_seed(exp.seed);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, cache_capacity) in [("cached", 1024usize), ("uncached", 0usize)] {
+        let service = Arc::new(ReposeService::with_config(
+            Repose::build(&data, cfg),
+            ServiceConfig { cache_capacity },
+        ));
+        let r = run_mixed(&service, &queries, exp.k);
+        let secs = r.wall.as_secs_f64().max(1e-9);
+        let read_qps = r.reads as f64 / secs;
+        let write_qps = r.writes as f64 / secs;
+        rows.push(vec![
+            label.to_string(),
+            format!("{read_qps:.0}"),
+            format!("{write_qps:.0}"),
+            fmt_secs(r.read_latency.p50.as_secs_f64()),
+            fmt_secs(r.read_latency.p99.as_secs_f64()),
+            fmt_secs(r.write_latency.p50.as_secs_f64()),
+            fmt_secs(r.write_latency.p99.as_secs_f64()),
+            format!("{:.0}%", r.cache_hit_rate * 100.0),
+        ]);
+        out.push(json!({
+            "mode": label,
+            "readers": READERS,
+            "writers": WRITERS,
+            "reads": r.reads,
+            "writes": r.writes,
+            "wall_s": secs,
+            "read_qps": read_qps,
+            "write_qps": write_qps,
+            "read_p50_s": r.read_latency.p50.as_secs_f64(),
+            "read_p99_s": r.read_latency.p99.as_secs_f64(),
+            "write_p50_s": r.write_latency.p50.as_secs_f64(),
+            "write_p99_s": r.write_latency.p99.as_secs_f64(),
+            "cache_hit_rate": r.cache_hit_rate,
+        }));
+    }
+    println!(
+        "\n== serve: {READERS} readers + {WRITERS} writers, k = {}, {} partitions ==",
+        exp.k, exp.partitions
+    );
+    print_table(
+        &[
+            "Mode", "read QPS", "write QPS", "read p50", "read p99", "write p50",
+            "write p99", "cache hits",
+        ],
+        &rows,
+    );
+    Value::Array(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn serve_experiment_produces_sound_numbers() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            queries: 4,
+            k: 5,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 3,
+        };
+        let v = run(&exp);
+        let rows = v.as_array().expect("array of modes");
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row["read_qps"].as_f64().unwrap() > 0.0);
+            assert!(row["write_qps"].as_f64().unwrap() > 0.0);
+            assert!(
+                row["read_p99_s"].as_f64().unwrap()
+                    >= row["read_p50_s"].as_f64().unwrap()
+            );
+        }
+        // The cached mode must actually hit its cache: readers replay a
+        // small query pool.
+        assert!(rows[0]["cache_hit_rate"].as_f64().unwrap() > 0.1);
+        assert_eq!(rows[1]["cache_hit_rate"].as_f64().unwrap(), 0.0);
+    }
+}

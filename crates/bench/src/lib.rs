@@ -8,6 +8,21 @@
 //! paper's (DESIGN.md §2), and the default query batch is 5 instead of 100,
 //! so *absolute* times are not comparable — the harness is about the shape:
 //! who wins, by what factor, and where the U-curves turn.
+//!
+//! ```
+//! use repose_bench::runner::{load, ExpConfig};
+//! use repose_bench::{fmt_bytes, fmt_secs};
+//! use repose_datagen::PaperDataset;
+//!
+//! let mut exp = ExpConfig::default();
+//! exp.scale = 0.02; // tiny, for a fast doctest
+//! exp.queries = 2;
+//! let (data, queries) = load(PaperDataset::TDrive, &exp);
+//! assert!(!data.is_empty());
+//! assert_eq!(queries.len(), 2);
+//! assert_eq!(fmt_secs(0.0123), "12.30ms");
+//! assert_eq!(fmt_bytes(2048), "2.0KiB");
+//! ```
 
 pub mod exp;
 pub mod runner;

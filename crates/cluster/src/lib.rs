@@ -14,8 +14,27 @@
 //! the distributed makespan. The simulated makespan is independent of how
 //! many physical cores the host happens to have.
 //!
-//! The paper's `RpTrieRDD.mapPartitions` becomes [`DistDataset::map_partitions`];
+//! The paper's `RpTrieRDD.mapPartitions` becomes [`Cluster::run_partitions`];
 //! `collect` becomes the returned `Vec` of per-partition results.
+//!
+//! ```
+//! use repose_cluster::{Cluster, ClusterConfig, JobStats, RoundRobinPartitioner};
+//!
+//! let config = ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 };
+//! let cluster = Cluster::new(config);
+//! let data = cluster.parallelize((0..100).collect(), &RoundRobinPartitioner::new(4));
+//!
+//! // mapPartitions + collect, with per-partition durations measured.
+//! let (sums, times, wall) = cluster.run_partitions(&data, |_pi, part: &[i32]| {
+//!     part.iter().sum::<i32>()
+//! });
+//! assert_eq!(sums.iter().sum::<i32>(), (0..100).sum::<i32>());
+//!
+//! // The measured durations schedule onto the modeled 2x2 cluster.
+//! let stats = JobStats::simulate(times, (0..4).collect(), 2, 2, wall);
+//! assert!(stats.makespan <= stats.total_work);
+//! assert!(stats.worker_utilization() > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -27,7 +46,7 @@ mod stats;
 pub use dataset::DistDataset;
 pub use executor::Cluster;
 pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};
-pub use stats::{list_schedule, JobStats, SimTime};
+pub use stats::{list_schedule, JobStats, LatencySummary, SimTime};
 
 /// Cluster topology: the paper's default is 16 workers with 4 cores each
 /// and one partition per core (64 partitions).

@@ -102,6 +102,59 @@ impl JobStats {
     }
 }
 
+/// Order statistics over a set of measured call latencies — the reporting
+/// unit for mixed read/write serving workloads (`repose-service` and the
+/// `serve` experiment): counts alone hide tail behaviour, so QPS is always
+/// paired with p50/p95/p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (50th percentile).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (order irrelevant). Percentiles use the
+    /// nearest-rank method; an empty sample set yields all-zero stats.
+    pub fn from_durations(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: Duration::ZERO,
+                p50: Duration::ZERO,
+                p95: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pick = |q: f64| -> Duration {
+            // Nearest-rank: smallest sample with cumulative share >= q.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            samples[rank - 1]
+        };
+        let total: Duration = samples.iter().sum();
+        LatencySummary {
+            count: n,
+            mean: total / n as u32,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: samples[n - 1],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +222,28 @@ mod tests {
         let s = JobStats::simulate(vec![ms(5), ms(5)], vec![0, 0], 4, 1, ms(1));
         assert_eq!(s.worker_utilization(), 0.25);
         assert_eq!(s.total_work, ms(10));
+    }
+
+    #[test]
+    fn latency_summary_order_statistics() {
+        // 1..=100 ms: nearest-rank percentiles are exact.
+        let samples: Vec<Duration> = (1..=100).rev().map(ms).collect();
+        let s = LatencySummary::from_durations(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.mean, ms(50) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn latency_summary_small_and_empty() {
+        let empty = LatencySummary::from_durations(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, Duration::ZERO);
+        let one = LatencySummary::from_durations(vec![ms(7)]);
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (ms(7), ms(7), ms(7), ms(7)));
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock timing harness
+//! exposing the group/bench API the workspace's benches use. No statistics
+//! beyond min/mean, no plots, no baselines — each bench runs a short warmup
+//! and a fixed sample of iterations and prints one line.
+//!
+//! ```
+//! use criterion::{BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(10);
+//! group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+//! group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+//!     b.iter(|| n * 2)
+//! });
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's own is deprecated in
+/// favour of it).
+pub use std::hint::black_box;
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+    }
+}
+
+/// A parameterized benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { text: p.to_string() }
+    }
+
+    /// An id of the form `function/parameter`.
+    pub fn new(function: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function.into(), p) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored (kept for call-site compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            min: Duration::MAX,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        println!(
+            "bench {label:<40} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+            b.min, b.mean, self.sample_size
+        );
+        self
+    }
+
+    /// Runs one benchmark that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures.
+pub struct Bencher {
+    sample_size: usize,
+    min: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.min = min;
+        self.mean = total / self.sample_size as u32;
+    }
+}
+
+/// Declares a benchmark group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,303 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (serialized as a JSON object),
+//! * tuple structs (serialized as a JSON array),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string).
+//!
+//! Generics are not supported; the derive emits a compile error for them.
+//! The expansion is generated as source text and re-parsed — no `syn` or
+//! `quote`, because the build container is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// (field name, field type source text)
+    NamedStruct(String, Vec<(String, String)>),
+    /// (arity, field type source texts)
+    TupleStruct(String, Vec<String>),
+    UnitStruct(String),
+    /// (variant names)
+    UnitEnum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error expansion")
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a token slice, returning the rest.
+fn skip_attrs_and_vis(mut toks: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match toks {
+            [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                toks = rest;
+            }
+            [TokenTree::Ident(i), TokenTree::Group(g), rest @ ..]
+                if i.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                toks = rest;
+            }
+            [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => {
+                toks = rest;
+            }
+            _ => return toks,
+        }
+    }
+}
+
+/// Splits a token sequence on top-level commas.
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_source(toks: &[TokenTree]) -> String {
+    toks.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let toks = skip_attrs_and_vis(&toks);
+    let (kind, rest) = match toks {
+        [TokenTree::Ident(i), rest @ ..] => (i.to_string(), rest),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    let (name, rest) = match rest {
+        [TokenTree::Ident(i), rest @ ..] => (i.to_string(), rest),
+        _ => return Err("expected type name".into()),
+    };
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match rest {
+            [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field in split_commas(&body) {
+                    let field = skip_attrs_and_vis(&field);
+                    if field.is_empty() {
+                        continue;
+                    }
+                    let (fname, ftoks) = match field {
+                        [TokenTree::Ident(i), TokenTree::Punct(c), ty @ ..]
+                            if c.as_char() == ':' =>
+                        {
+                            (i.to_string(), ty)
+                        }
+                        _ => return Err(format!("unparsable field in `{name}`")),
+                    };
+                    fields.push((fname, tokens_to_source(ftoks)));
+                }
+                Ok(Shape::NamedStruct(name, fields))
+            }
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut tys = Vec::new();
+                for field in split_commas(&body) {
+                    let field = skip_attrs_and_vis(&field);
+                    if field.is_empty() {
+                        continue;
+                    }
+                    tys.push(tokens_to_source(field));
+                }
+                Ok(Shape::TupleStruct(name, tys))
+            }
+            [] | [TokenTree::Punct(_)] => Ok(Shape::UnitStruct(name)),
+            _ => Err(format!("unsupported struct form for `{name}`")),
+        },
+        "enum" => match rest {
+            [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for var in split_commas(&body) {
+                    let var = skip_attrs_and_vis(&var);
+                    match var {
+                        [] => continue,
+                        [TokenTree::Ident(i)] => variants.push(i.to_string()),
+                        [TokenTree::Ident(i), ..] => {
+                            return Err(format!(
+                                "serde_derive (vendored) only supports unit enum \
+                                 variants; `{name}::{i}` has data"
+                            ))
+                        }
+                        _ => return Err(format!("unparsable variant in `{name}`")),
+                    }
+                }
+                Ok(Shape::UnitEnum(name, variants))
+            }
+            _ => Err(format!("unsupported enum form for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match shape {
+        Shape::NamedStruct(name, fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(name, tys) => {
+            let pushes: String = (0..tys.len())
+                .map(|i| format!("a.push(::serde::Serialize::to_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut a = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Array(a)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match shape {
+        Shape::NamedStruct(name, fields) => {
+            let builds: String = fields
+                .iter()
+                .map(|(f, ty)| {
+                    format!(
+                        "{f}: <{ty} as ::serde::Deserialize>::from_value(v.get_field({f:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {builds} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(name, tys) => {
+            let arity = tys.len();
+            let builds: String = tys
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| format!("<{ty} as ::serde::Deserialize>::from_value(&a[{i}])?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let a = v.as_array().ok_or_else(|| ::serde::Error::new(\
+                             \"expected array for tuple struct {name}\"))?;\n\
+                         if a.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::new(\
+                                 \"wrong arity for tuple struct {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({builds}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct(name) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::Error::new(\
+                             \"expected string for enum {name}\"))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_json`: renders the vendored [`serde::Value`]
+//! tree to JSON text and parses it back.
+//!
+//! Numbers round-trip exactly: integers stay integers, and floats are
+//! written with Rust's shortest round-trip formatting. Non-finite floats are
+//! written as the bare tokens `Infinity` / `-Infinity` / `NaN` (as Python's
+//! `json` does) so that index payloads containing sentinels survive a
+//! round-trip; the parser accepts the same tokens.
+//!
+//! ```
+//! let v = serde_json::json!({ "name": "repose", "partitions": 64, "qt_s": 0.25 });
+//! let text = serde_json::to_string(&v).unwrap();
+//! let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+//! assert_eq!(back["partitions"].as_u64(), Some(64));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` into the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// [`to_value`] for macro use; infallible by construction.
+pub fn to_value_must<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax.
+///
+/// Object values and array elements may be arbitrary expressions whose
+/// types implement the vendored `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value_must(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::to_value_must(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value_must(&$other) };
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, e, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, e, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I(v) => out.push_str(&v.to_string()),
+        Number::U(v) => out.push_str(&v.to_string()),
+        Number::F(v) => {
+            if v.is_nan() {
+                out.push_str("NaN");
+            } else if v == f64::INFINITY {
+                out.push_str("Infinity");
+            } else if v == f64::NEG_INFINITY {
+                out.push_str("-Infinity");
+            } else {
+                // {:?} is Rust's shortest round-trip float formatting and
+                // always keeps a '.' or exponent, preserving float-ness.
+                out.push_str(&format!("{v:?}"));
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.eat_word("null") => Ok(Value::Null),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_word("NaN") => Ok(Value::Number(Number::F(f64::NAN))),
+            Some(b'I') if self.eat_word("Infinity") => {
+                Ok(Value::Number(Number::F(f64::INFINITY)))
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut a = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(a));
+                }
+                loop {
+                    self.skip_ws();
+                    a.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(a));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut m = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.parse_value()?;
+                    m.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'-') if self.bytes[self.pos + 1..].starts_with(b"Infinity") => {
+                self.pos += 1 + "Infinity".len();
+                Ok(Value::Number(Number::F(f64::NEG_INFINITY)))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require the low half.
+                                if !self.eat_word("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                s.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| Error::new("invalid code point"))?,
+                                );
+                            } else {
+                                s.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::new("invalid code point"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(if i >= 0 {
+                    Number::U(i as u64)
+                } else {
+                    Number::I(i)
+                }));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "1e300", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let xs = vec![0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e-300, 12345.6789];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        let xs = vec![f64::INFINITY, f64::NEG_INFINITY];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+        let nan: Vec<f64> = from_str(&to_string(&vec![f64::NAN]).unwrap()).unwrap();
+        assert!(nan[0].is_nan());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1u64, "b": [1.5, 2.5], "c": "x" });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][1].as_f64(), Some(2.5));
+        assert_eq!(v["c"].as_str(), Some("x"));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7u64).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn strings_with_escapes_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1F600}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(s, back);
+        // \u escapes parse too
+        let v: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "\u{1F600}");
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = json!({ "rows": [ json!({ "x": 1u64 }), json!({ "x": 2u64 }) ] });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -14,22 +14,47 @@ pub(crate) struct LocalPartition {
 }
 
 /// The outcome of one distributed top-k query.
+///
+/// Every [`Repose`] query variant ([`Repose::query`],
+/// [`Repose::query_two_phase`], [`Repose::query_batch`]) returns one of
+/// these. The three fields answer the three questions the paper's
+/// evaluation asks of a query: *what* was found (`hits`), *how long* the
+/// simulated cluster took (`job`, whose makespan is the paper's QT metric),
+/// and *how much work* the local indexes did (`search`, the pruning-power
+/// counters behind Tables V and VI).
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// Global top-k hits, ascending by distance.
+    /// Global top-k hits, ascending by distance with ties broken by
+    /// trajectory id. May hold fewer than `k` entries when the dataset
+    /// (or the filtered subset) is smaller than `k`.
     pub hits: Vec<Hit>,
     /// Distributed scheduling stats; `job.makespan` is the simulated
     /// distributed query time (the paper's QT).
     pub job: JobStats,
-    /// Local-search work counters summed over partitions.
+    /// Local-search work counters summed over partitions: trie nodes
+    /// visited/pruned, leaves visited/pruned, and exact distance
+    /// computations.
     pub search: SearchStats,
 }
 
 impl QueryOutcome {
-    /// Simulated distributed query time.
+    /// Simulated distributed query time (the paper's QT): the makespan of
+    /// the per-partition local searches scheduled onto the modeled
+    /// cluster, *not* host wall time.
     pub fn query_time(&self) -> Duration {
         self.job.makespan
     }
+}
+
+/// A borrowed view of one partition's data and local index — the hook the
+/// online serving layer (`repose-service`) uses to search frozen
+/// partitions directly, outside the simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionView<'a> {
+    /// The partition's trajectories, in the order the index was built over.
+    pub trajs: &'a [Trajectory],
+    /// The partition's RP-Trie.
+    pub trie: &'a RpTrie,
 }
 
 /// A built REPOSE deployment: partitioned trajectories, one RP-Trie per
@@ -109,14 +134,10 @@ impl Repose {
         let mut search = SearchStats::default();
         let mut hits: Vec<Hit> = Vec::with_capacity(k * locals.len().min(8));
         for l in &locals {
-            search.nodes_visited += l.stats.nodes_visited;
-            search.nodes_pruned += l.stats.nodes_pruned;
-            search.leaves_visited += l.stats.leaves_visited;
-            search.leaves_pruned += l.stats.leaves_pruned;
-            search.exact_computations += l.stats.exact_computations;
+            search.merge(&l.stats);
             hits.extend_from_slice(&l.hits);
         }
-        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.sort_by(Hit::cmp_by_dist_then_id);
         hits.truncate(k);
         QueryOutcome { hits, job, search }
     }
@@ -163,14 +184,10 @@ impl Repose {
         let mut search = seed.stats;
         let mut hits: Vec<Hit> = seed.hits;
         for l in locals.into_iter().flatten() {
-            search.nodes_visited += l.stats.nodes_visited;
-            search.nodes_pruned += l.stats.nodes_pruned;
-            search.leaves_visited += l.stats.leaves_visited;
-            search.leaves_pruned += l.stats.leaves_pruned;
-            search.exact_computations += l.stats.exact_computations;
+            search.merge(&l.stats);
             hits.extend_from_slice(&l.hits);
         }
-        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.sort_by(Hit::cmp_by_dist_then_id);
         hits.truncate(k);
         QueryOutcome { hits, job, search }
     }
@@ -205,14 +222,10 @@ impl Repose {
                 let mut hits: Vec<Hit> = Vec::new();
                 for part_results in &locals {
                     let l = &part_results[qi];
-                    search.nodes_visited += l.stats.nodes_visited;
-                    search.nodes_pruned += l.stats.nodes_pruned;
-                    search.leaves_visited += l.stats.leaves_visited;
-                    search.leaves_pruned += l.stats.leaves_pruned;
-                    search.exact_computations += l.stats.exact_computations;
+                    search.merge(&l.stats);
                     hits.extend_from_slice(&l.hits);
                 }
-                hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+                hits.sort_by(Hit::cmp_by_dist_then_id);
                 hits.truncate(k);
                 // The batch shares one schedule; report it on every outcome.
                 QueryOutcome { hits, job: job.clone(), search }
@@ -266,6 +279,24 @@ impl Repose {
             .iter()
             .map(|p| p[0].trie.node_count())
             .sum()
+    }
+
+    /// Borrowed view of partition `pi`'s trajectories and local index.
+    ///
+    /// # Panics
+    /// If `pi >= self.num_partitions()`.
+    pub fn partition_view(&self, pi: usize) -> PartitionView<'_> {
+        let part = &self.data.partition(pi)[0];
+        PartitionView { trajs: &part.trajs, trie: &part.trie }
+    }
+
+    /// Iterates every indexed trajectory across all partitions (used by
+    /// `repose-service` compaction to rebuild from live data).
+    pub fn all_trajectories(&self) -> impl Iterator<Item = &Trajectory> {
+        self.data
+            .partitions()
+            .iter()
+            .flat_map(|p| p[0].trajs.iter())
     }
 
     /// Per-partition trajectory counts.

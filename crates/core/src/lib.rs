@@ -34,7 +34,7 @@ mod partition;
 pub mod temporal;
 
 pub use config::ReposeConfig;
-pub use framework::{QueryOutcome, Repose};
+pub use framework::{PartitionView, QueryOutcome, Repose};
 pub use partition::{partition_dataset, PartitionStrategy};
 pub use repose_rptrie::Hit;
 pub use temporal::{TemporalRepose, TimeWindow};

@@ -103,14 +103,10 @@ impl Repose {
         let mut search = SearchStats::default();
         let mut hits: Vec<Hit> = Vec::new();
         for l in &locals {
-            search.nodes_visited += l.stats.nodes_visited;
-            search.nodes_pruned += l.stats.nodes_pruned;
-            search.leaves_visited += l.stats.leaves_visited;
-            search.leaves_pruned += l.stats.leaves_pruned;
-            search.exact_computations += l.stats.exact_computations;
+            search.merge(&l.stats);
             hits.extend_from_slice(&l.hits);
         }
-        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.sort_by(Hit::cmp_by_dist_then_id);
         hits.truncate(k);
         QueryOutcome { hits, job, search }
     }

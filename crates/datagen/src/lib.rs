@@ -12,6 +12,20 @@
 //! centers, picks a heading, and random-walks with heading momentum and
 //! occasional turns — the classic taxi-trace caricature. Everything is
 //! seeded and deterministic.
+//!
+//! ```
+//! use repose_datagen::{sample_queries, PaperDataset};
+//!
+//! let data = PaperDataset::TDrive.generate(0.05, 42);
+//! assert!(!data.is_empty());
+//! // Same seed, same dataset.
+//! assert_eq!(data.len(), PaperDataset::TDrive.generate(0.05, 42).len());
+//!
+//! // The paper's query workload: uniformly sampled dataset members.
+//! let queries = sample_queries(&data, 3, 7);
+//! assert_eq!(queries.len(), 3);
+//! assert!(queries.iter().all(|q| data.trajectories().iter().any(|t| t.id == q.id)));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -6,6 +6,21 @@
 //! `O(m)` per trie node (Section IV-C, Algorithm 1): when a reference
 //! trajectory grows by one point, only one new column of the distance matrix
 //! has to be computed, given the parent node's intermediate results.
+//!
+//! ```
+//! use repose_distance::{hausdorff, Measure, MeasureParams};
+//! use repose_model::Point;
+//!
+//! let a = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+//! let b = vec![Point::new(0.0, 3.0), Point::new(1.0, 3.0)];
+//! assert_eq!(hausdorff(&a, &b), 3.0);
+//!
+//! // The uniform entry point used by the index: measure + params.
+//! let params = MeasureParams::with_eps(0.5);
+//! assert_eq!(params.distance(Measure::Hausdorff, &a, &b), 3.0);
+//! assert!(Measure::Hausdorff.is_metric());
+//! assert!(!Measure::Dtw.is_metric());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -7,6 +7,19 @@
 //!
 //! Everything downstream — the distance measures, the z-order discretization,
 //! the RP-Trie, and the distributed framework — is built on these types.
+//!
+//! ```
+//! use repose_model::{Dataset, Point, Trajectory};
+//!
+//! let trip = Trajectory::new(7, vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0)]);
+//! assert_eq!(trip.len(), 2);
+//!
+//! let mut dataset = Dataset::new();
+//! dataset.push(trip);
+//! assert_eq!(dataset.len(), 1);
+//! let square = dataset.enclosing_square().expect("non-empty dataset");
+//! assert!(square.contains(Point::new(1.0, 2.0)));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -15,6 +15,28 @@
 //! order-independent Hausdorff measure, the builder applies the z-value
 //! re-arrangement optimization (Section III-C): a greedy hitting-set
 //! construction that maximizes prefix sharing.
+//!
+//! ```
+//! use repose_model::{Mbr, Point, Trajectory};
+//! use repose_rptrie::{RpTrie, RpTrieConfig};
+//! use repose_distance::Measure;
+//! use repose_zorder::Grid;
+//!
+//! let trajs: Vec<Trajectory> = (0..30)
+//!     .map(|i| {
+//!         let y = (i % 6) as f64;
+//!         Trajectory::new(i, (0..5).map(|j| Point::new(j as f64, y)).collect())
+//!     })
+//!     .collect();
+//! let grid = Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 3);
+//! let trie = RpTrie::build(&trajs, grid, RpTrieConfig::for_measure(Measure::Hausdorff));
+//!
+//! let query = vec![Point::new(0.0, 0.3), Point::new(4.0, 0.3)];
+//! let result = trie.top_k(&trajs, &query, 3);
+//! assert_eq!(result.hits[0].id, 0); // the y = 0 row is nearest
+//! // Best-first search visited the trie instead of scanning everything.
+//! assert!(result.stats.exact_computations < trajs.len());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -112,7 +134,33 @@ impl RpTrie {
         filter: &(dyn Fn(&Trajectory) -> bool + Sync),
     ) -> SearchResult {
         assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter))
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter), &[])
+    }
+
+    /// Top-k over the union of the trie's trajectories and a set of
+    /// pre-scored external candidates (`seeds`) — the serving layer's
+    /// trie + delta-buffer search.
+    ///
+    /// The seeds join the result heap before the trie descent, so the
+    /// trie search and the delta scan share one pruning threshold: with
+    /// `k` good seeds the trie is only explored where it can still beat
+    /// them. An optional `filter` restricts which *indexed* trajectories
+    /// qualify (the serving layer passes its tombstone check); seeds are
+    /// taken as-is, and a seed *shadows* any indexed trajectory with the
+    /// same id (the caller's version wins — no id appears twice). Exact:
+    /// the result equals brute force over
+    /// `{accepted, unshadowed indexed trajectories} ∪ {seeds}` up to tie
+    /// resolution.
+    pub fn top_k_seeded(
+        &self,
+        trajs: &[Trajectory],
+        query: &[Point],
+        k: usize,
+        seeds: &[Hit],
+        filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+    ) -> SearchResult {
+        assert_eq!(trajs.len(), self.built_over);
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds)
     }
 
     /// The frozen physical trie.
@@ -169,4 +217,12 @@ pub struct Hit {
     pub id: TrajId,
     /// Distance to the query under the index's measure.
     pub dist: f64,
+}
+
+impl Hit {
+    /// The canonical result ordering used everywhere hits are merged:
+    /// ascending distance, ties broken by ascending id. Pass to `sort_by`.
+    pub fn cmp_by_dist_then_id(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+        a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))
+    }
 }

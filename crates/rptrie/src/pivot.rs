@@ -50,7 +50,7 @@ impl PivotSet {
 }
 
 /// Selects `Np` pivot trajectories by the paper's sampling heuristic
-/// (Section III-B, following [21]):
+/// (Section III-B, following its reference \[21\]):
 ///
 /// Uniformly sample `m` candidate groups of `Np` trajectories each; score a
 /// group by the sum of all pairwise distances between its members; keep the

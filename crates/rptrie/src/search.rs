@@ -6,7 +6,7 @@ use crate::pivot::pivot_lower_bound;
 use crate::{Hit, NodeId, RpTrie};
 use repose_model::{Point, Trajectory};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Counters describing how much work a query did — used by the experiment
 /// harness to show pruning power.
@@ -22,6 +22,18 @@ pub struct SearchStats {
     pub leaves_pruned: usize,
     /// Exact trajectory distance computations.
     pub exact_computations: usize,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters into this one (used by the
+    /// distributed merge and the serving layer).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_pruned += other.nodes_pruned;
+        self.leaves_visited += other.leaves_visited;
+        self.leaves_pruned += other.leaves_pruned;
+        self.exact_computations += other.exact_computations;
+    }
 }
 
 /// The outcome of a local top-k query.
@@ -103,7 +115,7 @@ pub(crate) fn top_k(
     query: &[Point],
     k: usize,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None)
+    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None, &[])
 }
 
 pub(crate) fn top_k_bounded(
@@ -113,7 +125,7 @@ pub(crate) fn top_k_bounded(
     k: usize,
     threshold: f64,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, threshold, None)
+    top_k_filtered(trie, trajs, query, k, threshold, None, &[])
 }
 
 pub(crate) fn top_k_filtered(
@@ -123,11 +135,23 @@ pub(crate) fn top_k_filtered(
     k: usize,
     threshold: f64,
     filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+    seeds: &[Hit],
 ) -> SearchResult {
     let mut stats = SearchStats::default();
-    if k == 0 || query.is_empty() || trajs.is_empty() {
+    if k == 0 || query.is_empty() {
         return SearchResult { hits: Vec::new(), stats };
     }
+    if trajs.is_empty() {
+        // Nothing in the trie: the answer is the best k seeds.
+        let mut hits: Vec<Hit> = seeds.to_vec();
+        hits.sort_by(Hit::cmp_by_dist_then_id);
+        hits.truncate(k);
+        return SearchResult { hits, stats };
+    }
+    // A seed shadows the indexed trajectory with the same id (the caller's
+    // version of that trajectory wins); without this, seeding a hit for an
+    // id the trie also stores would return the id twice.
+    let seed_ids: HashSet<u64> = seeds.iter().map(|s| s.id).collect();
     let grid = trie.grid();
     let frozen = trie.frozen();
     let cfg = trie.config();
@@ -138,9 +162,19 @@ pub(crate) fn top_k_filtered(
     stats.exact_computations += dqp.len();
 
     let mut best: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    // Seed hits (e.g. the serving layer's delta-buffer candidates) join
+    // the result heap up front, so the trie search starts with a tight
+    // pruning threshold shared between trie and delta — the trie is only
+    // explored where it can still beat the best seeds.
+    for s in seeds {
+        best.push(Worst { dist: s.dist, id: s.id });
+        if best.len() > k {
+            best.pop();
+        }
+    }
     let dk = |best: &BinaryHeap<Worst>| -> f64 {
         if best.len() == k {
-            best.peek().expect("non-empty").dist
+            best.peek().expect("non-empty").dist.min(threshold)
         } else {
             threshold
         }
@@ -169,6 +203,9 @@ pub(crate) fn top_k_filtered(
             if lbt.max(lbp) < dk(&best) {
                 for &mi in &leaf.members {
                     let t = &trajs[mi as usize];
+                    if !seed_ids.is_empty() && seed_ids.contains(&t.id) {
+                        continue;
+                    }
                     if let Some(f) = filter {
                         if !f(t) {
                             continue;
@@ -364,6 +401,61 @@ mod tests {
             r.stats.exact_computations,
             trajs.len()
         );
+    }
+
+    #[test]
+    fn seeded_search_merges_and_prunes() {
+        let trajs = paper_dataset();
+        let q = query();
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
+        );
+        // A dominating external candidate must win; a hopeless one must
+        // not appear.
+        let champion = Hit { id: 100, dist: 0.5 };
+        let hopeless = Hit { id: 101, dist: 1e9 };
+        let r = trie.top_k_seeded(&trajs, &q, 2, &[champion, hopeless], None);
+        let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![100, 1]);
+
+        // k good seeds tighten the threshold: never more exact distance
+        // computations than the unseeded search.
+        let unseeded = trie.top_k(&trajs, &q, 2);
+        let seeded = trie.top_k_seeded(
+            &trajs,
+            &q,
+            2,
+            &[Hit { id: 100, dist: 0.5 }, Hit { id: 102, dist: 0.6 }],
+            None,
+        );
+        assert!(seeded.stats.exact_computations <= unseeded.stats.exact_computations);
+
+        // Seeds + filter: filter applies to indexed trajectories only.
+        let no_t1 = |t: &Trajectory| t.id != 1;
+        let r = trie.top_k_seeded(&trajs, &q, 2, &[champion], Some(&no_t1));
+        let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![100, 4]);
+
+        // A seed sharing an indexed id shadows the indexed copy: the id
+        // appears once, at the seed's distance (the serving layer's
+        // "delta version wins" upsert semantics).
+        let shadow = Hit { id: 1, dist: 0.25 };
+        let r = trie.top_k_seeded(&trajs, &q, 5, &[shadow], None);
+        let ones: Vec<&Hit> = r.hits.iter().filter(|h| h.id == 1).collect();
+        assert_eq!(ones.len(), 1, "id 1 must appear exactly once");
+        assert_eq!(ones[0].dist, 0.25);
+
+        // Empty trie slice: the seeds alone are ranked and truncated.
+        let empty = RpTrie::build(
+            &[],
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Hausdorff),
+        );
+        let r = empty.top_k_seeded(&[], &q, 1, &[hopeless, champion], None);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].id, 100);
     }
 
     #[test]

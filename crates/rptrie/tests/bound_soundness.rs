@@ -121,9 +121,9 @@ proptest! {
     }
 }
 
-/// The search must behave identically whatever dense/sparse split the
-/// frozen trie uses — a differential test pitting layouts against each
-/// other on random data.
+// The search must behave identically whatever dense/sparse split the
+// frozen trie uses — a differential test pitting layouts against each
+// other on random data.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -4,6 +4,30 @@
 //! trajectory *segments* in an R-tree per partition and prunes candidate
 //! segments by MBR distance. Kept generic over the payload type so tests
 //! and other baselines can reuse it.
+//!
+//! ```
+//! use repose_model::{Mbr, Point};
+//! use repose_rtree::RTree;
+//!
+//! // Index unit squares at (i, i) carrying their index as payload.
+//! let items: Vec<(Mbr, usize)> = (0..100)
+//!     .map(|i| {
+//!         let lo = Point::new(i as f64, i as f64);
+//!         (Mbr::new(lo, Point::new(lo.x + 1.0, lo.y + 1.0)), i)
+//!     })
+//!     .collect();
+//! let tree = RTree::bulk_load(items);
+//! assert_eq!(tree.len(), 100);
+//!
+//! // Range query: squares 9..=11 intersect [9.5, 11.5]^2.
+//! let mut hit: Vec<usize> = tree
+//!     .query_intersects(&Mbr::new(Point::new(9.5, 9.5), Point::new(11.5, 11.5)))
+//!     .into_iter()
+//!     .copied()
+//!     .collect();
+//! hit.sort_unstable();
+//! assert_eq!(hit, vec![9, 10, 11]);
+//! ```
 
 #![warn(missing_docs)]
 

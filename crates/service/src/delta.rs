@@ -1,0 +1,109 @@
+//! The per-partition write-ahead delta log.
+//!
+//! Writes never touch a frozen RP-Trie. Each partition owns an
+//! append-only log of `(sequence, trajectory)` entries; a global
+//! tombstone map `id -> sequence` records, for every id ever written,
+//! the sequence of its *latest* write. Together they give upsert/delete
+//! semantics without mutating anything in place:
+//!
+//! * a **frozen** trajectory is live iff its id has no tombstone;
+//! * a **delta** entry is live iff its sequence is >= the tombstone
+//!   sequence for its id (only the latest write per id qualifies; a
+//!   later delete out-sequences every earlier entry).
+//!
+//! Because the log is append-only, compaction can snapshot a prefix,
+//! rebuild offline, and then drain exactly that prefix — concurrent
+//! writes land beyond the snapshot length and survive untouched.
+
+use repose_model::{TrajId, Trajectory};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One partition's append-only write log.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DeltaLog {
+    entries: Vec<(u64, Arc<Trajectory>)>,
+}
+
+impl DeltaLog {
+    /// Appends a write with its global sequence number.
+    pub(crate) fn push(&mut self, seq: u64, traj: Arc<Trajectory>) {
+        self.entries.push((seq, traj));
+    }
+
+    /// Number of log entries (including superseded ones).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Clones the live entries under `tombstones` (cheap: `Arc` clones).
+    pub(crate) fn live(&self, tombstones: &HashMap<TrajId, u64>) -> Vec<Arc<Trajectory>> {
+        self.entries
+            .iter()
+            .filter(|(seq, t)| tombstones.get(&t.id).is_none_or(|&ts| *seq >= ts))
+            .map(|(_, t)| Arc::clone(t))
+            .collect()
+    }
+
+    /// Snapshot of the raw log (for compaction).
+    pub(crate) fn snapshot(&self) -> Vec<(u64, Arc<Trajectory>)> {
+        self.entries.clone()
+    }
+
+    /// Removes the first `n` entries — the compacted prefix.
+    pub(crate) fn drain_prefix(&mut self, n: usize) {
+        self.entries.drain(..n.min(self.entries.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_model::Point;
+
+    fn traj(id: u64) -> Arc<Trajectory> {
+        Arc::new(Trajectory::new(id, vec![Point::new(id as f64, 0.0)]))
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut log = DeltaLog::default();
+        let mut tomb = HashMap::new();
+        // upsert id 1 twice: only the later entry is live
+        log.push(1, traj(1));
+        tomb.insert(1, 1);
+        log.push(3, traj(1));
+        tomb.insert(1, 3);
+        let live = log.live(&tomb);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id, 1);
+    }
+
+    #[test]
+    fn delete_out_sequences_insert() {
+        let mut log = DeltaLog::default();
+        let mut tomb = HashMap::new();
+        log.push(1, traj(2));
+        tomb.insert(2, 1);
+        // delete at seq 2
+        tomb.insert(2, 2);
+        assert!(log.live(&tomb).is_empty());
+        // re-insert at seq 3
+        log.push(3, traj(2));
+        tomb.insert(2, 3);
+        assert_eq!(log.live(&tomb).len(), 1);
+    }
+
+    #[test]
+    fn drain_prefix_keeps_tail() {
+        let mut log = DeltaLog::default();
+        log.push(1, traj(1));
+        log.push(2, traj(2));
+        log.push(3, traj(3));
+        log.drain_prefix(2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.snapshot()[0].1.id, 3);
+        log.drain_prefix(10); // over-long drain is clamped
+        assert_eq!(log.len(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Online serving layer over a REPOSE deployment: concurrent top-k
+//! queries, dynamic inserts/deletes, compaction, and an LRU result cache.
+//!
+//! The paper's pipeline is build-once/query-forever: [`repose::Repose`]
+//! freezes every partition's RP-Trie at construction. This crate adds the
+//! online path a production deployment needs, without giving up exactness:
+//!
+//! * **Writes** go to per-partition append-only *delta logs* plus a
+//!   tombstone map ([`ReposeService::insert`] / [`ReposeService::remove`]
+//!   — upsert/delete semantics). Frozen tries are never mutated.
+//! * **Queries** ([`ReposeService::query`]) search every frozen partition
+//!   *and* its delta under one shared pruning threshold: delta candidates
+//!   are scored exactly first and seed the trie search's result heap
+//!   (`RpTrie::top_k_seeded`), so the trie is only explored where it can
+//!   still beat them. Results are exactly what a freshly rebuilt index
+//!   over the same live data would return.
+//! * **Compaction** ([`ReposeService::compact`]) rebuilds the frozen
+//!   deployment from the live data off-line and swaps it in atomically
+//!   (`RwLock<Arc<Repose>>` style); readers keep serving the old state
+//!   during the rebuild and are only blocked for the pointer swap.
+//! * **Caching**: results are cached per (quantized polyline, k, measure)
+//!   and invalidated by a global write version — a cache hit is never
+//!   staler than the latest completed write.
+//!
+//! ```
+//! use repose::{Repose, ReposeConfig};
+//! use repose_distance::Measure;
+//! use repose_model::{Dataset, Point, Trajectory};
+//! use repose_service::ReposeService;
+//!
+//! let trajs: Vec<Trajectory> = (0..50)
+//!     .map(|i| {
+//!         let y = (i % 5) as f64;
+//!         Trajectory::new(i, (0..8).map(|j| Point::new(j as f64, y)).collect())
+//!     })
+//!     .collect();
+//! let repose = Repose::build(
+//!     &Dataset::from_trajectories(trajs),
+//!     ReposeConfig::new(Measure::Hausdorff).with_partitions(4).with_delta(0.5),
+//! );
+//! let service = ReposeService::new(repose);
+//!
+//! let query: Vec<Point> = (0..8).map(|j| Point::new(j as f64, 0.1)).collect();
+//! assert_eq!(service.query(&query, 3).hits.len(), 3);
+//!
+//! // Insert a brand-new, perfectly matching trajectory: visible at once.
+//! service.insert(Trajectory::new(
+//!     999,
+//!     (0..8).map(|j| Point::new(j as f64, 0.1)).collect(),
+//! ));
+//! let out = service.query(&query, 3);
+//! assert_eq!(out.hits[0].id, 999);
+//!
+//! // Merge the delta into freshly rebuilt frozen tries; answers unchanged.
+//! service.compact();
+//! assert_eq!(service.query(&query, 3).hits[0].id, 999);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod delta;
+mod service;
+mod stats;
+
+pub use service::{ReposeService, ServiceConfig, ServiceOutcome};
+pub use stats::ServiceStats;

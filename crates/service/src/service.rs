@@ -1,0 +1,366 @@
+//! The `ReposeService` itself: shared state layout and the read/write/
+//! compact paths.
+//!
+//! # Concurrency design
+//!
+//! All mutable state sits behind one `RwLock<ServeState>`; the expensive
+//! work happens *outside* it:
+//!
+//! * **Queries** take the read lock just long enough to clone the frozen
+//!   `Arc<Repose>`, the tombstone map, and the live delta entries
+//!   (`Arc<Trajectory>` clones), then release it and search. Many queries
+//!   snapshot and search in parallel.
+//! * **Writes** take the write lock for an O(1) append + map insert.
+//! * **Compaction** snapshots under the read lock, rebuilds the frozen
+//!   deployment with no lock held, then takes the write lock for an O(n)
+//!   pointer swap + prefix drain. Readers are never exposed to a half-
+//!   compacted state: they either snapshot entirely before or entirely
+//!   after the swap, and both states answer queries identically.
+//!
+//! A monotone *write version* ([`AtomicU64`]) is bumped **after** every
+//! completed mutation; cache entries are stamped with the version current
+//! when their query *began*, so a concurrent write always invalidates
+//! in-flight results before they can be served from cache.
+
+use crate::cache::{CacheKey, QueryCache};
+use crate::delta::DeltaLog;
+use crate::stats::{ServiceCounters, ServiceStats};
+use repose::{Repose, ReposeConfig};
+use repose_model::{Dataset, TrajId, Trajectory};
+use repose_rptrie::{Hit, SearchStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ReposeService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { cache_capacity: 1024 }
+    }
+}
+
+/// Everything queries snapshot and writes mutate, under one lock.
+struct ServeState {
+    frozen: Arc<Repose>,
+    deltas: Vec<DeltaLog>,
+    /// id -> sequence of its latest write (insert *or* delete). An id in
+    /// this map is hidden from the frozen index; the delta entry with a
+    /// sequence >= the tombstone sequence (if any) is its live version.
+    ///
+    /// Kept behind an `Arc` so query snapshots are an O(1) pointer clone;
+    /// writes copy-on-write (`Arc::make_mut`) only when a snapshot is
+    /// outstanding.
+    tombstones: Arc<HashMap<TrajId, u64>>,
+    op_seq: u64,
+}
+
+/// The outcome of one served query.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Top-k hits over the live data (frozen ∪ delta − tombstones),
+    /// ascending by distance with ties broken by id.
+    pub hits: Vec<Hit>,
+    /// Host wall time of this call (what a caller actually waited).
+    pub latency: Duration,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// Local-search work counters (all zero on a cache hit).
+    pub search: SearchStats,
+    /// Delta-buffer candidates scored exactly for this query.
+    pub delta_candidates: usize,
+}
+
+/// A thread-safe online serving layer over a [`Repose`] deployment.
+///
+/// `&self` methods are safe to call from any number of threads; see the
+/// module docs for the locking discipline. Construction freezes the
+/// initial dataset exactly like the offline pipeline; everything written
+/// afterwards lives in delta buffers until [`ReposeService::compact`]
+/// folds it into freshly rebuilt tries.
+pub struct ReposeService {
+    state: RwLock<ServeState>,
+    /// Serializes compactions (the rebuild is expensive; overlapping
+    /// compactions would waste work and interleave drains).
+    compact_gate: Mutex<()>,
+    cache: Mutex<QueryCache>,
+    /// Bumped after every completed mutation; tags cache entries.
+    version: AtomicU64,
+    /// The deployment's measure, copied out so the cache-hit fast path
+    /// never touches the state lock.
+    measure: repose_distance::Measure,
+    counters: ServiceCounters,
+}
+
+impl ReposeService {
+    /// Wraps a built deployment with default [`ServiceConfig`].
+    pub fn new(repose: Repose) -> Self {
+        ReposeService::with_config(repose, ServiceConfig::default())
+    }
+
+    /// Wraps a built deployment.
+    pub fn with_config(repose: Repose, config: ServiceConfig) -> Self {
+        let partitions = repose.num_partitions();
+        let measure = repose.config().measure();
+        ReposeService {
+            measure,
+            state: RwLock::new(ServeState {
+                frozen: Arc::new(repose),
+                deltas: (0..partitions).map(|_| DeltaLog::default()).collect(),
+                tombstones: Arc::new(HashMap::new()),
+                op_seq: 0,
+            }),
+            compact_gate: Mutex::new(()),
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            version: AtomicU64::new(0),
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// The configuration of the underlying deployment.
+    pub fn config(&self) -> ReposeConfig {
+        *self.read_state().frozen.config()
+    }
+
+    /// Number of live trajectories (frozen + delta − tombstones).
+    ///
+    /// O(frozen + delta); intended for tests and monitoring, not hot paths.
+    pub fn len(&self) -> usize {
+        let (frozen, deltas, tombstones) = self.snapshot();
+        let frozen_live = frozen
+            .all_trajectories()
+            .filter(|t| !tombstones.contains_key(&t.id))
+            .count();
+        frozen_live + deltas.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether no live trajectories exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `traj`, replacing any live trajectory with the same id
+    /// (upsert). Visible to every query that starts after this returns.
+    pub fn insert(&self, traj: Trajectory) {
+        let t0 = Instant::now();
+        {
+            let mut s = self.state.write().expect("service state lock");
+            s.op_seq += 1;
+            let seq = s.op_seq;
+            let partition = (traj.id as usize) % s.deltas.len();
+            Arc::make_mut(&mut s.tombstones).insert(traj.id, seq);
+            s.deltas[partition].push(seq, Arc::new(traj));
+        }
+        self.version.fetch_add(1, Ordering::Release);
+        ServiceCounters::bump(&self.counters.inserts);
+        self.counters.record_write(t0.elapsed());
+    }
+
+    /// Deletes the trajectory with id `id` (a no-op if absent).
+    pub fn remove(&self, id: TrajId) {
+        let t0 = Instant::now();
+        {
+            let mut s = self.state.write().expect("service state lock");
+            s.op_seq += 1;
+            let seq = s.op_seq;
+            Arc::make_mut(&mut s.tombstones).insert(id, seq);
+        }
+        self.version.fetch_add(1, Ordering::Release);
+        ServiceCounters::bump(&self.counters.deletes);
+        self.counters.record_write(t0.elapsed());
+    }
+
+    /// Exact top-k over the live data.
+    pub fn query(&self, query: &[repose_model::Point], k: usize) -> ServiceOutcome {
+        let t0 = Instant::now();
+        ServiceCounters::bump(&self.counters.queries);
+
+        let key = CacheKey::new(self.measure, query, k);
+        // Load the version *before* snapshotting: any write that completes
+        // after this load bumps past it, so a result cached under this
+        // version can never be served once newer data exists. (A write
+        // landing between the load and the snapshot merely makes the
+        // cached entry conservatively stale.)
+        let version = self.version.load(Ordering::Acquire);
+        if let Some(hits) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(&key, version)
+        {
+            ServiceCounters::bump(&self.counters.cache_hits);
+            let latency = t0.elapsed();
+            self.counters.record_read(latency);
+            return ServiceOutcome {
+                hits,
+                latency,
+                cache_hit: true,
+                search: SearchStats::default(),
+                delta_candidates: 0,
+            };
+        }
+        ServiceCounters::bump(&self.counters.cache_misses);
+
+        let (frozen, deltas, tombstones) = self.snapshot();
+
+        let mut hits: Vec<Hit> = Vec::new();
+        let mut search = SearchStats::default();
+        let mut delta_candidates = 0;
+        let filter = |t: &Trajectory| !tombstones.contains_key(&t.id);
+        for (pi, delta) in deltas.iter().enumerate() {
+            let view = frozen.partition_view(pi);
+            // Score the partition's live delta candidates exactly; they
+            // seed the trie search with a tight shared threshold.
+            let mut seeds: Vec<Hit> = delta
+                .iter()
+                .map(|t| Hit {
+                    id: t.id,
+                    dist: view.trie.exact_distance(query, &t.points),
+                })
+                .collect();
+            delta_candidates += seeds.len();
+            search.exact_computations += seeds.len();
+            seeds.sort_by(Hit::cmp_by_dist_then_id);
+            seeds.truncate(k);
+            let local = view.trie.top_k_seeded(view.trajs, query, k, &seeds, Some(&filter));
+            search.merge(&local.stats);
+            hits.extend_from_slice(&local.hits);
+        }
+        hits.sort_by(Hit::cmp_by_dist_then_id);
+        hits.truncate(k);
+
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .put(key, version, hits.clone());
+        let latency = t0.elapsed();
+        self.counters.record_read(latency);
+        ServiceOutcome {
+            hits,
+            latency,
+            cache_hit: false,
+            search,
+            delta_candidates,
+        }
+    }
+
+    /// Answers a batch of queries (cache consulted per query).
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<repose_model::Point>],
+        k: usize,
+    ) -> Vec<ServiceOutcome> {
+        queries.iter().map(|q| self.query(q, k)).collect()
+    }
+
+    /// Folds every buffered write into freshly rebuilt frozen tries.
+    ///
+    /// The rebuild runs without holding the state lock — readers and
+    /// writers proceed against the old state — and the new deployment is
+    /// installed with a brief write-locked swap that drains exactly the
+    /// compacted delta prefix. Writes that land mid-rebuild stay buffered
+    /// and survive into the next compaction. Returns the number of
+    /// trajectories in the rebuilt deployment.
+    pub fn compact(&self) -> usize {
+        let _gate = self.compact_gate.lock().expect("compact gate");
+
+        // Phase 1: consistent snapshot.
+        let (frozen, raw_deltas, prefix_lens, tomb_snapshot, seq_snapshot) = {
+            let s = self.state.read().expect("service state lock");
+            let raw: Vec<Vec<(u64, Arc<Trajectory>)>> =
+                s.deltas.iter().map(DeltaLog::snapshot).collect();
+            let lens: Vec<usize> = raw.iter().map(Vec::len).collect();
+            (
+                Arc::clone(&s.frozen),
+                raw,
+                lens,
+                Arc::clone(&s.tombstones),
+                s.op_seq,
+            )
+        };
+
+        // Phase 2: rebuild offline from the live snapshot.
+        let mut live: Vec<Trajectory> = frozen
+            .all_trajectories()
+            .filter(|t| !tomb_snapshot.contains_key(&t.id))
+            .cloned()
+            .collect();
+        for log in &raw_deltas {
+            for (seq, t) in log {
+                if tomb_snapshot.get(&t.id).is_none_or(|&ts| *seq >= ts) {
+                    live.push((**t).clone());
+                }
+            }
+        }
+        let rebuilt_len = live.len();
+        let rebuilt = Repose::build(
+            &Dataset::from_trajectories(live),
+            *frozen.config(),
+        );
+
+        // Phase 3: atomic install.
+        {
+            let mut s = self.state.write().expect("service state lock");
+            for (log, &n) in s.deltas.iter_mut().zip(&prefix_lens) {
+                log.drain_prefix(n);
+            }
+            // Tombstones at or before the snapshot are fully reflected in
+            // the rebuilt deployment; later ones still apply.
+            Arc::make_mut(&mut s.tombstones).retain(|_, seq| *seq > seq_snapshot);
+            s.frozen = Arc::new(rebuilt);
+        }
+        self.version.fetch_add(1, Ordering::Release);
+        ServiceCounters::bump(&self.counters.compactions);
+        rebuilt_len
+    }
+
+    /// A point-in-time snapshot of the service's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = self.read_state();
+        let delta_len = s.deltas.iter().map(DeltaLog::len).sum();
+        let tombstones = s.tombstones.len();
+        drop(s);
+        let cached = self.cache.lock().expect("cache lock").len();
+        self.counters.snapshot(delta_len, tombstones, cached)
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, ServeState> {
+        self.state.read().expect("service state lock")
+    }
+
+    /// Clones everything a query needs, under a brief read lock.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(
+        &self,
+    ) -> (
+        Arc<Repose>,
+        Vec<Vec<Arc<Trajectory>>>,
+        Arc<HashMap<TrajId, u64>>,
+    ) {
+        let s = self.read_state();
+        let deltas = s
+            .deltas
+            .iter()
+            .map(|d| d.live(&s.tombstones))
+            .collect();
+        (Arc::clone(&s.frozen), deltas, Arc::clone(&s.tombstones))
+    }
+}
+
+impl std::fmt::Debug for ReposeService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.read_state();
+        f.debug_struct("ReposeService")
+            .field("partitions", &s.frozen.num_partitions())
+            .field("delta_len", &s.deltas.iter().map(DeltaLog::len).sum::<usize>())
+            .field("tombstones", &s.tombstones.len())
+            .field("version", &self.version.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,114 @@
+//! Serving-side operation counters and latency tracking.
+
+use repose_cluster::LatencySummary;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent latency samples each reservoir keeps. Old samples are
+/// overwritten ring-buffer style, so percentiles describe recent traffic.
+const RESERVOIR: usize = 4096;
+
+#[derive(Debug, Default)]
+pub(crate) struct Reservoir {
+    samples: Vec<Duration>,
+    next: usize,
+}
+
+impl Reservoir {
+    fn record(&mut self, d: Duration) {
+        if self.samples.len() < RESERVOIR {
+            self.samples.push(d);
+        } else {
+            self.samples[self.next] = d;
+            self.next = (self.next + 1) % RESERVOIR;
+        }
+    }
+}
+
+/// Internal mutable counters of a `ReposeService`.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) inserts: AtomicU64,
+    pub(crate) deletes: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) read_latency: Mutex<Reservoir>,
+    pub(crate) write_latency: Mutex<Reservoir>,
+}
+
+impl ServiceCounters {
+    pub(crate) fn record_read(&self, d: Duration) {
+        self.read_latency.lock().expect("stats lock").record(d);
+    }
+
+    pub(crate) fn record_write(&self, d: Duration) {
+        self.write_latency.lock().expect("stats lock").record(d);
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, delta_len: usize, tombstones: usize, cached: usize) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            delta_len,
+            tombstones,
+            cached_queries: cached,
+            read_latency: LatencySummary::from_durations(
+                self.read_latency.lock().expect("stats lock").samples.clone(),
+            ),
+            write_latency: LatencySummary::from_durations(
+                self.write_latency.lock().expect("stats lock").samples.clone(),
+            ),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a service's operational counters.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Queries served (cache hits included).
+    pub queries: u64,
+    /// Inserts/upserts accepted.
+    pub inserts: u64,
+    /// Deletes accepted.
+    pub deletes: u64,
+    /// Completed compactions.
+    pub compactions: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that had to search.
+    pub cache_misses: u64,
+    /// Delta-log entries currently buffered across partitions
+    /// (superseded entries included — this is the compaction backlog).
+    pub delta_len: usize,
+    /// Live tombstone records (ids hidden from the frozen index).
+    pub tombstones: usize,
+    /// Entries currently in the result cache.
+    pub cached_queries: usize,
+    /// Recent query latencies (host wall time, reservoir-sampled).
+    pub read_latency: LatencySummary,
+    /// Recent insert/delete latencies.
+    pub write_latency: LatencySummary,
+}
+
+impl ServiceStats {
+    /// Cache hit rate over all queries so far (0 when no queries).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Integration tests of the online serving layer: exactness of the
+//! trie + delta search, cache invalidation, upsert/delete semantics, and
+//! concurrency (interleaved writers/readers, queries racing compaction).
+
+use repose::{Repose, ReposeConfig};
+use repose_distance::{Measure, MeasureParams};
+use repose_model::{Dataset, Point, Trajectory};
+use repose_service::{ReposeService, ServiceConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Deterministic pseudo-random trajectory `id` with jittered coordinates
+/// (distinct ids never tie in distance).
+fn traj(id: u64) -> Trajectory {
+    let gx = (id % 7) as f64 * 11.0;
+    let gy = (id / 7 % 5) as f64 * 13.0;
+    let jit = (id % 101) as f64 * 1e-4 + (id % 13) as f64 * 3e-6;
+    Trajectory::new(
+        id,
+        (0..10)
+            .map(|s| Point::new(gx + s as f64 * 0.4 + jit, gy + jit * 0.7))
+            .collect(),
+    )
+}
+
+fn dataset(ids: impl Iterator<Item = u64>) -> Dataset {
+    Dataset::from_trajectories(ids.map(traj).collect())
+}
+
+fn config(measure: Measure) -> ReposeConfig {
+    ReposeConfig::new(measure)
+        .with_partitions(6)
+        .with_delta(0.7)
+        .with_params(MeasureParams::with_eps(0.5))
+}
+
+fn queries() -> Vec<Vec<Point>> {
+    [(0.1, 0.2), (11.3, 13.1), (22.7, 26.2), (33.0, 39.5), (5.0, 50.0)]
+        .iter()
+        .map(|&(x, y)| (0..10).map(|s| Point::new(x + s as f64 * 0.4, y)).collect())
+        .collect()
+}
+
+/// Ids returned by a service query.
+fn served_ids(service: &ReposeService, q: &[Point], k: usize) -> Vec<u64> {
+    service.query(q, k).hits.iter().map(|h| h.id).collect()
+}
+
+/// Ids returned by a freshly built offline deployment.
+fn rebuilt_ids(data: &Dataset, cfg: ReposeConfig, q: &[Point], k: usize) -> Vec<u64> {
+    let r = Repose::build(data, cfg);
+    r.query(q, k).hits.iter().map(|h| h.id).collect()
+}
+
+#[test]
+fn delta_search_is_exact_for_every_measure() {
+    for measure in Measure::ALL {
+        let cfg = config(measure);
+        let params = MeasureParams::with_eps(0.5);
+        let service = ReposeService::new(Repose::build(&dataset(0..80), cfg));
+        // Buffer 40 more trajectories without compacting.
+        for id in 80..120 {
+            service.insert(traj(id));
+        }
+        let full = dataset(0..120);
+        for q in &queries() {
+            for k in [1, 7, 30] {
+                let got = service.query(q, k);
+                let want = Repose::build(&full, cfg).query(q, k);
+                if matches!(measure, Measure::Lcss | Measure::Edr) {
+                    // Quantized measures tie freely; Definition 3 permits
+                    // any tied subset. Compare the distance vector and
+                    // check every reported distance is the true one.
+                    assert_eq!(got.hits.len(), want.hits.len(), "{measure} k={k}");
+                    for (g, w) in got.hits.iter().zip(&want.hits) {
+                        assert!(
+                            (g.dist - w.dist).abs() < 1e-9,
+                            "{measure} k={k}: distance vector differs"
+                        );
+                        let t = full
+                            .trajectories()
+                            .iter()
+                            .find(|t| t.id == g.id)
+                            .expect("known id");
+                        let true_d = params.distance(measure, q, &t.points);
+                        assert!(
+                            (g.dist - true_d).abs() < 1e-9,
+                            "{measure} k={k}: reported distance is wrong"
+                        );
+                    }
+                } else {
+                    // Continuous measures on jittered data: no ties, the
+                    // id lists must agree exactly.
+                    assert_eq!(
+                        got.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                        want.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                        "{measure} k={k}: trie+delta differs from rebuilt index"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn upsert_and_delete_semantics() {
+    let cfg = config(Measure::Hausdorff);
+    let service = ReposeService::new(Repose::build(&dataset(0..30), cfg));
+    assert_eq!(service.len(), 30);
+    let q: Vec<Point> = (0..10).map(|s| Point::new(s as f64 * 0.4, 0.0)).collect();
+
+    // Delete a frozen trajectory: it must vanish from results.
+    let victim = served_ids(&service, &q, 1)[0];
+    service.remove(victim);
+    assert!(!served_ids(&service, &q, 30).contains(&victim));
+    assert_eq!(service.len(), 29);
+
+    // Re-insert it moved elsewhere (upsert): reappears with new geometry.
+    let mut moved = traj(victim);
+    for p in &mut moved.points {
+        p.x += 100.0;
+        p.y += 100.0;
+    }
+    service.insert(moved);
+    assert_eq!(service.len(), 30);
+    let far_q: Vec<Point> = (0..10)
+        .map(|s| Point::new(100.0 + s as f64 * 0.4, 100.0))
+        .collect();
+    assert_eq!(served_ids(&service, &far_q, 1), vec![victim]);
+
+    // Upsert an id twice more: still one live copy, latest geometry wins.
+    service.insert(traj(victim));
+    service.insert({
+        let mut t = traj(victim);
+        t.points[0].x += 0.001;
+        t
+    });
+    assert_eq!(service.len(), 30);
+
+    // Deleting a never-inserted id is a no-op.
+    service.remove(9999);
+    assert_eq!(service.len(), 30);
+
+    // Everything still matches a from-scratch rebuild.
+    let mut final_trajs: Vec<Trajectory> = (0..30)
+        .filter(|&i| i != victim)
+        .map(traj)
+        .collect();
+    final_trajs.push({
+        let mut t = traj(victim);
+        t.points[0].x += 0.001;
+        t
+    });
+    let full = Dataset::from_trajectories(final_trajs);
+    for k in [1, 5, 30] {
+        assert_eq!(served_ids(&service, &q, k), rebuilt_ids(&full, cfg, &q, k));
+    }
+}
+
+#[test]
+fn cached_results_reflect_every_write() {
+    let cfg = config(Measure::Hausdorff);
+    let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
+    let q: Vec<Point> = (0..10).map(|s| Point::new(s as f64 * 0.4, 0.05)).collect();
+
+    // Prime the cache, then verify a hit.
+    let first = service.query(&q, 5);
+    assert!(!first.cache_hit);
+    let second = service.query(&q, 5);
+    assert!(second.cache_hit, "repeat query should hit the cache");
+    assert_eq!(
+        first.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+        second.hits.iter().map(|h| h.id).collect::<Vec<_>>()
+    );
+
+    // Insert a trajectory that must dominate this query: the previously
+    // cached answer is now stale and must not be served.
+    let winner = Trajectory::new(777, q.clone());
+    service.insert(winner);
+    let after = service.query(&q, 5);
+    assert!(!after.cache_hit, "cache served a stale result across a write");
+    assert_eq!(after.hits[0].id, 777);
+    assert!(after.hits[0].dist.abs() < 1e-12);
+
+    // Deletes invalidate too.
+    service.remove(777);
+    let post_delete = service.query(&q, 5);
+    assert!(!post_delete.cache_hit);
+    assert_ne!(post_delete.hits[0].id, 777);
+
+    // And compaction does as well (same answer, freshly computed).
+    let pre = served_ids(&service, &q, 5);
+    service.compact();
+    let post = service.query(&q, 5);
+    assert!(!post.cache_hit);
+    assert_eq!(pre, post.hits.iter().map(|h| h.id).collect::<Vec<_>>());
+
+    let stats = service.stats();
+    assert!(stats.cache_hits >= 1);
+    assert!(stats.cache_misses >= 4);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+#[test]
+fn compaction_drains_deltas_and_preserves_answers() {
+    let cfg = config(Measure::Frechet);
+    let service = ReposeService::new(Repose::build(&dataset(0..50), cfg));
+    for id in 50..90 {
+        service.insert(traj(id));
+    }
+    for id in [3, 17, 60] {
+        service.remove(id);
+    }
+    let before: Vec<Vec<u64>> = queries()
+        .iter()
+        .map(|q| served_ids(&service, q, 12))
+        .collect();
+    let stats = service.stats();
+    assert!(stats.delta_len > 0 && stats.tombstones > 0);
+
+    let rebuilt = service.compact();
+    assert_eq!(rebuilt, 87); // 50 + 40 - 3 deletes
+    let stats = service.stats();
+    assert_eq!(
+        (stats.delta_len, stats.tombstones),
+        (0, 0),
+        "compaction must drain fully-covered deltas and tombstones"
+    );
+
+    let after: Vec<Vec<u64>> = queries()
+        .iter()
+        .map(|q| served_ids(&service, q, 12))
+        .collect();
+    assert_eq!(before, after, "compaction changed query answers");
+    assert_eq!(service.stats().compactions, 1);
+}
+
+/// Acceptance criterion: ≥4 threads interleaving inserts and queries; the
+/// final state must answer exactly like a from-scratch rebuild over the
+/// same live data.
+#[test]
+fn interleaved_writers_and_readers_converge_to_rebuild() {
+    let cfg = config(Measure::Hausdorff);
+    let service = Arc::new(ReposeService::new(Repose::build(&dataset(0..60), cfg)));
+    let qs = queries();
+
+    // 3 writer threads × 30 inserts each, disjoint id ranges, racing
+    // 3 reader threads issuing queries the whole time.
+    let mut handles = Vec::new();
+    for w in 0..3u64 {
+        let service = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..30 {
+                service.insert(traj(1000 + w * 100 + i));
+                if i % 7 == 0 {
+                    service.remove(w * 10 + i % 10); // delete some frozen ids
+                }
+            }
+        }));
+    }
+    for r in 0..3usize {
+        let service = Arc::clone(&service);
+        let qs = qs.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..40 {
+                let q = &qs[(r + round) % qs.len()];
+                let out = service.query(q, 10);
+                // Mid-stream answers must be well-formed: sorted, deduped.
+                for w in out.hits.windows(2) {
+                    assert!(
+                        w[0].dist < w[1].dist
+                            || (w[0].dist == w[1].dist && w[0].id < w[1].id)
+                    );
+                    assert_ne!(w[0].id, w[1].id, "duplicate id served");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    // Reconstruct the exact live set the interleaving produced.
+    let mut deleted = std::collections::HashSet::new();
+    for w in 0..3u64 {
+        for i in 0..30 {
+            if i % 7 == 0 {
+                deleted.insert(w * 10 + i % 10);
+            }
+        }
+    }
+    let mut live: Vec<Trajectory> = (0..60)
+        .filter(|id| !deleted.contains(id))
+        .map(traj)
+        .collect();
+    for w in 0..3u64 {
+        for i in 0..30 {
+            live.push(traj(1000 + w * 100 + i));
+        }
+    }
+    let full = Dataset::from_trajectories(live);
+    assert_eq!(service.len(), full.len());
+    for q in &qs {
+        for k in [1, 10, 50] {
+            assert_eq!(
+                served_ids(&service, q, k),
+                rebuilt_ids(&full, cfg, q, k),
+                "k={k}: post-race state differs from rebuilt index"
+            );
+        }
+    }
+
+    // ...and the same equivalence must hold after compaction.
+    service.compact();
+    for q in &qs {
+        assert_eq!(served_ids(&service, q, 25), rebuilt_ids(&full, cfg, q, 25));
+    }
+}
+
+/// Readers racing `compact()` must never observe partial state: every
+/// answer equals the (unchanging) logical answer, whether it was computed
+/// against the old frozen state, the new one, or either plus deltas.
+#[test]
+fn queries_racing_compaction_never_see_partial_state() {
+    let cfg = config(Measure::Hausdorff);
+    let service = Arc::new(ReposeService::with_config(
+        Repose::build(&dataset(0..70), cfg),
+        // Disable the cache so every query exercises the search path.
+        ServiceConfig { cache_capacity: 0 },
+    ));
+    for id in 70..100 {
+        service.insert(traj(id));
+    }
+    let expected: Vec<Vec<u64>> = {
+        let full = dataset(0..100);
+        queries()
+            .iter()
+            .map(|q| rebuilt_ids(&full, cfg, q, 15))
+            .collect()
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for r in 0..4usize {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let qs = queries();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rounds = 0u32;
+            while !stop.load(Ordering::Relaxed) || rounds < 5 {
+                let qi = (r + rounds as usize) % qs.len();
+                let got = service.query(&qs[qi], 15);
+                assert_eq!(
+                    got.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                    expected[qi],
+                    "query observed partial compaction state"
+                );
+                rounds += 1;
+            }
+        }));
+    }
+    // Compact repeatedly while the readers hammer away.
+    for _ in 0..3 {
+        service.compact();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("reader panicked");
+    }
+    assert_eq!(service.stats().compactions, 3);
+}
+
+#[test]
+fn service_on_empty_deployment() {
+    let cfg = config(Measure::Hausdorff);
+    let service = ReposeService::new(Repose::build(&Dataset::new(), cfg));
+    assert!(service.is_empty());
+    let q = vec![Point::new(0.0, 0.0)];
+    assert!(service.query(&q, 3).hits.is_empty());
+
+    // Grow it purely through the online path.
+    for id in 0..12 {
+        service.insert(traj(id));
+    }
+    assert_eq!(service.len(), 12);
+    let out = service.query(&queries()[0], 5);
+    assert_eq!(out.hits.len(), 5);
+    assert_eq!(
+        served_ids(&service, &queries()[0], 5),
+        rebuilt_ids(&dataset(0..12), cfg, &queries()[0], 5)
+    );
+    service.compact();
+    assert_eq!(service.len(), 12);
+    assert_eq!(
+        served_ids(&service, &queries()[0], 5),
+        rebuilt_ids(&dataset(0..12), cfg, &queries()[0], 5)
+    );
+}
+
+#[test]
+fn batch_queries_and_latency_stats() {
+    let cfg = config(Measure::Hausdorff);
+    let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
+    for id in 40..50 {
+        service.insert(traj(id));
+    }
+    let qs = queries();
+    let outcomes = service.query_batch(&qs, 6);
+    assert_eq!(outcomes.len(), qs.len());
+    for (q, o) in qs.iter().zip(&outcomes) {
+        assert_eq!(
+            o.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            served_ids(&service, q, 6)
+        );
+        assert!(o.delta_candidates > 0, "delta must be scanned");
+    }
+    let stats = service.stats();
+    assert!(stats.queries >= 10);
+    assert_eq!(stats.inserts, 10);
+    assert!(stats.read_latency.count > 0);
+    assert!(stats.write_latency.count == 10);
+    assert!(stats.read_latency.p99 >= stats.read_latency.p50);
+}

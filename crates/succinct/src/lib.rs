@@ -4,6 +4,27 @@
 //! The upper, frequently-accessed trie levels are encoded as bitmaps with
 //! O(1) rank support ([`BitVec`] + [`RankSelect`]); the lower, sparse levels
 //! are serialized as byte sequences (varint helpers in [`varint`]).
+//!
+//! ```
+//! use repose_succinct::{varint, BitVec, RankSelect};
+//!
+//! // rank1(i) = ones strictly before i; select1(k) = position of the
+//! // k-th one (0-based) — the child-addressing primitives of the trie.
+//! let mut bits = BitVec::new();
+//! for b in [true, false, true, true, false] {
+//!     bits.push(b);
+//! }
+//! let rs = RankSelect::new(bits);
+//! assert_eq!(rs.rank1(3), 2);
+//! assert_eq!(rs.select1(2), Some(3));
+//!
+//! // LEB128 varints for the sparse levels.
+//! let mut buf = Vec::new();
+//! varint::write_u64(&mut buf, 300);
+//! assert_eq!(buf.len(), 2);
+//! let mut r = &buf[..];
+//! assert_eq!(varint::read_u64(&mut r), 300);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,101 @@
+//! Online serving scenario: a fleet's live index keeps answering top-k
+//! queries while trips stream in and out — the path the paper's
+//! build-once pipeline cannot express, provided by `repose-service`.
+//!
+//! The example bootstraps a deployment from a synthetic corpus, serves
+//! queries from several threads while a writer inserts fresh trips,
+//! compacts under load, and prints the serving stats (QPS-style counters,
+//! cache hit rate, latency percentiles).
+//!
+//! ```sh
+//! cargo run --release --example online_serving
+//! ```
+
+use repose::{Repose, ReposeConfig};
+use repose_datagen::{sample_queries, PaperDataset};
+use repose_distance::Measure;
+use repose_model::{Point, Trajectory};
+use repose_service::ReposeService;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Bootstrap: build the frozen deployment exactly like the offline
+    //    pipeline.
+    let dataset = PaperDataset::TDrive.generate(0.2, 42);
+    let config = ReposeConfig::new(Measure::Hausdorff)
+        .with_partitions(8)
+        .with_delta(PaperDataset::TDrive.paper_delta(Measure::Hausdorff));
+    let service = Arc::new(ReposeService::new(Repose::build(&dataset, config)));
+    println!(
+        "bootstrapped service over {} trajectories ({} partitions)",
+        service.len(),
+        service.config().num_partitions
+    );
+
+    // 2. Serve: 4 reader threads replay queries while a writer streams in
+    //    200 fresh trips and compacts halfway through.
+    let queries = sample_queries(&dataset, 10, 7);
+    std::thread::scope(|s| {
+        for r in 0..4usize {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            s.spawn(move || {
+                for i in 0..150 {
+                    let q = &queries[(r + i) % queries.len()];
+                    let out = service.query(&q.points, 10);
+                    assert!(!out.hits.is_empty());
+                }
+            });
+        }
+        let service = Arc::clone(&service);
+        let template = queries[0].points.clone();
+        s.spawn(move || {
+            for i in 0..200u64 {
+                let jit = (i + 1) as f64 * 1e-5;
+                service.insert(Trajectory::new(
+                    1_000_000 + i,
+                    template
+                        .iter()
+                        .map(|p| Point::new(p.x + jit, p.y + jit))
+                        .collect(),
+                ));
+                if i == 100 {
+                    let n = service.compact();
+                    println!("mid-stream compaction folded the delta into {n} trajectories");
+                }
+            }
+        });
+    });
+
+    // 3. The freshly inserted trips are immediately searchable: the query
+    //    matching their template is now dominated by them (the template
+    //    trajectory itself, at distance 0, keeps rank 1).
+    let out = service.query(&queries[0].points, 5);
+    let fresh = out.hits.iter().filter(|h| h.id >= 1_000_000).count();
+    assert!(fresh >= 4, "expected the fresh trips to dominate, got {fresh}/5");
+    println!(
+        "\ntop-5 for the written-to region: {:?} ({fresh} fresh trips)",
+        out.hits.iter().map(|h| h.id).collect::<Vec<_>>()
+    );
+
+    // 4. Operational picture.
+    let stats = service.stats();
+    println!("\nserving stats:");
+    println!("  queries       {:>8}  (cache hit rate {:.0}%)", stats.queries, stats.cache_hit_rate() * 100.0);
+    println!("  inserts       {:>8}", stats.inserts);
+    println!("  compactions   {:>8}", stats.compactions);
+    println!("  delta backlog {:>8} entries", stats.delta_len);
+    println!(
+        "  read latency  p50 {:?}  p99 {:?}  max {:?}",
+        stats.read_latency.p50, stats.read_latency.p99, stats.read_latency.max
+    );
+    println!(
+        "  write latency p50 {:?}  p99 {:?}",
+        stats.write_latency.p50, stats.write_latency.p99
+    );
+
+    // 5. Final compaction leaves a clean frozen deployment.
+    let n = service.compact();
+    println!("\nfinal compaction: {n} live trajectories, delta drained");
+    assert_eq!(service.stats().delta_len, 0);
+}

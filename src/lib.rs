@@ -12,4 +12,5 @@ pub use repose_datagen as datagen;
 pub use repose_distance as distance;
 pub use repose_model as model;
 pub use repose_rptrie as rptrie;
+pub use repose_service as service;
 pub use repose_zorder as zorder;
