@@ -1,4 +1,4 @@
-use crate::{merge_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
+use crate::{merge_top_k, refine_top_k, BaselineOutcome, BaselinePlacement};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -185,16 +185,25 @@ impl Dft {
         }
         // Phase 1: estimate the pruning threshold from C·k random
         // trajectories ("finds C·k trajectories at random from the dataset
-        // and uses the k-th smallest distance as the threshold").
+        // and uses the k-th smallest distance as the threshold"). Only the
+        // k-th smallest sample distance matters, so samples that cannot
+        // beat the running k-th are abandoned early.
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ (query.len() as u64) << 32 ^ k as u64);
         let n_samples = (self.config.sample_factor * k).min(self.master.len());
-        let mut sample_dists: Vec<f64> = sample(&mut rng, self.master.len(), n_samples)
+        let sampled: Vec<(f64, u64, &[Point])> = sample(&mut rng, self.master.len(), n_samples)
             .into_iter()
-            .map(|i| params.distance(measure, query, &self.master[i].points))
+            .map(|i| {
+                let t = &self.master[i];
+                (
+                    params.lower_bound(measure, query, &t.points),
+                    t.id,
+                    t.points.as_slice(),
+                )
+            })
             .collect();
-        sample_dists.sort_by(f64::total_cmp);
-        let dk = if sample_dists.len() >= k {
-            sample_dists[k - 1]
+        let sample_best = refine_top_k(sampled, query, measure, &params, k, f64::INFINITY);
+        let dk = if sample_best.len() >= k {
+            sample_best[k - 1].dist
         } else {
             f64::INFINITY
         };
@@ -210,22 +219,23 @@ impl Dft {
                 |m| m.min_dist_mbr(&qmbr) <= dk,
                 |_, &li| cand[li as usize] = true,
             );
-            // Regroup + refine.
-            let mut hits: Vec<BaselineHit> = cand
+            // Regroup + refine under a running local top-k threshold,
+            // capped at dk: every true global hit has distance <= dk and a
+            // qualifying segment in some partition, so nothing is lost.
+            let cands: Vec<(f64, u64, &[Point])> = cand
                 .iter()
                 .enumerate()
                 .filter(|(_, &c)| c)
                 .map(|(li, _)| {
                     let t = &part.trajs[li];
-                    BaselineHit {
-                        id: t.id,
-                        dist: params.distance(measure, query, &t.points),
-                    }
+                    (
+                        params.lower_bound(measure, query, &t.points),
+                        t.id,
+                        t.points.as_slice(),
+                    )
                 })
                 .collect();
-            hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-            hits.truncate(k);
-            hits
+            refine_top_k(cands, query, measure, &params, k, dk)
         });
         let job = JobStats::simulate(
             times,

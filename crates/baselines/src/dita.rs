@@ -1,4 +1,4 @@
-use crate::{merge_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
+use crate::{merge_top_k, refine_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
 use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats};
 use repose_distance::{Measure, MeasureParams};
 use repose_model::{Dataset, Mbr, Point};
@@ -122,6 +122,19 @@ fn pivot_lb(query: &[Point], t: &DitaTraj) -> f64 {
     lb
 }
 
+/// Measure-aware candidate lower bound: the pivot bound where it is valid
+/// (Frechet and DTW — see [`pivot_lb`]), strengthened by the measure's own
+/// `O(m+n)` prefilter bound. For LCSS and EDR only the prefilter bound is
+/// sound: their distances live on the `[0, 1]` / edit-count scales, which
+/// the Euclidean pivot bound does not lower-bound.
+fn measure_lb(measure: Measure, params: &MeasureParams, query: &[Point], t: &DitaTraj) -> f64 {
+    let base = params.lower_bound(measure, query, &t.points);
+    match measure {
+        Measure::Frechet | Measure::Dtw => base.max(pivot_lb(query, t)),
+        _ => base,
+    }
+}
+
 impl Dita {
     /// Whether DITA supports `measure` (no Hausdorff, no ERP — Section I).
     pub fn supports(measure: Measure) -> bool {
@@ -228,15 +241,12 @@ impl Dita {
         }
     }
 
-    /// Counts candidates under range threshold `r` (a cheap distributed
-    /// lower-bound pass).
-    fn count_candidates(&self, query: &[Point], r: f64) -> (usize, Vec<Duration>, Duration) {
-        let (counts, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
-            chunk[0]
-                .trajs
-                .iter()
-                .filter(|t| pivot_lb(query, t) <= r)
-                .count()
+    /// Counts candidates under range threshold `r` against the cached
+    /// per-trajectory bounds (a cheap distributed pass — the bounds were
+    /// computed once up front).
+    fn count_candidates(&self, lbs: &[Vec<f64>], r: f64) -> (usize, Vec<Duration>, Duration) {
+        let (counts, times, wall) = self.cluster.run_partitions(&self.data, |pi, _chunk| {
+            lbs[pi].iter().filter(|&&lb| lb <= r).count()
         });
         (counts.into_iter().sum(), times, wall)
     }
@@ -260,15 +270,33 @@ impl Dita {
             return BaselineOutcome { hits: Vec::new(), job: empty_job(Duration::ZERO) };
         }
 
-        // Phase 1: halve the range threshold until < C·k candidates
-        // survive the lower-bound test (accumulating the cost of every
-        // counting pass into the query's schedule).
-        let budget = (self.c_factor_k(k)).max(k);
-        let mut r = self.region_diag;
+        // Phase 0: one timed pass computing every candidate's lower bound;
+        // the halving loop and phases 2/3 all reuse these values.
         let mut acc_times = vec![Duration::ZERO; n_parts];
         let mut acc_wall = Duration::ZERO;
-        loop {
-            let (count, times, wall) = self.count_candidates(query, r * 0.5);
+        let (lbs, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
+            chunk[0]
+                .trajs
+                .iter()
+                .map(|t| measure_lb(measure, &params, query, t))
+                .collect::<Vec<f64>>()
+        });
+        for (a, t) in acc_times.iter_mut().zip(&times) {
+            *a += *t;
+        }
+        acc_wall += wall;
+
+        // Phase 1: halve the range threshold until < C·k candidates
+        // survive the lower-bound test (accumulating the cost of every
+        // counting pass into the query's schedule). The halving count is
+        // capped: quantized measures (LCSS/EDR) can have many candidates
+        // with a lower bound of exactly zero, which no finite threshold
+        // excludes — correctness never depends on r, only the candidate
+        // budget does.
+        let budget = (self.c_factor_k(k)).max(k);
+        let mut r = self.region_diag;
+        for _ in 0..64 {
+            let (count, times, wall) = self.count_candidates(&lbs, r * 0.5);
             for (a, t) in acc_times.iter_mut().zip(&times) {
                 *a += *t;
             }
@@ -279,18 +307,22 @@ impl Dita {
             r *= 0.5;
         }
 
-        // Phase 2: refine the surviving candidates exactly; their k-th
-        // distance is a correct (conservative) range for the final pass.
-        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
-            chunk[0]
+        // Phase 2: refine the surviving candidates exactly under a running
+        // local top-k threshold (their lower bound orders the scan, the
+        // early-abandoning kernel refutes the losers); the union's k-th
+        // distance is a correct (conservative) range for the final pass —
+        // each partition's k best are exact, and the global k-th only
+        // depends on those.
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
+            let cands: Vec<(f64, u64, &[Point])> = chunk[0]
                 .trajs
                 .iter()
-                .filter(|t| pivot_lb(query, t) <= r)
-                .map(|t| BaselineHit {
-                    id: t.id,
-                    dist: params.distance(measure, query, &t.points),
+                .zip(&lbs[pi])
+                .filter_map(|(t, &lb)| {
+                    (lb <= r).then_some((lb, t.id, t.points.as_slice()))
                 })
-                .collect::<Vec<_>>()
+                .collect();
+            refine_top_k(cands, query, measure, &params, k, f64::INFINITY)
         });
         for (a, t) in acc_times.iter_mut().zip(&times) {
             *a += *t;
@@ -305,20 +337,19 @@ impl Dita {
         };
 
         // Phase 3: final range query at dk over all partitions (correct
-        // top-k: every true hit has exact distance <= dk, hence lb <= dk).
-        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
-            let mut hits: Vec<BaselineHit> = chunk[0]
+        // top-k: every true hit has exact distance <= dk, hence lb <= dk,
+        // and phase 2 guarantees at least k candidates at or below dk —
+        // so capping the refinement at dk drops no answer).
+        let (locals, times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
+            let cands: Vec<(f64, u64, &[Point])> = chunk[0]
                 .trajs
                 .iter()
-                .filter(|t| pivot_lb(query, t) <= dk)
-                .map(|t| BaselineHit {
-                    id: t.id,
-                    dist: params.distance(measure, query, &t.points),
+                .zip(&lbs[pi])
+                .filter_map(|(t, &lb)| {
+                    (lb <= dk).then_some((lb, t.id, t.points.as_slice()))
                 })
                 .collect();
-            hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-            hits.truncate(k);
-            hits
+            refine_top_k(cands, query, measure, &params, k, dk)
         });
         for (a, t) in acc_times.iter_mut().zip(&times) {
             *a += *t;
@@ -402,6 +433,54 @@ mod tests {
             for k in [1, 3, 10] {
                 let got: Vec<u64> = dita.query(&q, k).hits.iter().map(|h| h.id).collect();
                 assert_eq!(got, brute(&d, &q, k, m), "{m} k={k}");
+            }
+        }
+    }
+
+    /// LCSS/EDR distances are not on the Euclidean scale, so the pivot
+    /// bound must not prune for them — the distance vector has to match
+    /// brute force exactly (ids tie freely under quantized measures).
+    #[test]
+    fn matches_brute_force_lcss_and_edr() {
+        let params = MeasureParams::with_eps(0.2);
+        // A near-perfect LCSS match with a far outlier pivot (huge
+        // Euclidean bound, tiny LCSS distance) among near-miss decoys —
+        // the scenario a Euclidean bound would wrongly refute.
+        let mut trajs: Vec<Trajectory> = vec![Trajectory::new(
+            0,
+            (0..9)
+                .map(|j| Point::new(j as f64, 0.05))
+                .chain([Point::new(60.0, 60.0)])
+                .collect(),
+        )];
+        for i in 1..40u64 {
+            let y = 3.0 + (i % 7) as f64;
+            trajs.push(Trajectory::new(
+                i,
+                (0..10).map(|j| Point::new(j as f64, y)).collect(),
+            ));
+        }
+        let d = Dataset::from_trajectories(trajs);
+        let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64, 0.0)).collect();
+        for m in [Measure::Lcss, Measure::Edr] {
+            let dita = Dita::build(&d, small_cfg(), m, params);
+            for k in [1, 3, 7] {
+                let got = dita.query(&q, k);
+                let mut expect: Vec<(f64, u64)> = d
+                    .trajectories()
+                    .iter()
+                    .map(|t| (params.distance(m, &q, &t.points), t.id))
+                    .collect();
+                expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                assert_eq!(got.hits.len(), k, "{m} k={k}");
+                assert_eq!(got.hits[0].id, 0, "{m} k={k}: outlier-pivot match lost");
+                for (h, e) in got.hits.iter().zip(&expect) {
+                    assert_eq!(
+                        h.dist.to_bits(),
+                        e.0.to_bits(),
+                        "{m} k={k}: distance vector differs from brute force"
+                    );
+                }
             }
         }
     }

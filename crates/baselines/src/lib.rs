@@ -85,6 +85,29 @@ pub(crate) fn merge_top_k(
     hits
 }
 
+/// Exact refinement of `(lower_bound, id, points)` candidates under a
+/// running top-k threshold — the early-abandoning counterpart of "score
+/// every candidate, sort, truncate to k" that DITA and DFT used to do.
+/// A thin adapter over
+/// [`repose_distance::MeasureParams::refine_by_bound`]; see there for the
+/// ordering, tie, and `cap` (inclusive) semantics. The result is the k
+/// smallest `(dist, id)` pairs among candidates with `dist <= cap` —
+/// identical to what exhaustive exact scoring would keep.
+pub(crate) fn refine_top_k(
+    cands: Vec<(f64, TrajId, &[repose_model::Point])>,
+    query: &[repose_model::Point],
+    measure: repose_distance::Measure,
+    params: &repose_distance::MeasureParams,
+    k: usize,
+    cap: f64,
+) -> Vec<BaselineHit> {
+    params
+        .refine_by_bound(measure, query, k, cap, cands, |_| {})
+        .into_iter()
+        .map(|(dist, id)| BaselineHit { id, dist })
+        .collect()
+}
+
 /// Whether baseline partitions follow their paper's homogeneous placement
 /// or REPOSE's heterogeneous round-robin (the Heter-DITA / Heter-DFT
 /// variants of Tables VIII and IX).

@@ -1,5 +1,8 @@
 //! Micro-benchmarks of the six distance kernels — the refinement cost every
-//! algorithm in Table IV ultimately pays.
+//! algorithm in Table IV ultimately pays — and of their threshold-aware
+//! early-abandoning counterparts under a selective threshold (half the true
+//! distance: the candidate loses, and the kernel should discover that at a
+//! fraction of the full-DP cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repose_distance::{Measure, MeasureParams};
@@ -27,6 +30,36 @@ fn bench(c: &mut Criterion) {
                 &n,
                 |bch, _| bch.iter(|| black_box(params.distance(m, &a, &b))),
             );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("distance_within");
+    for n in [32usize, 128] {
+        let a = traj(n, 0.0);
+        let b = traj(n, 0.35);
+        // A trajectory far from `a`: the common case a selective query
+        // threshold refutes, ideally via the O(m+n) prefilter alone.
+        let far: Vec<Point> = traj(n, 0.35)
+            .into_iter()
+            .map(|p| Point::new(p.x + 100.0, p.y + 100.0))
+            .collect();
+        for m in Measure::ALL {
+            let exact = params.distance(m, &a, &b);
+            let thr = (exact * 0.5).max(f64::MIN_POSITIVE);
+            group.bench_with_input(BenchmarkId::new(format!("{}_abandon", m.name()), n), &n, |bch, _| {
+                bch.iter(|| black_box(params.distance_within(m, &a, &b, thr)))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{}_prefilter", m.name()), n), &n, |bch, _| {
+                bch.iter(|| black_box(params.distance_within(m, &a, &far, thr)))
+            });
+            // Threshold above the true distance: the full DP runs and
+            // returns the exact value — the overhead-measuring case.
+            group.bench_with_input(BenchmarkId::new(format!("{}_pass", m.name()), n), &n, |bch, _| {
+                bch.iter(|| {
+                    black_box(params.distance_within(m, &a, &b, exact * 2.0 + 1.0))
+                })
+            });
         }
     }
     group.finish();

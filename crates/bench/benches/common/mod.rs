@@ -16,6 +16,9 @@ pub fn bench_cfg() -> ExpConfig {
         partitions: 4,
         cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
         seed: 0xBE7C,
+        readers: 2,
+        writers: 1,
+        write_burst: 20,
     }
 }
 

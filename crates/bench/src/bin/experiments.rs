@@ -16,7 +16,10 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        eprintln!("usage: experiments <name|all> [--scale S] [--queries N] [--k K] [--partitions P]");
+        eprintln!(
+            "usage: experiments <name|all> [--scale S] [--queries N] [--k K] [--partitions P] \
+             [--readers R] [--writers W] [--burst B]"
+        );
         eprintln!("experiments:");
         for e in exp::ALL {
             eprintln!("  {:<8} {}", e.name, e.what);
@@ -46,6 +49,18 @@ fn main() {
             }
             Some("--seed") => {
                 cfg.seed = args[i + 1].parse().expect("bad --seed");
+                i += 2;
+            }
+            Some("--readers") => {
+                cfg.readers = args[i + 1].parse().expect("bad --readers");
+                i += 2;
+            }
+            Some("--writers") => {
+                cfg.writers = args[i + 1].parse().expect("bad --writers");
+                i += 2;
+            }
+            Some("--burst") => {
+                cfg.write_burst = args[i + 1].parse().expect("bad --burst");
                 i += 2;
             }
             Some(other) => panic!("unknown flag {other}"),

@@ -1,6 +1,7 @@
 //! One module per table/figure of Section VII. Every `run` prints a
 //! paper-style table and returns a JSON record for EXPERIMENTS.md.
 
+pub mod dist;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
@@ -42,5 +43,10 @@ pub const ALL: &[Experiment] = &[
         name: "serve",
         what: "Online serving: mixed read/write QPS + latency percentiles",
         run: serve::run,
+    },
+    Experiment {
+        name: "dist",
+        what: "Early-abandoning exact kernels: abandoned verifications + speedup",
+        run: dist::run,
     },
 ];

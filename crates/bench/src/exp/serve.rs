@@ -3,10 +3,15 @@
 //! latency percentiles — the serving-path numbers the static Section VII
 //! experiments cannot express.
 //!
-//! N reader threads replay a pool of cached-and-uncached queries while M
-//! writer threads stream inserts into the delta buffers; a compaction run
-//! in the middle exercises swap-on-compact under load. Latencies are host
-//! wall times of `ReposeService` calls, not simulated cluster times.
+//! Thread counts and the delta-burst size are parameterized (CLI:
+//! `--readers`, `--writers`, `--burst`); the experiment sweeps reader
+//! counts up to the configured maximum and emits **one JSON row per
+//! (readers, writers, cache-mode) configuration**, giving a scaling curve
+//! instead of a single fixed 4r/2w point. N reader threads replay a pool
+//! of cached-and-uncached queries while M writer threads stream inserts
+//! into the delta buffers; a compaction run in the middle exercises
+//! swap-on-compact under load. Latencies are host wall times of
+//! `ReposeService` calls, not simulated cluster times.
 
 use crate::runner::{load, ExpConfig};
 use crate::{fmt_secs, print_table};
@@ -21,9 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-const READERS: usize = 4;
-const WRITERS: usize = 2;
-/// Reads per reader thread (writers scale to half of this).
+/// Reads per reader thread.
 const OPS_PER_READER: usize = 200;
 
 struct WorkloadResult {
@@ -33,19 +36,29 @@ struct WorkloadResult {
     read_latency: LatencySummary,
     write_latency: LatencySummary,
     cache_hit_rate: f64,
+    exact_abandoned: u64,
 }
 
-fn run_mixed(service: &Arc<ReposeService>, queries: &[Trajectory], k: usize) -> WorkloadResult {
+fn run_mixed(
+    service: &Arc<ReposeService>,
+    queries: &[Trajectory],
+    k: usize,
+    readers: usize,
+    writers: usize,
+    burst: usize,
+) -> WorkloadResult {
     let read_samples: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
     let write_samples: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
     let reads = AtomicU64::new(0);
     let writes = AtomicU64::new(0);
+    let abandoned = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| {
-        for r in 0..READERS {
+        for r in 0..readers {
             let service = Arc::clone(service);
             let read_samples = &read_samples;
             let reads = &reads;
+            let abandoned = &abandoned;
             s.spawn(move || {
                 let mut local = Vec::with_capacity(OPS_PER_READER);
                 for i in 0..OPS_PER_READER {
@@ -53,19 +66,20 @@ fn run_mixed(service: &Arc<ReposeService>, queries: &[Trajectory], k: usize) -> 
                     let out = service.query(&q.points, k);
                     local.push(out.latency);
                     reads.fetch_add(1, Ordering::Relaxed);
+                    abandoned.fetch_add(out.exact_abandoned as u64, Ordering::Relaxed);
                 }
                 read_samples.lock().expect("samples").extend(local);
             });
         }
-        for w in 0..WRITERS {
+        for w in 0..writers {
             let service = Arc::clone(service);
             let write_samples = &write_samples;
             let writes = &writes;
             s.spawn(move || {
                 let mut local = Vec::new();
-                for i in 0..OPS_PER_READER / 2 {
+                for i in 0..burst {
                     // Fresh ids far above the dataset's range.
-                    let id = 10_000_000 + (w * OPS_PER_READER + i) as u64;
+                    let id = 10_000_000 + (w * burst + i) as u64;
                     let base = &queries[(w + i) % queries.len()];
                     let jit = (i as f64 + 1.0) * 1e-5;
                     let traj = Trajectory::new(
@@ -80,7 +94,7 @@ fn run_mixed(service: &Arc<ReposeService>, queries: &[Trajectory], k: usize) -> 
                     local.push(t.elapsed());
                     writes.fetch_add(1, Ordering::Relaxed);
                     // Fold the delta in once, mid-stream, under load.
-                    if w == 0 && i == OPS_PER_READER / 4 {
+                    if w == 0 && i == burst / 2 {
                         service.compact();
                     }
                 }
@@ -101,10 +115,20 @@ fn run_mixed(service: &Arc<ReposeService>, queries: &[Trajectory], k: usize) -> 
             write_samples.into_inner().expect("samples"),
         ),
         cache_hit_rate: stats.cache_hit_rate(),
+        exact_abandoned: abandoned.load(Ordering::Relaxed),
     }
 }
 
-/// Runs the mixed read/write serving workload.
+/// Reader counts to sweep: 1, half the maximum, and the maximum.
+fn reader_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts = vec![1, max.div_ceil(2), max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Runs the mixed read/write serving workload sweep.
 pub fn run(exp: &ExpConfig) -> Value {
     let ds = PaperDataset::TDrive;
     let measure = Measure::Hausdorff;
@@ -117,48 +141,59 @@ pub fn run(exp: &ExpConfig) -> Value {
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for (label, cache_capacity) in [("cached", 1024usize), ("uncached", 0usize)] {
-        let service = Arc::new(ReposeService::with_config(
-            Repose::build(&data, cfg),
-            ServiceConfig { cache_capacity },
-        ));
-        let r = run_mixed(&service, &queries, exp.k);
-        let secs = r.wall.as_secs_f64().max(1e-9);
-        let read_qps = r.reads as f64 / secs;
-        let write_qps = r.writes as f64 / secs;
-        rows.push(vec![
-            label.to_string(),
-            format!("{read_qps:.0}"),
-            format!("{write_qps:.0}"),
-            fmt_secs(r.read_latency.p50.as_secs_f64()),
-            fmt_secs(r.read_latency.p99.as_secs_f64()),
-            fmt_secs(r.write_latency.p50.as_secs_f64()),
-            fmt_secs(r.write_latency.p99.as_secs_f64()),
-            format!("{:.0}%", r.cache_hit_rate * 100.0),
-        ]);
-        out.push(json!({
-            "mode": label,
-            "readers": READERS,
-            "writers": WRITERS,
-            "reads": r.reads,
-            "writes": r.writes,
-            "wall_s": secs,
-            "read_qps": read_qps,
-            "write_qps": write_qps,
-            "read_p50_s": r.read_latency.p50.as_secs_f64(),
-            "read_p99_s": r.read_latency.p99.as_secs_f64(),
-            "write_p50_s": r.write_latency.p50.as_secs_f64(),
-            "write_p99_s": r.write_latency.p99.as_secs_f64(),
-            "cache_hit_rate": r.cache_hit_rate,
-        }));
+    for readers in reader_sweep(exp.readers) {
+        for (label, cache_capacity) in [("cached", 1024usize), ("uncached", 0usize)] {
+            let service = Arc::new(ReposeService::with_config(
+                Repose::build(&data, cfg),
+                ServiceConfig { cache_capacity },
+            ));
+            let r = run_mixed(
+                &service,
+                &queries,
+                exp.k,
+                readers,
+                exp.writers,
+                exp.write_burst,
+            );
+            let secs = r.wall.as_secs_f64().max(1e-9);
+            let read_qps = r.reads as f64 / secs;
+            let write_qps = r.writes as f64 / secs;
+            rows.push(vec![
+                format!("{readers}r/{}w {label}", exp.writers),
+                format!("{read_qps:.0}"),
+                format!("{write_qps:.0}"),
+                fmt_secs(r.read_latency.p50.as_secs_f64()),
+                fmt_secs(r.read_latency.p99.as_secs_f64()),
+                fmt_secs(r.write_latency.p50.as_secs_f64()),
+                fmt_secs(r.write_latency.p99.as_secs_f64()),
+                format!("{:.0}%", r.cache_hit_rate * 100.0),
+            ]);
+            out.push(json!({
+                "mode": label,
+                "readers": readers,
+                "writers": exp.writers,
+                "burst": exp.write_burst,
+                "reads": r.reads,
+                "writes": r.writes,
+                "wall_s": secs,
+                "read_qps": read_qps,
+                "write_qps": write_qps,
+                "read_p50_s": r.read_latency.p50.as_secs_f64(),
+                "read_p99_s": r.read_latency.p99.as_secs_f64(),
+                "write_p50_s": r.write_latency.p50.as_secs_f64(),
+                "write_p99_s": r.write_latency.p99.as_secs_f64(),
+                "cache_hit_rate": r.cache_hit_rate,
+                "exact_abandoned": r.exact_abandoned,
+            }));
+        }
     }
     println!(
-        "\n== serve: {READERS} readers + {WRITERS} writers, k = {}, {} partitions ==",
-        exp.k, exp.partitions
+        "\n== serve: reader sweep up to {} readers + {} writers, burst {}, k = {}, {} partitions ==",
+        exp.readers, exp.writers, exp.write_burst, exp.k, exp.partitions
     );
     print_table(
         &[
-            "Mode", "read QPS", "write QPS", "read p50", "read p99", "write p50",
+            "Config", "read QPS", "write QPS", "read p50", "read p99", "write p50",
             "write p99", "cache hits",
         ],
         &rows,
@@ -180,10 +215,14 @@ mod tests {
             partitions: 4,
             cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
             seed: 3,
+            readers: 4,
+            writers: 2,
+            write_burst: 50,
         };
         let v = run(&exp);
-        let rows = v.as_array().expect("array of modes");
-        assert_eq!(rows.len(), 2);
+        let rows = v.as_array().expect("array of configurations");
+        // Sweep {1, 2, 4} readers × {cached, uncached}.
+        assert_eq!(rows.len(), 6);
         for row in rows {
             assert!(row["read_qps"].as_f64().unwrap() > 0.0);
             assert!(row["write_qps"].as_f64().unwrap() > 0.0);
@@ -191,10 +230,30 @@ mod tests {
                 row["read_p99_s"].as_f64().unwrap()
                     >= row["read_p50_s"].as_f64().unwrap()
             );
+            assert_eq!(row["writers"].as_u64().unwrap(), 2);
+            assert_eq!(row["burst"].as_u64().unwrap(), 50);
         }
-        // The cached mode must actually hit its cache: readers replay a
-        // small query pool.
-        assert!(rows[0]["cache_hit_rate"].as_f64().unwrap() > 0.1);
-        assert_eq!(rows[1]["cache_hit_rate"].as_f64().unwrap(), 0.0);
+        let readers: Vec<u64> = rows
+            .iter()
+            .map(|r| r["readers"].as_u64().unwrap())
+            .collect();
+        assert_eq!(readers, vec![1, 1, 2, 2, 4, 4]);
+        // The cached modes must actually hit their cache (readers replay a
+        // small query pool); uncached modes never can.
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0]["mode"].as_str(), Some("cached"));
+            assert!(pair[0]["cache_hit_rate"].as_f64().unwrap() > 0.1);
+            assert_eq!(pair[1]["mode"].as_str(), Some("uncached"));
+            assert_eq!(pair[1]["cache_hit_rate"].as_f64().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn reader_sweep_is_deduped_and_sorted() {
+        assert_eq!(reader_sweep(4), vec![1, 2, 4]);
+        assert_eq!(reader_sweep(1), vec![1]);
+        assert_eq!(reader_sweep(2), vec![1, 2]);
+        assert_eq!(reader_sweep(8), vec![1, 4, 8]);
+        assert_eq!(reader_sweep(0), vec![1], "zero readers must not be swept");
     }
 }

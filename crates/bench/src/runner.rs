@@ -23,6 +23,14 @@ pub struct ExpConfig {
     pub cluster: ClusterConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Reader threads for the `serve` experiment (the sweep's largest
+    /// configuration; smaller reader counts are derived from it).
+    pub readers: usize,
+    /// Writer threads for the `serve` experiment.
+    pub writers: usize,
+    /// Delta-burst size for the `serve` experiment: inserts each writer
+    /// issues (the uncompacted backlog a query must search through).
+    pub write_burst: usize,
 }
 
 impl Default for ExpConfig {
@@ -34,6 +42,9 @@ impl Default for ExpConfig {
             partitions: 64,
             cluster: ClusterConfig::paper_default().with_timing_repeats(3),
             seed: 0xE5E5,
+            readers: 4,
+            writers: 2,
+            write_burst: 100,
         }
     }
 }
@@ -293,6 +304,7 @@ mod tests {
             partitions: 4,
             cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
             seed: 1,
+            ..ExpConfig::default()
         }
     }
 

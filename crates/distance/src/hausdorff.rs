@@ -74,6 +74,9 @@ pub fn hausdorff(t1: &[Point], t2: &[Point]) -> f64 {
 pub struct HausdorffState {
     /// Row minima `r[i] = min_j d(q_i, p*_j)` (squared distances internally).
     r_sq: Vec<f64>,
+    /// `max_i r[i]` (squared), maintained incrementally inside `push` so
+    /// `full()` is O(1) in the search hot loop instead of an O(m) fold.
+    rmax_sq: f64,
     /// Max over columns of the column minimum (squared).
     cmax_sq: f64,
     /// Number of reference points pushed so far.
@@ -84,7 +87,12 @@ impl HausdorffState {
     /// Creates the state for a query of `m` points with no reference points
     /// consumed yet.
     pub fn new(m: usize) -> Self {
-        HausdorffState { r_sq: vec![f64::INFINITY; m], cmax_sq: 0.0, len: 0 }
+        HausdorffState {
+            r_sq: vec![f64::INFINITY; m],
+            rmax_sq: if m == 0 { 0.0 } else { f64::INFINITY },
+            cmax_sq: 0.0,
+            len: 0,
+        }
     }
 
     /// Number of reference points pushed.
@@ -102,15 +110,22 @@ impl HausdorffState {
     pub fn push(&mut self, query: &[Point], p: Point) {
         debug_assert_eq!(query.len(), self.r_sq.len());
         let mut col_min = f64::INFINITY;
+        // Row minima only ever decrease, so the new rmax is recomputed as a
+        // running max inside the O(m) pass this method already makes.
+        let mut rmax = 0.0f64;
         for (i, q) in query.iter().enumerate() {
             let d = q.dist_sq(&p);
             if d < self.r_sq[i] {
                 self.r_sq[i] = d;
             }
+            if self.r_sq[i] > rmax {
+                rmax = self.r_sq[i];
+            }
             if d < col_min {
                 col_min = d;
             }
         }
+        self.rmax_sq = rmax;
         if col_min > self.cmax_sq {
             self.cmax_sq = col_min;
         }
@@ -124,11 +139,10 @@ impl HausdorffState {
     }
 
     /// `max(rmax, cmax)`: the full Hausdorff distance between the query and
-    /// the reference prefix consumed so far. Only meaningful once at least
-    /// one point was pushed.
+    /// the reference prefix consumed so far, in O(1). Only meaningful once
+    /// at least one point was pushed.
     pub fn full(&self) -> f64 {
-        let rmax_sq = self.r_sq.iter().cloned().fold(0.0f64, f64::max);
-        rmax_sq.max(self.cmax_sq).sqrt()
+        self.rmax_sq.max(self.cmax_sq).sqrt()
     }
 }
 

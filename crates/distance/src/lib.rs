@@ -20,6 +20,12 @@
 //! assert_eq!(params.distance(Measure::Hausdorff, &a, &b), 3.0);
 //! assert!(Measure::Hausdorff.is_metric());
 //! assert!(!Measure::Dtw.is_metric());
+//!
+//! // Threshold-aware verification: the early-abandoning kernel returns the
+//! // exact distance below the threshold and refutes the candidate (usually
+//! // far cheaper than the full kernel) at or above it.
+//! assert_eq!(params.distance_within(Measure::Hausdorff, &a, &b, 5.0), Some(3.0));
+//! assert_eq!(params.distance_within(Measure::Hausdorff, &a, &b, 2.0), None);
 //! ```
 
 #![warn(missing_docs)]
@@ -31,6 +37,7 @@ mod frechet;
 mod hausdorff;
 mod lcss;
 mod measure;
+pub mod within;
 
 pub use dtw::{dtw, DtwColumn};
 pub use edr::edr;
@@ -38,4 +45,8 @@ pub use erp::erp;
 pub use frechet::{frechet, FrechetColumn};
 pub use hausdorff::{directed_hausdorff, hausdorff, HausdorffState};
 pub use lcss::{lcss_distance, lcss_length};
-pub use measure::{Measure, MeasureParams};
+pub use measure::{Measure, MeasureParams, RefineEvent};
+pub use within::{
+    bound_exceeds, dtw_within, edr_within, erp_within, frechet_within, hausdorff_within,
+    just_above, lcss_distance_within, RunningTopK,
+};

@@ -1,5 +1,25 @@
+use crate::within::{
+    bound_exceeds, dtw_lb, dtw_within, edr_lb, edr_within, erp_lb, erp_within, frechet_lb,
+    frechet_within, hausdorff_lb, hausdorff_within, just_above, lcss_distance_within, lcss_lb,
+    prefilter_rejects, RunningTopK,
+};
 use crate::{dtw, edr, erp, frechet, hausdorff, lcss_distance};
 use repose_model::Point;
+
+/// What happened to one candidate inside [`MeasureParams::refine_by_bound`]
+/// — the hook callers use to account for verification work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineEvent {
+    /// The candidate reached the threshold-aware kernel; `abandoned` is
+    /// `true` when the kernel refuted it before full cost.
+    Scored {
+        /// Whether the kernel returned `None` (candidate refuted).
+        abandoned: bool,
+    },
+    /// The scan stopped: this many trailing candidates (sorted by lower
+    /// bound) were refuted by their bounds alone, without scoring.
+    SkippedRest(usize),
+}
 
 /// The similarity measures supported by REPOSE (Section I, contribution 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -105,6 +125,116 @@ impl MeasureParams {
             Measure::Lcss => lcss_distance(t1, t2, self.eps),
             Measure::Edr => edr(t1, t2, self.eps),
             Measure::Erp => erp(t1, t2, self.erp_gap),
+        }
+    }
+
+    /// Threshold-aware exact distance: `Some(d)` with `d` bit-identical to
+    /// [`MeasureParams::distance`] when `d < threshold`, `None` when the
+    /// distance is `>= threshold` — usually decided at a fraction of the
+    /// full kernel cost (see [`crate::within`]-module docs).
+    ///
+    /// Substituting this for `distance` at any verification site that
+    /// discards candidates at `threshold` leaves query results unchanged.
+    pub fn distance_within(
+        &self,
+        measure: Measure,
+        t1: &[Point],
+        t2: &[Point],
+        threshold: f64,
+    ) -> Option<f64> {
+        self.distance_within_from_lb(measure, t1, t2, threshold, self.lower_bound(measure, t1, t2))
+    }
+
+    /// [`MeasureParams::distance_within`] for callers that already hold a
+    /// lower bound on this pair's distance (typically
+    /// [`MeasureParams::lower_bound`], computed as a sort key): the
+    /// prefilter reuses it instead of recomputing the O(m+n) bound. `lb`
+    /// must genuinely lower-bound the exact distance (up to the same
+    /// floating-point slop the built-in bounds have — the safety margin
+    /// absorbs it); passing anything larger voids the `Some`/`None`
+    /// contract.
+    pub fn distance_within_from_lb(
+        &self,
+        measure: Measure,
+        t1: &[Point],
+        t2: &[Point],
+        threshold: f64,
+        lb: f64,
+    ) -> Option<f64> {
+        if prefilter_rejects(lb, threshold) {
+            return None;
+        }
+        match measure {
+            Measure::Hausdorff => hausdorff_within(t1, t2, threshold),
+            Measure::Frechet => frechet_within(t1, t2, threshold),
+            Measure::Dtw => dtw_within(t1, t2, threshold),
+            Measure::Lcss => lcss_distance_within(t1, t2, self.eps, threshold),
+            Measure::Edr => edr_within(t1, t2, self.eps, threshold),
+            Measure::Erp => erp_within(t1, t2, self.erp_gap, threshold),
+        }
+    }
+
+    /// Exact top-k refinement of `(lower_bound, id, points)` candidates
+    /// under a running threshold — the early-abandoning replacement for
+    /// "score every candidate, sort, truncate to k", shared by the serving
+    /// layer's delta scan and the DITA/DFT refinement passes.
+    ///
+    /// Sorts candidates by `(bound, id)` so the k-th distance tightens on
+    /// the likely-closest ones first, scores each with the threshold-aware
+    /// kernel at the *successor* of the current cutoff (equal-distance
+    /// ties still get scored and resolve by id exactly as a full sort
+    /// would), and stops at the first candidate whose bound proves it —
+    /// and hence the sorted remainder — cannot beat the cutoff
+    /// ([`bound_exceeds`], fp-safety margin included). `cap` bounds useful
+    /// distances inclusively (`dist == cap` is kept); pass
+    /// [`f64::INFINITY`] for plain top-k. `on_event` observes every
+    /// candidate's fate for work accounting.
+    ///
+    /// Returns up to `k` `(distance, id)` pairs ascending — exactly the k
+    /// smallest such pairs among candidates with `dist <= cap`, identical
+    /// to what exhaustive exact scoring would keep.
+    pub fn refine_by_bound(
+        &self,
+        measure: Measure,
+        query: &[Point],
+        k: usize,
+        cap: f64,
+        mut cands: Vec<(f64, u64, &[Point])>,
+        mut on_event: impl FnMut(RefineEvent),
+    ) -> Vec<(f64, u64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let total = cands.len();
+        let mut best = RunningTopK::new(k);
+        for (i, (lb, id, points)) in cands.into_iter().enumerate() {
+            let cutoff = best.kth().map_or(cap, |kth| cap.min(kth));
+            if bound_exceeds(lb, cutoff) {
+                on_event(RefineEvent::SkippedRest(total - i));
+                break;
+            }
+            let d = self.distance_within_from_lb(measure, query, points, just_above(cutoff), lb);
+            on_event(RefineEvent::Scored { abandoned: d.is_none() });
+            if let Some(d) = d {
+                best.push(d, id);
+            }
+        }
+        best.into_sorted()
+    }
+
+    /// Cheap `O(m + n)` lower bound on the exact distance under `measure`
+    /// (MBR, endpoint, and gap-sum arguments — the `distance_within`
+    /// prefilter). Useful for ordering candidates so that a running top-k
+    /// threshold tightens as fast as possible before exact scoring.
+    pub fn lower_bound(&self, measure: Measure, t1: &[Point], t2: &[Point]) -> f64 {
+        match measure {
+            Measure::Hausdorff => hausdorff_lb(t1, t2),
+            Measure::Frechet => frechet_lb(t1, t2),
+            Measure::Dtw => dtw_lb(t1, t2),
+            Measure::Lcss => lcss_lb(t1, t2, self.eps),
+            Measure::Edr => edr_lb(t1, t2, self.eps),
+            Measure::Erp => erp_lb(t1, t2, self.erp_gap),
         }
     }
 }

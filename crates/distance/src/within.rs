@@ -1,0 +1,631 @@
+//! Threshold-aware early-abandoning exact kernels.
+//!
+//! REPOSE's lower bounds decide *which* candidates to verify; these kernels
+//! make each verification itself threshold-aware. Every `*_within(t1, t2,
+//! threshold)` function returns
+//!
+//! * `Some(d)` with `d` **identical** (bit-for-bit) to the unbounded kernel
+//!   whenever the true distance `d < threshold`, and
+//! * `None` whenever the true distance is `>= threshold`,
+//!
+//! so a caller holding a running top-k threshold `dk` can substitute
+//! `distance_within(.., dk)` for `distance(..)` without changing any query
+//! result — while paying far less than the full `O(m·n)` cost on candidates
+//! that were never going to make the top-k.
+//!
+//! Two mechanisms provide the savings:
+//!
+//! 1. A cheap `O(m + n)` **prefilter** ([`crate::MeasureParams::lower_bound`]):
+//!    MBR/endpoint/gap-sum lower bounds that skip the dynamic program
+//!    entirely for far-away candidates.
+//! 2. **Row-wise abandoning** inside the exact computation: Hausdorff stops
+//!    as soon as any point's nearest-neighbour distance reaches the
+//!    threshold; Frechet/DTW/ERP/EDR stop when an entire DP row/column
+//!    minimum reaches it (sound because their per-row minima never decrease
+//!    as more rows are added — costs are max-monotone or additive
+//!    non-negative); LCSS stops when the best still-achievable match count
+//!    cannot beat the threshold.
+
+use crate::{DtwColumn, FrechetColumn};
+use repose_model::{Mbr, Point};
+
+/// Safety factor applied to prefilter bounds before they may reject a
+/// candidate. The geometric/triangle-inequality bounds are exact in real
+/// arithmetic but may exceed the DP's value by a few ulps in floating
+/// point; shrinking them by one part in 10⁹ keeps the `Some`/`None`
+/// contract airtight at any realistic coordinate magnitude.
+const LB_SAFETY: f64 = 1.0 - 1e-9;
+
+/// The smallest `f64` strictly greater than `x`, for non-negative `x`
+/// (`x.next_up()`, with infinity and NaN passed through).
+///
+/// Callers that need *inclusive* semantics — "keep every candidate with
+/// `d <= dk`", as the baselines' final range passes do — get them by
+/// passing `just_above(dk)` as the strict `distance_within` threshold.
+pub fn just_above(x: f64) -> f64 {
+    debug_assert!(x >= 0.0 || x.is_nan(), "just_above is for non-negative thresholds");
+    x.next_up()
+}
+
+/// Distance between two empty-or-not slices following the convention every
+/// unbounded kernel uses for empty inputs, filtered by the threshold.
+fn empty_case(both_zero: bool, threshold: f64) -> Option<f64> {
+    let d = if both_zero { 0.0 } else { f64::INFINITY };
+    (d < threshold).then_some(d)
+}
+
+/// A bounded result heap maintaining the running top-k cutoff that every
+/// threshold-aware verification site shares: a max-heap over the current
+/// best `k` `(distance, id)` pairs, worst on top, ties evicting the larger
+/// id — the order the canonical ascending `(distance, id)` sort implies.
+///
+/// The serving layer's delta scan and the baselines' refinement passes both
+/// drive `distance_within` off this structure: score a candidate with
+/// threshold [`just_above`]`(kth())` (so equal-distance ties still get
+/// scored and resolve by id exactly as a full sort would), `push` on
+/// `Some`, and stop early once even a candidate's lower bound exceeds
+/// `kth()`.
+#[derive(Debug)]
+pub struct RunningTopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<WorstEntry>,
+}
+
+#[derive(Debug)]
+struct WorstEntry {
+    dist: f64,
+    id: u64,
+}
+impl PartialEq for WorstEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.id == other.id
+    }
+}
+impl Eq for WorstEntry {}
+impl PartialOrd for WorstEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl RunningTopK {
+    /// An empty heap that will retain the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        RunningTopK { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Number of entries currently held (at most `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entry has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The k-th (worst retained) distance once `k` entries are held —
+    /// the running cutoff. `None` while the heap is still filling (every
+    /// candidate must still be scored exactly).
+    pub fn kth(&self) -> Option<f64> {
+        (self.heap.len() == self.k).then(|| self.heap.peek().expect("full heap").dist)
+    }
+
+    /// Offers an exactly-scored entry, evicting the worst when over `k`.
+    pub fn push(&mut self, dist: f64, id: u64) {
+        if self.k == 0 {
+            return;
+        }
+        self.heap.push(WorstEntry { dist, id });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Consumes the heap, ascending by `(distance, id)`.
+    pub fn into_sorted(self) -> Vec<(f64, u64)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|w| (w.dist, w.id))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hausdorff
+// ---------------------------------------------------------------------------
+
+/// One directed pass `max_{a in from} min_{b in to} d²(a, b)` with two
+/// abandons:
+///
+/// * **row irrelevance** — once a row's running minimum drops to the
+///   current max (`worst`), the row cannot raise the max; stop scanning it
+///   (the classic early-break directed Hausdorff).
+/// * **threshold abandon** — a completed row minimum `>= thr_sq` proves the
+///   directed (hence the symmetric) distance is `>= threshold`.
+fn directed_within_sq(from: &[Point], to: &[Point], thr_sq: f64) -> Option<f64> {
+    let mut worst = 0.0f64;
+    for a in from {
+        let mut best = f64::INFINITY;
+        for b in to {
+            let d = a.dist_sq(b);
+            if d < best {
+                best = d;
+                if best <= worst {
+                    break; // row can no longer raise the max
+                }
+            }
+        }
+        if best > worst {
+            if best >= thr_sq {
+                return None;
+            }
+            worst = best;
+        }
+    }
+    Some(worst)
+}
+
+/// Early-abandoning Hausdorff distance (see module docs for the contract).
+pub fn hausdorff_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
+    if t1.is_empty() || t2.is_empty() {
+        return empty_case(t1.is_empty() && t2.is_empty(), threshold);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None; // distances are non-negative
+    }
+    let thr_sq = if threshold < f64::MAX.sqrt() {
+        threshold * threshold
+    } else {
+        f64::INFINITY
+    };
+    let a = directed_within_sq(t1, t2, thr_sq)?;
+    let b = directed_within_sq(t2, t1, thr_sq)?;
+    let d = a.max(b).sqrt();
+    (d < threshold).then_some(d)
+}
+
+// ---------------------------------------------------------------------------
+// Frechet / DTW — shared column-kernel shape
+// ---------------------------------------------------------------------------
+
+/// Early-abandoning discrete Frechet distance.
+///
+/// Sound because the column minimum `cmin` never decreases as reference
+/// points are appended (each new entry takes a `max` with a predecessor
+/// minimum) and the final `f_{m,n}` is an element of the last column.
+pub fn frechet_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
+    if t1.is_empty() || t2.is_empty() {
+        return empty_case(t1.is_empty() && t2.is_empty(), threshold);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None;
+    }
+    let mut col = FrechetColumn::new(t1.len());
+    for p in t2 {
+        col.push_with(t1, |q| q.dist(p));
+        if col.cmin() >= threshold {
+            return None;
+        }
+    }
+    let d = col.last();
+    (d < threshold).then_some(d)
+}
+
+/// Early-abandoning DTW.
+///
+/// Sound because ground costs are non-negative: every entry of column
+/// `j + 1` is `cost + min(three column-j/j+1 predecessors)`, so the column
+/// minimum never decreases and the final `f_{m,n}` is at least every
+/// column's minimum.
+pub fn dtw_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
+    if t1.is_empty() || t2.is_empty() {
+        return empty_case(t1.is_empty() && t2.is_empty(), threshold);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None;
+    }
+    let mut col = DtwColumn::new(t1.len());
+    for p in t2 {
+        col.push(t1, *p);
+        if col.cmin() >= threshold {
+            return None;
+        }
+    }
+    let d = col.last();
+    (d < threshold).then_some(d)
+}
+
+// ---------------------------------------------------------------------------
+// ERP
+// ---------------------------------------------------------------------------
+
+/// Early-abandoning ERP with gap point `gap`.
+///
+/// The DP mirrors [`crate::erp`] exactly (same expressions, same order, so
+/// surviving values are bit-identical); after each row the running row
+/// minimum is checked. All edit costs are non-negative, so row minima are
+/// non-decreasing and the final value dominates every row minimum.
+pub fn erp_within(t1: &[Point], t2: &[Point], gap: Point, threshold: f64) -> Option<f64> {
+    let (m, n) = (t1.len(), t2.len());
+    if m == 0 {
+        let d: f64 = t2.iter().map(|p| p.dist(&gap)).sum();
+        return (d < threshold).then_some(d);
+    }
+    if n == 0 {
+        let d: f64 = t1.iter().map(|p| p.dist(&gap)).sum();
+        return (d < threshold).then_some(d);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None;
+    }
+    let mut prev = Vec::with_capacity(n + 1);
+    prev.push(0.0);
+    for p in t2 {
+        prev.push(prev.last().unwrap() + p.dist(&gap));
+    }
+    let mut cur = vec![0.0f64; n + 1];
+    for a in t1 {
+        let gap_a = a.dist(&gap);
+        cur[0] = prev[0] + gap_a;
+        let mut row_min = cur[0];
+        for (j, b) in t2.iter().enumerate() {
+            cur[j + 1] = (prev[j] + a.dist(b))
+                .min(prev[j + 1] + gap_a)
+                .min(cur[j] + b.dist(&gap));
+            if cur[j + 1] < row_min {
+                row_min = cur[j + 1];
+            }
+        }
+        if row_min >= threshold {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    (d < threshold).then_some(d)
+}
+
+// ---------------------------------------------------------------------------
+// EDR
+// ---------------------------------------------------------------------------
+
+/// Early-abandoning EDR with matching threshold `eps`.
+///
+/// Same row-minimum argument as ERP (unit edit costs are non-negative).
+pub fn edr_within(t1: &[Point], t2: &[Point], eps: f64, threshold: f64) -> Option<f64> {
+    let (m, n) = (t1.len(), t2.len());
+    if m == 0 || n == 0 {
+        let d = (m + n) as f64;
+        return (d < threshold).then_some(d);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None;
+    }
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, a) in t1.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        let mut row_min = cur[0];
+        for (j, b) in t2.iter().enumerate() {
+            let subcost =
+                u32::from(!((a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps));
+            cur[j + 1] = (prev[j] + subcost)
+                .min(prev[j + 1] + 1)
+                .min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if f64::from(row_min) >= threshold {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = f64::from(prev[n]);
+    (d < threshold).then_some(d)
+}
+
+// ---------------------------------------------------------------------------
+// LCSS
+// ---------------------------------------------------------------------------
+
+/// Early-abandoning LCSS distance with matching threshold `eps`.
+///
+/// After consuming `i + 1` of `m` rows, the final match count is at most
+/// `cur[n] + (m - 1 - i)` (appending one point grows an LCS by at most
+/// one), so the best achievable distance is known mid-DP; abandon when even
+/// that cannot beat the threshold.
+pub fn lcss_distance_within(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    threshold: f64,
+) -> Option<f64> {
+    if t1.is_empty() || t2.is_empty() {
+        let d = if t1.is_empty() && t2.is_empty() { 0.0 } else { 1.0 };
+        return (d < threshold).then_some(d);
+    }
+    if threshold.is_nan() || threshold <= 0.0 {
+        return None;
+    }
+    let (m, n) = (t1.len(), t2.len());
+    let minlen = m.min(n);
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for (i, a) in t1.iter().enumerate() {
+        for (j, b) in t2.iter().enumerate() {
+            cur[j + 1] = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        // LCS rows are non-decreasing left-to-right, so cur[n] is the row
+        // maximum; each remaining row can add at most one match.
+        let achievable = (cur[n] as usize + (m - 1 - i)).min(minlen);
+        if 1.0 - achievable as f64 / minlen as f64 >= threshold {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let l = prev[n] as f64;
+    let d = 1.0 - l / t1.len().min(t2.len()) as f64;
+    (d < threshold).then_some(d)
+}
+
+// ---------------------------------------------------------------------------
+// O(m + n) prefilter lower bounds
+// ---------------------------------------------------------------------------
+
+/// `max_{a in from} minDist(a, mbr)` — lower-bounds the directed Hausdorff
+/// term `max_a min_b d(a, b)` because every point of the other trajectory
+/// lies inside `mbr`.
+fn max_min_dist(from: &[Point], mbr: &Mbr) -> f64 {
+    from.iter()
+        .map(|a| mbr.min_dist(*a))
+        .fold(0.0f64, f64::max)
+}
+
+/// MBR lower bound for Hausdorff: both directed terms, each against the
+/// other trajectory's bounding rectangle.
+pub(crate) fn hausdorff_lb(t1: &[Point], t2: &[Point]) -> f64 {
+    let (Some(m1), Some(m2)) = (Mbr::from_points(t1), Mbr::from_points(t2)) else {
+        return 0.0;
+    };
+    max_min_dist(t1, &m2).max(max_min_dist(t2, &m1))
+}
+
+/// Frechet lower bound: Frechet dominates Hausdorff, and it must align the
+/// two start points and the two end points.
+pub(crate) fn frechet_lb(t1: &[Point], t2: &[Point]) -> f64 {
+    let (Some(a1), Some(b1)) = (t1.first(), t2.first()) else {
+        return 0.0;
+    };
+    let (a2, b2) = (t1.last().expect("non-empty"), t2.last().expect("non-empty"));
+    hausdorff_lb(t1, t2).max(a1.dist(b1)).max(a2.dist(b2))
+}
+
+/// DTW lower bound: a warping path visits every row and every column at
+/// least once, so DTW is at least the sum over either trajectory's points
+/// of the minimum distance to the other's bounding rectangle.
+pub(crate) fn dtw_lb(t1: &[Point], t2: &[Point]) -> f64 {
+    let (Some(m1), Some(m2)) = (Mbr::from_points(t1), Mbr::from_points(t2)) else {
+        return 0.0;
+    };
+    let s1: f64 = t1.iter().map(|a| m2.min_dist(*a)).sum();
+    let s2: f64 = t2.iter().map(|b| m1.min_dist(*b)).sum();
+    s1.max(s2)
+}
+
+/// ERP lower bound (Chen & Ng): ERP is a metric and `erp(t, []) = Σ d(p, g)`,
+/// so by the triangle inequality `erp(t1, t2) >= |Σ d(a, g) − Σ d(b, g)|`.
+pub(crate) fn erp_lb(t1: &[Point], t2: &[Point], gap: Point) -> f64 {
+    let s1: f64 = t1.iter().map(|p| p.dist(&gap)).sum();
+    let s2: f64 = t2.iter().map(|p| p.dist(&gap)).sum();
+    (s1 - s2).abs()
+}
+
+/// Whether `p` could match *any* point inside `mbr` under the per-dimension
+/// `eps` test used by LCSS and EDR.
+fn could_match(p: Point, mbr: &Mbr, eps: f64) -> bool {
+    p.x >= mbr.min.x - eps
+        && p.x <= mbr.max.x + eps
+        && p.y >= mbr.min.y - eps
+        && p.y <= mbr.max.y + eps
+}
+
+/// LCSS lower bound: a point outside the other trajectory's `eps`-expanded
+/// MBR can never participate in a match, which caps the achievable LCS
+/// length from both sides.
+pub(crate) fn lcss_lb(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
+    let (Some(m1), Some(m2)) = (Mbr::from_points(t1), Mbr::from_points(t2)) else {
+        return 0.0;
+    };
+    let c1 = t1.iter().filter(|p| could_match(**p, &m2, eps)).count();
+    let c2 = t2.iter().filter(|p| could_match(**p, &m1, eps)).count();
+    let minlen = t1.len().min(t2.len());
+    1.0 - c1.min(c2).min(minlen) as f64 / minlen as f64
+}
+
+/// EDR lower bound: length difference, plus one guaranteed edit per point
+/// that cannot match anything in the other trajectory.
+pub(crate) fn edr_lb(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
+    let len_diff = t1.len().abs_diff(t2.len()) as f64;
+    let (Some(m1), Some(m2)) = (Mbr::from_points(t1), Mbr::from_points(t2)) else {
+        return len_diff;
+    };
+    let u1 = t1.iter().filter(|p| !could_match(**p, &m2, eps)).count();
+    let u2 = t2.iter().filter(|p| !could_match(**p, &m1, eps)).count();
+    len_diff.max(u1 as f64).max(u2 as f64)
+}
+
+/// Applies the prefilter: `true` when the cheap lower bound (shrunk by the
+/// floating-point safety margin) already proves the distance is at or above
+/// the threshold.
+pub(crate) fn prefilter_rejects(lb: f64, threshold: f64) -> bool {
+    lb * LB_SAFETY >= threshold
+}
+
+/// Whether a [`crate::MeasureParams::lower_bound`] value proves the exact
+/// distance is *strictly above* `cutoff` — with the same floating-point
+/// safety margin the `distance_within` prefilter applies, so an
+/// ulp-overshooting bound can never disqualify a candidate whose true
+/// distance is at or below the cutoff.
+///
+/// This is the correct test for skipping candidates in a scan that keeps
+/// everything with `distance <= cutoff` (the running-top-k loops of the
+/// serving layer and the baselines): sorted by lower bound, the scan may
+/// stop at the first candidate for which this returns `true`.
+pub fn bound_exceeds(lb: f64, cutoff: f64) -> bool {
+    lb * LB_SAFETY > cutoff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dtw, edr, erp, frechet, hausdorff, lcss_distance};
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    const G: Point = Point::new(0.0, 0.0);
+
+    fn fixtures() -> Vec<(Vec<Point>, Vec<Point>)> {
+        vec![
+            (
+                pts(&[(0.5, 6.5), (2.5, 6.5), (4.5, 6.5)]),
+                pts(&[(0.5, 7.5), (2.5, 7.5), (6.5, 7.5), (6.5, 4.5)]),
+            ),
+            (
+                pts(&[(0.0, 0.0), (1.0, 1.0)]),
+                pts(&[(10.0, 10.0), (11.0, 10.0), (12.0, 11.0)]),
+            ),
+            (pts(&[(3.0, 3.0)]), pts(&[(3.0, 3.0)])),
+            (
+                pts(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0)]),
+                pts(&[(0.1, 0.1), (5.1, 0.1), (5.1, 5.1)]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn hausdorff_within_agrees_bitwise() {
+        for (a, b) in fixtures() {
+            let d = hausdorff(&a, &b);
+            for thr in [d * 0.5, d, d * 1.5 + 0.1, f64::INFINITY] {
+                let got = hausdorff_within(&a, &b, thr);
+                if d < thr {
+                    assert_eq!(got.map(f64::to_bits), Some(d.to_bits()));
+                } else {
+                    assert_eq!(got, None);
+                }
+            }
+        }
+    }
+
+    type WithinFn = fn(&[Point], &[Point], f64) -> Option<f64>;
+
+    #[test]
+    fn dp_kernels_agree_bitwise() {
+        for (a, b) in fixtures() {
+            let cases: [(f64, WithinFn); 2] = [
+                (frechet(&a, &b), frechet_within),
+                (dtw(&a, &b), dtw_within),
+            ];
+            for (d, f) in cases {
+                for thr in [d * 0.5, d, d * 2.0 + 0.1, f64::INFINITY] {
+                    let got = f(&a, &b, thr);
+                    if d < thr {
+                        assert_eq!(got.map(f64::to_bits), Some(d.to_bits()));
+                    } else {
+                        assert_eq!(got, None);
+                    }
+                }
+            }
+            let d = erp(&a, &b, G);
+            assert_eq!(
+                erp_within(&a, &b, G, f64::INFINITY).map(f64::to_bits),
+                Some(d.to_bits())
+            );
+            assert_eq!(erp_within(&a, &b, G, d), None);
+            for eps in [0.2, 1.5] {
+                let d = edr(&a, &b, eps);
+                assert_eq!(
+                    edr_within(&a, &b, eps, d + 0.5).map(f64::to_bits),
+                    Some(d.to_bits())
+                );
+                assert_eq!(edr_within(&a, &b, eps, d), None);
+                let d = lcss_distance(&a, &b, eps);
+                assert_eq!(
+                    lcss_distance_within(&a, &b, eps, d.next_up()).map(f64::to_bits),
+                    Some(d.to_bits())
+                );
+                assert_eq!(lcss_distance_within(&a, &b, eps, d), None);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_follow_unbounded_conventions() {
+        let a = pts(&[(1.0, 2.0)]);
+        assert_eq!(hausdorff_within(&[], &[], 0.5), Some(0.0));
+        assert_eq!(hausdorff_within(&a, &[], 1e300), None); // infinity never beats
+        assert_eq!(frechet_within(&[], &a, f64::INFINITY), None);
+        assert_eq!(dtw_within(&[], &[], 0.1), Some(0.0));
+        assert_eq!(erp_within(&a, &[], G, 3.0), Some(a[0].dist(&G)));
+        assert_eq!(edr_within(&a, &[], 0.1, 2.0), Some(1.0));
+        assert_eq!(edr_within(&a, &[], 0.1, 1.0), None);
+        assert_eq!(lcss_distance_within(&a, &[], 0.1, 2.0), Some(1.0));
+        assert_eq!(lcss_distance_within(&[], &[], 0.1, 0.5), Some(0.0));
+    }
+
+    #[test]
+    fn non_positive_thresholds_reject_everything() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(hausdorff_within(&a, &a, 0.0), None);
+        assert_eq!(dtw_within(&a, &a, -1.0), None);
+        assert_eq!(frechet_within(&a, &a, f64::NAN), None);
+        assert_eq!(erp_within(&a, &a, G, 0.0), None);
+        assert_eq!(edr_within(&a, &a, 0.1, 0.0), None);
+        assert_eq!(lcss_distance_within(&a, &a, 0.1, 0.0), None);
+    }
+
+    #[test]
+    fn just_above_is_the_successor() {
+        assert!(just_above(0.0) > 0.0);
+        let x = 3.75f64;
+        assert!(just_above(x) > x);
+        assert_eq!(just_above(x).next_down(), x);
+        assert_eq!(just_above(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn prefilters_lower_bound_the_exact_distances() {
+        for (a, b) in fixtures() {
+            assert!(hausdorff_lb(&a, &b) <= hausdorff(&a, &b) + 1e-9);
+            assert!(frechet_lb(&a, &b) <= frechet(&a, &b) + 1e-9);
+            assert!(dtw_lb(&a, &b) <= dtw(&a, &b) + 1e-9);
+            assert!(erp_lb(&a, &b, G) <= erp(&a, &b, G) + 1e-9);
+            for eps in [0.2, 1.5] {
+                assert!(lcss_lb(&a, &b, eps) <= lcss_distance(&a, &b, eps) + 1e-9);
+                assert!(edr_lb(&a, &b, eps) <= edr(&a, &b, eps) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_separated_trajectories_without_dp() {
+        // Far apart: the MBR bound alone proves the distance exceeds 1.0.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(100.0, 100.0), (101.0, 100.0)]);
+        assert!(hausdorff_lb(&a, &b) > 100.0);
+        assert!(prefilter_rejects(hausdorff_lb(&a, &b), 1.0));
+        assert!(!prefilter_rejects(hausdorff_lb(&a, &b), 1e6));
+    }
+}

@@ -20,8 +20,13 @@ pub struct SearchStats {
     pub leaves_visited: usize,
     /// Leaf payloads skipped by `LBt`/`LBp`.
     pub leaves_pruned: usize,
-    /// Exact trajectory distance computations.
+    /// Exact trajectory distance computations (attempted verifications;
+    /// includes the abandoned ones).
     pub exact_computations: usize,
+    /// Verifications the threshold-aware kernel cut short: the candidate
+    /// was refuted by the running k-th distance before paying the full
+    /// `O(m·n)` cost (prefilter hit or mid-DP abandon).
+    pub exact_abandoned: usize,
 }
 
 impl SearchStats {
@@ -33,6 +38,7 @@ impl SearchStats {
         self.leaves_visited += other.leaves_visited;
         self.leaves_pruned += other.leaves_pruned;
         self.exact_computations += other.exact_computations;
+        self.exact_abandoned += other.exact_abandoned;
     }
 }
 
@@ -211,13 +217,19 @@ pub(crate) fn top_k_filtered(
                             continue;
                         }
                     }
-                    let d = params.distance(cfg.measure, query, &t.points);
+                    // Verify under the *live* k-th distance: the kernel
+                    // returns the exact distance only when it beats dk and
+                    // abandons (cheaply) when it cannot — same results as
+                    // the unbounded `params.distance` + `d < dk` check.
                     stats.exact_computations += 1;
-                    if d < dk(&best) {
-                        best.push(Worst { dist: d, id: t.id });
-                        if best.len() > k {
-                            best.pop();
+                    match params.distance_within(cfg.measure, query, &t.points, dk(&best)) {
+                        Some(d) => {
+                            best.push(Worst { dist: d, id: t.id });
+                            if best.len() > k {
+                                best.pop();
+                            }
                         }
+                        None => stats.exact_abandoned += 1,
                     }
                 }
             } else {
@@ -401,6 +413,38 @@ mod tests {
             r.stats.exact_computations,
             trajs.len()
         );
+    }
+
+    #[test]
+    fn early_abandoning_kicks_in_on_selective_queries() {
+        // Decoys sharing τ1's exact cell sequence (coarse level-1 grid):
+        // the leaf bound cannot separate them, so every member reaches
+        // exact verification — where only the threshold-aware kernel can
+        // refute the ones that lose to the running k-th distance.
+        let mut trajs = paper_dataset();
+        let base = &trajs[0].points.clone();
+        for i in 0..40u64 {
+            let jit = (i % 8) as f64 * 0.18;
+            trajs.push(Trajectory::new(
+                100 + i,
+                base.iter().map(|p| Point::new(p.x + jit, p.y)).collect(),
+            ));
+        }
+        let grid = Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 1);
+        for measure in Measure::ALL {
+            let trie = RpTrie::build(
+                &trajs,
+                grid.clone(),
+                RpTrieConfig::for_measure(measure).with_params(MeasureParams::with_eps(1.5)),
+            );
+            let r = trie.top_k(&trajs, &query(), 2);
+            assert!(
+                r.stats.exact_abandoned > 0,
+                "{measure}: expected abandoned verifications, stats {:?}",
+                r.stats
+            );
+            assert!(r.stats.exact_abandoned <= r.stats.exact_computations);
+        }
     }
 
     #[test]

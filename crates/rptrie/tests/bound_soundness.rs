@@ -102,6 +102,55 @@ proptest! {
         check_complete_ranking(&trajs, &query, measure, params, level)?;
     }
 
+    /// Small k keeps the running k-th distance `dk` finite, so exact
+    /// verification runs through the early-abandoning kernels — the result
+    /// must still match brute force exactly, and abandons can never exceed
+    /// attempted verifications.
+    #[test]
+    fn early_abandoning_verification_matches_brute_force(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..32.0, 0.0f64..32.0), 1..10),
+            3..25,
+        ),
+        query in proptest::collection::vec((0.0f64..32.0, 0.0f64..32.0), 1..8),
+        k in 1usize..4,
+        level in 1u8..5,
+        measure_idx in 0usize..6,
+    ) {
+        let trajs: Vec<Trajectory> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Trajectory::new(i as u64, pts(&p)))
+            .collect();
+        let query = pts(&query);
+        let measure = Measure::ALL[measure_idx];
+        let params = MeasureParams::with_eps(1.5);
+        let grid = Grid::new(region(), level);
+        let trie = RpTrie::build(
+            &trajs,
+            grid,
+            RpTrieConfig::for_measure(measure).with_params(params).with_np(2),
+        );
+        let r = trie.top_k(&trajs, &query, k);
+        prop_assert!(r.stats.exact_abandoned <= r.stats.exact_computations);
+        let mut expect: Vec<(f64, u64)> = trajs
+            .iter()
+            .map(|t| (params.distance(measure, &query, &t.points), t.id))
+            .collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Ties at the k-th distance may resolve to either id (Definition 3
+        // permits any tied subset), so compare the distance sequence — it
+        // must match brute force bit-for-bit — and check each reported
+        // (id, dist) pair is that trajectory's true exact distance.
+        prop_assert_eq!(r.hits.len(), k.min(trajs.len()), "{} k={}", measure, k);
+        for (h, e) in r.hits.iter().zip(&expect) {
+            prop_assert_eq!(h.dist.to_bits(), e.0.to_bits(), "{}: dist drifted", measure);
+            let t = trajs.iter().find(|t| t.id == h.id).expect("hit id exists");
+            let exact = params.distance(measure, &query, &t.points);
+            prop_assert_eq!(h.dist.to_bits(), exact.to_bits(), "{}: wrong hit dist", measure);
+        }
+    }
+
     /// Duplicated trajectories: many ids share one leaf; Dmax and the tie
     /// handling must cope.
     #[test]

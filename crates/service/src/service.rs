@@ -73,8 +73,13 @@ pub struct ServiceOutcome {
     pub cache_hit: bool,
     /// Local-search work counters (all zero on a cache hit).
     pub search: SearchStats,
-    /// Delta-buffer candidates scored exactly for this query.
+    /// Delta-buffer candidates considered for this query.
     pub delta_candidates: usize,
+    /// Exact verifications (delta scan + trie search) refuted by the
+    /// running top-k threshold before paying full kernel cost. Delta
+    /// candidates skipped outright — their cheap lower bound already lost
+    /// to the threshold — count here too.
+    pub exact_abandoned: usize,
 }
 
 /// A thread-safe online serving layer over a [`Repose`] deployment.
@@ -203,6 +208,7 @@ impl ReposeService {
                 cache_hit: true,
                 search: SearchStats::default(),
                 delta_candidates: 0,
+                exact_abandoned: 0,
             };
         }
         ServiceCounters::bump(&self.counters.cache_misses);
@@ -215,19 +221,14 @@ impl ReposeService {
         let filter = |t: &Trajectory| !tombstones.contains_key(&t.id);
         for (pi, delta) in deltas.iter().enumerate() {
             let view = frozen.partition_view(pi);
-            // Score the partition's live delta candidates exactly; they
-            // seed the trie search with a tight shared threshold.
-            let mut seeds: Vec<Hit> = delta
-                .iter()
-                .map(|t| Hit {
-                    id: t.id,
-                    dist: view.trie.exact_distance(query, &t.points),
-                })
-                .collect();
-            delta_candidates += seeds.len();
-            search.exact_computations += seeds.len();
-            seeds.sort_by(Hit::cmp_by_dist_then_id);
-            seeds.truncate(k);
+            // Score the partition's live delta candidates under a running
+            // top-k threshold: cheapest lower bound first, so the earliest
+            // (likely closest) candidates tighten the threshold and the
+            // rest are refuted by the early-abandoning kernel — or skipped
+            // outright once even their lower bound cannot win. The k
+            // survivors seed the trie search with a tight shared threshold.
+            let seeds = scan_delta(view.trie, query, k, delta, &mut search);
+            delta_candidates += delta.len();
             let local = view.trie.top_k_seeded(view.trajs, query, k, &seeds, Some(&filter));
             search.merge(&local.stats);
             hits.extend_from_slice(&local.hits);
@@ -245,6 +246,7 @@ impl ReposeService {
             hits,
             latency,
             cache_hit: false,
+            exact_abandoned: search.exact_abandoned,
             search,
             delta_candidates,
         }
@@ -351,6 +353,56 @@ impl ReposeService {
             .collect();
         (Arc::clone(&s.frozen), deltas, Arc::clone(&s.tombstones))
     }
+}
+
+/// Scores one partition's delta candidates against the query, cheapest
+/// lower bound first, keeping the best `k` under a running threshold
+/// ([`repose_distance::MeasureParams::refine_by_bound`]).
+///
+/// Returns the same `k` best `(dist, id)` seeds a full exact scan would
+/// (ties included), while charging far less: hopeless candidates are
+/// refuted by the early-abandoning kernel, and once even the cheap lower
+/// bound cannot beat the k-th distance the (sorted) remainder is skipped
+/// outright. Every candidate counts as an attempted verification, so
+/// `exact_abandoned <= exact_computations` always holds.
+fn scan_delta(
+    trie: &repose_rptrie::RpTrie,
+    query: &[repose_model::Point],
+    k: usize,
+    delta: &[Arc<Trajectory>],
+    search: &mut SearchStats,
+) -> Vec<Hit> {
+    use repose_distance::RefineEvent;
+
+    if k == 0 || delta.is_empty() {
+        return Vec::new();
+    }
+    let measure = trie.measure();
+    let params = trie.params();
+    let cands: Vec<(f64, u64, &[repose_model::Point])> = delta
+        .iter()
+        .map(|t| {
+            (
+                params.lower_bound(measure, query, &t.points),
+                t.id,
+                t.points.as_slice(),
+            )
+        })
+        .collect();
+    params
+        .refine_by_bound(measure, query, k, f64::INFINITY, cands, |e| match e {
+            RefineEvent::Scored { abandoned } => {
+                search.exact_computations += 1;
+                search.exact_abandoned += usize::from(abandoned);
+            }
+            RefineEvent::SkippedRest(n) => {
+                search.exact_computations += n;
+                search.exact_abandoned += n;
+            }
+        })
+        .into_iter()
+        .map(|(dist, id)| Hit { id, dist })
+        .collect()
 }
 
 impl std::fmt::Debug for ReposeService {

@@ -399,6 +399,32 @@ fn service_on_empty_deployment() {
 }
 
 #[test]
+fn delta_scan_abandons_hopeless_candidates() {
+    // A large uncompacted write burst, mostly far from the query: the
+    // lower-bound-sorted delta scan must refute most candidates without
+    // full-cost exact scoring, while the answer stays exact.
+    let cfg = config(Measure::Hausdorff);
+    let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
+    for id in 40..120 {
+        service.insert(traj(id));
+    }
+    let q = &queries()[0];
+    let out = service.query(q, 3);
+    assert!(out.delta_candidates > 0, "delta must be scanned");
+    assert!(
+        out.exact_abandoned > 0,
+        "hopeless delta candidates should be abandoned, outcome scanned {} / abandoned {}",
+        out.delta_candidates,
+        out.exact_abandoned
+    );
+    assert_eq!(out.exact_abandoned, out.search.exact_abandoned);
+    assert_eq!(
+        out.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+        rebuilt_ids(&dataset(0..120), cfg, q, 3)
+    );
+}
+
+#[test]
 fn batch_queries_and_latency_stats() {
     let cfg = config(Measure::Hausdorff);
     let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
