@@ -1,6 +1,6 @@
 use crate::{merge_top_k, refine_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
 use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats};
-use repose_distance::{Measure, MeasureParams};
+use repose_distance::{bound_exceeds, Measure, MeasureParams};
 use repose_model::{Dataset, Mbr, Point};
 use repose_zorder::geohash_cell;
 use std::time::{Duration, Instant};
@@ -319,7 +319,10 @@ impl Dita {
                 .iter()
                 .zip(&lbs[pi])
                 .filter_map(|(t, &lb)| {
-                    (lb <= r).then_some((lb, t.id, t.points.as_slice()))
+                    // fp-safety-margined gate: an ulp-overshooting bound
+                    // must never exclude a candidate whose exact distance
+                    // is within the range (see `bound_exceeds`)
+                    (!bound_exceeds(lb, r)).then_some((lb, t.id, t.points.as_slice()))
                 })
                 .collect();
             refine_top_k(cands, query, measure, &params, k, f64::INFINITY)
@@ -346,7 +349,10 @@ impl Dita {
                 .iter()
                 .zip(&lbs[pi])
                 .filter_map(|(t, &lb)| {
-                    (lb <= dk).then_some((lb, t.id, t.points.as_slice()))
+                    // same margin as above: every true hit has exact
+                    // distance <= dk, so its (possibly ulp-overshooting)
+                    // bound must not disqualify it here
+                    (!bound_exceeds(lb, dk)).then_some((lb, t.id, t.points.as_slice()))
                 })
                 .collect();
             refine_top_k(cands, query, measure, &params, k, dk)

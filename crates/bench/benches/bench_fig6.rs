@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for k in [1usize, 10, 50, 100] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(r.query(&queries[0].points, k)))
+            b.iter(|| black_box(r.query_independent(&queries[0].points, k)))
         });
     }
     group.finish();

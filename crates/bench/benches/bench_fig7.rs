@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
         });
         let r = Repose::build(&data, config(optimize));
         group.bench_function(format!("query_{label}"), |b| {
-            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+            b.iter(|| black_box(r.query_independent(&queries[0].points, cfg.k)))
         });
     }
     group.finish();

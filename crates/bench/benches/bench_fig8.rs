@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                 .with_delta(PaperDataset::Osm.paper_delta(Measure::Hausdorff)),
         );
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
-            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+            b.iter(|| black_box(r.query_independent(&queries[0].points, cfg.k)))
         });
     }
     group.finish();

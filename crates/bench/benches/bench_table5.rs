@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(delta),
             &delta,
-            |b, _| b.iter(|| black_box(r.query(&queries[0].points, cfg.k))),
+            |b, _| b.iter(|| black_box(r.query_independent(&queries[0].points, cfg.k))),
         );
     }
     group.finish();

@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                 .with_np(np),
         );
         group.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, _| {
-            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+            b.iter(|| black_box(r.query_independent(&queries[0].points, cfg.k)))
         });
     }
     group.finish();

@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 .with_strategy(strategy),
         );
         group.bench_function(strategy.name(), |b| {
-            b.iter(|| black_box(r.query(&queries[0].points, cfg.k)))
+            b.iter(|| black_box(r.query_independent(&queries[0].points, cfg.k)))
         });
     }
     group.finish();

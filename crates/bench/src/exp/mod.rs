@@ -3,6 +3,7 @@
 
 pub mod dist;
 pub mod fig6;
+pub mod scale;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -48,5 +49,10 @@ pub const ALL: &[Experiment] = &[
         name: "dist",
         what: "Early-abandoning exact kernels: abandoned verifications + speedup",
         run: dist::run,
+    },
+    Experiment {
+        name: "scale",
+        what: "Shared-threshold vs independent partition search across partition counts",
+        run: scale::run,
     },
 ];

@@ -1,0 +1,167 @@
+//! Cross-partition shared-threshold scaling experiment (beyond the paper):
+//! how much exact-verification work and simulated query time the live
+//! global top-k bound saves over independent per-partition search, as the
+//! number of partitions grows.
+//!
+//! For each measure and partition count the same deployment answers the
+//! same queries twice:
+//!
+//! * **shared** — [`repose::Repose::query`]: all partitions run
+//!   concurrently against one `SharedTopK` collector, each published hit
+//!   tightening every other partition's pruning threshold mid-flight;
+//! * **independent** — [`repose::Repose::query_independent`]: the paper's
+//!   execution model, every partition under an infinite threshold, merge
+//!   at the end.
+//!
+//! Results must be distance-identical (the experiment verifies this per
+//! query and reports it); shared must never do *more* exact computations
+//! (a structural guarantee — the shared bound only tightens each local
+//! threshold) and on the clustered datagen workload does strictly fewer.
+
+use crate::runner::{load, params_for, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, QueryOutcome, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use serde_json::{json, Value};
+
+/// Partition counts swept: quarters up to the configured count.
+fn partition_sweep(max: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = [max / 4, max / 2, max]
+        .into_iter()
+        .map(|p| p.max(2))
+        .collect();
+    v.dedup();
+    v
+}
+
+fn sorted_dist_bits(o: &QueryOutcome) -> Vec<u64> {
+    let mut d: Vec<u64> = o.hits.iter().map(|h| h.dist.to_bits()).collect();
+    d.sort_unstable();
+    d
+}
+
+/// Runs the shared-threshold scaling experiment over all six measures.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let (data, queries) = load(ds, exp);
+    if data.is_empty() || queries.is_empty() {
+        eprintln!("[scale] nothing to measure (empty dataset or --queries 0)");
+        return Value::Array(Vec::new());
+    }
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for measure in Measure::ALL {
+        let params = params_for(ds, measure);
+        for partitions in partition_sweep(exp.partitions) {
+            // Single cold timing run for both arms: shared execution is
+            // always timed cold (re-runs would see a warm collector), so
+            // the independent arm must not get min-of-repeats either.
+            let cfg = ReposeConfig::new(measure)
+                .with_cluster(exp.cluster.with_timing_repeats(1))
+                .with_partitions(partitions)
+                .with_delta(ds.paper_delta(measure))
+                .with_params(params)
+                .with_seed(exp.seed);
+            let r = Repose::build(&data, cfg);
+            let mut shared_exact = 0usize;
+            let mut indep_exact = 0usize;
+            let mut bounds_abandoned = 0usize;
+            let mut shared_qt = 0.0f64;
+            let mut indep_qt = 0.0f64;
+            let mut identical = true;
+            for q in &queries {
+                let s = r.query(&q.points, exp.k);
+                let i = r.query_independent(&q.points, exp.k);
+                identical &= sorted_dist_bits(&s) == sorted_dist_bits(&i);
+                shared_exact += s.search.exact_computations;
+                indep_exact += i.search.exact_computations;
+                bounds_abandoned += s.search.bounds_abandoned;
+                shared_qt += s.query_time().as_secs_f64();
+                indep_qt += i.query_time().as_secs_f64();
+            }
+            let nq = queries.len() as f64;
+            let ratio = if indep_exact > 0 {
+                shared_exact as f64 / indep_exact as f64
+            } else {
+                1.0
+            };
+            rows.push(vec![
+                measure.name().to_string(),
+                partitions.to_string(),
+                indep_exact.to_string(),
+                shared_exact.to_string(),
+                format!("{:.0}%", ratio * 100.0),
+                bounds_abandoned.to_string(),
+                fmt_secs(indep_qt / nq),
+                fmt_secs(shared_qt / nq),
+                if identical { "yes" } else { "NO" }.to_string(),
+            ]);
+            out.push(json!({
+                "measure": measure.name(),
+                "partitions": partitions,
+                "indep_exact": indep_exact,
+                "shared_exact": shared_exact,
+                "exact_ratio": ratio,
+                "bounds_abandoned": bounds_abandoned,
+                "indep_qt_s": indep_qt / nq,
+                "shared_qt_s": shared_qt / nq,
+                "identical": identical,
+            }));
+        }
+    }
+    println!(
+        "\n== scale: shared-threshold vs independent partitions, k = {}, {} queries, scale {} ==",
+        exp.k, exp.queries, exp.scale
+    );
+    print_table(
+        &[
+            "Measure", "parts", "indep exact", "shared exact", "ratio",
+            "bound skips", "indep QT", "shared QT", "identical",
+        ],
+        &rows,
+    );
+    Value::Array(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn shared_never_exceeds_and_beats_independent_overall() {
+        let exp = ExpConfig {
+            scale: 0.05,
+            queries: 2,
+            k: 5,
+            partitions: 8,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 11,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp);
+        let rows = v.as_array().expect("rows");
+        assert_eq!(rows.len(), 6 * partition_sweep(exp.partitions).len());
+        let mut per_measure: std::collections::HashMap<&str, (u64, u64)> =
+            std::collections::HashMap::new();
+        for row in rows {
+            assert!(row["identical"].as_bool().unwrap(), "{row:?}");
+            let shared = row["shared_exact"].as_u64().unwrap();
+            let indep = row["indep_exact"].as_u64().unwrap();
+            // structural guarantee: holds on every tested config
+            assert!(shared <= indep, "{row:?}");
+            let e = per_measure
+                .entry(row["measure"].as_str().unwrap())
+                .or_insert((0, 0));
+            e.0 += shared;
+            e.1 += indep;
+        }
+        // the win must be real on the clustered workload: strictly fewer
+        // exact computations per measure (summed over partition counts)
+        for (m, (shared, indep)) in per_measure {
+            assert!(shared < indep, "{m}: shared {shared} !< indep {indep}");
+        }
+    }
+}

@@ -66,7 +66,7 @@ fn run_mixed(
                     let out = service.query(&q.points, k);
                     local.push(out.latency);
                     reads.fetch_add(1, Ordering::Relaxed);
-                    abandoned.fetch_add(out.exact_abandoned as u64, Ordering::Relaxed);
+                    abandoned.fetch_add(out.search.exact_abandoned as u64, Ordering::Relaxed);
                 }
                 read_samples.lock().expect("samples").extend(local);
             });

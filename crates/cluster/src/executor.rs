@@ -56,6 +56,41 @@ impl Cluster {
         R: Send,
         F: Fn(usize, &[T]) -> R + Sync,
     {
+        self.run_partitions_repeated(data, f, self.config.timing_repeats)
+    }
+
+    /// Like [`Cluster::run_partitions`] but always times a *single cold
+    /// run*, ignoring `timing_repeats`.
+    ///
+    /// Required for closures that mutate cross-partition shared state —
+    /// e.g. a shared top-k threshold collector: a timing re-run would
+    /// execute against the already-tightened collector, do a fraction of
+    /// the first run's work, and the min-of-repeats would report warm-
+    /// rerun cost instead of the job's true cost.
+    pub fn run_partitions_cold<T, R, F>(
+        &self,
+        data: &DistDataset<T>,
+        f: F,
+    ) -> (Vec<R>, Vec<Duration>, Duration)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        self.run_partitions_repeated(data, f, 1)
+    }
+
+    fn run_partitions_repeated<T, R, F>(
+        &self,
+        data: &DistDataset<T>,
+        f: F,
+        timing_repeats: usize,
+    ) -> (Vec<R>, Vec<Duration>, Duration)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
         let started = Instant::now();
         let n = data.num_partitions();
         let results: Mutex<Vec<Option<(R, Duration)>>> =
@@ -73,7 +108,7 @@ impl Cluster {
                     let r = f(p, data.partition(p));
                     let mut dt = t0.elapsed();
                     // Extra timing runs: keep the minimum (steady state).
-                    for _ in 1..self.config.timing_repeats {
+                    for _ in 1..timing_repeats {
                         let t0 = Instant::now();
                         let _ = f(p, data.partition(p));
                         dt = dt.min(t0.elapsed());

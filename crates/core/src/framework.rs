@@ -1,7 +1,7 @@
 use crate::{partition_dataset, ReposeConfig};
 use repose_cluster::{Cluster, DistDataset, JobStats};
 use repose_model::{Dataset, Mbr, Point, Trajectory};
-use repose_rptrie::{Hit, RpTrie, SearchStats};
+use repose_rptrie::{Hit, RpTrie, SearchStats, SharedTopK};
 use repose_zorder::Grid;
 use std::time::{Duration, Instant};
 
@@ -16,8 +16,8 @@ pub(crate) struct LocalPartition {
 /// The outcome of one distributed top-k query.
 ///
 /// Every [`Repose`] query variant ([`Repose::query`],
-/// [`Repose::query_two_phase`], [`Repose::query_batch`]) returns one of
-/// these. The three fields answer the three questions the paper's
+/// [`Repose::query_independent`], [`Repose::query_two_phase`],
+/// [`Repose::query_batch`]) returns one of these. The three fields answer the three questions the paper's
 /// evaluation asks of a query: *what* was found (`hits`), *how long* the
 /// simulated cluster took (`job`, whose makespan is the paper's QT metric),
 /// and *how much work* the local indexes did (`search`, the pruning-power
@@ -117,9 +117,31 @@ impl Repose {
         Repose { config, cluster, data, region, build_stats, partition_wall }
     }
 
-    /// Runs a distributed top-k query: local search per partition
-    /// (`mapPartitions`), then a master-side merge (`collect`).
+    /// Runs a distributed top-k query with **cross-partition shared-
+    /// threshold execution**: every partition's local search runs
+    /// concurrently against one live [`SharedTopK`] collector, publishing
+    /// each accepted hit and re-reading the collector's global k-th-
+    /// distance bound at every pruning decision — so partition 7 stops
+    /// verifying candidates partition 0 already proved hopeless, while the
+    /// results stay exact (identical distance multiset to
+    /// [`Repose::query_independent`]; ties may resolve per Definition 3).
+    ///
+    /// Never performs more exact distance computations than the
+    /// independent path on any interleaving: the shared bound only ever
+    /// tightens each local search's own threshold, so each partition's
+    /// work is a subset of its independent-run work.
     pub fn query(&self, query: &[Point], k: usize) -> QueryOutcome {
+        self.query_with_collector(query, k, None)
+    }
+
+    /// The pre-shared-threshold execution: every partition searches
+    /// independently under an infinite initial threshold and results merge
+    /// only at the end (`mapPartitions` + `collect` with no cross-task
+    /// communication — exactly the paper's execution model).
+    ///
+    /// Kept as the verification baseline for [`Repose::query`] and as the
+    /// comparison arm of the `scale` experiment; prefer `query`.
+    pub fn query_independent(&self, query: &[Point], k: usize) -> QueryOutcome {
         let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
             let part = &chunk[0];
             part.trie.top_k(&part.trajs, query, k)
@@ -142,38 +164,66 @@ impl Repose {
         QueryOutcome { hits, job, search }
     }
 
-    /// Two-phase distributed top-k (an extension beyond the paper):
-    /// phase 1 answers the query on a single partition; its local k-th
-    /// distance upper-bounds the global k-th distance (any partition's
-    /// local top-k is a superset restriction), so phase 2 can push it into
-    /// every other partition's search as an initial pruning threshold.
+    /// Two-phase distributed top-k: a degenerate configuration of the
+    /// shared-threshold execution in which one *seed partition* completes
+    /// its local search first (sequentially), pre-tightening the shared
+    /// collector before every other partition starts; the remaining
+    /// partitions then run concurrently against the same collector and
+    /// keep tightening each other as in [`Repose::query`].
     ///
-    /// Exact like [`Repose::query`] up to tie resolution (Definition 3
-    /// permits any tied subset). Most effective with heterogeneous
-    /// partitioning, where every partition is a representative sample and
-    /// the seed threshold is already near the global k-th distance.
+    /// The seed is the partition whose trie root bound is closest to the
+    /// query (cheap one-cell `LBo` over the root's children — no exact
+    /// kernels), so the initial threshold starts as tight as a single
+    /// partition can make it. Exact like `query` up to tie resolution.
+    /// Most effective with heterogeneous partitioning, where every
+    /// partition is a representative sample and the seed threshold is
+    /// already near the global k-th distance.
     pub fn query_two_phase(&self, query: &[Point], k: usize) -> QueryOutcome {
         if self.config.num_partitions <= 1 || k == 0 {
             return self.query(query, k);
         }
-        // Phase 1: seed partition (partition 0) answers locally.
-        let seed_part = &self.data.partition(0)[0];
-        let t0 = Instant::now();
-        let seed = seed_part.trie.top_k(&seed_part.trajs, query, k);
-        let seed_time = t0.elapsed();
-        let threshold = seed.kth_distance(k).unwrap_or(f64::INFINITY);
+        let seed = self.best_seed_partition(query);
+        self.query_with_collector(query, k, Some(seed))
+    }
 
-        // Phase 2: all other partitions search under the seed threshold.
-        let (locals, mut times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
-            if pi == 0 {
+    /// Shared-threshold execution, optionally with a sequential seed phase
+    /// (see [`Repose::query`] / [`Repose::query_two_phase`]).
+    ///
+    /// Always timed as a single cold run
+    /// ([`Cluster::run_partitions_cold`]): a timing re-run would execute
+    /// against the already-tightened collector and under-report the job's
+    /// true cost.
+    fn query_with_collector(
+        &self,
+        query: &[Point],
+        k: usize,
+        seed: Option<usize>,
+    ) -> QueryOutcome {
+        let collector = SharedTopK::new(k);
+
+        // Optional phase 1: the seed partition answers alone, publishing
+        // its hits so phase 2 starts from its local k-th distance.
+        let mut seed_time = Duration::ZERO;
+        let seed_result = seed.map(|si| {
+            let part = &self.data.partition(si)[0];
+            let t0 = Instant::now();
+            let r = part.trie.top_k_shared(&part.trajs, query, k, &[], None, &collector);
+            seed_time = t0.elapsed();
+            r
+        });
+
+        let (locals, mut times, wall) = self.cluster.run_partitions_cold(&self.data, |pi, chunk| {
+            if Some(pi) == seed {
                 return None;
             }
             let part = &chunk[0];
-            Some(part.trie.top_k_bounded(&part.trajs, query, k, threshold))
+            Some(part.trie.top_k_shared(&part.trajs, query, k, &[], None, &collector))
         });
-        // The seed partition's cost happened in phase 1; schedule it as the
-        // first task so the makespan accounts for both phases honestly.
-        times[0] = seed_time;
+        if let Some(si) = seed {
+            // The seed partition's cost happened in phase 1; schedule it as
+            // a task so the makespan accounts for both phases honestly.
+            times[si] = seed_time;
+        }
         let job = JobStats::simulate(
             times,
             (0..self.config.num_partitions).collect(),
@@ -181,9 +231,9 @@ impl Repose {
             self.config.cluster.cores_per_worker,
             wall + seed_time,
         );
-        let mut search = seed.stats;
-        let mut hits: Vec<Hit> = seed.hits;
-        for l in locals.into_iter().flatten() {
+        let mut search = SearchStats::default();
+        let mut hits: Vec<Hit> = Vec::with_capacity(k * (locals.len() + 1).min(8));
+        for l in seed_result.iter().chain(locals.iter().flatten()) {
             search.merge(&l.stats);
             hits.extend_from_slice(&l.hits);
         }
@@ -192,21 +242,45 @@ impl Repose {
         QueryOutcome { hits, job, search }
     }
 
+    /// The partition with the smallest root-level lower bound on its
+    /// distance to `query` — the most promising two-phase seed. Falls back
+    /// to partition 0 on ties (including the LCSS all-zero-bound case) and
+    /// for empty partitions (whose bound is infinite).
+    fn best_seed_partition(&self, query: &[Point]) -> usize {
+        let mut best = 0usize;
+        let mut best_bound = f64::INFINITY;
+        for pi in 0..self.config.num_partitions {
+            let b = self.data.partition(pi)[0].trie.root_bound(query);
+            if b < best_bound {
+                best_bound = b;
+                best = pi;
+            }
+        }
+        best
+    }
+
     /// Executes a *batch* of queries as one distributed job — the paper's
     /// motivating analytics workload ("ride-hailing companies tend to
     /// issue a batch of analysis queries", Section V-A).
     ///
     /// Each partition answers every query in one pass over its local index,
     /// so the simulated makespan reflects batch amortization: one task per
-    /// partition rather than one job per query.
+    /// partition rather than one job per query. Every query gets its own
+    /// [`SharedTopK`] collector, shared by all concurrently executing
+    /// partition tasks, so the cross-partition threshold pruning of
+    /// [`Repose::query`] applies to every query of the batch.
     pub fn query_batch(&self, queries: &[Vec<Point>], k: usize) -> Vec<QueryOutcome> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let (locals, times, wall) = self.run_local(|part| {
+        let collectors: Vec<SharedTopK> = queries.iter().map(|_| SharedTopK::new(k)).collect();
+        // Cold-run timing: re-runs would see already-tightened collectors.
+        let (locals, times, wall) = self.cluster.run_partitions_cold(&self.data, |_, chunk| {
+            let part = &chunk[0];
             queries
                 .iter()
-                .map(|q| part.trie.top_k(&part.trajs, q, k))
+                .zip(&collectors)
+                .map(|(q, c)| part.trie.top_k_shared(&part.trajs, q, k, &[], None, c))
                 .collect::<Vec<_>>()
         });
         let job = JobStats::simulate(
@@ -432,19 +506,24 @@ mod tests {
             for qy in [0.1, 5.3, 19.7] {
                 let q: Vec<Point> =
                     (0..12).map(|s| Point::new(s as f64 * 0.3, qy)).collect();
+                let indep = r.query_independent(&q, 10);
                 let one = r.query(&q, 10);
                 let two = r.query_two_phase(&q, 10);
                 assert_eq!(one.hits.len(), two.hits.len(), "{measure}");
-                for (a, b) in one.hits.iter().zip(&two.hits) {
+                assert_eq!(one.hits.len(), indep.hits.len(), "{measure}");
+                for ((a, b), c) in one.hits.iter().zip(&two.hits).zip(&indep.hits) {
                     assert!(
                         (a.dist - b.dist).abs() < 1e-9,
                         "{measure}: {} vs {}",
                         a.dist,
                         b.dist
                     );
+                    assert!((a.dist - c.dist).abs() < 1e-9, "{measure}");
                 }
-                // the threshold must help, never hurt, total pruning work
-                assert!(two.search.exact_computations <= one.search.exact_computations);
+                // shared thresholds must help, never hurt, total pruning
+                // work — regardless of how the partition tasks interleave
+                assert!(one.search.exact_computations <= indep.search.exact_computations);
+                assert!(two.search.exact_computations <= indep.search.exact_computations);
             }
         }
     }

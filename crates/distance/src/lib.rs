@@ -37,6 +37,7 @@ mod frechet;
 mod hausdorff;
 mod lcss;
 mod measure;
+mod summary;
 pub mod within;
 
 pub use dtw::{dtw, DtwColumn};
@@ -46,7 +47,8 @@ pub use frechet::{frechet, FrechetColumn};
 pub use hausdorff::{directed_hausdorff, hausdorff, HausdorffState};
 pub use lcss::{lcss_distance, lcss_length};
 pub use measure::{Measure, MeasureParams, RefineEvent};
+pub use summary::TrajSummary;
 pub use within::{
     bound_exceeds, dtw_within, edr_within, erp_within, frechet_within, hausdorff_within,
-    just_above, lcss_distance_within, RunningTopK,
+    just_above, lcss_distance_within, RunningTopK, ThresholdSource,
 };

@@ -199,6 +199,31 @@ impl MeasureParams {
         query: &[Point],
         k: usize,
         cap: f64,
+        cands: Vec<(f64, u64, &[Point])>,
+        on_event: impl FnMut(RefineEvent),
+    ) -> Vec<(f64, u64)> {
+        self.refine_by_bound_shared(measure, query, k, cap, None, cands, on_event)
+    }
+
+    /// [`MeasureParams::refine_by_bound`] against a *live* shared threshold:
+    /// every candidate's cutoff is additionally clamped by
+    /// [`crate::ThresholdSource::bound`] (re-read per candidate, so a hit another
+    /// search publishes mid-scan tightens this one immediately), and every
+    /// accepted hit is published back so this scan tightens the others.
+    ///
+    /// With `shared` = `None` this is exactly `refine_by_bound`. The shared
+    /// bound is an upper bound on the *global* k-th distance, so clamping
+    /// with it never discards a candidate that could still appear in the
+    /// merged global top-k (ties at the bound are kept: the cutoff is
+    /// applied through [`just_above`], i.e. inclusively).
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_by_bound_shared(
+        &self,
+        measure: Measure,
+        query: &[Point],
+        k: usize,
+        cap: f64,
+        shared: Option<&dyn crate::ThresholdSource>,
         mut cands: Vec<(f64, u64, &[Point])>,
         mut on_event: impl FnMut(RefineEvent),
     ) -> Vec<(f64, u64)> {
@@ -209,7 +234,10 @@ impl MeasureParams {
         let total = cands.len();
         let mut best = RunningTopK::new(k);
         for (i, (lb, id, points)) in cands.into_iter().enumerate() {
-            let cutoff = best.kth().map_or(cap, |kth| cap.min(kth));
+            let mut cutoff = best.kth().map_or(cap, |kth| cap.min(kth));
+            if let Some(s) = shared {
+                cutoff = cutoff.min(s.bound());
+            }
             if bound_exceeds(lb, cutoff) {
                 on_event(RefineEvent::SkippedRest(total - i));
                 break;
@@ -218,6 +246,9 @@ impl MeasureParams {
             on_event(RefineEvent::Scored { abandoned: d.is_none() });
             if let Some(d) = d {
                 best.push(d, id);
+                if let Some(s) = shared {
+                    s.publish(d, id);
+                }
             }
         }
         best.into_sorted()

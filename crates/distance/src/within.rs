@@ -54,6 +54,31 @@ fn empty_case(both_zero: bool, threshold: f64) -> Option<f64> {
     (d < threshold).then_some(d)
 }
 
+/// A live, monotonically tightening source of a top-k pruning threshold,
+/// shared between concurrently executing local searches.
+///
+/// The contract every implementation must keep, because searchers prune
+/// with whatever [`ThresholdSource::bound`] returns:
+///
+/// * `bound()` is always a **sound upper bound on the global k-th
+///   distance** over everything published so far (and hence over the final
+///   answer — adding candidates only lowers the k-th distance);
+/// * `bound()` is **monotone non-increasing** across calls;
+/// * `publish` accepts only **exact** distances of real candidates (never
+///   lower bounds), and publishing the same candidate id twice must not
+///   tighten the bound further (one trajectory occupies one result slot).
+///
+/// `repose_rptrie::SharedTopK` is the canonical implementation; the
+/// refinement loop below and the trie search both consult one through this
+/// trait so a hit found anywhere prunes everywhere.
+pub trait ThresholdSource: Sync {
+    /// Current upper bound on the global k-th distance. Reading a stale
+    /// value is sound (bounds only ever tighten).
+    fn bound(&self) -> f64;
+    /// Publishes the exact distance of candidate `id`.
+    fn publish(&self, dist: f64, id: u64);
+}
+
 /// A bounded result heap maintaining the running top-k cutoff that every
 /// threshold-aware verification site shares: a max-heap over the current
 /// best `k` `(distance, id)` pairs, worst on top, ties evicting the larger

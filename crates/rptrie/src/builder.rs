@@ -1,6 +1,6 @@
 use crate::pivot::PivotSet;
 use crate::{FrozenTrie, RpTrieConfig};
-use repose_distance::Measure;
+use repose_distance::{Measure, TrajSummary};
 use repose_model::{Point, Trajectory};
 use repose_zorder::{Grid, ZValue};
 use std::collections::HashMap;
@@ -49,6 +49,9 @@ impl ZSeqPolicy {
 struct BuildLeaf {
     /// Indices into the partition's trajectory slice.
     members: Vec<u32>,
+    /// Per-member prefilter summaries (parallel to `members`), computed
+    /// once here so query-time verification gets O(1) lower bounds.
+    summaries: Vec<TrajSummary>,
     /// `Dmax`: max distance from member trajectories to the leaf's
     /// reference trajectory, under the index measure.
     dmax: f64,
@@ -131,6 +134,7 @@ impl BuildTrie {
         debug_assert!(node.leaf.is_none(), "duplicate z-sequence group");
         node.leaf = Some(BuildLeaf {
             members: group.members.clone(),
+            summaries: Vec::new(),
             dmax: 0.0,
             nmin: 0,
         });
@@ -208,8 +212,12 @@ impl BuildTrie {
                 for (set, gi) in descend {
                     if set.is_empty() {
                         debug_assert!(self.nodes[node as usize].leaf.is_none());
-                        self.nodes[node as usize].leaf =
-                            Some(BuildLeaf { members: vec![gi], dmax: 0.0, nmin: u32::MAX });
+                        self.nodes[node as usize].leaf = Some(BuildLeaf {
+                            members: vec![gi],
+                            summaries: Vec::new(),
+                            dmax: 0.0,
+                            nmin: u32::MAX,
+                        });
                     } else {
                         remaining.push((set, gi));
                     }
@@ -256,6 +264,7 @@ impl BuildTrie {
             }
             let mut dmax = 0.0f64;
             let mut nmin = u32::MAX;
+            let mut summaries = Vec::with_capacity(leaf.members.len());
             for &mi in &leaf.members {
                 let t = &trajs[mi as usize];
                 let d = cfg.params.distance(cfg.measure, &t.points, &ref_points);
@@ -263,9 +272,11 @@ impl BuildTrie {
                     dmax = d;
                 }
                 nmin = nmin.min(t.len() as u32);
+                summaries.push(cfg.params.summary_of(&t.points));
             }
             leaf.dmax = dmax;
             leaf.nmin = nmin;
+            leaf.summaries = summaries;
         }
     }
 
@@ -374,11 +385,11 @@ impl BuildTrie {
         self.np
     }
 
-    pub(crate) fn leaf_of(&self, id: u32) -> Option<(&[u32], f64, u32)> {
+    pub(crate) fn leaf_of(&self, id: u32) -> Option<(&[u32], &[TrajSummary], f64, u32)> {
         self.nodes[id as usize]
             .leaf
             .as_ref()
-            .map(|l| (l.members.as_slice(), l.dmax, l.nmin))
+            .map(|l| (l.members.as_slice(), l.summaries.as_slice(), l.dmax, l.nmin))
     }
 }
 
@@ -484,7 +495,8 @@ mod tests {
         let c = cfg(Measure::Hausdorff).with_np(0);
         let t = BuildTrie::construct(&trajs, &g, &c, &PivotSet::empty());
         for i in 0..t.node_count() as u32 {
-            if let Some((members, dmax, nmin)) = t.leaf_of(i) {
+            if let Some((members, summaries, dmax, nmin)) = t.leaf_of(i) {
+                assert_eq!(members.len(), summaries.len());
                 assert!(!members.is_empty());
                 assert!(dmax <= g.half_diagonal() + 1e-12, "dmax {dmax}");
                 assert!(nmin >= 2);

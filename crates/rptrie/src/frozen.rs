@@ -1,5 +1,6 @@
 use crate::builder::BuildTrie;
 use crate::RpTrieConfig;
+use repose_distance::TrajSummary;
 use repose_succinct::{varint, BitVec, RankSelect};
 use repose_zorder::{Grid, ZValue};
 
@@ -11,6 +12,10 @@ pub type NodeId = u32;
 pub struct LeafPayload {
     /// Indices into the partition's trajectory slice (`Tid` in Fig. 2).
     pub members: Vec<u32>,
+    /// Per-member prefilter summaries (parallel to `members`), built once
+    /// at construction so verification sites get an O(1) lower bound per
+    /// candidate instead of re-walking both trajectories.
+    pub summaries: Vec<TrajSummary>,
     /// `Dmax`: maximum distance from the members to the leaf's reference
     /// trajectory under the index measure.
     pub dmax: f64,
@@ -124,9 +129,14 @@ impl FrozenTrie {
         let np = build.np();
         let mut hr = Vec::with_capacity(if np > 0 { n_nodes * np } else { 0 });
         for (new_id, &old) in bfs.iter().enumerate() {
-            if let Some((members, dmax, nmin)) = build.leaf_of(old) {
+            if let Some((members, summaries, dmax, nmin)) = build.leaf_of(old) {
                 has_leaf.set(new_id, true);
-                leaves.push(LeafPayload { members: members.to_vec(), dmax, nmin });
+                leaves.push(LeafPayload {
+                    members: members.to_vec(),
+                    summaries: summaries.to_vec(),
+                    dmax,
+                    nmin,
+                });
             }
             if np > 0 {
                 hr.extend_from_slice(build.hr_of(old));
@@ -259,7 +269,11 @@ impl FrozenTrie {
             + self
                 .leaves
                 .iter()
-                .map(|l| std::mem::size_of::<LeafPayload>() + l.members.capacity() * 4)
+                .map(|l| {
+                    std::mem::size_of::<LeafPayload>()
+                        + l.members.capacity() * 4
+                        + l.summaries.capacity() * std::mem::size_of::<TrajSummary>()
+                })
                 .sum::<usize>()
             + self.hr.capacity() * 16
     }

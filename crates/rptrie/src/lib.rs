@@ -48,14 +48,16 @@ mod frozen;
 mod frozen_tests;
 mod pivot;
 mod search;
+mod shared;
 
 pub use builder::{BuildTrie, ZSeqPolicy};
 pub use config::RpTrieConfig;
 pub use frozen::{FrozenTrie, LeafPayload, NodeId};
 pub use pivot::{select_pivots, PivotSet};
 pub use search::{SearchResult, SearchStats};
+pub use shared::SharedTopK;
 
-use repose_distance::{Measure, MeasureParams};
+use repose_distance::{Measure, MeasureParams, ThresholdSource};
 use repose_model::{Point, TrajId, Trajectory};
 use repose_zorder::Grid;
 
@@ -106,8 +108,9 @@ impl RpTrie {
     }
 
     /// Like [`RpTrie::top_k`] but only keeps results strictly better than
-    /// `threshold`. Used by the distributed layer to push the current global
-    /// k-th distance into local searches.
+    /// a *static* `threshold` — the fixed-bound form of the live
+    /// [`RpTrie::top_k_shared`], for callers that hold a precomputed upper
+    /// bound on the k-th distance (e.g. a completed neighbour search).
     pub fn top_k_bounded(
         &self,
         trajs: &[Trajectory],
@@ -134,7 +137,7 @@ impl RpTrie {
         filter: &(dyn Fn(&Trajectory) -> bool + Sync),
     ) -> SearchResult {
         assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter), &[])
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter), &[], None)
     }
 
     /// Top-k over the union of the trie's trajectories and a set of
@@ -160,7 +163,58 @@ impl RpTrie {
         filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
     ) -> SearchResult {
         assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds)
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds, None)
+    }
+
+    /// The shared-threshold local search: like [`RpTrie::top_k_seeded`],
+    /// but additionally wired to a live cross-search threshold collector
+    /// (normally a [`SharedTopK`] all partitions of one query share).
+    ///
+    /// The search re-reads `shared`'s bound at every pruning decision and
+    /// publishes every accepted exact distance back, so concurrently
+    /// executing partitions tighten each other mid-flight. Exactness is
+    /// unchanged — the collector's bound always over-approximates the
+    /// global k-th distance (see the `shared` module docs for the
+    /// argument), and this search's hits merged with its peers' equal the
+    /// independent searches' merge up to tie resolution.
+    pub fn top_k_shared(
+        &self,
+        trajs: &[Trajectory],
+        query: &[Point],
+        k: usize,
+        seeds: &[Hit],
+        filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+        shared: &dyn ThresholdSource,
+    ) -> SearchResult {
+        assert_eq!(trajs.len(), self.built_over);
+        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds, Some(shared))
+    }
+
+    /// A cheap lower bound on the distance from `query` to *every*
+    /// trajectory indexed by this trie: the minimum one-cell `LBo` over
+    /// the root's children (no pivot distances are computed, so this costs
+    /// `O(children × |query|)` and no exact kernel invocations).
+    ///
+    /// `INFINITY` for an empty trie. Used by the distributed layer to pick
+    /// the most promising seed partition for two-phase execution; for
+    /// measures without a sound internal bound (LCSS) this returns `0.0`
+    /// and the caller falls back to its default ordering.
+    pub fn root_bound(&self, query: &[Point]) -> f64 {
+        if query.is_empty() {
+            return 0.0;
+        }
+        let kids = self.frozen.children(self.frozen.root());
+        if kids.is_empty() {
+            return f64::INFINITY;
+        }
+        let base = bounds::BoundState::new(self.config.measure, &self.config.params, query);
+        let mut best = f64::INFINITY;
+        for (z, _) in kids {
+            let mut st = base.clone();
+            st.push(query, &self.grid, z, &self.config.params);
+            best = best.min(st.lbo(&self.grid));
+        }
+        best
     }
 
     /// The frozen physical trie.

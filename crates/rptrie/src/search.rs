@@ -4,6 +4,7 @@
 use crate::bounds::BoundState;
 use crate::pivot::pivot_lower_bound;
 use crate::{Hit, NodeId, RpTrie};
+use repose_distance::{bound_exceeds, ThresholdSource};
 use repose_model::{Point, Trajectory};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -27,6 +28,12 @@ pub struct SearchStats {
     /// was refuted by the running k-th distance before paying the full
     /// `O(m·n)` cost (prefilter hit or mid-DP abandon).
     pub exact_abandoned: usize,
+    /// Child bound evaluations skipped outright: the popped path's own
+    /// lower bound already exceeded the live k-th distance (after leaf
+    /// verification tightened it, or a concurrent partition published a
+    /// better hit), and child bounds only grow along a path, so the
+    /// incremental `BoundState` was never pushed for these children.
+    pub bounds_abandoned: usize,
 }
 
 impl SearchStats {
@@ -39,6 +46,7 @@ impl SearchStats {
         self.leaves_pruned += other.leaves_pruned;
         self.exact_computations += other.exact_computations;
         self.exact_abandoned += other.exact_abandoned;
+        self.bounds_abandoned += other.bounds_abandoned;
     }
 }
 
@@ -121,7 +129,7 @@ pub(crate) fn top_k(
     query: &[Point],
     k: usize,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None, &[])
+    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None, &[], None)
 }
 
 pub(crate) fn top_k_bounded(
@@ -131,9 +139,10 @@ pub(crate) fn top_k_bounded(
     k: usize,
     threshold: f64,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, threshold, None, &[])
+    top_k_filtered(trie, trajs, query, k, threshold, None, &[], None)
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn top_k_filtered(
     trie: &RpTrie,
     trajs: &[Trajectory],
@@ -142,6 +151,7 @@ pub(crate) fn top_k_filtered(
     threshold: f64,
     filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
     seeds: &[Hit],
+    shared: Option<&dyn ThresholdSource>,
 ) -> SearchResult {
     let mut stats = SearchStats::default();
     if k == 0 || query.is_empty() {
@@ -166,6 +176,10 @@ pub(crate) fn top_k_filtered(
     // dqp: distances from the query to every pivot (Section IV-D).
     let dqp = trie.pivots().query_distances(cfg, query);
     stats.exact_computations += dqp.len();
+    // The query's own prefilter summary, computed once: paired with the
+    // per-member summaries stored in each leaf it yields an O(1) lower
+    // bound per verification candidate.
+    let qsum = params.summary_of(query);
 
     let mut best: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
     // Seed hits (e.g. the serving layer's delta-buffer candidates) join
@@ -178,12 +192,19 @@ pub(crate) fn top_k_filtered(
             best.pop();
         }
     }
+    // The live pruning threshold: the local k-th distance, clamped by the
+    // caller's static threshold and — in shared-threshold execution — by
+    // the global collector's bound, re-read on every call so hits other
+    // partitions publish tighten this search mid-flight.
     let dk = |best: &BinaryHeap<Worst>| -> f64 {
-        if best.len() == k {
-            best.peek().expect("non-empty").dist.min(threshold)
-        } else {
-            threshold
+        let mut t = threshold;
+        if let Some(s) = shared {
+            t = t.min(s.bound());
         }
+        if best.len() == k {
+            t = t.min(best.peek().expect("non-empty").dist);
+        }
+        t
     };
 
     let mut frontier: BinaryHeap<Frontier> = BinaryHeap::new();
@@ -207,7 +228,7 @@ pub(crate) fn top_k_filtered(
             let lbt = entry.state.lbt(grid, leaf, query.len());
             let lbp = pivot_lower_bound(&dqp, frozen.hr(entry.node));
             if lbt.max(lbp) < dk(&best) {
-                for &mi in &leaf.members {
+                for (si, &mi) in leaf.members.iter().enumerate() {
                     let t = &trajs[mi as usize];
                     if !seed_ids.is_empty() && seed_ids.contains(&t.id) {
                         continue;
@@ -221,12 +242,26 @@ pub(crate) fn top_k_filtered(
                     // returns the exact distance only when it beats dk and
                     // abandons (cheaply) when it cannot — same results as
                     // the unbounded `params.distance` + `d < dk` check.
+                    // The prefilter reuses the member summary frozen into
+                    // the leaf: O(1) per candidate instead of O(m+n).
                     stats.exact_computations += 1;
-                    match params.distance_within(cfg.measure, query, &t.points, dk(&best)) {
+                    let lb = params.summary_lower_bound(cfg.measure, &qsum, &leaf.summaries[si]);
+                    match params.distance_within_from_lb(
+                        cfg.measure,
+                        query,
+                        &t.points,
+                        dk(&best),
+                        lb,
+                    ) {
                         Some(d) => {
                             best.push(Worst { dist: d, id: t.id });
                             if best.len() > k {
                                 best.pop();
+                            }
+                            // A hit accepted here prunes every other search
+                            // sharing the collector.
+                            if let Some(s) = shared {
+                                s.publish(d, t.id);
                             }
                         }
                         None => stats.exact_abandoned += 1,
@@ -240,7 +275,18 @@ pub(crate) fn top_k_filtered(
         // Step 3): expand children with fresh incremental bounds.
         kids.clear();
         frozen.children_into(entry.node, &mut kids);
-        for &(z, child) in &kids {
+        for (ci, &(z, child)) in kids.iter().enumerate() {
+            // dk may have tightened since this entry was popped (its own
+            // leaf hits above, or a concurrently searching partition).
+            // Bounds only grow along a path (`lbo` is monotone per measure,
+            // `HR` intervals shrink), so once the popped path's own bound
+            // exceeds the live dk no extension can win: stop pushing the
+            // incremental BoundState entirely instead of evaluating and
+            // discarding each child.
+            if bound_exceeds(entry.lb, dk(&best)) {
+                stats.bounds_abandoned += kids.len() - ci;
+                break;
+            }
             let mut state = entry.state.clone();
             state.push(query, grid, z, &params);
             let lbo = state.lbo(grid);
@@ -500,6 +546,99 @@ mod tests {
         let r = empty.top_k_seeded(&[], &q, 1, &[hopeless, champion], None);
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].id, 100);
+    }
+
+    #[test]
+    fn shared_collector_prunes_across_tries() {
+        use crate::SharedTopK;
+        // Two disjoint "partitions" over the paper dataset.
+        let all = paper_dataset();
+        let (p0, p1) = (all[..2].to_vec(), all[2..].to_vec());
+        let q = query();
+        let build = |trajs: &[Trajectory]| {
+            RpTrie::build(
+                trajs,
+                grid8(),
+                RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
+            )
+        };
+        let (t0, t1) = (build(&p0), build(&p1));
+        for k in 1..=4 {
+            // Independent searches, merged at the end (the old path).
+            let (a, b) = (t0.top_k(&p0, &q, k), t1.top_k(&p1, &q, k));
+            let mut indep: Vec<Hit> = [a.hits.clone(), b.hits.clone()].concat();
+            indep.sort_by(Hit::cmp_by_dist_then_id);
+            indep.truncate(k);
+
+            // Shared-threshold searches against one collector.
+            let c = SharedTopK::new(k);
+            let (sa, sb) = (
+                t0.top_k_shared(&p0, &q, k, &[], None, &c),
+                t1.top_k_shared(&p1, &q, k, &[], None, &c),
+            );
+            let mut shared: Vec<Hit> = [sa.hits.clone(), sb.hits.clone()].concat();
+            shared.sort_by(Hit::cmp_by_dist_then_id);
+            shared.truncate(k);
+
+            assert_eq!(
+                indep.iter().map(|h| (h.dist.to_bits(), h.id)).collect::<Vec<_>>(),
+                shared.iter().map(|h| (h.dist.to_bits(), h.id)).collect::<Vec<_>>(),
+                "k={k}"
+            );
+            // The second search ran under the first's published bound:
+            // never more total verification work than independent runs.
+            assert!(
+                sa.stats.exact_computations + sb.stats.exact_computations
+                    <= a.stats.exact_computations + b.stats.exact_computations,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_tightening_abandons_bound_pushes() {
+        use repose_distance::ThresholdSource;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Simulates another partition finding a great hit mid-search:
+        /// infinite until anything is published here, then (unsoundly —
+        /// this tests the mechanism, not exactness) zero.
+        struct CollapseAfterFirstPublish(AtomicBool);
+        impl ThresholdSource for CollapseAfterFirstPublish {
+            fn bound(&self) -> f64 {
+                if self.0.load(Ordering::Relaxed) {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            fn publish(&self, _dist: f64, _id: u64) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+
+        // A prefix family far from the query: the node holding the prefix
+        // leaf also has children, so when the bound collapses right after
+        // its members verify, the child BoundStates are never pushed.
+        let far = pts(&[(6.5, 0.5), (7.5, 0.5)]);
+        let mut trajs = vec![Trajectory::new(1, far.clone())];
+        for i in 0..4u64 {
+            let mut ext = far.clone();
+            ext.push(Point::new(7.5, 1.5 + i as f64));
+            trajs.push(Trajectory::new(2 + i, ext));
+        }
+        let trie = RpTrie::build(
+            &trajs,
+            grid8(),
+            RpTrieConfig::for_measure(Measure::Frechet).with_np(0),
+        );
+        let src = CollapseAfterFirstPublish(AtomicBool::new(false));
+        let r = trie.top_k_shared(&trajs, &query(), 2, &[], None, &src);
+        assert!(
+            r.stats.bounds_abandoned > 0,
+            "expected skipped child bound pushes, stats {:?}",
+            r.stats
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The per-partition write-ahead delta log.
 //!
 //! Writes never touch a frozen RP-Trie. Each partition owns an
-//! append-only log of `(sequence, trajectory)` entries; a global
+//! append-only log of `(sequence, trajectory, summary)` entries; a global
 //! tombstone map `id -> sequence` records, for every id ever written,
 //! the sequence of its *latest* write. Together they give upsert/delete
 //! semantics without mutating anything in place:
@@ -11,24 +11,34 @@
 //!   sequence for its id (only the latest write per id qualifies; a
 //!   later delete out-sequences every earlier entry).
 //!
+//! Each entry carries its [`TrajSummary`], computed once at insert time —
+//! the same per-member prefilter summaries the frozen tries store in their
+//! leaves — so the query-time delta scan gets O(1) lower bounds without
+//! re-walking candidate trajectories.
+//!
 //! Because the log is append-only, compaction can snapshot a prefix,
 //! rebuild offline, and then drain exactly that prefix — concurrent
 //! writes land beyond the snapshot length and survive untouched.
 
+use repose_distance::TrajSummary;
 use repose_model::{TrajId, Trajectory};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One live delta candidate as seen by a query snapshot.
+pub(crate) type LiveEntry = (Arc<Trajectory>, TrajSummary);
+
 /// One partition's append-only write log.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct DeltaLog {
-    entries: Vec<(u64, Arc<Trajectory>)>,
+    entries: Vec<(u64, Arc<Trajectory>, TrajSummary)>,
 }
 
 impl DeltaLog {
-    /// Appends a write with its global sequence number.
-    pub(crate) fn push(&mut self, seq: u64, traj: Arc<Trajectory>) {
-        self.entries.push((seq, traj));
+    /// Appends a write with its global sequence number and its
+    /// insert-time prefilter summary.
+    pub(crate) fn push(&mut self, seq: u64, traj: Arc<Trajectory>, summary: TrajSummary) {
+        self.entries.push((seq, traj, summary));
     }
 
     /// Number of log entries (including superseded ones).
@@ -36,18 +46,22 @@ impl DeltaLog {
         self.entries.len()
     }
 
-    /// Clones the live entries under `tombstones` (cheap: `Arc` clones).
-    pub(crate) fn live(&self, tombstones: &HashMap<TrajId, u64>) -> Vec<Arc<Trajectory>> {
+    /// Clones the live entries under `tombstones` (cheap: `Arc` clones
+    /// plus `Copy` summaries).
+    pub(crate) fn live(&self, tombstones: &HashMap<TrajId, u64>) -> Vec<LiveEntry> {
         self.entries
             .iter()
-            .filter(|(seq, t)| tombstones.get(&t.id).is_none_or(|&ts| *seq >= ts))
-            .map(|(_, t)| Arc::clone(t))
+            .filter(|(seq, t, _)| tombstones.get(&t.id).is_none_or(|&ts| *seq >= ts))
+            .map(|(_, t, s)| (Arc::clone(t), *s))
             .collect()
     }
 
     /// Snapshot of the raw log (for compaction).
     pub(crate) fn snapshot(&self) -> Vec<(u64, Arc<Trajectory>)> {
-        self.entries.clone()
+        self.entries
+            .iter()
+            .map(|(seq, t, _)| (*seq, Arc::clone(t)))
+            .collect()
     }
 
     /// Removes the first `n` entries — the compacted prefix.
@@ -59,10 +73,16 @@ impl DeltaLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use repose_distance::MeasureParams;
     use repose_model::Point;
 
     fn traj(id: u64) -> Arc<Trajectory> {
         Arc::new(Trajectory::new(id, vec![Point::new(id as f64, 0.0)]))
+    }
+
+    fn push(log: &mut DeltaLog, seq: u64, t: Arc<Trajectory>) {
+        let summary = MeasureParams::default().summary_of(&t.points);
+        log.push(seq, t, summary);
     }
 
     #[test]
@@ -70,26 +90,26 @@ mod tests {
         let mut log = DeltaLog::default();
         let mut tomb = HashMap::new();
         // upsert id 1 twice: only the later entry is live
-        log.push(1, traj(1));
+        push(&mut log, 1, traj(1));
         tomb.insert(1, 1);
-        log.push(3, traj(1));
+        push(&mut log, 3, traj(1));
         tomb.insert(1, 3);
         let live = log.live(&tomb);
         assert_eq!(live.len(), 1);
-        assert_eq!(live[0].id, 1);
+        assert_eq!(live[0].0.id, 1);
     }
 
     #[test]
     fn delete_out_sequences_insert() {
         let mut log = DeltaLog::default();
         let mut tomb = HashMap::new();
-        log.push(1, traj(2));
+        push(&mut log, 1, traj(2));
         tomb.insert(2, 1);
         // delete at seq 2
         tomb.insert(2, 2);
         assert!(log.live(&tomb).is_empty());
         // re-insert at seq 3
-        log.push(3, traj(2));
+        push(&mut log, 3, traj(2));
         tomb.insert(2, 3);
         assert_eq!(log.live(&tomb).len(), 1);
     }
@@ -97,13 +117,23 @@ mod tests {
     #[test]
     fn drain_prefix_keeps_tail() {
         let mut log = DeltaLog::default();
-        log.push(1, traj(1));
-        log.push(2, traj(2));
-        log.push(3, traj(3));
+        push(&mut log, 1, traj(1));
+        push(&mut log, 2, traj(2));
+        push(&mut log, 3, traj(3));
         log.drain_prefix(2);
         assert_eq!(log.len(), 1);
         assert_eq!(log.snapshot()[0].1.id, 3);
         log.drain_prefix(10); // over-long drain is clamped
         assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn live_entries_carry_insert_time_summaries() {
+        let mut log = DeltaLog::default();
+        let t = traj(9);
+        push(&mut log, 1, Arc::clone(&t));
+        let live = log.live(&HashMap::from([(9, 1)]));
+        assert_eq!(live[0].1.len, 1);
+        assert_eq!(live[0].1.first, t.points[0]);
     }
 }

@@ -9,10 +9,12 @@
 //!   tombstone map ([`ReposeService::insert`] / [`ReposeService::remove`]
 //!   — upsert/delete semantics). Frozen tries are never mutated.
 //! * **Queries** ([`ReposeService::query`]) search every frozen partition
-//!   *and* its delta under one shared pruning threshold: delta candidates
-//!   are scored exactly first and seed the trie search's result heap
-//!   (`RpTrie::top_k_seeded`), so the trie is only explored where it can
-//!   still beat them. Results are exactly what a freshly rebuilt index
+//!   *and* its delta against one live `SharedTopK` collector: delta
+//!   candidates are scanned cheapest-stored-summary-bound first under the
+//!   global threshold (hopeless ones abandoned or skipped), the survivors
+//!   seed the trie search (`RpTrie::top_k_shared`), and every accepted
+//!   hit published anywhere tightens every later scan and descent —
+//!   across partitions. Results are exactly what a freshly rebuilt index
 //!   over the same live data would return.
 //! * **Compaction** ([`ReposeService::compact`]) rebuilds the frozen
 //!   deployment from the live data off-line and swaps it in atomically

@@ -23,11 +23,12 @@
 //! in-flight results before they can be served from cache.
 
 use crate::cache::{CacheKey, QueryCache};
-use crate::delta::DeltaLog;
+use crate::delta::{DeltaLog, LiveEntry};
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
+use repose_distance::MeasureParams;
 use repose_model::{Dataset, TrajId, Trajectory};
-use repose_rptrie::{Hit, SearchStats};
+use repose_rptrie::{Hit, SearchStats, SharedTopK};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -72,14 +73,13 @@ pub struct ServiceOutcome {
     /// Whether the result came from the cache.
     pub cache_hit: bool,
     /// Local-search work counters (all zero on a cache hit).
+    /// `search.exact_abandoned` counts verifications (delta scan + trie
+    /// search) the shared threshold refuted before full kernel cost,
+    /// including delta candidates skipped outright because their stored
+    /// summary bound already lost.
     pub search: SearchStats,
     /// Delta-buffer candidates considered for this query.
     pub delta_candidates: usize,
-    /// Exact verifications (delta scan + trie search) refuted by the
-    /// running top-k threshold before paying full kernel cost. Delta
-    /// candidates skipped outright — their cheap lower bound already lost
-    /// to the threshold — count here too.
-    pub exact_abandoned: usize,
 }
 
 /// A thread-safe online serving layer over a [`Repose`] deployment.
@@ -100,6 +100,9 @@ pub struct ReposeService {
     /// The deployment's measure, copied out so the cache-hit fast path
     /// never touches the state lock.
     measure: repose_distance::Measure,
+    /// The deployment's measure parameters, copied out so writes can
+    /// summarize without touching the state lock.
+    params: MeasureParams,
     counters: ServiceCounters,
 }
 
@@ -113,8 +116,10 @@ impl ReposeService {
     pub fn with_config(repose: Repose, config: ServiceConfig) -> Self {
         let partitions = repose.num_partitions();
         let measure = repose.config().measure();
+        let params = repose.config().trie.params;
         ReposeService {
             measure,
+            params,
             state: RwLock::new(ServeState {
                 frozen: Arc::new(repose),
                 deltas: (0..partitions).map(|_| DeltaLog::default()).collect(),
@@ -154,13 +159,17 @@ impl ReposeService {
     /// (upsert). Visible to every query that starts after this returns.
     pub fn insert(&self, traj: Trajectory) {
         let t0 = Instant::now();
+        // Summarize outside the lock: the same O(1)-prefilter summary the
+        // frozen tries store per leaf member, paid once per write instead
+        // of per query.
+        let summary = self.params.summary_of(&traj.points);
         {
             let mut s = self.state.write().expect("service state lock");
             s.op_seq += 1;
             let seq = s.op_seq;
             let partition = (traj.id as usize) % s.deltas.len();
             Arc::make_mut(&mut s.tombstones).insert(traj.id, seq);
-            s.deltas[partition].push(seq, Arc::new(traj));
+            s.deltas[partition].push(seq, Arc::new(traj), summary);
         }
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.inserts);
@@ -208,28 +217,33 @@ impl ReposeService {
                 cache_hit: true,
                 search: SearchStats::default(),
                 delta_candidates: 0,
-                exact_abandoned: 0,
             };
         }
         ServiceCounters::bump(&self.counters.cache_misses);
 
         let (frozen, deltas, tombstones) = self.snapshot();
 
+        // One shared collector for the whole query: every partition's
+        // delta scan and trie search publishes into it and prunes with its
+        // live global k-th-distance bound, so a close delta candidate in
+        // partition 0 tightens partition 5's trie descent and vice versa.
+        let collector = SharedTopK::new(k);
         let mut hits: Vec<Hit> = Vec::new();
         let mut search = SearchStats::default();
         let mut delta_candidates = 0;
         let filter = |t: &Trajectory| !tombstones.contains_key(&t.id);
         for (pi, delta) in deltas.iter().enumerate() {
             let view = frozen.partition_view(pi);
-            // Score the partition's live delta candidates under a running
-            // top-k threshold: cheapest lower bound first, so the earliest
-            // (likely closest) candidates tighten the threshold and the
-            // rest are refuted by the early-abandoning kernel — or skipped
-            // outright once even their lower bound cannot win. The k
-            // survivors seed the trie search with a tight shared threshold.
-            let seeds = scan_delta(view.trie, query, k, delta, &mut search);
+            // Score the partition's live delta candidates under the shared
+            // threshold: cheapest (stored, O(1)) lower bound first, so the
+            // earliest candidates tighten the threshold and the rest are
+            // refuted by the early-abandoning kernel — or skipped outright
+            // once even their lower bound cannot win. The k survivors seed
+            // the trie search, which keeps tightening the same collector.
+            let seeds = scan_delta(view.trie, query, k, delta, &mut search, &collector);
             delta_candidates += delta.len();
-            let local = view.trie.top_k_seeded(view.trajs, query, k, &seeds, Some(&filter));
+            let local =
+                view.trie.top_k_shared(view.trajs, query, k, &seeds, Some(&filter), &collector);
             search.merge(&local.stats);
             hits.extend_from_slice(&local.hits);
         }
@@ -246,7 +260,6 @@ impl ReposeService {
             hits,
             latency,
             cache_hit: false,
-            exact_abandoned: search.exact_abandoned,
             search,
             delta_candidates,
         }
@@ -342,7 +355,7 @@ impl ReposeService {
         &self,
     ) -> (
         Arc<Repose>,
-        Vec<Vec<Arc<Trajectory>>>,
+        Vec<Vec<LiveEntry>>,
         Arc<HashMap<TrajId, u64>>,
     ) {
         let s = self.read_state();
@@ -356,21 +369,27 @@ impl ReposeService {
 }
 
 /// Scores one partition's delta candidates against the query, cheapest
-/// lower bound first, keeping the best `k` under a running threshold
-/// ([`repose_distance::MeasureParams::refine_by_bound`]).
+/// stored summary bound first, keeping the best `k` under the query's
+/// shared threshold
+/// ([`repose_distance::MeasureParams::refine_by_bound_shared`]).
 ///
 /// Returns the same `k` best `(dist, id)` seeds a full exact scan would
-/// (ties included), while charging far less: hopeless candidates are
-/// refuted by the early-abandoning kernel, and once even the cheap lower
-/// bound cannot beat the k-th distance the (sorted) remainder is skipped
-/// outright. Every candidate counts as an attempted verification, so
+/// (ties included), while charging far less: sort keys come from the
+/// insert-time [`repose_distance::TrajSummary`] (O(1) per candidate, no
+/// per-point walk), hopeless candidates are refuted by the early-
+/// abandoning kernel under the live cross-partition bound, and once even
+/// the cheap lower bound cannot beat the global k-th distance the (sorted)
+/// remainder is skipped outright. Accepted hits publish into `collector`
+/// so later partitions' scans and trie searches prune harder. Every
+/// candidate counts as an attempted verification, so
 /// `exact_abandoned <= exact_computations` always holds.
 fn scan_delta(
     trie: &repose_rptrie::RpTrie,
     query: &[repose_model::Point],
     k: usize,
-    delta: &[Arc<Trajectory>],
+    delta: &[LiveEntry],
     search: &mut SearchStats,
+    collector: &SharedTopK,
 ) -> Vec<Hit> {
     use repose_distance::RefineEvent;
 
@@ -379,27 +398,36 @@ fn scan_delta(
     }
     let measure = trie.measure();
     let params = trie.params();
+    let qsum = params.summary_of(query);
     let cands: Vec<(f64, u64, &[repose_model::Point])> = delta
         .iter()
-        .map(|t| {
+        .map(|(t, summary)| {
             (
-                params.lower_bound(measure, query, &t.points),
+                params.summary_lower_bound(measure, &qsum, summary),
                 t.id,
                 t.points.as_slice(),
             )
         })
         .collect();
     params
-        .refine_by_bound(measure, query, k, f64::INFINITY, cands, |e| match e {
-            RefineEvent::Scored { abandoned } => {
-                search.exact_computations += 1;
-                search.exact_abandoned += usize::from(abandoned);
-            }
-            RefineEvent::SkippedRest(n) => {
-                search.exact_computations += n;
-                search.exact_abandoned += n;
-            }
-        })
+        .refine_by_bound_shared(
+            measure,
+            query,
+            k,
+            f64::INFINITY,
+            Some(collector),
+            cands,
+            |e| match e {
+                RefineEvent::Scored { abandoned } => {
+                    search.exact_computations += 1;
+                    search.exact_abandoned += usize::from(abandoned);
+                }
+                RefineEvent::SkippedRest(n) => {
+                    search.exact_computations += n;
+                    search.exact_abandoned += n;
+                }
+            },
+        )
         .into_iter()
         .map(|(dist, id)| Hit { id, dist })
         .collect()

@@ -412,12 +412,11 @@ fn delta_scan_abandons_hopeless_candidates() {
     let out = service.query(q, 3);
     assert!(out.delta_candidates > 0, "delta must be scanned");
     assert!(
-        out.exact_abandoned > 0,
+        out.search.exact_abandoned > 0,
         "hopeless delta candidates should be abandoned, outcome scanned {} / abandoned {}",
         out.delta_candidates,
-        out.exact_abandoned
+        out.search.exact_abandoned
     );
-    assert_eq!(out.exact_abandoned, out.search.exact_abandoned);
     assert_eq!(
         out.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
         rebuilt_ids(&dataset(0..120), cfg, q, 3)
