@@ -4,7 +4,7 @@ use rand::seq::index::sample;
 use rand::SeedableRng;
 use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats};
 use repose_distance::{Measure, MeasureParams};
-use repose_model::{Dataset, Mbr, Point, Segment, Trajectory};
+use repose_model::{Dataset, Mbr, Point, Segment, TrajStore, Trajectory};
 use repose_rtree::RTree;
 use repose_zorder::geohash_cell;
 use std::collections::HashMap;
@@ -40,11 +40,12 @@ impl DftConfig {
 
 /// One DFT partition: an R-tree over local segment MBRs plus *copies of
 /// every trajectory owning a local segment* — the regrouping storage that
-/// gives DFT its large index (Table IV discussion).
+/// gives DFT its large index (Table IV discussion). The copies live in a
+/// flat [`TrajStore`] arena keyed by local slot.
 #[derive(Debug)]
 struct DftPartition {
     rtree: RTree<u32>,
-    trajs: Vec<Trajectory>,
+    store: TrajStore,
 }
 
 /// The DFT baseline: distributed segment-granularity trajectory search.
@@ -53,8 +54,8 @@ pub struct Dft {
     cluster: Cluster,
     config: DftConfig,
     data: DistDataset<DftPartition>,
-    /// Master copy used for threshold sampling.
-    master: Vec<Trajectory>,
+    /// Master copy used for threshold sampling (flat arena).
+    master: TrajStore,
     measure: Measure,
     params: MeasureParams,
     index_time: Duration,
@@ -123,19 +124,20 @@ impl Dft {
         let all = dataset.trajectories();
         let (built, times, wall) = cluster.run_partitions(&raw, |_, chunk| {
             let segs = &chunk[0];
-            // Local trajectory copies for regrouping.
+            // Local trajectory copies for regrouping, packed into one
+            // arena so refinement scans contiguous memory.
             let mut local_of: HashMap<u64, u32> = HashMap::new();
-            let mut trajs: Vec<Trajectory> = Vec::new();
+            let mut store = TrajStore::new();
             let mut entries = Vec::with_capacity(segs.len());
             for s in segs {
                 let li = *local_of.entry(s.traj_id).or_insert_with(|| {
-                    trajs.push(all[id_index[&s.traj_id]].clone());
-                    (trajs.len() - 1) as u32
+                    let t = &all[id_index[&s.traj_id]];
+                    store.push(t.id, &t.points) as u32
                 });
                 entries.push((s.mbr(), li));
             }
             let rtree = RTree::bulk_load(entries);
-            DftPartition { rtree, trajs }
+            DftPartition { rtree, store }
         });
         let build_stats = JobStats::simulate(
             times,
@@ -149,16 +151,13 @@ impl Dft {
         let index_bytes = data
             .partitions()
             .iter()
-            .map(|p| {
-                p[0].rtree.mem_bytes()
-                    + p[0].trajs.iter().map(Trajectory::mem_bytes).sum::<usize>()
-            })
+            .map(|p| p[0].rtree.mem_bytes() + p[0].store.mem_bytes())
             .sum();
         Dft {
             cluster,
             config,
             data,
-            master: dataset.trajectories().to_vec(),
+            master: TrajStore::from_trajectories(dataset.trajectories()),
             measure,
             params,
             index_time,
@@ -193,11 +192,11 @@ impl Dft {
         let sampled: Vec<(f64, u64, &[Point])> = sample(&mut rng, self.master.len(), n_samples)
             .into_iter()
             .map(|i| {
-                let t = &self.master[i];
+                let pts = self.master.points(i);
                 (
-                    params.lower_bound(measure, query, &t.points),
-                    t.id,
-                    t.points.as_slice(),
+                    params.lower_bound(measure, query, pts),
+                    self.master.id(i),
+                    pts,
                 )
             })
             .collect();
@@ -214,7 +213,7 @@ impl Dft {
             let part = &chunk[0];
             // Candidates: trajectories owning a segment whose MBR is within
             // dk of the query MBR.
-            let mut cand = vec![false; part.trajs.len()];
+            let mut cand = vec![false; part.store.len()];
             part.rtree.visit(
                 |m| m.min_dist_mbr(&qmbr) <= dk,
                 |_, &li| cand[li as usize] = true,
@@ -227,11 +226,11 @@ impl Dft {
                 .enumerate()
                 .filter(|(_, &c)| c)
                 .map(|(li, _)| {
-                    let t = &part.trajs[li];
+                    let pts = part.store.points(li);
                     (
-                        params.lower_bound(measure, query, &t.points),
-                        t.id,
-                        t.points.as_slice(),
+                        params.lower_bound(measure, query, pts),
+                        part.store.id(li),
+                        pts,
                     )
                 })
                 .collect();

@@ -1,7 +1,7 @@
 use crate::{merge_top_k, refine_top_k, BaselineHit, BaselineOutcome, BaselinePlacement};
 use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats};
 use repose_distance::{bound_exceeds, Measure, MeasureParams};
-use repose_model::{Dataset, Mbr, Point};
+use repose_model::{Dataset, Mbr, Point, TrajStore};
 use repose_zorder::geohash_cell;
 use std::time::{Duration, Instant};
 
@@ -35,19 +35,13 @@ impl DitaConfig {
     }
 }
 
-/// A trajectory with its DITA pivot representation.
-#[derive(Debug, Clone)]
-struct DitaTraj {
-    id: u64,
-    points: Vec<Point>,
-    /// Pivot points: first, last, and high-curvature interior points
-    /// (the neighbor-distance strategy).
-    pivots: Vec<Point>,
-}
-
+/// One DITA partition: the trajectory arena plus, per slot, the pivot
+/// points (first, last, and high-curvature interior points — the
+/// neighbor-distance strategy).
 #[derive(Debug)]
 struct DitaPartition {
-    trajs: Vec<DitaTraj>,
+    store: TrajStore,
+    pivots: Vec<Vec<Point>>,
 }
 
 /// The DITA baseline: pivot-based distributed trajectory search.
@@ -101,13 +95,13 @@ fn select_pivots(points: &[Point], nl: usize) -> Vec<Point> {
 /// Frechet and DTW: both must align `(q_1, p_1)` and `(q_m, p_n)`, and both
 /// are bounded below by `max_j min_i d(q_i, p_j)` over any subset of `t`'s
 /// points (every reference point is matched by some query point).
-fn pivot_lb(query: &[Point], t: &DitaTraj) -> f64 {
+fn pivot_lb(query: &[Point], points: &[Point], pivots: &[Point]) -> f64 {
     let q1 = query[0];
     let qm = *query.last().expect("non-empty query");
-    let p1 = t.points[0];
-    let pn = *t.points.last().expect("non-empty trajectory");
+    let p1 = points[0];
+    let pn = *points.last().expect("non-empty trajectory");
     let mut lb = q1.dist(&p1).max(qm.dist(&pn));
-    for pv in &t.pivots {
+    for pv in pivots {
         let mut best = f64::INFINITY;
         for q in query {
             let d = q.dist(pv);
@@ -127,10 +121,16 @@ fn pivot_lb(query: &[Point], t: &DitaTraj) -> f64 {
 /// `O(m+n)` prefilter bound. For LCSS and EDR only the prefilter bound is
 /// sound: their distances live on the `[0, 1]` / edit-count scales, which
 /// the Euclidean pivot bound does not lower-bound.
-fn measure_lb(measure: Measure, params: &MeasureParams, query: &[Point], t: &DitaTraj) -> f64 {
-    let base = params.lower_bound(measure, query, &t.points);
+fn measure_lb(
+    measure: Measure,
+    params: &MeasureParams,
+    query: &[Point],
+    points: &[Point],
+    pivots: &[Point],
+) -> f64 {
+    let base = params.lower_bound(measure, query, points);
     match measure {
-        Measure::Frechet | Measure::Dtw => base.max(pivot_lb(query, t)),
+        Measure::Frechet | Measure::Dtw => base.max(pivot_lb(query, points, pivots)),
         _ => base,
     }
 }
@@ -197,18 +197,14 @@ impl Dita {
         let raw = DistDataset::from_partitions(parts.into_iter().map(|p| vec![p]).collect());
         let all = dataset.trajectories();
         let (built, times, wall) = cluster.run_partitions(&raw, |_, chunk| {
-            let trajs: Vec<DitaTraj> = chunk[0]
-                .iter()
-                .map(|&ti| {
-                    let t = &all[ti];
-                    DitaTraj {
-                        id: t.id,
-                        points: t.points.clone(),
-                        pivots: select_pivots(&t.points, config.nl),
-                    }
-                })
-                .collect();
-            DitaPartition { trajs }
+            let mut store = TrajStore::new();
+            let mut pivots = Vec::with_capacity(chunk[0].len());
+            for &ti in &chunk[0] {
+                let t = &all[ti];
+                store.push(t.id, &t.points);
+                pivots.push(select_pivots(&t.points, config.nl));
+            }
+            DitaPartition { store, pivots }
         });
         let build_stats = JobStats::simulate(
             times,
@@ -223,9 +219,9 @@ impl Dita {
             .partitions()
             .iter()
             .map(|p| {
-                p[0].trajs
+                p[0].pivots
                     .iter()
-                    .map(|t| t.pivots.capacity() * std::mem::size_of::<Point>() + 16)
+                    .map(|pv| pv.capacity() * std::mem::size_of::<Point>() + 16)
                     .sum::<usize>()
             })
             .sum();
@@ -275,10 +271,11 @@ impl Dita {
         let mut acc_times = vec![Duration::ZERO; n_parts];
         let mut acc_wall = Duration::ZERO;
         let (lbs, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
-            chunk[0]
-                .trajs
-                .iter()
-                .map(|t| measure_lb(measure, &params, query, t))
+            let part = &chunk[0];
+            (0..part.store.len())
+                .map(|li| {
+                    measure_lb(measure, &params, query, part.store.points(li), &part.pivots[li])
+                })
                 .collect::<Vec<f64>>()
         });
         for (a, t) in acc_times.iter_mut().zip(&times) {
@@ -314,15 +311,16 @@ impl Dita {
         // each partition's k best are exact, and the global k-th only
         // depends on those.
         let (locals, times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
-            let cands: Vec<(f64, u64, &[Point])> = chunk[0]
-                .trajs
+            let part = &chunk[0];
+            let cands: Vec<(f64, u64, &[Point])> = part
+                .store
                 .iter()
                 .zip(&lbs[pi])
-                .filter_map(|(t, &lb)| {
+                .filter_map(|((id, pts), &lb)| {
                     // fp-safety-margined gate: an ulp-overshooting bound
                     // must never exclude a candidate whose exact distance
                     // is within the range (see `bound_exceeds`)
-                    (!bound_exceeds(lb, r)).then_some((lb, t.id, t.points.as_slice()))
+                    (!bound_exceeds(lb, r)).then_some((lb, id, pts))
                 })
                 .collect();
             refine_top_k(cands, query, measure, &params, k, f64::INFINITY)
@@ -344,15 +342,16 @@ impl Dita {
         // and phase 2 guarantees at least k candidates at or below dk —
         // so capping the refinement at dk drops no answer).
         let (locals, times, wall) = self.cluster.run_partitions(&self.data, |pi, chunk| {
-            let cands: Vec<(f64, u64, &[Point])> = chunk[0]
-                .trajs
+            let part = &chunk[0];
+            let cands: Vec<(f64, u64, &[Point])> = part
+                .store
                 .iter()
                 .zip(&lbs[pi])
-                .filter_map(|(t, &lb)| {
+                .filter_map(|((id, pts), &lb)| {
                     // same margin as above: every true hit has exact
                     // distance <= dk, so its (possibly ulp-overshooting)
                     // bound must not disqualify it here
-                    (!bound_exceeds(lb, dk)).then_some((lb, t.id, t.points.as_slice()))
+                    (!bound_exceeds(lb, dk)).then_some((lb, id, pts))
                 })
                 .collect();
             refine_top_k(cands, query, measure, &params, k, dk)
@@ -517,12 +516,8 @@ mod tests {
         let q: Vec<Point> = (0..10).map(|j| Point::new(j as f64 * 0.3, 5.4)).collect();
         let params = MeasureParams::default();
         for t in d.trajectories().iter().take(20) {
-            let dt = DitaTraj {
-                id: t.id,
-                points: t.points.clone(),
-                pivots: select_pivots(&t.points, 8),
-            };
-            let lb = pivot_lb(&q, &dt);
+            let pivots = select_pivots(&t.points, 8);
+            let lb = pivot_lb(&q, &t.points, &pivots);
             for m in [Measure::Frechet, Measure::Dtw] {
                 let exact = params.distance(m, &q, &t.points);
                 assert!(lb <= exact + 1e-9, "{m}: lb {lb} > exact {exact}");

@@ -1,19 +1,39 @@
 use crate::{merge_top_k, BaselineHit, BaselineOutcome};
 use repose_cluster::{Cluster, ClusterConfig, DistDataset, JobStats, Partitioner, RoundRobinPartitioner};
-use repose_distance::{Measure, MeasureParams};
-use repose_model::{Dataset, Point, Trajectory};
+use repose_distance::{DistScratch, Measure, MeasureParams};
+use repose_model::{Dataset, Point, TrajStore, Trajectory};
 
 /// Brute-force distributed linear scan: computes the exact distance between
 /// the query and every trajectory in every partition, then merges
 /// (Section VII-A, baseline 3).
+///
+/// Each partition's data is one flat [`TrajStore`] arena, so the scan is a
+/// linear walk over contiguous points with a per-thread reusable kernel
+/// scratch — the yardstick pays the same memory discipline as the index.
 #[derive(Debug)]
 pub struct LinearScan {
     cluster: Cluster,
-    data: DistDataset<Trajectory>,
+    data: DistDataset<TrajStore>,
     measure: Measure,
     params: MeasureParams,
     workers: usize,
     cores: usize,
+}
+
+/// Deals trajectories to partitions with `partitioner`, freezing each
+/// partition into its own arena.
+fn partition_stores<P: Partitioner<Trajectory>>(
+    dataset: &Dataset,
+    partitioner: &P,
+) -> Vec<TrajStore> {
+    let n = partitioner.num_partitions();
+    let mut stores: Vec<TrajStore> = (0..n).map(|_| TrajStore::new()).collect();
+    for (i, t) in dataset.trajectories().iter().enumerate() {
+        let p = partitioner.partition(i, t);
+        assert!(p < n, "partitioner returned {p} >= {n}");
+        stores[p].push(t.id, &t.points);
+    }
+    stores
 }
 
 impl LinearScan {
@@ -25,17 +45,13 @@ impl LinearScan {
         measure: Measure,
         params: MeasureParams,
     ) -> Self {
-        let cluster = Cluster::new(cluster_cfg);
-        let part = RoundRobinPartitioner::new(num_partitions);
-        let data = cluster.parallelize(dataset.trajectories().to_vec(), &part);
-        LinearScan {
-            cluster,
-            data,
+        LinearScan::build_with_partitioner(
+            dataset,
+            cluster_cfg,
+            &RoundRobinPartitioner::new(num_partitions),
             measure,
             params,
-            workers: cluster_cfg.workers,
-            cores: cluster_cfg.cores_per_worker,
-        }
+        )
     }
 
     /// Like [`LinearScan::build`] but with an arbitrary partitioner (used
@@ -48,7 +64,12 @@ impl LinearScan {
         params: MeasureParams,
     ) -> Self {
         let cluster = Cluster::new(cluster_cfg);
-        let data = cluster.parallelize(dataset.trajectories().to_vec(), partitioner);
+        let data = DistDataset::from_partitions(
+            partition_stores(dataset, partitioner)
+                .into_iter()
+                .map(|s| vec![s])
+                .collect(),
+        );
         LinearScan {
             cluster,
             data,
@@ -64,13 +85,16 @@ impl LinearScan {
         let measure = self.measure;
         let params = self.params;
         let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, part| {
-            let mut hits: Vec<BaselineHit> = part
-                .iter()
-                .map(|t| BaselineHit {
-                    id: t.id,
-                    dist: params.distance(measure, query, &t.points),
-                })
-                .collect();
+            let store = &part[0];
+            let mut hits: Vec<BaselineHit> = DistScratch::with_thread(|scratch| {
+                store
+                    .iter()
+                    .map(|(id, pts)| BaselineHit {
+                        id,
+                        dist: params.distance_in(measure, query, pts, scratch),
+                    })
+                    .collect()
+            });
             hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
             hits.truncate(k);
             hits

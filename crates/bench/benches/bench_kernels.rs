@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the zero-allocation verification path: the
+//! scratch-threaded kernels against the preserved seed kernels
+//! (`repose_distance::reference`), and an arena leaf-scan against the
+//! seed's `Vec<Trajectory>` heap-island scan. Counterpart of the
+//! `kernels` experiment (which reports the checked-in
+//! `results/BENCH_kernels.json` numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repose_distance::{reference, DistScratch, Measure, MeasureParams};
+use repose_model::{Point, TrajStore, Trajectory};
+use std::hint::black_box;
+
+fn traj(n: usize, phase: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.1 + phase;
+            Point::new(t, (t * 1.7).sin())
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let params = MeasureParams::with_eps(0.2);
+
+    // Kernel level: per-call-allocating seed vs warm scratch.
+    let mut group = c.benchmark_group("kernel_scratch_vs_alloc");
+    let mut scratch = DistScratch::new();
+    for n in [32usize, 128] {
+        let a = traj(n, 0.0);
+        let b = traj(n, 0.35);
+        for m in Measure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_seed", m.name()), n),
+                &n,
+                |bch, _| bch.iter(|| black_box(reference::distance(&params, m, &a, &b))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_scratch", m.name()), n),
+                &n,
+                |bch, _| bch.iter(|| black_box(params.distance_in(m, &a, &b, &mut scratch))),
+            );
+        }
+    }
+    group.finish();
+
+    // Leaf-scan level: Vec<Trajectory> islands + seed threshold kernels vs
+    // one arena + warm scratch, under a selective threshold.
+    let mut group = c.benchmark_group("leaf_scan_arena_vs_vec");
+    let trajs: Vec<Trajectory> = (0..256u64)
+        .map(|i| Trajectory::new(i, traj(64, i as f64 * 0.21)))
+        .collect();
+    let store = TrajStore::from_trajectories(&trajs);
+    let query = traj(64, 13.37);
+    let mut scratch = DistScratch::new();
+    for m in [Measure::Hausdorff, Measure::Dtw, Measure::Erp] {
+        let mut dists: Vec<f64> = trajs
+            .iter()
+            .map(|t| params.distance(m, &query, &t.points))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let dk = dists[15]; // a top-16-selective cutoff
+        group.bench_function(BenchmarkId::new(format!("{}_seed", m.name()), 256), |bch| {
+            bch.iter(|| {
+                let mut kept = 0usize;
+                for t in &trajs {
+                    if black_box(reference::distance_within_from_lb(
+                        &params, m, &query, &t.points, dk, 0.0,
+                    ))
+                    .is_some()
+                    {
+                        kept += 1;
+                    }
+                }
+                kept
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{}_arena", m.name()), 256), |bch| {
+            bch.iter(|| {
+                let mut kept = 0usize;
+                for s in 0..store.len() {
+                    if black_box(params.distance_within_from_lb_in(
+                        m,
+                        &query,
+                        store.points(s),
+                        dk,
+                        0.0,
+                        &mut scratch,
+                    ))
+                    .is_some()
+                    {
+                        kept += 1;
+                    }
+                }
+                kept
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

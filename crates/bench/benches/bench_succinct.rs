@@ -8,6 +8,7 @@ use common::{bench_cfg, small_workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use repose_datagen::PaperDataset;
 use repose_distance::Measure;
+use repose_model::TrajStore;
 use repose_rptrie::{RpTrie, RpTrieConfig};
 use repose_zorder::Grid;
 use std::hint::black_box;
@@ -15,7 +16,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cfg = bench_cfg();
     let (data, queries) = small_workload(PaperDataset::TDrive);
-    let trajs = data.trajectories().to_vec();
+    let store = TrajStore::from_trajectories(data.trajectories());
     let grid = Grid::with_delta(
         data.enclosing_square().expect("non-empty"),
         PaperDataset::TDrive.paper_delta(Measure::Hausdorff),
@@ -25,7 +26,7 @@ fn bench(c: &mut Criterion) {
     for (label, dense_levels) in [("dense2", 2u8), ("dense4", 4u8), ("sparse_only", 0u8)] {
         let trie_cfg =
             RpTrieConfig::for_measure(Measure::Hausdorff).with_dense_levels(dense_levels);
-        let trie = RpTrie::build(&trajs, grid.clone(), trie_cfg);
+        let trie = RpTrie::build(&store, grid.clone(), trie_cfg);
         eprintln!(
             "{label}: {} nodes ({} dense), {} bytes",
             trie.node_count(),
@@ -33,7 +34,7 @@ fn bench(c: &mut Criterion) {
             trie.mem_bytes()
         );
         group.bench_function(format!("query_{label}"), |b| {
-            b.iter(|| black_box(trie.top_k(&trajs, &queries[0].points, cfg.k)))
+            b.iter(|| black_box(trie.top_k(&store, &queries[0].points, cfg.k)))
         });
     }
     group.finish();

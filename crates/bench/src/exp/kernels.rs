@@ -1,0 +1,251 @@
+//! Zero-allocation kernel experiment (beyond the paper): what the flat
+//! trajectory arena + reusable DP scratch buy on the exact-verification
+//! hot path, per measure.
+//!
+//! Two comparisons, both against the **seed path** preserved verbatim in
+//! [`repose_distance::reference`]:
+//!
+//! * **full kernel** — exhaustively score every candidate with the
+//!   unbounded kernel: per-call-allocating seed kernels over
+//!   `Vec<Trajectory>` heap islands vs scratch-threaded kernels over one
+//!   contiguous [`TrajStore`] arena.
+//! * **leaf-verification scan** — the realistic verification loop: score
+//!   each candidate that survives the O(1) summary prefilter with the
+//!   threshold-aware kernel under the true k-th distance, exactly like
+//!   trie-leaf verification. (Prefilter-rejected candidates cost a few
+//!   nanoseconds in either path and are excluded so the comparison
+//!   measures kernel work, not shared bound arithmetic.) Most surviving
+//!   candidates abandon after a few DP rows, so fixed per-call costs —
+//!   allocation, buffer zeroing, per-cell gap square roots — dominate:
+//!   the regime the zero-allocation refactor targets.
+//!
+//! Timing is min-of-repeats per arm; results are bit-identical between
+//! arms (asserted here on every run, not just in the test suite).
+
+use crate::runner::{load, params_for, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose_datagen::PaperDataset;
+use repose_distance::{bound_exceeds, just_above, reference, DistScratch, Measure, TrajSummary};
+use repose_model::{Dataset, Point, TrajStore};
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+
+fn timed<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one repeat"))
+}
+
+struct MeasureRow {
+    full_seed_s: f64,
+    full_arena_s: f64,
+    scan_seed_s: f64,
+    scan_arena_s: f64,
+    abandoned: usize,
+    scanned: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_measure(
+    data: &Dataset,
+    store: &TrajStore,
+    query: &[Point],
+    measure: Measure,
+    params: &repose_distance::MeasureParams,
+    k: usize,
+) -> MeasureRow {
+    let qsum = params.summary_of(query);
+    let summaries: Vec<TrajSummary> = data
+        .trajectories()
+        .iter()
+        .map(|t| params.summary_of(&t.points))
+        .collect();
+    let mut scratch = DistScratch::new();
+
+    // -- Full kernel: seed (alloc, heap islands) vs arena + scratch. --
+    let (full_seed_s, seed_dists) = timed(|| {
+        data.trajectories()
+            .iter()
+            .map(|t| black_box(reference::distance(params, measure, query, &t.points)))
+            .collect::<Vec<f64>>()
+    });
+    let (full_arena_s, arena_dists) = timed(|| {
+        (0..store.len())
+            .map(|s| {
+                black_box(params.distance_in(measure, query, store.points(s), &mut scratch))
+            })
+            .collect::<Vec<f64>>()
+    });
+    assert_eq!(
+        seed_dists.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+        arena_dists.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+        "{measure}: arena kernels diverged from the seed kernels"
+    );
+
+    // The true k-th distance: the selectivity an ideal index hands every
+    // leaf verification. `just_above` keeps the k-th candidate itself
+    // scoreable, as the running-top-k loops do.
+    let mut sorted = seed_dists.clone();
+    sorted.sort_by(f64::total_cmp);
+    let kth = sorted[k.clamp(1, sorted.len()) - 1];
+    let dk = just_above(kth);
+
+    // Candidates that reach the kernels: summary bound cannot refute them
+    // at the cutoff (same fp-margined test the scan loops use).
+    let kernel_cands: Vec<(usize, f64)> = summaries
+        .iter()
+        .enumerate()
+        .filter_map(|(s, summary)| {
+            let lb = params.summary_lower_bound(measure, &qsum, summary);
+            (!bound_exceeds(lb, kth)).then_some((s, lb))
+        })
+        .collect();
+
+    // -- Leaf-verification scan under dk over the kernel candidates. --
+    let (scan_seed_s, seed_scan) = timed(|| {
+        let mut abandoned = 0usize;
+        for &(slot, lb) in &kernel_cands {
+            let pts = &data.trajectories()[slot].points;
+            if black_box(reference::distance_within_from_lb(
+                params, measure, query, pts, dk, lb,
+            ))
+            .is_none()
+            {
+                abandoned += 1;
+            }
+        }
+        abandoned
+    });
+    let (scan_arena_s, arena_scan) = timed(|| {
+        let mut abandoned = 0usize;
+        for &(slot, lb) in &kernel_cands {
+            if black_box(params.distance_within_from_lb_in(
+                measure,
+                query,
+                store.points(slot),
+                dk,
+                lb,
+                &mut scratch,
+            ))
+            .is_none()
+            {
+                abandoned += 1;
+            }
+        }
+        abandoned
+    });
+    assert_eq!(seed_scan, arena_scan, "{measure}: scan decisions diverged");
+
+    MeasureRow {
+        full_seed_s,
+        full_arena_s,
+        scan_seed_s,
+        scan_arena_s,
+        abandoned: arena_scan,
+        scanned: kernel_cands.len(),
+    }
+}
+
+/// Runs the zero-allocation kernel comparison over all six measures.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let (data, queries) = load(ds, exp);
+    if data.is_empty() || queries.is_empty() {
+        eprintln!("[kernels] nothing to measure (empty dataset or --queries 0)");
+        return Value::Array(Vec::new());
+    }
+    let store = TrajStore::from_trajectories(data.trajectories());
+    let query = &queries[0].points;
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut scan_speedup_product = 1.0f64;
+    for measure in Measure::ALL {
+        let params = params_for(ds, measure);
+        let r = run_measure(&data, &store, query, measure, &params, exp.k);
+        let full_speedup = if r.full_arena_s > 0.0 { r.full_seed_s / r.full_arena_s } else { 0.0 };
+        let scan_speedup = if r.scan_arena_s > 0.0 { r.scan_seed_s / r.scan_arena_s } else { 0.0 };
+        scan_speedup_product *= scan_speedup.max(f64::MIN_POSITIVE);
+        rows.push(vec![
+            measure.name().to_string(),
+            fmt_secs(r.full_seed_s),
+            fmt_secs(r.full_arena_s),
+            format!("{full_speedup:.2}x"),
+            fmt_secs(r.scan_seed_s),
+            fmt_secs(r.scan_arena_s),
+            format!("{scan_speedup:.2}x"),
+            format!("{}/{}", r.abandoned, r.scanned),
+        ]);
+        out.push(json!({
+            "measure": measure.name(),
+            "full_seed_s": r.full_seed_s,
+            "full_arena_s": r.full_arena_s,
+            "full_speedup": full_speedup,
+            "scan_seed_s": r.scan_seed_s,
+            "scan_arena_s": r.scan_arena_s,
+            "scan_speedup": scan_speedup,
+            "scan_abandoned": r.abandoned,
+            "scanned": r.scanned,
+        }));
+    }
+    let scan_speedup_geomean = scan_speedup_product.powf(1.0 / Measure::ALL.len() as f64);
+    out.push(json!({
+        "summary": true,
+        "scan_speedup_geomean": scan_speedup_geomean,
+        "scale": exp.scale,
+        "k": exp.k,
+    }));
+    println!(
+        "\n== kernels: arena + scratch vs seed path, k = {}, scale {} ==",
+        exp.k, exp.scale
+    );
+    print_table(
+        &[
+            "Measure", "full seed", "full arena", "speedup", "scan seed", "scan arena",
+            "speedup", "abandoned",
+        ],
+        &rows,
+    );
+    println!("leaf-verification scan speedup (geomean): {scan_speedup_geomean:.2}x");
+    Value::Array(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn kernels_experiment_reports_bit_identical_speedups() {
+        let exp = ExpConfig {
+            scale: 0.03,
+            queries: 1,
+            k: 3,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 11,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp);
+        let rows = v.as_array().expect("rows + summary");
+        assert_eq!(rows.len(), 7, "six measures + summary");
+        for row in rows.iter().take(6) {
+            // run() itself asserts bitwise agreement; here check shape.
+            assert!(row["full_seed_s"].as_f64().unwrap() >= 0.0);
+            assert!(row["scan_speedup"].as_f64().unwrap() > 0.0);
+            let scanned = row["scanned"].as_u64().unwrap();
+            assert!(row["scan_abandoned"].as_u64().unwrap() <= scanned);
+        }
+        assert!(rows[6]["summary"].as_bool().unwrap());
+        assert!(rows[6]["scan_speedup_geomean"].as_f64().unwrap() > 0.0);
+    }
+}

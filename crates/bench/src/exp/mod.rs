@@ -3,6 +3,7 @@
 
 pub mod dist;
 pub mod fig6;
+pub mod kernels;
 pub mod scale;
 pub mod fig7;
 pub mod fig8;
@@ -54,5 +55,10 @@ pub const ALL: &[Experiment] = &[
         name: "scale",
         what: "Shared-threshold vs independent partition search across partition counts",
         run: scale::run,
+    },
+    Experiment {
+        name: "kernels",
+        what: "Zero-allocation verification: arena + scratch kernels vs the seed path",
+        run: kernels::run,
     },
 ];

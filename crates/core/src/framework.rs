@@ -1,15 +1,17 @@
-use crate::{partition_dataset, ReposeConfig};
+use crate::{partition::partition_slots, ReposeConfig};
 use repose_cluster::{Cluster, DistDataset, JobStats};
-use repose_model::{Dataset, Mbr, Point, Trajectory};
+use repose_model::{Dataset, Mbr, Point, TrajId, TrajStore};
 use repose_rptrie::{Hit, RpTrie, SearchStats, SharedTopK};
 use repose_zorder::Grid;
 use std::time::{Duration, Instant};
 
 /// One partition's package of data + local index — the paper's
-/// `RpTraj(trajectory: Array, Index: RP-Trie)` (Section V-C).
+/// `RpTraj(trajectory: Array, Index: RP-Trie)` (Section V-C). The data
+/// half is a flat [`TrajStore`] arena: leaf verification and full scans
+/// read one contiguous point array per partition.
 #[derive(Debug, Clone)]
 pub(crate) struct LocalPartition {
-    pub(crate) trajs: Vec<Trajectory>,
+    pub(crate) store: TrajStore,
     pub(crate) trie: RpTrie,
 }
 
@@ -51,8 +53,9 @@ impl QueryOutcome {
 /// partitions directly, outside the simulated cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct PartitionView<'a> {
-    /// The partition's trajectories, in the order the index was built over.
-    pub trajs: &'a [Trajectory],
+    /// The partition's trajectory arena, in the order the index was built
+    /// over.
+    pub store: &'a TrajStore,
     /// The partition's RP-Trie.
     pub trie: &'a RpTrie,
 }
@@ -82,15 +85,73 @@ impl Repose {
             .enclosing_square()
             .unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
         let t0 = Instant::now();
-        let parts = partition_dataset(
-            dataset,
+        // Deal slots over the dataset in place (no transient master
+        // arena); each partition's arena is filled straight from the
+        // dataset's point slices.
+        let trajs = dataset.trajectories();
+        let slot_parts = crate::partition::partition_slots_by(
+            trajs.len(),
+            &|i| trajs[i].points.as_slice(),
+            &|i| trajs[i].id,
             &region,
             config.strategy,
             config.num_partitions,
             config.seed,
         );
-        let partition_wall = t0.elapsed();
+        let parts: Vec<TrajStore> = slot_parts
+            .into_iter()
+            .map(|slots| {
+                let points: usize = slots.iter().map(|&s| trajs[s].len()).sum();
+                let mut part = TrajStore::with_capacity(slots.len(), points);
+                for s in slots {
+                    part.push(trajs[s].id, &trajs[s].points);
+                }
+                part
+            })
+            .collect();
+        Repose::build_from_parts(parts, region, t0.elapsed(), config)
+    }
 
+    /// [`Repose::build`] over a flat [`TrajStore`] arena — the
+    /// allocation-light build path. Partitioning deals out *slots*; each
+    /// partition's arena is then filled with contiguous arena-to-arena
+    /// range copies (no intermediate `Trajectory` clones). The serving
+    /// layer's compaction rebuilds through this entry point.
+    pub fn build_from_store(store: &TrajStore, config: ReposeConfig) -> Self {
+        let region = store
+            .enclosing_square()
+            .unwrap_or_else(|| Mbr::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let t0 = Instant::now();
+        let slot_parts = partition_slots(
+            store,
+            &region,
+            config.strategy,
+            config.num_partitions,
+            config.seed,
+        );
+        let parts: Vec<TrajStore> = slot_parts
+            .into_iter()
+            .map(|slots| {
+                let points: usize = slots.iter().map(|&s| store.points(s).len()).sum();
+                let mut part = TrajStore::with_capacity(slots.len(), points);
+                for s in slots {
+                    part.push_from(store, s);
+                }
+                part
+            })
+            .collect();
+        Repose::build_from_parts(parts, region, t0.elapsed(), config)
+    }
+
+    /// The shared tail of [`Repose::build`] / [`Repose::build_from_store`]:
+    /// per-partition trie builds on the simulated cluster + deployment
+    /// assembly.
+    fn build_from_parts(
+        parts: Vec<TrajStore>,
+        region: Mbr,
+        partition_wall: Duration,
+        config: ReposeConfig,
+    ) -> Self {
         let cluster = Cluster::new(config.cluster);
         let raw = DistDataset::from_partitions(
             parts.into_iter().map(|p| vec![p]).collect(),
@@ -98,13 +159,13 @@ impl Repose {
         let grid = Grid::with_delta(region, config.delta);
         let trie_cfg = config.trie;
         let (built, times, wall) = cluster.run_partitions(&raw, |pi, chunk| {
-            let trajs = chunk[0].clone();
+            let store = chunk[0].clone();
             let trie = RpTrie::build(
-                &trajs,
+                &store,
                 grid.clone(),
                 trie_cfg.with_seed(trie_cfg.seed ^ pi as u64),
             );
-            LocalPartition { trajs, trie }
+            LocalPartition { store, trie }
         });
         let build_stats = JobStats::simulate(
             times,
@@ -144,7 +205,7 @@ impl Repose {
     pub fn query_independent(&self, query: &[Point], k: usize) -> QueryOutcome {
         let (locals, times, wall) = self.cluster.run_partitions(&self.data, |_, chunk| {
             let part = &chunk[0];
-            part.trie.top_k(&part.trajs, query, k)
+            part.trie.top_k(&part.store, query, k)
         });
         let job = JobStats::simulate(
             times,
@@ -207,7 +268,7 @@ impl Repose {
         let seed_result = seed.map(|si| {
             let part = &self.data.partition(si)[0];
             let t0 = Instant::now();
-            let r = part.trie.top_k_shared(&part.trajs, query, k, &[], None, &collector);
+            let r = part.trie.top_k_shared(&part.store, query, k, &[], None, &collector);
             seed_time = t0.elapsed();
             r
         });
@@ -217,7 +278,7 @@ impl Repose {
                 return None;
             }
             let part = &chunk[0];
-            Some(part.trie.top_k_shared(&part.trajs, query, k, &[], None, &collector))
+            Some(part.trie.top_k_shared(&part.store, query, k, &[], None, &collector))
         });
         if let Some(si) = seed {
             // The seed partition's cost happened in phase 1; schedule it as
@@ -280,7 +341,7 @@ impl Repose {
             queries
                 .iter()
                 .zip(&collectors)
-                .map(|(q, c)| part.trie.top_k_shared(&part.trajs, q, k, &[], None, c))
+                .map(|(q, c)| part.trie.top_k_shared(&part.store, q, k, &[], None, c))
                 .collect::<Vec<_>>()
         });
         let job = JobStats::simulate(
@@ -361,16 +422,18 @@ impl Repose {
     /// If `pi >= self.num_partitions()`.
     pub fn partition_view(&self, pi: usize) -> PartitionView<'_> {
         let part = &self.data.partition(pi)[0];
-        PartitionView { trajs: &part.trajs, trie: &part.trie }
+        PartitionView { store: &part.store, trie: &part.trie }
     }
 
-    /// Iterates every indexed trajectory across all partitions (used by
-    /// `repose-service` compaction to rebuild from live data).
-    pub fn all_trajectories(&self) -> impl Iterator<Item = &Trajectory> {
+    /// Iterates every indexed trajectory across all partitions as
+    /// `(id, points)` pairs borrowed from the partition arenas (used by
+    /// `repose-service` for live-set accounting; compaction copies point
+    /// ranges arena-to-arena through [`Repose::partition_view`]).
+    pub fn all_trajectories(&self) -> impl Iterator<Item = (TrajId, &[Point])> {
         self.data
             .partitions()
             .iter()
-            .flat_map(|p| p[0].trajs.iter())
+            .flat_map(|p| p[0].store.iter())
     }
 
     /// Per-partition trajectory counts.
@@ -378,7 +441,7 @@ impl Repose {
         self.data
             .partitions()
             .iter()
-            .map(|p| p[0].trajs.len())
+            .map(|p| p[0].store.len())
             .collect()
     }
 
@@ -393,6 +456,7 @@ mod tests {
     use super::*;
     use crate::PartitionStrategy;
     use repose_distance::{Measure, MeasureParams};
+    use repose_model::Trajectory;
 
     fn dataset() -> Dataset {
         // 200 trajectories in 20 groups of 10 near-duplicates.

@@ -35,6 +35,6 @@ pub mod temporal;
 
 pub use config::ReposeConfig;
 pub use framework::{PartitionView, QueryOutcome, Repose};
-pub use partition::{partition_dataset, PartitionStrategy};
+pub use partition::{partition_dataset, partition_slots, PartitionStrategy};
 pub use repose_rptrie::Hit;
 pub use temporal::{TemporalRepose, TimeWindow};

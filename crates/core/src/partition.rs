@@ -7,7 +7,7 @@
 //! receives a slice of *every* cluster. Homogeneous (DITA/DFT-style
 //! similar-together placement) and random are the Table VII baselines.
 
-use repose_model::{Dataset, Mbr, Trajectory};
+use repose_model::{Dataset, Mbr, TrajStore, Trajectory};
 use repose_zorder::geohash_key;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -35,10 +35,36 @@ impl PartitionStrategy {
     }
 }
 
-/// Splits `dataset` into `n_partitions` according to `strategy`.
+/// Splits the trajectories of `store` into `n_partitions` slot lists
+/// according to `strategy` — the allocation-light core of partitioning:
+/// no points are copied, only slot indices are dealt out. The caller
+/// materializes per-partition [`TrajStore`]s with arena-to-arena range
+/// copies.
 ///
 /// Returns the partitions in order; the caller assigns partition `p` to
 /// worker `p % workers` (Spark-style placement).
+pub fn partition_slots(
+    store: &TrajStore,
+    region: &Mbr,
+    strategy: PartitionStrategy,
+    n_partitions: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    partition_slots_by(
+        store.len(),
+        &|slot| store.points(slot),
+        &|slot| store.id(slot),
+        region,
+        strategy,
+        n_partitions,
+        seed,
+    )
+}
+
+/// Splits `dataset` into `n_partitions` of owned [`Trajectory`] values —
+/// the I/O-edge form of [`partition_slots`], kept for callers that want
+/// `Trajectory` partitions. Reads the dataset in place (no transient
+/// arena copy).
 pub fn partition_dataset(
     dataset: &Dataset,
     region: &Mbr,
@@ -46,32 +72,59 @@ pub fn partition_dataset(
     n_partitions: usize,
     seed: u64,
 ) -> Vec<Vec<Trajectory>> {
+    let trajs = dataset.trajectories();
+    partition_slots_by(
+        trajs.len(),
+        &|i| trajs[i].points.as_slice(),
+        &|i| trajs[i].id,
+        region,
+        strategy,
+        n_partitions,
+        seed,
+    )
+    .into_iter()
+    .map(|slots| slots.into_iter().map(|s| trajs[s].clone()).collect())
+    .collect()
+}
+
+/// The strategy dispatch over an `(points, id)` accessor pair — one
+/// implementation serves the arena ([`partition_slots`]), `Dataset`
+/// ([`partition_dataset`]), and framework-build fronts, so the deal-out
+/// rules cannot drift between them.
+pub(crate) fn partition_slots_by<'a>(
+    n: usize,
+    points_of: &dyn Fn(usize) -> &'a [repose_model::Point],
+    id_of: &dyn Fn(usize) -> repose_model::TrajId,
+    region: &Mbr,
+    strategy: PartitionStrategy,
+    n_partitions: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
     assert!(n_partitions > 0, "need at least one partition");
-    let mut parts: Vec<Vec<Trajectory>> = (0..n_partitions).map(|_| Vec::new()).collect();
-    if dataset.is_empty() {
+    let mut parts: Vec<Vec<usize>> = (0..n_partitions).map(|_| Vec::new()).collect();
+    if n == 0 {
         return parts;
     }
     match strategy {
         PartitionStrategy::Random => {
             let mut rng = StdRng::seed_from_u64(seed);
-            for t in dataset.trajectories() {
-                parts[rng.random_range(0..n_partitions)].push(t.clone());
+            for slot in 0..n {
+                parts[rng.random_range(0..n_partitions)].push(slot);
             }
         }
         PartitionStrategy::Heterogeneous => {
-            let order = cluster_sorted_order(dataset, region, n_partitions);
+            let order = cluster_sorted_order(n, points_of, id_of, region, n_partitions);
             for (i, ti) in order.into_iter().enumerate() {
-                parts[i % n_partitions].push(dataset.trajectories()[ti].clone());
+                parts[i % n_partitions].push(ti);
             }
         }
         PartitionStrategy::Homogeneous => {
             // Same cluster-sorted order, but contiguous chunks: whole
             // clusters land in the same partition.
-            let order = cluster_sorted_order(dataset, region, n_partitions);
+            let order = cluster_sorted_order(n, points_of, id_of, region, n_partitions);
             let chunk = order.len().div_ceil(n_partitions);
             for (i, ti) in order.into_iter().enumerate() {
-                parts[(i / chunk).min(n_partitions - 1)]
-                    .push(dataset.trajectories()[ti].clone());
+                parts[(i / chunk).min(n_partitions - 1)].push(ti);
             }
         }
     }
@@ -79,18 +132,21 @@ pub fn partition_dataset(
 }
 
 /// The SOM-TC style clustering loop: find the finest geohash granularity
-/// that yields at most ~`N / NG` clusters, then emit trajectory indices
+/// that yields at most ~`N / NG` clusters, then emit trajectory slots
 /// sorted by (cluster id, trajectory id).
-fn cluster_sorted_order(dataset: &Dataset, region: &Mbr, n_partitions: usize) -> Vec<usize> {
-    let n = dataset.len();
+fn cluster_sorted_order<'a>(
+    n: usize,
+    points_of: &dyn Fn(usize) -> &'a [repose_model::Point],
+    id_of: &dyn Fn(usize) -> repose_model::TrajId,
+    region: &Mbr,
+    n_partitions: usize,
+) -> Vec<usize> {
     let target = (n / n_partitions).max(1);
     let mut chosen: Option<Vec<u64>> = None;
     // Start fine (each trajectory its own cluster) and coarsen.
     for bits in (1..=12u8).rev() {
-        let keys: Vec<Vec<u64>> = dataset
-            .trajectories()
-            .iter()
-            .map(|t| geohash_key(&t.points, region, bits))
+        let keys: Vec<Vec<u64>> = (0..n)
+            .map(|slot| geohash_key(points_of(slot), region, bits))
             .collect();
         let distinct = {
             let mut set: HashMap<&[u64], ()> = HashMap::with_capacity(n);
@@ -114,7 +170,7 @@ fn cluster_sorted_order(dataset: &Dataset, region: &Mbr, n_partitions: usize) ->
     }
     let cluster_of = chosen.expect("loop always terminates at bits == 1");
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| (cluster_of[i], dataset.trajectories()[i].id));
+    order.sort_by_key(|&i| (cluster_of[i], id_of(i)));
     order
 }
 

@@ -74,24 +74,29 @@ impl TemporalRepose {
     /// Distributed top-k among trajectories whose span overlaps `window`.
     pub fn query(&self, query: &[Point], window: TimeWindow, k: usize) -> QueryOutcome {
         let spans = &self.spans;
-        self.inner.query_where(query, k, &move |t: &repose_model::Trajectory| {
-            let (a, b) = spans[&t.id];
+        self.inner.query_where(query, k, &move |id: TrajId| {
+            let (a, b) = spans[&id];
             window.overlaps(a, b)
         })
     }
 }
 
 impl Repose {
-    /// Distributed top-k restricted to trajectories accepted by `filter`
+    /// Distributed top-k restricted to trajectory ids accepted by `filter`
     /// (exposed for attribute predicates; `TemporalRepose` builds on it).
+    ///
+    /// `filter` runs inside the search's per-thread scratch scope:
+    /// id/side-table predicates are the intended shape, and a filter that
+    /// does invoke a distance kernel still works but pays a temporary
+    /// scratch for that call.
     pub fn query_where(
         &self,
         query: &[Point],
         k: usize,
-        filter: &(dyn Fn(&repose_model::Trajectory) -> bool + Sync),
+        filter: &(dyn Fn(TrajId) -> bool + Sync),
     ) -> QueryOutcome {
         let (locals, times, wall) = self.run_local(|part| {
-            part.trie.top_k_where(&part.trajs, query, k, filter)
+            part.trie.top_k_where(&part.store, query, k, filter)
         });
         let job = JobStats::simulate(
             times,

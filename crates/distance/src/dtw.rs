@@ -1,16 +1,128 @@
+use crate::DistScratch;
 use repose_model::Point;
+
+/// One DTW column transition (Eq. 15) over a caller-owned column buffer;
+/// `ground(q)` is the ground distance of query point `q` to the new
+/// reference element. Returns the new column's minimum.
+///
+/// This is the single implementation of the DTW recurrence: the
+/// incremental [`DtwColumn`] and the batch/threshold kernels all route
+/// through it, which is what keeps their results bit-identical. The DP
+/// wavefront (`f_{i-1,j-1}`, `f_{i-1,j}`) is carried in registers and the
+/// column is walked with a zipped iterator, so the inner loop has no
+/// bounds checks.
+#[inline]
+pub(crate) fn dtw_advance<F: Fn(&Point) -> f64>(
+    col: &mut [f64],
+    first: bool,
+    query: &[Point],
+    ground: F,
+) -> f64 {
+    debug_assert_eq!(col.len(), query.len());
+    let mut cmin = f64::INFINITY;
+    if first {
+        // First column: f_{i,1} = sum_{t<=i} d(q_t, p_1).
+        let mut acc = 0.0;
+        for (c, q) in col.iter_mut().zip(query) {
+            acc += ground(q);
+            *c = acc;
+            if acc < cmin {
+                cmin = acc;
+            }
+        }
+    } else {
+        // prev_im1 = f_{i-1,j-1} (old col value one row up), last_new =
+        // f_{i-1,j} (this column's value one row up).
+        let mut prev_im1 = f64::INFINITY;
+        let mut last_new = f64::INFINITY;
+        for (i, (c, q)) in col.iter_mut().zip(query).enumerate() {
+            let d = ground(q);
+            let old = *c;
+            let best_pred = if i == 0 {
+                old // f_{1,j} = d + f_{1,j-1}
+            } else {
+                prev_im1.min(old).min(last_new)
+            };
+            prev_im1 = old;
+            let new = d + best_pred;
+            *c = new;
+            last_new = new;
+            if new < cmin {
+                cmin = new;
+            }
+        }
+    }
+    cmin
+}
+
+/// Two DTW column transitions in one pass over the column buffer: the
+/// buffer holds column `j-1` on entry and column `j+1` on exit.
+///
+/// Each cell is computed from exactly the same operands in the same order
+/// as two successive [`dtw_advance`] calls — results are bit-identical —
+/// but the two columns' serial min-chains interleave in the pipeline, so
+/// the chain-latency-bound DP runs substantially faster. Returns both
+/// columns' minima (callers that abandon must check them in column
+/// order).
+#[inline]
+pub(crate) fn dtw_advance2<F1: Fn(&Point) -> f64, F2: Fn(&Point) -> f64>(
+    col: &mut [f64],
+    query: &[Point],
+    ground1: F1,
+    ground2: F2,
+) -> (f64, f64) {
+    debug_assert_eq!(col.len(), query.len());
+    let (mut cmin1, mut cmin2) = (f64::INFINITY, f64::INFINITY);
+    // a = f_{i-1,j-1}, b = f_{i-1,j}, c2 = f_{i-1,j+1}.
+    let (mut a, mut b, mut c2) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for (i, (c, q)) in col.iter_mut().zip(query).enumerate() {
+        let d1 = ground1(q);
+        let d2 = ground2(q);
+        let old = *c; // f_{i,j-1}
+        let v1 = if i == 0 { d1 + old } else { d1 + a.min(old).min(b) };
+        let v2 = if i == 0 { d2 + v1 } else { d2 + b.min(v1).min(c2) };
+        a = old;
+        b = v1;
+        c2 = v2;
+        *c = v2;
+        if v1 < cmin1 {
+            cmin1 = v1;
+        }
+        if v2 < cmin2 {
+            cmin2 = v2;
+        }
+    }
+    (cmin1, cmin2)
+}
 
 /// Dynamic time warping distance between two trajectories (Eq. 12),
 /// with Euclidean ground distance and no warping window.
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`dtw_in`].
 pub fn dtw(t1: &[Point], t2: &[Point]) -> f64 {
+    DistScratch::with_thread(|s| dtw_in(t1, t2, s))
+}
+
+/// [`dtw`] against a caller-managed scratch: zero heap allocations once
+/// `scratch` is warm (no re-zeroing either — the first column fully
+/// initializes the buffer), with reference points consumed in pairs so
+/// two columns' dependency chains overlap in the pipeline.
+pub fn dtw_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
-    let mut col = DtwColumn::new(t1.len());
-    for p in t2 {
-        col.push_with(t1, |q| q.dist(p));
+    let col = scratch.f1_uninit(t1.len());
+    let (p0, rest) = t2.split_first().expect("non-empty");
+    dtw_advance(col, true, t1, |q| q.dist(p0));
+    let mut pairs = rest.chunks_exact(2);
+    for pair in &mut pairs {
+        dtw_advance2(col, t1, |q| q.dist(&pair[0]), |q| q.dist(&pair[1]));
     }
-    col.last()
+    for p in pairs.remainder() {
+        dtw_advance(col, false, t1, |q| q.dist(p));
+    }
+    col[col.len() - 1]
 }
 
 /// Incremental DTW column kernel (Section VI-B).
@@ -59,38 +171,9 @@ impl DtwColumn {
 
     /// Pushes the next reference element with a caller-supplied ground
     /// distance.
-    #[allow(clippy::needless_range_loop)] // i also indexes the DP column
     pub fn push_with<F: Fn(&Point) -> f64>(&mut self, query: &[Point], ground: F) {
         debug_assert_eq!(query.len(), self.col.len());
-        let m = self.col.len();
-        let mut cmin = f64::INFINITY;
-        if self.len == 0 {
-            // First column: f_{i,1} = sum_{t<=i} d(q_t, p_1).
-            let mut acc = 0.0;
-            for i in 0..m {
-                acc += ground(&query[i]);
-                self.col[i] = acc;
-                if acc < cmin {
-                    cmin = acc;
-                }
-            }
-        } else {
-            let mut prev_im1 = self.col[0];
-            for i in 0..m {
-                let d = ground(&query[i]);
-                let best_pred = if i == 0 {
-                    self.col[0] // f_{1,j} = d + f_{1,j-1}
-                } else {
-                    prev_im1.min(self.col[i]).min(self.col[i - 1])
-                };
-                prev_im1 = self.col[i];
-                self.col[i] = d + best_pred;
-                if self.col[i] < cmin {
-                    cmin = self.col[i];
-                }
-            }
-        }
-        self.cmin = cmin;
+        self.cmin = dtw_advance(&mut self.col, self.len == 0, query, ground);
         self.len += 1;
     }
 

@@ -1,3 +1,4 @@
+use crate::DistScratch;
 use repose_model::Point;
 
 /// Edit Distance on Real sequences (Chen et al., SIGMOD'05).
@@ -6,21 +7,37 @@ use repose_model::Point;
 /// at most `eps`; otherwise substitution, insertion and deletion all cost 1.
 /// The result is an integer edit count returned as `f64` for measure
 /// uniformity.
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`edr_in`].
 pub fn edr(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
+    DistScratch::with_thread(|s| edr_in(t1, t2, eps, s))
+}
+
+/// [`edr`] against a caller-managed scratch: zero heap allocations once
+/// `scratch` is warm.
+pub fn edr_in(t1: &[Point], t2: &[Point], eps: f64, scratch: &mut DistScratch) -> f64 {
     let (m, n) = (t1.len(), t2.len());
     if m == 0 || n == 0 {
         return (m + n) as f64;
     }
-    let mut prev: Vec<u32> = (0..=n as u32).collect();
-    let mut cur = vec![0u32; n + 1];
+    let (mut prev, mut cur) = scratch.u2_uninit(n + 1, n + 1);
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as u32;
+    }
     for (i, a) in t1.iter().enumerate() {
-        cur[0] = i as u32 + 1;
-        for (j, b) in t2.iter().enumerate() {
+        // Register-carried cursors over zipped rows — no per-cell bounds
+        // checks; integer recurrence unchanged.
+        let mut left = i as u32 + 1;
+        cur[0] = left;
+        let mut diag = prev[0];
+        for (b, (&up, c)) in t2.iter().zip(prev[1..].iter().zip(cur[1..].iter_mut())) {
             let subcost =
                 u32::from(!((a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps));
-            cur[j + 1] = (prev[j] + subcost)
-                .min(prev[j + 1] + 1)
-                .min(cur[j] + 1);
+            let v = (diag + subcost).min(up + 1).min(left + 1);
+            *c = v;
+            diag = up;
+            left = v;
         }
         std::mem::swap(&mut prev, &mut cur);
     }

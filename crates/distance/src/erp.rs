@@ -1,3 +1,4 @@
+use crate::DistScratch;
 use repose_model::Point;
 
 /// Edit distance with Real Penalty (Chen & Ng, VLDB'04) with gap point `g`.
@@ -10,7 +11,22 @@ use repose_model::Point;
 ///
 /// ERP is a metric (it satisfies the triangle inequality), which is why the
 /// paper groups it with Hausdorff and Frechet for pivot-based pruning.
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`erp_in`].
 pub fn erp(t1: &[Point], t2: &[Point], gap: Point) -> f64 {
+    DistScratch::with_thread(|s| erp_in(t1, t2, gap, s))
+}
+
+/// [`erp`] against a caller-managed scratch: zero heap allocations once
+/// `scratch` is warm.
+///
+/// The gap distances `d(p_j, g)` are evaluated once into a scratch row (a
+/// single vectorizable pass over the contiguous reference slice) instead
+/// of once per DP cell — the values, and hence the result, are
+/// bit-identical; the `O(m·n)` square roots the seed kernel spent on them
+/// are not.
+pub fn erp_in(t1: &[Point], t2: &[Point], gap: Point, scratch: &mut DistScratch) -> f64 {
     let (m, n) = (t1.len(), t2.len());
     if m == 0 {
         return t2.iter().map(|p| p.dist(&gap)).sum();
@@ -18,20 +34,32 @@ pub fn erp(t1: &[Point], t2: &[Point], gap: Point) -> f64 {
     if n == 0 {
         return t1.iter().map(|p| p.dist(&gap)).sum();
     }
-    // prev[j] = erp(i-1, j); row 0: erp(0, j) = sum of gap costs of t2[..j].
-    let mut prev = Vec::with_capacity(n + 1);
-    prev.push(0.0);
-    for p in t2 {
-        prev.push(prev.last().unwrap() + p.dist(&gap));
+    let (mut prev, mut cur, gap_b) = scratch.f3_uninit(n + 1, n + 1, n);
+    for (g, p) in gap_b.iter_mut().zip(t2) {
+        *g = p.dist(&gap);
     }
-    let mut cur = vec![0.0f64; n + 1];
+    // prev[j] = erp(i-1, j); row 0: erp(0, j) = sum of gap costs of t2[..j].
+    prev[0] = 0.0;
+    for j in 0..n {
+        prev[j + 1] = prev[j] + gap_b[j];
+    }
     for a in t1 {
         let gap_a = a.dist(&gap);
-        cur[0] = prev[0] + gap_a;
-        for (j, b) in t2.iter().enumerate() {
-            cur[j + 1] = (prev[j] + a.dist(b))
-                .min(prev[j + 1] + gap_a)
-                .min(cur[j] + b.dist(&gap));
+        // Register-carried DP cursors (`diag` = erp(i-1,j), `left` =
+        // erp(i,j)) over zipped rows: no per-cell bounds checks, same
+        // expressions in the same order as the seed kernel.
+        let mut left = prev[0] + gap_a;
+        cur[0] = left;
+        let mut diag = prev[0];
+        for ((b, gb), (&up, c)) in t2
+            .iter()
+            .zip(gap_b.iter())
+            .zip(prev[1..].iter().zip(cur[1..].iter_mut()))
+        {
+            let v = (diag + a.dist(b)).min(up + gap_a).min(left + gb);
+            *c = v;
+            diag = up;
+            left = v;
         }
         std::mem::swap(&mut prev, &mut cur);
     }

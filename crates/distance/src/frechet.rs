@@ -1,15 +1,129 @@
+use crate::DistScratch;
 use repose_model::Point;
 
+/// One discrete-Fréchet column transition (Eq. 9) over a caller-owned
+/// column; `ground(q)` is the ground distance of query point `q` to the
+/// new reference element. Returns the new column's minimum.
+///
+/// The recurrence only ever takes `max`/`min` of ground distances, so it
+/// is scale-monotone: running it on *squared* distances and taking one
+/// square root at the end yields bit-identical results to running it on
+/// distances (IEEE `sqrt` is correctly rounded and monotone, and every
+/// cell value is itself one of the ground values). The batch kernels
+/// below exploit exactly that; the incremental [`FrechetColumn`] keeps
+/// linear-space values because the trie search reads its columns as
+/// bounds.
+#[inline]
+pub(crate) fn frechet_advance<F: Fn(&Point) -> f64>(
+    col: &mut [f64],
+    first: bool,
+    query: &[Point],
+    ground: F,
+) -> f64 {
+    debug_assert_eq!(col.len(), query.len());
+    let mut cmin = f64::INFINITY;
+    if first {
+        // First column: f_{i,1} = max(d(q_i, p_1), f_{i-1,1}).
+        let mut acc = 0.0f64;
+        for (i, (c, q)) in col.iter_mut().zip(query).enumerate() {
+            let d = ground(q);
+            acc = if i == 0 { d } else { acc.max(d) };
+            *c = acc;
+            if acc < cmin {
+                cmin = acc;
+            }
+        }
+    } else {
+        // prev_im1 = f_{i-1,j-1} (old value one row up), last_new =
+        // f_{i-1,j} (this column's value one row up); the wavefront lives
+        // in registers and the zipped walk carries no bounds checks.
+        let mut prev_im1 = f64::INFINITY;
+        let mut last_new = f64::INFINITY;
+        for (i, (c, q)) in col.iter_mut().zip(query).enumerate() {
+            let d = ground(q);
+            let old = *c;
+            let best_pred = if i == 0 {
+                old // f_{1,j} = max(d, f_{1,j-1})
+            } else {
+                prev_im1.min(old).min(last_new)
+            };
+            prev_im1 = old;
+            let new = d.max(best_pred);
+            *c = new;
+            last_new = new;
+            if new < cmin {
+                cmin = new;
+            }
+        }
+    }
+    cmin
+}
+
+/// Two Fréchet column transitions in one pass (same blocking argument as
+/// the DTW pair kernel): bit-identical per-cell operands/order, two
+/// interleaved dependency chains.
+#[inline]
+pub(crate) fn frechet_advance2<F1: Fn(&Point) -> f64, F2: Fn(&Point) -> f64>(
+    col: &mut [f64],
+    query: &[Point],
+    ground1: F1,
+    ground2: F2,
+) -> (f64, f64) {
+    debug_assert_eq!(col.len(), query.len());
+    let (mut cmin1, mut cmin2) = (f64::INFINITY, f64::INFINITY);
+    // a = f_{i-1,j-1}, b = f_{i-1,j}, c2 = f_{i-1,j+1}.
+    let (mut a, mut b, mut c2) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for (i, (c, q)) in col.iter_mut().zip(query).enumerate() {
+        let d1 = ground1(q);
+        let d2 = ground2(q);
+        let old = *c; // f_{i,j-1}
+        let v1 = if i == 0 { d1.max(old) } else { d1.max(a.min(old).min(b)) };
+        let v2 = if i == 0 { d2.max(v1) } else { d2.max(b.min(v1).min(c2)) };
+        a = old;
+        b = v1;
+        c2 = v2;
+        *c = v2;
+        if v1 < cmin1 {
+            cmin1 = v1;
+        }
+        if v2 < cmin2 {
+            cmin2 = v2;
+        }
+    }
+    (cmin1, cmin2)
+}
+
 /// Discrete Frechet distance between two trajectories (Eq. 6).
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`frechet_in`].
 pub fn frechet(t1: &[Point], t2: &[Point]) -> f64 {
+    DistScratch::with_thread(|s| frechet_in(t1, t2, s))
+}
+
+/// [`frechet`] against a caller-managed scratch: zero heap allocations
+/// once `scratch` is warm.
+///
+/// Runs the whole DP in *squared* distance space — one `sqrt` at the end
+/// instead of one per matrix cell, bit-identical to the linear-space
+/// kernel (sqrt is monotone and correctly rounded; see the column-kernel
+/// docs) — consuming reference points in pairs so two columns' dependency
+/// chains overlap.
+pub fn frechet_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
-    let mut col = FrechetColumn::new(t1.len());
-    for p in t2 {
-        col.push_with(t1, |q| q.dist(p));
+    let col = scratch.f1_uninit(t1.len());
+    let (p0, rest) = t2.split_first().expect("non-empty");
+    frechet_advance(col, true, t1, |q| q.dist_sq(p0));
+    let mut pairs = rest.chunks_exact(2);
+    for pair in &mut pairs {
+        frechet_advance2(col, t1, |q| q.dist_sq(&pair[0]), |q| q.dist_sq(&pair[1]));
     }
-    col.last()
+    for p in pairs.remainder() {
+        frechet_advance(col, false, t1, |q| q.dist_sq(p));
+    }
+    col[col.len() - 1].sqrt()
 }
 
 /// Incremental discrete-Frechet column kernel (Section VI-A, Fig. 5).
@@ -61,41 +175,9 @@ impl FrechetColumn {
     /// The RP-Trie uses this hook to evaluate lower bounds with the
     /// *minimum* distance from the query point to the reference point's grid
     /// cell instead of the exact point distance.
-    #[allow(clippy::needless_range_loop)] // i also indexes the DP column
     pub fn push_with<F: Fn(&Point) -> f64>(&mut self, query: &[Point], ground: F) {
         debug_assert_eq!(query.len(), self.col.len());
-        let m = self.col.len();
-        let mut cmin = f64::INFINITY;
-        if self.len == 0 {
-            // First column: f_{i,1} = max(d(q_i, p_1), f_{i-1,1}).
-            let mut acc = 0.0f64;
-            for i in 0..m {
-                let d = ground(&query[i]);
-                acc = if i == 0 { d } else { acc.max(d) };
-                self.col[i] = acc;
-                if acc < cmin {
-                    cmin = acc;
-                }
-            }
-        } else {
-            // prev_im1 carries f_{i-1, j-1}; col[i] holds f_{i, j-1} on entry
-            // and f_{i, j} on exit.
-            let mut prev_im1 = self.col[0];
-            for i in 0..m {
-                let d = ground(&query[i]);
-                let best_pred = if i == 0 {
-                    self.col[0] // f_{1,j} = max(d, f_{1,j-1})
-                } else {
-                    prev_im1.min(self.col[i]).min(self.col[i - 1])
-                };
-                prev_im1 = self.col[i];
-                self.col[i] = d.max(best_pred);
-                if self.col[i] < cmin {
-                    cmin = self.col[i];
-                }
-            }
-        }
-        self.cmin = cmin;
+        self.cmin = frechet_advance(&mut self.col, self.len == 0, query, ground);
         self.len += 1;
     }
 
@@ -120,11 +202,14 @@ mod tests {
         v.iter().map(|&(x, y)| Point::new(x, y)).collect()
     }
 
-    /// Naive recursive Frechet for cross-checking (memoized).
+    /// Naive recursive Frechet for cross-checking, memoized in a single
+    /// flat row-major buffer (`memo[i * n + j]`) rather than a nested
+    /// `Vec<Vec<f64>>` — one allocation instead of `m + 1`.
     fn frechet_naive(a: &[Point], b: &[Point]) -> f64 {
-        fn rec(a: &[Point], b: &[Point], i: usize, j: usize, memo: &mut Vec<Vec<f64>>) -> f64 {
-            if memo[i][j] >= 0.0 {
-                return memo[i][j];
+        fn rec(a: &[Point], b: &[Point], i: usize, j: usize, memo: &mut [f64]) -> f64 {
+            let n = b.len();
+            if memo[i * n + j] >= 0.0 {
+                return memo[i * n + j];
             }
             let d = a[i].dist(&b[j]);
             let v = if i == 0 && j == 0 {
@@ -139,10 +224,10 @@ mod tests {
                     .min(rec(a, b, i, j - 1, memo));
                 d.max(m)
             };
-            memo[i][j] = v;
+            memo[i * n + j] = v;
             v
         }
-        let mut memo = vec![vec![-1.0; b.len()]; a.len()];
+        let mut memo = vec![-1.0; a.len() * b.len()];
         rec(a, b, a.len() - 1, b.len() - 1, &mut memo)
     }
 

@@ -1,3 +1,4 @@
+use crate::DistScratch;
 use repose_model::Point;
 
 /// Directed Hausdorff distance `max_{a in from} min_{b in to} d(a, b)`.
@@ -26,24 +27,36 @@ pub fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
 
 /// The (symmetric) Hausdorff distance between two trajectories
 /// (Definition 2, Eq. 1).
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`hausdorff_in`].
 pub fn hausdorff(t1: &[Point], t2: &[Point]) -> f64 {
+    DistScratch::with_thread(|s| hausdorff_in(t1, t2, s))
+}
+
+/// [`hausdorff`] against a caller-managed scratch (which holds the
+/// column-minima row): zero heap allocations once `scratch` is warm. The
+/// whole pass stays in squared-distance space; the single `sqrt` happens
+/// at the end.
+pub fn hausdorff_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
     // Single pass over the m x n matrix keeping row minima for one direction
     // and column minima for the other (this is what Fig. 4 of the paper
     // depicts).
-    let mut col_min = vec![f64::INFINITY; t2.len()];
+    let col_min = scratch.f1_uninit(t2.len());
+    col_min.fill(f64::INFINITY);
     let mut worst_row = 0.0f64;
     for a in t1 {
         let mut row_min = f64::INFINITY;
-        for (j, b) in t2.iter().enumerate() {
+        for (b, cm) in t2.iter().zip(col_min.iter_mut()) {
             let d = a.dist_sq(b);
             if d < row_min {
                 row_min = d;
             }
-            if d < col_min[j] {
-                col_min[j] = d;
+            if d < *cm {
+                *cm = d;
             }
         }
         if row_min > worst_row {

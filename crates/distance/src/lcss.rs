@@ -1,3 +1,4 @@
+use crate::DistScratch;
 use repose_model::Point;
 
 /// Length of the longest common subsequence of two trajectories under a
@@ -5,24 +6,45 @@ use repose_model::Point;
 ///
 /// Two points match when both coordinate differences are at most `eps`
 /// (the per-dimension formulation of the original paper).
+///
+/// Borrows the calling thread's [`DistScratch`]; callers that own a
+/// verification loop should prefer [`lcss_length_in`].
 pub fn lcss_length(t1: &[Point], t2: &[Point], eps: f64) -> usize {
+    DistScratch::with_thread(|s| lcss_length_in(t1, t2, eps, s))
+}
+
+/// [`lcss_length`] against a caller-managed scratch: zero heap
+/// allocations once `scratch` is warm.
+pub fn lcss_length_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    scratch: &mut DistScratch,
+) -> usize {
     if t1.is_empty() || t2.is_empty() {
         return 0;
     }
     let n = t2.len();
-    let mut prev = vec![0usize; n + 1];
-    let mut cur = vec![0usize; n + 1];
+    let (mut prev, mut cur) = scratch.u2(n + 1, n + 1);
     for a in t1 {
-        for (j, b) in t2.iter().enumerate() {
-            cur[j + 1] = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
-                prev[j] + 1
+        // Register-carried cursors over zipped rows — no per-cell bounds
+        // checks; integer recurrence unchanged. Row slot 0 stays 0 (the
+        // zeroed-buffer invariant the scratch accessor provides).
+        let mut left = 0u32;
+        let mut diag = prev[0];
+        for (b, (&up, c)) in t2.iter().zip(prev[1..].iter().zip(cur[1..].iter_mut())) {
+            let v = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
+                diag + 1
             } else {
-                prev[j + 1].max(cur[j])
+                up.max(left)
             };
+            *c = v;
+            diag = up;
+            left = v;
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[n]
+    prev[n] as usize
 }
 
 /// LCSS *distance*: `1 - LCSS(τ1, τ2) / min(|τ1|, |τ2|)`.
@@ -32,10 +54,21 @@ pub fn lcss_length(t1: &[Point], t2: &[Point], eps: f64) -> usize {
 /// so that top-k "most similar" becomes top-k "smallest distance" uniformly
 /// across measures.
 pub fn lcss_distance(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
+    DistScratch::with_thread(|s| lcss_distance_in(t1, t2, eps, s))
+}
+
+/// [`lcss_distance`] against a caller-managed scratch: zero heap
+/// allocations once `scratch` is warm.
+pub fn lcss_distance_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    scratch: &mut DistScratch,
+) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { 1.0 };
     }
-    let l = lcss_length(t1, t2, eps) as f64;
+    let l = lcss_length_in(t1, t2, eps, scratch) as f64;
     1.0 - l / t1.len().min(t2.len()) as f64
 }
 

@@ -37,18 +37,22 @@ mod frechet;
 mod hausdorff;
 mod lcss;
 mod measure;
+pub mod reference;
+mod scratch;
 mod summary;
 pub mod within;
 
-pub use dtw::{dtw, DtwColumn};
-pub use edr::edr;
-pub use erp::erp;
-pub use frechet::{frechet, FrechetColumn};
-pub use hausdorff::{directed_hausdorff, hausdorff, HausdorffState};
-pub use lcss::{lcss_distance, lcss_length};
+pub use dtw::{dtw, dtw_in, DtwColumn};
+pub use edr::{edr, edr_in};
+pub use erp::{erp, erp_in};
+pub use frechet::{frechet, frechet_in, FrechetColumn};
+pub use hausdorff::{directed_hausdorff, hausdorff, hausdorff_in, HausdorffState};
+pub use lcss::{lcss_distance, lcss_distance_in, lcss_length, lcss_length_in};
 pub use measure::{Measure, MeasureParams, RefineEvent};
+pub use scratch::DistScratch;
 pub use summary::TrajSummary;
 pub use within::{
-    bound_exceeds, dtw_within, edr_within, erp_within, frechet_within, hausdorff_within,
-    just_above, lcss_distance_within, RunningTopK, ThresholdSource,
+    bound_exceeds, dtw_within, dtw_within_in, edr_within, edr_within_in, erp_within,
+    erp_within_in, frechet_within, frechet_within_in, hausdorff_within, hausdorff_within_in,
+    just_above, lcss_distance_within, lcss_distance_within_in, RunningTopK, ThresholdSource,
 };

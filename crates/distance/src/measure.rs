@@ -1,9 +1,11 @@
 use crate::within::{
-    bound_exceeds, dtw_lb, dtw_within, edr_lb, edr_within, erp_lb, erp_within, frechet_lb,
-    frechet_within, hausdorff_lb, hausdorff_within, just_above, lcss_distance_within, lcss_lb,
-    prefilter_rejects, RunningTopK,
+    bound_exceeds, dtw_lb, dtw_within_in, edr_lb, edr_within_in, erp_lb, erp_within_in,
+    frechet_lb, frechet_within_in, hausdorff_lb, hausdorff_within_in, just_above,
+    lcss_distance_within_in, lcss_lb, prefilter_rejects, RunningTopK,
 };
-use crate::{dtw, edr, erp, frechet, hausdorff, lcss_distance};
+use crate::{
+    dtw_in, edr_in, erp_in, frechet_in, hausdorff_in, lcss_distance_in, DistScratch,
+};
 use repose_model::Point;
 
 /// What happened to one candidate inside [`MeasureParams::refine_by_bound`]
@@ -117,14 +119,29 @@ impl MeasureParams {
     }
 
     /// Computes the distance between two trajectories under `measure`.
+    ///
+    /// Borrows the calling thread's [`DistScratch`]; loops that own a
+    /// scratch should call [`MeasureParams::distance_in`].
     pub fn distance(&self, measure: Measure, t1: &[Point], t2: &[Point]) -> f64 {
+        DistScratch::with_thread(|s| self.distance_in(measure, t1, t2, s))
+    }
+
+    /// [`MeasureParams::distance`] against a caller-managed scratch: zero
+    /// heap allocations once `scratch` is warm.
+    pub fn distance_in(
+        &self,
+        measure: Measure,
+        t1: &[Point],
+        t2: &[Point],
+        scratch: &mut DistScratch,
+    ) -> f64 {
         match measure {
-            Measure::Hausdorff => hausdorff(t1, t2),
-            Measure::Frechet => frechet(t1, t2),
-            Measure::Dtw => dtw(t1, t2),
-            Measure::Lcss => lcss_distance(t1, t2, self.eps),
-            Measure::Edr => edr(t1, t2, self.eps),
-            Measure::Erp => erp(t1, t2, self.erp_gap),
+            Measure::Hausdorff => hausdorff_in(t1, t2, scratch),
+            Measure::Frechet => frechet_in(t1, t2, scratch),
+            Measure::Dtw => dtw_in(t1, t2, scratch),
+            Measure::Lcss => lcss_distance_in(t1, t2, self.eps, scratch),
+            Measure::Edr => edr_in(t1, t2, self.eps, scratch),
+            Measure::Erp => erp_in(t1, t2, self.erp_gap, scratch),
         }
     }
 
@@ -145,6 +162,26 @@ impl MeasureParams {
         self.distance_within_from_lb(measure, t1, t2, threshold, self.lower_bound(measure, t1, t2))
     }
 
+    /// [`MeasureParams::distance_within`] against a caller-managed
+    /// scratch: zero heap allocations once `scratch` is warm.
+    pub fn distance_within_in(
+        &self,
+        measure: Measure,
+        t1: &[Point],
+        t2: &[Point],
+        threshold: f64,
+        scratch: &mut DistScratch,
+    ) -> Option<f64> {
+        self.distance_within_from_lb_in(
+            measure,
+            t1,
+            t2,
+            threshold,
+            self.lower_bound(measure, t1, t2),
+            scratch,
+        )
+    }
+
     /// [`MeasureParams::distance_within`] for callers that already hold a
     /// lower bound on this pair's distance (typically
     /// [`MeasureParams::lower_bound`], computed as a sort key): the
@@ -161,16 +198,33 @@ impl MeasureParams {
         threshold: f64,
         lb: f64,
     ) -> Option<f64> {
+        DistScratch::with_thread(|s| {
+            self.distance_within_from_lb_in(measure, t1, t2, threshold, lb, s)
+        })
+    }
+
+    /// [`MeasureParams::distance_within_from_lb`] against a caller-managed
+    /// scratch: zero heap allocations once `scratch` is warm. This is the
+    /// kernel every steady-state verification site bottoms out in.
+    pub fn distance_within_from_lb_in(
+        &self,
+        measure: Measure,
+        t1: &[Point],
+        t2: &[Point],
+        threshold: f64,
+        lb: f64,
+        scratch: &mut DistScratch,
+    ) -> Option<f64> {
         if prefilter_rejects(lb, threshold) {
             return None;
         }
         match measure {
-            Measure::Hausdorff => hausdorff_within(t1, t2, threshold),
-            Measure::Frechet => frechet_within(t1, t2, threshold),
-            Measure::Dtw => dtw_within(t1, t2, threshold),
-            Measure::Lcss => lcss_distance_within(t1, t2, self.eps, threshold),
-            Measure::Edr => edr_within(t1, t2, self.eps, threshold),
-            Measure::Erp => erp_within(t1, t2, self.erp_gap, threshold),
+            Measure::Hausdorff => hausdorff_within_in(t1, t2, threshold, scratch),
+            Measure::Frechet => frechet_within_in(t1, t2, threshold, scratch),
+            Measure::Dtw => dtw_within_in(t1, t2, threshold, scratch),
+            Measure::Lcss => lcss_distance_within_in(t1, t2, self.eps, threshold, scratch),
+            Measure::Edr => edr_within_in(t1, t2, self.eps, threshold, scratch),
+            Measure::Erp => erp_within_in(t1, t2, self.erp_gap, threshold, scratch),
         }
     }
 
@@ -224,13 +278,33 @@ impl MeasureParams {
         k: usize,
         cap: f64,
         shared: Option<&dyn crate::ThresholdSource>,
+        cands: Vec<(f64, u64, &[Point])>,
+        on_event: impl FnMut(RefineEvent),
+    ) -> Vec<(f64, u64)> {
+        DistScratch::with_thread(|s| {
+            self.refine_by_bound_shared_in(measure, query, k, cap, shared, cands, on_event, s)
+        })
+    }
+
+    /// [`MeasureParams::refine_by_bound_shared`] against a caller-managed
+    /// scratch: with `scratch` warm, the only allocation left in the scan
+    /// is the candidate sort itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_by_bound_shared_in(
+        &self,
+        measure: Measure,
+        query: &[Point],
+        k: usize,
+        cap: f64,
+        shared: Option<&dyn crate::ThresholdSource>,
         mut cands: Vec<(f64, u64, &[Point])>,
         mut on_event: impl FnMut(RefineEvent),
+        scratch: &mut DistScratch,
     ) -> Vec<(f64, u64)> {
         if k == 0 {
             return Vec::new();
         }
-        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let total = cands.len();
         let mut best = RunningTopK::new(k);
         for (i, (lb, id, points)) in cands.into_iter().enumerate() {
@@ -242,7 +316,14 @@ impl MeasureParams {
                 on_event(RefineEvent::SkippedRest(total - i));
                 break;
             }
-            let d = self.distance_within_from_lb(measure, query, points, just_above(cutoff), lb);
+            let d = self.distance_within_from_lb_in(
+                measure,
+                query,
+                points,
+                just_above(cutoff),
+                lb,
+                scratch,
+            );
             on_event(RefineEvent::Scored { abandoned: d.is_none() });
             if let Some(d) = d {
                 best.push(d, id);
@@ -273,6 +354,7 @@ impl MeasureParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{dtw, edr, erp, frechet, hausdorff, lcss_distance};
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
         v.iter().map(|&(x, y)| Point::new(x, y)).collect()

@@ -1,0 +1,214 @@
+//! Reusable DP scratch for the exact kernels: the zero-allocation
+//! verification path.
+//!
+//! Every distance kernel needs a row or column of DP state (and ERP a
+//! cached gap-distance row). Allocating those per call puts the allocator
+//! on the hot path of every verification — the dominant cost of a query
+//! once the index has pruned (Section VI of the paper). A [`DistScratch`]
+//! owns those buffers and is reused across calls: after the first few
+//! verifications have grown each buffer to the longest trajectory seen,
+//! the kernels run **allocation-free**.
+//!
+//! Ownership discipline: one scratch per worker thread. Callers that own a
+//! loop can hold a `DistScratch` explicitly and call the `*_in` kernel
+//! variants; every classic entry point (`dtw(a, b)`,
+//! [`crate::MeasureParams::distance`], …) instead borrows the calling
+//! thread's scratch via [`DistScratch::with_thread`], so the trie search,
+//! the serving layer's delta scans, and the baselines' refinement loops
+//! all get the warm-thread zero-allocation behaviour without plumbing a
+//! scratch through their public signatures.
+
+use std::cell::RefCell;
+
+/// Reusable kernel scratch space (see module docs).
+///
+/// The buffers are deliberately typed by role, not by kernel: `fa`/`fb`
+/// serve as DP column + ground-distance cache (DTW, Fréchet), as the
+/// row pair (ERP), or as column-minima (Hausdorff); `fc` caches ERP gap
+/// distances; `ua`/`ub` are the integer row pair of EDR and LCSS. A single
+/// scratch therefore serves all six measures interchangeably.
+#[derive(Debug, Default)]
+pub struct DistScratch {
+    fa: Vec<f64>,
+    fb: Vec<f64>,
+    fc: Vec<f64>,
+    ua: Vec<u32>,
+    ub: Vec<u32>,
+}
+
+fn grow_u(buf: &mut Vec<u32>, n: usize) -> &mut [u32] {
+    buf.clear();
+    buf.resize(n, 0);
+    &mut buf[..]
+}
+
+/// Returns a length-`n` view of `buf` without clearing retained values:
+/// for kernels that fully initialize the buffer before reading it, the
+/// per-call `memset` is waste the warm path should not pay.
+fn grow_f_uninit(buf: &mut Vec<f64>, n: usize) -> &mut [f64] {
+    if buf.len() < n {
+        buf.resize(n, 0.0);
+    }
+    &mut buf[..n]
+}
+
+fn grow_u_uninit(buf: &mut Vec<u32>, n: usize) -> &mut [u32] {
+    if buf.len() < n {
+        buf.resize(n, 0);
+    }
+    &mut buf[..n]
+}
+
+impl DistScratch {
+    /// An empty scratch. Buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        DistScratch::default()
+    }
+
+    /// One `f64` buffer of length `n` with **unspecified contents** — for
+    /// kernels that fully initialize it before any read (DTW/Fréchet first
+    /// column, Hausdorff after its own `fill`).
+    pub(crate) fn f1_uninit(&mut self, n: usize) -> &mut [f64] {
+        grow_f_uninit(&mut self.fa, n)
+    }
+
+    /// Three `f64` buffers with **unspecified contents** (the ERP rows and
+    /// gap cache; ERP writes every entry it reads).
+    pub(crate) fn f3_uninit(
+        &mut self,
+        na: usize,
+        nb: usize,
+        nc: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        (
+            grow_f_uninit(&mut self.fa, na),
+            grow_f_uninit(&mut self.fb, nb),
+            grow_f_uninit(&mut self.fc, nc),
+        )
+    }
+
+    /// Two zeroed `u32` buffers (LCSS relies on the zeros: row slot 0 is
+    /// read but never written).
+    pub(crate) fn u2(&mut self, na: usize, nb: usize) -> (&mut [u32], &mut [u32]) {
+        (grow_u(&mut self.ua, na), grow_u(&mut self.ub, nb))
+    }
+
+    /// Two `u32` buffers with **unspecified contents** (EDR initializes
+    /// both rows before reading).
+    pub(crate) fn u2_uninit(&mut self, na: usize, nb: usize) -> (&mut [u32], &mut [u32]) {
+        (
+            grow_u_uninit(&mut self.ua, na),
+            grow_u_uninit(&mut self.ub, nb),
+        )
+    }
+
+    /// Total reserved capacity in bytes across all buffers.
+    ///
+    /// Stable across calls once the scratch is warm — tests assert this to
+    /// prove a warm verification loop never grows (hence never allocates
+    /// from) the scratch.
+    pub fn footprint(&self) -> usize {
+        (self.fa.capacity() + self.fb.capacity() + self.fc.capacity())
+            * std::mem::size_of::<f64>()
+            + (self.ua.capacity() + self.ub.capacity()) * std::mem::size_of::<u32>()
+    }
+
+    /// Runs `f` with the calling thread's scratch — the per-worker-thread
+    /// scratch every classic (non-`_in`) kernel entry point uses.
+    ///
+    /// Re-entrant calls (a classic kernel invoked from code already
+    /// running inside another kernel's scratch scope — e.g. a
+    /// `ThresholdSource` or refinement callback that recomputes a
+    /// distance) fall back to a fresh temporary scratch: correct, just
+    /// not allocation-free for that inner call. The `*_in` kernels never
+    /// re-enter.
+    pub fn with_thread<R>(f: impl FnOnce(&mut DistScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: RefCell<DistScratch> = RefCell::new(DistScratch::new());
+        }
+        SCRATCH.with(|s| match s.try_borrow_mut() {
+            Ok(mut scratch) => f(&mut scratch),
+            Err(_) => f(&mut DistScratch::new()),
+        })
+    }
+
+    /// The calling thread's current scratch footprint in bytes (see
+    /// [`DistScratch::footprint`]).
+    pub fn thread_footprint() -> usize {
+        DistScratch::with_thread(|s| s.footprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_buffers_are_zeroed_and_sized() {
+        let mut s = DistScratch::new();
+        {
+            let (u, v) = s.u2(3, 3);
+            u[0] = 5;
+            v[2] = 6;
+        }
+        // Reacquiring the zeroed accessor re-zeroes.
+        let (u, v) = s.u2(3, 3);
+        assert!(u.iter().all(|&x| x == 0));
+        assert!(v.iter().all(|&x| x == 0));
+        let (a, b, c) = s.f3_uninit(4, 7, 2);
+        assert_eq!((a.len(), b.len(), c.len()), (4, 7, 2));
+    }
+
+    #[test]
+    fn uninit_buffers_keep_capacity_and_contents() {
+        let mut s = DistScratch::new();
+        s.f1_uninit(8)[7] = 9.0;
+        // Shrinking views reuse the same storage without clearing.
+        assert_eq!(s.f1_uninit(4).len(), 4);
+        assert_eq!(s.f1_uninit(8)[7], 9.0);
+    }
+
+    #[test]
+    fn footprint_stabilizes() {
+        let mut s = DistScratch::new();
+        s.f3_uninit(16, 16, 16);
+        s.u2(16, 16);
+        let fp = s.footprint();
+        assert!(fp > 0);
+        // Smaller and equal requests never grow the footprint.
+        s.f3_uninit(8, 16, 2);
+        s.u2(1, 16);
+        s.f1_uninit(16);
+        s.u2_uninit(16, 4);
+        assert_eq!(s.footprint(), fp);
+    }
+
+    #[test]
+    fn thread_scratch_is_reused() {
+        DistScratch::with_thread(|s| {
+            s.f1_uninit(32);
+        });
+        let fp = DistScratch::thread_footprint();
+        DistScratch::with_thread(|s| {
+            s.f1_uninit(16);
+        });
+        assert_eq!(DistScratch::thread_footprint(), fp);
+    }
+
+    #[test]
+    fn reentrant_use_falls_back_instead_of_panicking() {
+        // A callback inside a kernel's scratch scope may call a classic
+        // entry point; the inner call must get a (fresh) scratch, not a
+        // RefCell panic.
+        let outer_fp = DistScratch::with_thread(|outer| {
+            outer.f1_uninit(8);
+            let inner = DistScratch::with_thread(|inner| {
+                inner.f1_uninit(4);
+                inner.footprint()
+            });
+            assert!(inner > 0);
+            outer.footprint()
+        });
+        assert!(outer_fp > 0);
+    }
+}

@@ -26,7 +26,9 @@
 //!    non-negative); LCSS stops when the best still-achievable match count
 //!    cannot beat the threshold.
 
-use crate::{DtwColumn, FrechetColumn};
+use crate::dtw::{dtw_advance, dtw_advance2};
+use crate::frechet::{frechet_advance, frechet_advance2};
+use crate::DistScratch;
 use repose_model::{Mbr, Point};
 
 /// Safety factor applied to prefilter bounds before they may reject a
@@ -174,17 +176,30 @@ impl RunningTopK {
 ///   (the classic early-break directed Hausdorff).
 /// * **threshold abandon** — a completed row minimum `>= thr_sq` proves the
 ///   directed (hence the symmetric) distance is `>= threshold`.
+///
+/// The inner row is consumed in chunks of 8 contiguous points with a
+/// branch-free running minimum, so the distance loop vectorizes; the
+/// irrelevance break is re-checked at chunk granularity. Decisions and
+/// values are identical to the point-at-a-time loop: a chunk only ever
+/// *extends* a row past where the early break would have fired, and an
+/// extended scan can only lower `best` further below `worst` — the
+/// skip/abandon outcome and the recorded row minima are unchanged
+/// (`f64` min is order-independent for the non-NaN distances here).
 fn directed_within_sq(from: &[Point], to: &[Point], thr_sq: f64) -> Option<f64> {
     let mut worst = 0.0f64;
     for a in from {
         let mut best = f64::INFINITY;
-        for b in to {
-            let d = a.dist_sq(b);
-            if d < best {
-                best = d;
-                if best <= worst {
-                    break; // row can no longer raise the max
-                }
+        for chunk in to.chunks(8) {
+            let mut m = f64::INFINITY;
+            for b in chunk {
+                let d = a.dist_sq(b);
+                m = if d < m { d } else { m };
+            }
+            if m < best {
+                best = m;
+            }
+            if best <= worst {
+                break; // row can no longer raise the max
             }
         }
         if best > worst {
@@ -216,6 +231,18 @@ pub fn hausdorff_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f6
     (d < threshold).then_some(d)
 }
 
+/// [`hausdorff_within`] with the uniform scratch-threaded signature. The
+/// directed passes keep only O(1) state, so the scratch is unused — the
+/// kernel was already allocation-free.
+pub fn hausdorff_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+    _scratch: &mut DistScratch,
+) -> Option<f64> {
+    hausdorff_within(t1, t2, threshold)
+}
+
 // ---------------------------------------------------------------------------
 // Frechet / DTW — shared column-kernel shape
 // ---------------------------------------------------------------------------
@@ -226,20 +253,52 @@ pub fn hausdorff_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f6
 /// points are appended (each new entry takes a `max` with a predecessor
 /// minimum) and the final `f_{m,n}` is an element of the last column.
 pub fn frechet_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
+    DistScratch::with_thread(|s| frechet_within_in(t1, t2, threshold, s))
+}
+
+/// [`frechet_within`] against a caller-managed scratch: zero heap
+/// allocations once `scratch` is warm.
+///
+/// Like [`crate::frechet_in`], the DP runs in squared-distance space; the
+/// per-column abandon check takes one square root (of the column minimum)
+/// instead of one per cell, and decides identically to the linear-space
+/// kernel because IEEE `sqrt` is monotone and correctly rounded.
+pub fn frechet_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     if t1.is_empty() || t2.is_empty() {
         return empty_case(t1.is_empty() && t2.is_empty(), threshold);
     }
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
-    let mut col = FrechetColumn::new(t1.len());
-    for p in t2 {
-        col.push_with(t1, |q| q.dist(p));
-        if col.cmin() >= threshold {
+    let col = scratch.f1_uninit(t1.len());
+    let (p0, rest) = t2.split_first().expect("non-empty");
+    let cmin_sq = frechet_advance(col, true, t1, |q| q.dist_sq(p0));
+    if cmin_sq.sqrt() >= threshold {
+        return None;
+    }
+    // Pairs of columns (two interleaved chains, bit-identical cells);
+    // the two column minima are checked in column order, so the abandon
+    // decision matches the one-column-at-a-time kernel exactly.
+    let mut pairs = rest.chunks_exact(2);
+    for pair in &mut pairs {
+        let (c1, c2) =
+            frechet_advance2(col, t1, |q| q.dist_sq(&pair[0]), |q| q.dist_sq(&pair[1]));
+        if c1.sqrt() >= threshold || c2.sqrt() >= threshold {
             return None;
         }
     }
-    let d = col.last();
+    for p in pairs.remainder() {
+        let cmin_sq = frechet_advance(col, false, t1, |q| q.dist_sq(p));
+        if cmin_sq.sqrt() >= threshold {
+            return None;
+        }
+    }
+    let d = col[col.len() - 1].sqrt();
     (d < threshold).then_some(d)
 }
 
@@ -250,20 +309,44 @@ pub fn frechet_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64>
 /// minimum never decreases and the final `f_{m,n}` is at least every
 /// column's minimum.
 pub fn dtw_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
+    DistScratch::with_thread(|s| dtw_within_in(t1, t2, threshold, s))
+}
+
+/// [`dtw_within`] against a caller-managed scratch: zero heap allocations
+/// once `scratch` is warm.
+pub fn dtw_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     if t1.is_empty() || t2.is_empty() {
         return empty_case(t1.is_empty() && t2.is_empty(), threshold);
     }
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
-    let mut col = DtwColumn::new(t1.len());
-    for p in t2 {
-        col.push(t1, *p);
-        if col.cmin() >= threshold {
+    let col = scratch.f1_uninit(t1.len());
+    let (p0, rest) = t2.split_first().expect("non-empty");
+    let cmin = dtw_advance(col, true, t1, |q| q.dist(p0));
+    if cmin >= threshold {
+        return None;
+    }
+    // See `frechet_within_in`: paired columns, abandon checks in order.
+    let mut pairs = rest.chunks_exact(2);
+    for pair in &mut pairs {
+        let (c1, c2) = dtw_advance2(col, t1, |q| q.dist(&pair[0]), |q| q.dist(&pair[1]));
+        if c1 >= threshold || c2 >= threshold {
             return None;
         }
     }
-    let d = col.last();
+    for p in pairs.remainder() {
+        let cmin = dtw_advance(col, false, t1, |q| q.dist(p));
+        if cmin >= threshold {
+            return None;
+        }
+    }
+    let d = col[col.len() - 1];
     (d < threshold).then_some(d)
 }
 
@@ -278,6 +361,19 @@ pub fn dtw_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f64> {
 /// minimum is checked. All edit costs are non-negative, so row minima are
 /// non-decreasing and the final value dominates every row minimum.
 pub fn erp_within(t1: &[Point], t2: &[Point], gap: Point, threshold: f64) -> Option<f64> {
+    DistScratch::with_thread(|s| erp_within_in(t1, t2, gap, threshold, s))
+}
+
+/// [`erp_within`] against a caller-managed scratch: zero heap allocations
+/// once `scratch` is warm (and, like [`crate::erp_in`], the gap distances
+/// are evaluated once per call instead of once per cell).
+pub fn erp_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    gap: Point,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     let (m, n) = (t1.len(), t2.len());
     if m == 0 {
         let d: f64 = t2.iter().map(|p| p.dist(&gap)).sum();
@@ -290,22 +386,32 @@ pub fn erp_within(t1: &[Point], t2: &[Point], gap: Point, threshold: f64) -> Opt
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
-    let mut prev = Vec::with_capacity(n + 1);
-    prev.push(0.0);
-    for p in t2 {
-        prev.push(prev.last().unwrap() + p.dist(&gap));
+    let (mut prev, mut cur, gap_b) = scratch.f3_uninit(n + 1, n + 1, n);
+    for (g, p) in gap_b.iter_mut().zip(t2) {
+        *g = p.dist(&gap);
     }
-    let mut cur = vec![0.0f64; n + 1];
+    prev[0] = 0.0;
+    for j in 0..n {
+        prev[j + 1] = prev[j] + gap_b[j];
+    }
     for a in t1 {
         let gap_a = a.dist(&gap);
-        cur[0] = prev[0] + gap_a;
-        let mut row_min = cur[0];
-        for (j, b) in t2.iter().enumerate() {
-            cur[j + 1] = (prev[j] + a.dist(b))
-                .min(prev[j + 1] + gap_a)
-                .min(cur[j] + b.dist(&gap));
-            if cur[j + 1] < row_min {
-                row_min = cur[j + 1];
+        // Register-carried cursors over zipped rows (see `erp_in`).
+        let mut left = prev[0] + gap_a;
+        cur[0] = left;
+        let mut diag = prev[0];
+        let mut row_min = left;
+        for ((b, gb), (&up, c)) in t2
+            .iter()
+            .zip(gap_b.iter())
+            .zip(prev[1..].iter().zip(cur[1..].iter_mut()))
+        {
+            let v = (diag + a.dist(b)).min(up + gap_a).min(left + gb);
+            *c = v;
+            diag = up;
+            left = v;
+            if v < row_min {
+                row_min = v;
             }
         }
         if row_min >= threshold {
@@ -325,6 +431,18 @@ pub fn erp_within(t1: &[Point], t2: &[Point], gap: Point, threshold: f64) -> Opt
 ///
 /// Same row-minimum argument as ERP (unit edit costs are non-negative).
 pub fn edr_within(t1: &[Point], t2: &[Point], eps: f64, threshold: f64) -> Option<f64> {
+    DistScratch::with_thread(|s| edr_within_in(t1, t2, eps, threshold, s))
+}
+
+/// [`edr_within`] against a caller-managed scratch: zero heap allocations
+/// once `scratch` is warm.
+pub fn edr_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     let (m, n) = (t1.len(), t2.len());
     if m == 0 || n == 0 {
         let d = (m + n) as f64;
@@ -333,18 +451,24 @@ pub fn edr_within(t1: &[Point], t2: &[Point], eps: f64, threshold: f64) -> Optio
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
-    let mut prev: Vec<u32> = (0..=n as u32).collect();
-    let mut cur = vec![0u32; n + 1];
+    let (mut prev, mut cur) = scratch.u2_uninit(n + 1, n + 1);
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as u32;
+    }
     for (i, a) in t1.iter().enumerate() {
-        cur[0] = i as u32 + 1;
-        let mut row_min = cur[0];
-        for (j, b) in t2.iter().enumerate() {
+        // Register-carried cursors over zipped rows (see `edr_in`).
+        let mut left = i as u32 + 1;
+        cur[0] = left;
+        let mut diag = prev[0];
+        let mut row_min = left;
+        for (b, (&up, c)) in t2.iter().zip(prev[1..].iter().zip(cur[1..].iter_mut())) {
             let subcost =
                 u32::from(!((a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps));
-            cur[j + 1] = (prev[j] + subcost)
-                .min(prev[j + 1] + 1)
-                .min(cur[j] + 1);
-            row_min = row_min.min(cur[j + 1]);
+            let v = (diag + subcost).min(up + 1).min(left + 1);
+            *c = v;
+            diag = up;
+            left = v;
+            row_min = row_min.min(v);
         }
         if f64::from(row_min) >= threshold {
             return None;
@@ -371,6 +495,18 @@ pub fn lcss_distance_within(
     eps: f64,
     threshold: f64,
 ) -> Option<f64> {
+    DistScratch::with_thread(|s| lcss_distance_within_in(t1, t2, eps, threshold, s))
+}
+
+/// [`lcss_distance_within`] against a caller-managed scratch: zero heap
+/// allocations once `scratch` is warm.
+pub fn lcss_distance_within_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     if t1.is_empty() || t2.is_empty() {
         let d = if t1.is_empty() && t2.is_empty() { 0.0 } else { 1.0 };
         return (d < threshold).then_some(d);
@@ -380,15 +516,20 @@ pub fn lcss_distance_within(
     }
     let (m, n) = (t1.len(), t2.len());
     let minlen = m.min(n);
-    let mut prev = vec![0u32; n + 1];
-    let mut cur = vec![0u32; n + 1];
+    let (mut prev, mut cur) = scratch.u2(n + 1, n + 1);
     for (i, a) in t1.iter().enumerate() {
-        for (j, b) in t2.iter().enumerate() {
-            cur[j + 1] = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
-                prev[j] + 1
+        // Register-carried cursors over zipped rows (see `lcss_length_in`).
+        let mut left = 0u32;
+        let mut diag = prev[0];
+        for (b, (&up, c)) in t2.iter().zip(prev[1..].iter().zip(cur[1..].iter_mut())) {
+            let v = if (a.x - b.x).abs() <= eps && (a.y - b.y).abs() <= eps {
+                diag + 1
             } else {
-                prev[j + 1].max(cur[j])
+                up.max(left)
             };
+            *c = v;
+            diag = up;
+            left = v;
         }
         // LCS rows are non-decreasing left-to-right, so cur[n] is the row
         // maximum; each remaining row can add at most one match.

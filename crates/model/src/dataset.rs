@@ -1,4 +1,4 @@
-use crate::{Mbr, ModelError, Point, TrajId, Trajectory};
+use crate::{Mbr, ModelError, TrajId, Trajectory};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -131,23 +131,7 @@ impl Dataset {
     /// trajectories (Section III-A). Returns the tight MBR expanded to a
     /// square, or `None` for an empty dataset.
     pub fn enclosing_square(&self) -> Option<Mbr> {
-        let mut mbr = Mbr::empty();
-        for t in &self.trajectories {
-            for p in &t.points {
-                mbr.expand(*p);
-            }
-        }
-        if mbr.is_empty() {
-            return None;
-        }
-        let side = mbr.width().max(mbr.height());
-        // Expand the shorter dimension symmetrically to a square.
-        let c = mbr.center();
-        let half = side * 0.5;
-        Some(Mbr::new(
-            Point::new(c.x - half, c.y - half),
-            Point::new(c.x + half, c.y + half),
-        ))
+        crate::mbr::enclosing_square_of(self.trajectories.iter().flat_map(|t| t.points.iter()))
     }
 
     /// Computes Table III style statistics.
@@ -189,6 +173,7 @@ impl FromIterator<Trajectory> for Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Point;
 
     fn traj(id: TrajId, n: usize) -> Trajectory {
         Trajectory::new(id, (0..n).map(|i| Point::new(i as f64, 0.0)).collect())

@@ -15,6 +15,9 @@ pub enum ModelError {
     },
     /// A configuration value was out of its valid range.
     InvalidConfig(String),
+    /// A deserialized [`crate::TrajStore`] violated its offset-table
+    /// invariant.
+    CorruptStore,
 }
 
 impl fmt::Display for ModelError {
@@ -27,6 +30,9 @@ impl fmt::Display for ModelError {
                 write!(f, "unknown trajectory id {traj_id}")
             }
             ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ModelError::CorruptStore => {
+                write!(f, "trajectory store offset table is inconsistent")
+            }
         }
     }
 }

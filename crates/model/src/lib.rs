@@ -29,6 +29,7 @@ pub mod io;
 mod mbr;
 mod point;
 mod segment;
+mod store;
 mod trajectory;
 
 pub use dataset::{Dataset, DatasetStats, PreprocessConfig};
@@ -36,4 +37,5 @@ pub use error::ModelError;
 pub use mbr::Mbr;
 pub use point::Point;
 pub use segment::Segment;
+pub use store::TrajStore;
 pub use trajectory::{TrajId, Trajectory};

@@ -136,6 +136,30 @@ impl Mbr {
     }
 }
 
+/// The square region with side `max(width, height)` centered on the
+/// points' tight bounding box — the region `A` of Section III-A. `None`
+/// when `points` yields nothing.
+///
+/// Shared by [`crate::Dataset::enclosing_square`] and
+/// [`crate::TrajStore::enclosing_square`], so the squaring rule cannot
+/// drift between the two containers.
+pub(crate) fn enclosing_square_of<'a>(points: impl Iterator<Item = &'a Point>) -> Option<Mbr> {
+    let mut mbr = Mbr::empty();
+    for p in points {
+        mbr.expand(*p);
+    }
+    if mbr.is_empty() {
+        return None;
+    }
+    let side = mbr.width().max(mbr.height());
+    let c = mbr.center();
+    let half = side * 0.5;
+    Some(Mbr::new(
+        Point::new(c.x - half, c.y - half),
+        Point::new(c.x + half, c.y + half),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 use crate::pivot::PivotSet;
 use crate::{FrozenTrie, RpTrieConfig};
-use repose_distance::{Measure, TrajSummary};
-use repose_model::{Point, Trajectory};
+use repose_distance::{DistScratch, Measure, TrajSummary};
+use repose_model::{Point, TrajStore};
 use repose_zorder::{Grid, ZValue};
 use std::collections::HashMap;
 
@@ -91,16 +91,16 @@ struct Group {
 }
 
 impl BuildTrie {
-    /// Builds the pointer trie for `trajs` (grouping, structure, `Dmax`,
-    /// `HR`).
+    /// Builds the pointer trie for the trajectories of `store` (grouping,
+    /// structure, `Dmax`, `HR`).
     pub fn construct(
-        trajs: &[Trajectory],
+        store: &TrajStore,
         grid: &Grid,
         cfg: &RpTrieConfig,
         pivots: &PivotSet,
     ) -> Self {
         let policy = ZSeqPolicy::for_measure(cfg.measure, cfg.optimize);
-        let groups = group_by_zseq(trajs, grid, policy);
+        let groups = group_by_zseq(store, grid, policy);
         let mut trie = BuildTrie { nodes: vec![BuildNode::new(0)], np: pivots.len() };
         match policy {
             ZSeqPolicy::DedupSet => trie.build_optimized(&groups),
@@ -110,8 +110,8 @@ impl BuildTrie {
                 }
             }
         }
-        trie.fill_leaf_payloads(trajs, grid, cfg, &groups);
-        trie.fill_hr(trajs, cfg, pivots);
+        trie.fill_leaf_payloads(store, grid, cfg, &groups);
+        trie.fill_hr(store, cfg, pivots);
         trie.sort_children();
         trie
     }
@@ -233,7 +233,7 @@ impl BuildTrie {
     /// computes `Dmax` and `nmin`.
     fn fill_leaf_payloads(
         &mut self,
-        trajs: &[Trajectory],
+        store: &TrajStore,
         grid: &Grid,
         cfg: &RpTrieConfig,
         groups: &[Group],
@@ -253,37 +253,39 @@ impl BuildTrie {
                 stack.push((c, p));
             }
         }
-        for (id, path) in work {
-            let ref_points: Vec<Point> =
-                path.iter().map(|&z| grid.reference_point(z)).collect();
-            let leaf = self.nodes[id as usize].leaf.as_mut().expect("leaf");
-            if leaf.nmin == u32::MAX {
-                // optimized build: members currently holds the group index
-                let gi = leaf.members[0] as usize;
-                leaf.members = groups[gi].members.clone();
-            }
-            let mut dmax = 0.0f64;
-            let mut nmin = u32::MAX;
-            let mut summaries = Vec::with_capacity(leaf.members.len());
-            for &mi in &leaf.members {
-                let t = &trajs[mi as usize];
-                let d = cfg.params.distance(cfg.measure, &t.points, &ref_points);
-                if d > dmax {
-                    dmax = d;
+        DistScratch::with_thread(|scratch| {
+            for (id, path) in work {
+                let ref_points: Vec<Point> =
+                    path.iter().map(|&z| grid.reference_point(z)).collect();
+                let leaf = self.nodes[id as usize].leaf.as_mut().expect("leaf");
+                if leaf.nmin == u32::MAX {
+                    // optimized build: members currently holds the group index
+                    let gi = leaf.members[0] as usize;
+                    leaf.members = groups[gi].members.clone();
                 }
-                nmin = nmin.min(t.len() as u32);
-                summaries.push(cfg.params.summary_of(&t.points));
+                let mut dmax = 0.0f64;
+                let mut nmin = u32::MAX;
+                let mut summaries = Vec::with_capacity(leaf.members.len());
+                for &mi in &leaf.members {
+                    let pts = store.points(mi as usize);
+                    let d = cfg.params.distance_in(cfg.measure, pts, &ref_points, scratch);
+                    if d > dmax {
+                        dmax = d;
+                    }
+                    nmin = nmin.min(pts.len() as u32);
+                    summaries.push(cfg.params.summary_of(pts));
+                }
+                leaf.dmax = dmax;
+                leaf.nmin = nmin;
+                leaf.summaries = summaries;
             }
-            leaf.dmax = dmax;
-            leaf.nmin = nmin;
-            leaf.summaries = summaries;
-        }
+        });
     }
 
     /// Computes the `HR` pivot-distance intervals bottom-up. Intervals
     /// cover the *actual* trajectories in each subtree (see DESIGN.md for
     /// why this differs benignly from the paper's Eq. 5).
-    fn fill_hr(&mut self, trajs: &[Trajectory], cfg: &RpTrieConfig, pivots: &PivotSet) {
+    fn fill_hr(&mut self, store: &TrajStore, cfg: &RpTrieConfig, pivots: &PivotSet) {
         if pivots.is_empty() {
             return;
         }
@@ -291,25 +293,28 @@ impl BuildTrie {
         // Distance of every trajectory to every pivot, computed once
         // (the O(N·L²·Np) cost the paper's analysis names).
         let mut tp: HashMap<u32, Vec<f64>> = HashMap::new();
-        for n in &self.nodes {
-            if let Some(leaf) = &n.leaf {
-                for &mi in &leaf.members {
-                    tp.entry(mi).or_insert_with(|| {
-                        pivots
-                            .pivots()
-                            .iter()
-                            .map(|p| {
-                                cfg.params.distance(
-                                    cfg.measure,
-                                    &trajs[mi as usize].points,
-                                    p,
-                                )
-                            })
-                            .collect()
-                    });
+        DistScratch::with_thread(|scratch| {
+            for n in &self.nodes {
+                if let Some(leaf) = &n.leaf {
+                    for &mi in &leaf.members {
+                        tp.entry(mi).or_insert_with(|| {
+                            pivots
+                                .pivots()
+                                .iter()
+                                .map(|p| {
+                                    cfg.params.distance_in(
+                                        cfg.measure,
+                                        store.points(mi as usize),
+                                        p,
+                                        scratch,
+                                    )
+                                })
+                                .collect()
+                        });
+                    }
                 }
             }
-        }
+        });
         // Post-order accumulation.
         let order = self.post_order();
         for id in order {
@@ -394,23 +399,24 @@ impl BuildTrie {
 }
 
 /// Groups trajectories by their (policy-transformed) z-sequence.
-fn group_by_zseq(trajs: &[Trajectory], grid: &Grid, policy: ZSeqPolicy) -> Vec<Group> {
+fn group_by_zseq(store: &TrajStore, grid: &Grid, policy: ZSeqPolicy) -> Vec<Group> {
     let mut map: HashMap<Vec<ZValue>, Vec<u32>> = HashMap::new();
-    for (i, t) in trajs.iter().enumerate() {
-        if t.is_empty() {
+    for slot in 0..store.len() {
+        let pts = store.points(slot);
+        if pts.is_empty() {
             continue;
         }
         let zseq = match policy {
-            ZSeqPolicy::Raw => grid.z_sequence(&t.points),
-            ZSeqPolicy::DedupConsecutive => grid.z_sequence_dedup(&t.points),
+            ZSeqPolicy::Raw => grid.z_sequence(pts),
+            ZSeqPolicy::DedupConsecutive => grid.z_sequence_dedup(pts),
             ZSeqPolicy::DedupSet => {
-                let mut s = grid.z_sequence(&t.points);
+                let mut s = grid.z_sequence(pts);
                 s.sort_unstable();
                 s.dedup();
                 s
             }
         };
-        map.entry(zseq).or_default().push(i as u32);
+        map.entry(zseq).or_default().push(slot as u32);
     }
     let mut groups: Vec<Group> = map
         .into_iter()
@@ -433,8 +439,15 @@ mod tests {
         )
     }
 
-    fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
-        Trajectory::new(id, pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    fn traj(id: u64, pts: &[(f64, f64)]) -> repose_model::Trajectory {
+        repose_model::Trajectory::new(
+            id,
+            pts.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        )
+    }
+
+    fn store_of(trajs: &[repose_model::Trajectory]) -> TrajStore {
+        TrajStore::from_trajectories(trajs)
     }
 
     fn cfg(measure: Measure) -> RpTrieConfig {
@@ -449,7 +462,7 @@ mod tests {
             traj(1, &[(0.5, 0.5), (1.5, 0.5), (2.5, 2.5)]),
         ];
         let c = cfg(Measure::Frechet).with_np(0);
-        let t = BuildTrie::construct(&trajs, &grid8(), &c, &PivotSet::empty());
+        let t = BuildTrie::construct(&store_of(&trajs), &grid8(), &c, &PivotSet::empty());
         // root + 2 shared + 2 distinct tails = 5
         assert_eq!(t.node_count(), 5);
     }
@@ -461,7 +474,7 @@ mod tests {
             traj(1, &[(0.6, 0.6), (1.4, 0.4)]), // same cells
         ];
         let c = cfg(Measure::Frechet).with_np(0);
-        let t = BuildTrie::construct(&trajs, &grid8(), &c, &PivotSet::empty());
+        let t = BuildTrie::construct(&store_of(&trajs), &grid8(), &c, &PivotSet::empty());
         let leaves: Vec<_> = (0..t.node_count() as u32)
             .filter_map(|i| t.leaf_of(i))
             .collect();
@@ -478,7 +491,7 @@ mod tests {
             traj(1, &[(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)]),
         ];
         let c = cfg(Measure::Frechet).with_np(0);
-        let t = BuildTrie::construct(&trajs, &grid8(), &c, &PivotSet::empty());
+        let t = BuildTrie::construct(&store_of(&trajs), &grid8(), &c, &PivotSet::empty());
         let with_both: Vec<_> = (0..t.node_count() as u32)
             .filter(|&i| t.leaf_of(i).is_some() && !t.children_of(i).is_empty())
             .collect();
@@ -493,7 +506,7 @@ mod tests {
         ];
         let g = grid8();
         let c = cfg(Measure::Hausdorff).with_np(0);
-        let t = BuildTrie::construct(&trajs, &g, &c, &PivotSet::empty());
+        let t = BuildTrie::construct(&store_of(&trajs), &g, &c, &PivotSet::empty());
         for i in 0..t.node_count() as u32 {
             if let Some((members, summaries, dmax, nmin)) = t.leaf_of(i) {
                 assert_eq!(members.len(), summaries.len());
@@ -514,14 +527,15 @@ mod tests {
             traj(2, &[(2.5, 0.5), (0.5, 0.5), (4.5, 0.5)]),
         ];
         let g = grid8();
+        let store = store_of(&trajs);
         let unopt = BuildTrie::construct(
-            &trajs,
+            &store,
             &g,
             &cfg(Measure::Hausdorff).with_np(0).with_optimize(false),
             &PivotSet::empty(),
         );
         let opt = BuildTrie::construct(
-            &trajs,
+            &store,
             &g,
             &cfg(Measure::Hausdorff).with_np(0).with_optimize(true),
             &PivotSet::empty(),
@@ -538,7 +552,7 @@ mod tests {
 
     #[test]
     fn hr_intervals_cover_children() {
-        let trajs: Vec<Trajectory> = (0..10)
+        let trajs: Vec<repose_model::Trajectory> = (0..10)
             .map(|i| {
                 traj(
                     i,
@@ -552,8 +566,9 @@ mod tests {
             .collect();
         let g = grid8();
         let c = cfg(Measure::Hausdorff).with_np(3);
-        let pivots = select_pivots(&trajs, &c);
-        let t = BuildTrie::construct(&trajs, &g, &c, &pivots);
+        let store = store_of(&trajs);
+        let pivots = select_pivots(&store, &c);
+        let t = BuildTrie::construct(&store, &g, &c, &pivots);
         // Every parent's interval contains every child's interval.
         for id in 0..t.node_count() as u32 {
             for &ch in t.children_of(id) {
@@ -567,6 +582,7 @@ mod tests {
         for tr in &trajs {
             for (pi, p) in pivots.pivots().iter().enumerate() {
                 let d = c.params.distance(c.measure, &tr.points, p);
+
                 assert!(d >= root_hr[pi].0 - 1e-12 && d <= root_hr[pi].1 + 1e-12);
             }
         }
@@ -574,11 +590,11 @@ mod tests {
 
     #[test]
     fn children_sorted_by_label() {
-        let trajs: Vec<Trajectory> = (0..8)
+        let trajs: Vec<repose_model::Trajectory> = (0..8)
             .map(|i| traj(i, &[((i % 8) as f64 + 0.5, 0.5), (7.5, 7.5)]))
             .collect();
         let c = cfg(Measure::Frechet).with_np(0);
-        let t = BuildTrie::construct(&trajs, &grid8(), &c, &PivotSet::empty());
+        let t = BuildTrie::construct(&store_of(&trajs), &grid8(), &c, &PivotSet::empty());
         for id in 0..t.node_count() as u32 {
             let labels: Vec<ZValue> =
                 t.children_of(id).iter().map(|&c| t.label(c)).collect();

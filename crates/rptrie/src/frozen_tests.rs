@@ -5,7 +5,7 @@ use crate::builder::BuildTrie;
 use crate::pivot::PivotSet;
 use crate::{RpTrie, RpTrieConfig};
 use repose_distance::Measure;
-use repose_model::{Mbr, Point, Trajectory};
+use repose_model::{Mbr, Point, TrajStore, Trajectory};
 use repose_zorder::Grid;
 
 fn grid(level: u8) -> Grid {
@@ -18,6 +18,10 @@ fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
 
 /// A spread of trajectories that creates a multi-level trie with both
 /// branching and shared prefixes.
+fn store_of(trajs: &[Trajectory]) -> TrajStore {
+    TrajStore::from_trajectories(trajs)
+}
+
 fn sample_trajs() -> Vec<Trajectory> {
     let mut out = Vec::new();
     let mut id = 0;
@@ -45,15 +49,16 @@ fn sample_trajs() -> Vec<Trajectory> {
 #[test]
 fn dense_and_sparse_encodings_expose_the_same_tree() {
     let trajs = sample_trajs();
+    let store = store_of(&trajs);
     let g = grid(4);
     let reference = RpTrie::build(
-        &trajs,
+        &store,
         g.clone(),
         RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(0),
     );
     for dense in [1u8, 2, 3, 8] {
         let other = RpTrie::build(
-            &trajs,
+            &store,
             g.clone(),
             RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(dense),
         );
@@ -93,7 +98,7 @@ fn dense_and_sparse_encodings_expose_the_same_tree() {
 fn every_trajectory_reachable_via_some_leaf() {
     let trajs = sample_trajs();
     let trie = RpTrie::build(
-        &trajs,
+        &store_of(&trajs),
         grid(4),
         RpTrieConfig::for_measure(Measure::Hausdorff),
     );
@@ -113,7 +118,7 @@ fn every_trajectory_reachable_via_some_leaf() {
 #[test]
 fn leaf_count_matches_reachable_leaves() {
     let trajs = sample_trajs();
-    let trie = RpTrie::build(&trajs, grid(3), RpTrieConfig::for_measure(Measure::Dtw));
+    let trie = RpTrie::build(&store_of(&trajs), grid(3), RpTrieConfig::for_measure(Measure::Dtw));
     let f = trie.frozen();
     let mut leaves = 0;
     let mut stack = vec![f.root()];
@@ -131,28 +136,30 @@ fn wide_grid_falls_back_to_sparse_encoding() {
     // level 12 -> 2^24 cells per bitmap would be pathological; the freezer
     // must refuse dense encoding.
     let trajs = sample_trajs();
+    let store = store_of(&trajs);
     let trie = RpTrie::build(
-        &trajs,
+        &store,
         grid(12),
         RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(2),
     );
     assert_eq!(trie.frozen().dense_count(), 0);
     // still queryable
-    let r = trie.top_k(&trajs, &trajs[0].points, 3);
+    let r = trie.top_k(&store, &trajs[0].points, 3);
     assert_eq!(r.hits[0].id, 0);
 }
 
 #[test]
 fn single_trajectory_trie() {
     let trajs = vec![traj(9, &[(1.0, 1.0), (2.0, 2.0)])];
+    let store = store_of(&trajs);
     let trie = RpTrie::build(
-        &trajs,
+        &store,
         grid(4),
         RpTrieConfig::for_measure(Measure::Hausdorff),
     );
     assert!(trie.node_count() >= 2);
     assert_eq!(trie.frozen().leaf_count(), 1);
-    let r = trie.top_k(&trajs, &[Point::new(1.5, 1.5)], 1);
+    let r = trie.top_k(&store, &[Point::new(1.5, 1.5)], 1);
     assert_eq!(r.hits[0].id, 9);
 }
 
@@ -161,7 +168,7 @@ fn build_trie_accessors_consistent_with_frozen() {
     let trajs = sample_trajs();
     let g = grid(4);
     let cfg = RpTrieConfig::for_measure(Measure::Frechet).with_np(0);
-    let build = BuildTrie::construct(&trajs, &g, &cfg, &PivotSet::empty());
+    let build = BuildTrie::construct(&store_of(&trajs), &g, &cfg, &PivotSet::empty());
     let frozen = build.freeze(&g, &cfg);
     assert_eq!(build.node_count(), frozen.node_count());
 }
@@ -170,12 +177,12 @@ fn build_trie_accessors_consistent_with_frozen() {
 fn mem_bytes_accounts_for_structures() {
     let trajs = sample_trajs();
     let small = RpTrie::build(
-        &trajs[..4],
+        &store_of(&trajs[..4]),
         grid(4),
         RpTrieConfig::for_measure(Measure::Hausdorff),
     );
     let large = RpTrie::build(
-        &trajs,
+        &store_of(&trajs),
         grid(4),
         RpTrieConfig::for_measure(Measure::Hausdorff),
     );

@@ -17,25 +17,26 @@
 //! construction that maximizes prefix sharing.
 //!
 //! ```
-//! use repose_model::{Mbr, Point, Trajectory};
+//! use repose_model::{Mbr, Point, TrajStore};
 //! use repose_rptrie::{RpTrie, RpTrieConfig};
 //! use repose_distance::Measure;
 //! use repose_zorder::Grid;
 //!
-//! let trajs: Vec<Trajectory> = (0..30)
-//!     .map(|i| {
-//!         let y = (i % 6) as f64;
-//!         Trajectory::new(i, (0..5).map(|j| Point::new(j as f64, y)).collect())
-//!     })
-//!     .collect();
+//! // The flat point arena queries read contiguous memory from.
+//! let mut store = TrajStore::new();
+//! for i in 0..30u64 {
+//!     let y = (i % 6) as f64;
+//!     let pts: Vec<Point> = (0..5).map(|j| Point::new(j as f64, y)).collect();
+//!     store.push(i, &pts);
+//! }
 //! let grid = Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 3);
-//! let trie = RpTrie::build(&trajs, grid, RpTrieConfig::for_measure(Measure::Hausdorff));
+//! let trie = RpTrie::build(&store, grid, RpTrieConfig::for_measure(Measure::Hausdorff));
 //!
 //! let query = vec![Point::new(0.0, 0.3), Point::new(4.0, 0.3)];
-//! let result = trie.top_k(&trajs, &query, 3);
+//! let result = trie.top_k(&store, &query, 3);
 //! assert_eq!(result.hits[0].id, 0); // the y = 0 row is nearest
 //! // Best-first search visited the trie instead of scanning everything.
-//! assert!(result.stats.exact_computations < trajs.len());
+//! assert!(result.stats.exact_computations < store.len());
 //! ```
 
 #![warn(missing_docs)]
@@ -58,15 +59,17 @@ pub use search::{SearchResult, SearchStats};
 pub use shared::SharedTopK;
 
 use repose_distance::{Measure, MeasureParams, ThresholdSource};
-use repose_model::{Point, TrajId, Trajectory};
+use repose_model::{Point, TrajId, TrajStore};
 use repose_zorder::Grid;
 
 /// A built RP-Trie over one partition of trajectories.
 ///
 /// The trie does not own the trajectories; queries must be given the same
-/// slice the index was built from (this mirrors the paper's `RpTraj`
-/// packaging of `(trajectory array, RP-Trie)` inside one RDD element —
-/// the owning pair lives in the `repose` crate).
+/// [`TrajStore`] the index was built from (this mirrors the paper's
+/// `RpTraj` packaging of `(trajectory array, RP-Trie)` inside one RDD
+/// element — the owning pair lives in the `repose` crate). The store is a
+/// flat point arena, so leaf verification reads contiguous memory instead
+/// of chasing per-trajectory heap islands.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RpTrie {
     frozen: FrozenTrie,
@@ -85,26 +88,26 @@ impl RpTrie {
     /// * Frechet — consecutive dedup, pivots enabled;
     /// * ERP — raw sequence, pivots enabled;
     /// * DTW / LCSS / EDR — basic trie, no pivots.
-    pub fn build(trajs: &[Trajectory], grid: Grid, config: RpTrieConfig) -> Self {
+    pub fn build(store: &TrajStore, grid: Grid, config: RpTrieConfig) -> Self {
         let pivots = if config.measure.is_metric() && config.np > 0 {
-            select_pivots(trajs, &config)
+            select_pivots(store, &config)
         } else {
             PivotSet::empty()
         };
-        let build = BuildTrie::construct(trajs, &grid, &config, &pivots);
+        let build = BuildTrie::construct(store, &grid, &config, &pivots);
         let frozen = build.freeze(&grid, &config);
-        RpTrie { frozen, grid, config, pivots, built_over: trajs.len() }
+        RpTrie { frozen, grid, config, pivots, built_over: store.len() }
     }
 
-    /// Runs a top-k query (Algorithm 2). `trajs` must be the slice the trie
-    /// was built over.
-    pub fn top_k(&self, trajs: &[Trajectory], query: &[Point], k: usize) -> SearchResult {
+    /// Runs a top-k query (Algorithm 2). `store` must be the arena the
+    /// trie was built over.
+    pub fn top_k(&self, store: &TrajStore, query: &[Point], k: usize) -> SearchResult {
         assert_eq!(
-            trajs.len(),
+            store.len(),
             self.built_over,
-            "query must use the trajectory slice the index was built over"
+            "query must use the trajectory store the index was built over"
         );
-        search::top_k(self, trajs, query, k)
+        search::top_k(self, store, query, k)
     }
 
     /// Like [`RpTrie::top_k`] but only keeps results strictly better than
@@ -113,31 +116,32 @@ impl RpTrie {
     /// bound on the k-th distance (e.g. a completed neighbour search).
     pub fn top_k_bounded(
         &self,
-        trajs: &[Trajectory],
+        store: &TrajStore,
         query: &[Point],
         k: usize,
         threshold: f64,
     ) -> SearchResult {
-        assert_eq!(trajs.len(), self.built_over);
-        search::top_k_bounded(self, trajs, query, k, threshold)
+        assert_eq!(store.len(), self.built_over);
+        search::top_k_bounded(self, store, query, k, threshold)
     }
 
-    /// Like [`RpTrie::top_k`] but restricted to trajectories accepted by
-    /// `filter` — the hook for attribute predicates such as the temporal
-    /// windows of `repose::temporal` (the paper's Section IX future work).
+    /// Like [`RpTrie::top_k`] but restricted to trajectory ids accepted
+    /// by `filter` — the hook for attribute predicates such as the
+    /// temporal windows of `repose::temporal` (the paper's Section IX
+    /// future work).
     ///
     /// Pruning stays sound under any filter: bounds hold for supersets of
     /// the qualifying trajectories, and `dk` only tightens from accepted
     /// hits.
     pub fn top_k_where(
         &self,
-        trajs: &[Trajectory],
+        store: &TrajStore,
         query: &[Point],
         k: usize,
-        filter: &(dyn Fn(&Trajectory) -> bool + Sync),
+        filter: &(dyn Fn(TrajId) -> bool + Sync),
     ) -> SearchResult {
-        assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, Some(filter), &[], None)
+        assert_eq!(store.len(), self.built_over);
+        search::top_k_filtered(self, store, query, k, f64::INFINITY, Some(filter), &[], None)
     }
 
     /// Top-k over the union of the trie's trajectories and a set of
@@ -156,14 +160,14 @@ impl RpTrie {
     /// resolution.
     pub fn top_k_seeded(
         &self,
-        trajs: &[Trajectory],
+        store: &TrajStore,
         query: &[Point],
         k: usize,
         seeds: &[Hit],
-        filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+        filter: Option<&(dyn Fn(TrajId) -> bool + Sync)>,
     ) -> SearchResult {
-        assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds, None)
+        assert_eq!(store.len(), self.built_over);
+        search::top_k_filtered(self, store, query, k, f64::INFINITY, filter, seeds, None)
     }
 
     /// The shared-threshold local search: like [`RpTrie::top_k_seeded`],
@@ -179,15 +183,15 @@ impl RpTrie {
     /// independent searches' merge up to tie resolution.
     pub fn top_k_shared(
         &self,
-        trajs: &[Trajectory],
+        store: &TrajStore,
         query: &[Point],
         k: usize,
         seeds: &[Hit],
-        filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+        filter: Option<&(dyn Fn(TrajId) -> bool + Sync)>,
         shared: &dyn ThresholdSource,
     ) -> SearchResult {
-        assert_eq!(trajs.len(), self.built_over);
-        search::top_k_filtered(self, trajs, query, k, f64::INFINITY, filter, seeds, Some(shared))
+        assert_eq!(store.len(), self.built_over);
+        search::top_k_filtered(self, store, query, k, f64::INFINITY, filter, seeds, Some(shared))
     }
 
     /// A cheap lower bound on the distance from `query` to *every*

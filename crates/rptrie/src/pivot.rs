@@ -1,5 +1,6 @@
 use crate::RpTrieConfig;
-use repose_model::{Point, Trajectory};
+use repose_distance::DistScratch;
+use repose_model::{Point, TrajStore};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -34,9 +35,20 @@ impl PivotSet {
     /// Distances from `query` to all pivots under the index measure —
     /// the `dqp` array of Section IV-D.
     pub fn query_distances(&self, cfg: &RpTrieConfig, query: &[Point]) -> Vec<f64> {
+        DistScratch::with_thread(|s| self.query_distances_in(cfg, query, s))
+    }
+
+    /// [`PivotSet::query_distances`] against a caller-managed
+    /// [`DistScratch`].
+    pub fn query_distances_in(
+        &self,
+        cfg: &RpTrieConfig,
+        query: &[Point],
+        scratch: &mut DistScratch,
+    ) -> Vec<f64> {
         self.pivots
             .iter()
-            .map(|p| cfg.params.distance(cfg.measure, query, p))
+            .map(|p| cfg.params.distance_in(cfg.measure, query, p, scratch))
             .collect()
     }
 
@@ -57,34 +69,37 @@ impl PivotSet {
 /// group with the largest score (pivots as mutually distant as possible).
 ///
 /// Deterministic for a fixed `cfg.seed`.
-pub fn select_pivots(trajs: &[Trajectory], cfg: &RpTrieConfig) -> PivotSet {
-    let np = cfg.np.min(trajs.len());
-    if np == 0 || trajs.is_empty() {
+pub fn select_pivots(store: &TrajStore, cfg: &RpTrieConfig) -> PivotSet {
+    let np = cfg.np.min(store.len());
+    if np == 0 || store.is_empty() {
         return PivotSet::empty();
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let groups = cfg.pivot_groups.max(1);
     let mut best_score = f64::NEG_INFINITY;
     let mut best: Vec<usize> = Vec::new();
-    for _ in 0..groups {
-        let idxs: Vec<usize> = sample(&mut rng, trajs.len(), np).into_vec();
-        let mut score = 0.0;
-        for i in 0..idxs.len() {
-            for j in (i + 1)..idxs.len() {
-                score += cfg.params.distance(
-                    cfg.measure,
-                    &trajs[idxs[i]].points,
-                    &trajs[idxs[j]].points,
-                );
+    DistScratch::with_thread(|scratch| {
+        for _ in 0..groups {
+            let idxs: Vec<usize> = sample(&mut rng, store.len(), np).into_vec();
+            let mut score = 0.0;
+            for i in 0..idxs.len() {
+                for j in (i + 1)..idxs.len() {
+                    score += cfg.params.distance_in(
+                        cfg.measure,
+                        store.points(idxs[i]),
+                        store.points(idxs[j]),
+                        scratch,
+                    );
+                }
+            }
+            if score > best_score {
+                best_score = score;
+                best = idxs;
             }
         }
-        if score > best_score {
-            best_score = score;
-            best = idxs;
-        }
-    }
+    });
     PivotSet {
-        pivots: best.into_iter().map(|i| trajs[i].points.clone()).collect(),
+        pivots: best.into_iter().map(|i| store.points(i).to_vec()).collect(),
     }
 }
 
@@ -111,11 +126,14 @@ mod tests {
     use super::*;
     use repose_distance::Measure;
 
-    fn traj(id: u64, offset: f64) -> Trajectory {
-        Trajectory::new(
-            id,
-            (0..5).map(|i| Point::new(offset + i as f64, offset)).collect(),
-        )
+    fn store_of(n: u64, offset: impl Fn(u64) -> f64) -> TrajStore {
+        let mut s = TrajStore::new();
+        for i in 0..n {
+            let o = offset(i);
+            let pts: Vec<Point> = (0..5).map(|j| Point::new(o + j as f64, o)).collect();
+            s.push(i, &pts);
+        }
+        s
     }
 
     fn cfg() -> RpTrieConfig {
@@ -124,39 +142,43 @@ mod tests {
 
     #[test]
     fn selects_np_pivots() {
-        let trajs: Vec<Trajectory> = (0..20).map(|i| traj(i, i as f64)).collect();
-        let p = select_pivots(&trajs, &cfg().with_np(5));
+        let store = store_of(20, |i| i as f64);
+        let p = select_pivots(&store, &cfg().with_np(5));
         assert_eq!(p.len(), 5);
     }
 
     #[test]
     fn np_capped_by_dataset_size() {
-        let trajs: Vec<Trajectory> = (0..3).map(|i| traj(i, i as f64)).collect();
-        let p = select_pivots(&trajs, &cfg().with_np(5));
+        let store = store_of(3, |i| i as f64);
+        let p = select_pivots(&store, &cfg().with_np(5));
         assert_eq!(p.len(), 3);
     }
 
     #[test]
     fn empty_when_disabled_or_no_data() {
-        assert!(select_pivots(&[], &cfg()).is_empty());
-        let trajs = vec![traj(0, 0.0)];
-        assert!(select_pivots(&trajs, &cfg().with_np(0)).is_empty());
+        assert!(select_pivots(&TrajStore::new(), &cfg()).is_empty());
+        let store = store_of(1, |_| 0.0);
+        assert!(select_pivots(&store, &cfg().with_np(0)).is_empty());
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let trajs: Vec<Trajectory> = (0..30).map(|i| traj(i, (i * 7 % 13) as f64)).collect();
-        let a = select_pivots(&trajs, &cfg().with_seed(9));
-        let b = select_pivots(&trajs, &cfg().with_seed(9));
+        let store = store_of(30, |i| (i * 7 % 13) as f64);
+        let a = select_pivots(&store, &cfg().with_seed(9));
+        let b = select_pivots(&store, &cfg().with_seed(9));
         assert_eq!(a.pivots(), b.pivots());
     }
 
     #[test]
     fn prefers_spread_out_groups() {
         // Two tight clusters far apart; a good pivot pair spans both.
-        let mut trajs: Vec<Trajectory> = (0..10).map(|i| traj(i, 0.0)).collect();
-        trajs.extend((10..20).map(|i| traj(i, 1000.0)));
-        let p = select_pivots(&trajs, &cfg().with_np(2).with_seed(3));
+        let mut store = store_of(10, |_| 0.0);
+        for i in 10..20u64 {
+            let pts: Vec<Point> =
+                (0..5).map(|j| Point::new(1000.0 + j as f64, 1000.0)).collect();
+            store.push(i, &pts);
+        }
+        let p = select_pivots(&store, &cfg().with_np(2).with_seed(3));
         let d = cfg()
             .params
             .distance(Measure::Hausdorff, &p.pivots()[0], &p.pivots()[1]);
@@ -182,9 +204,9 @@ mod tests {
 
     #[test]
     fn query_distances_uses_measure() {
-        let trajs: Vec<Trajectory> = (0..6).map(|i| traj(i, i as f64)).collect();
+        let store = store_of(6, |i| i as f64);
         let c = cfg().with_np(2);
-        let p = select_pivots(&trajs, &c);
+        let p = select_pivots(&store, &c);
         let q = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
         let d = p.query_distances(&c, &q);
         assert_eq!(d.len(), 2);

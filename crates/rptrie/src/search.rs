@@ -4,8 +4,8 @@
 use crate::bounds::BoundState;
 use crate::pivot::pivot_lower_bound;
 use crate::{Hit, NodeId, RpTrie};
-use repose_distance::{bound_exceeds, ThresholdSource};
-use repose_model::{Point, Trajectory};
+use repose_distance::{bound_exceeds, DistScratch, ThresholdSource};
+use repose_model::{Point, TrajId, TrajStore};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -125,31 +125,31 @@ impl Ord for Worst {
 
 pub(crate) fn top_k(
     trie: &RpTrie,
-    trajs: &[Trajectory],
+    store: &TrajStore,
     query: &[Point],
     k: usize,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, f64::INFINITY, None, &[], None)
+    top_k_filtered(trie, store, query, k, f64::INFINITY, None, &[], None)
 }
 
 pub(crate) fn top_k_bounded(
     trie: &RpTrie,
-    trajs: &[Trajectory],
+    store: &TrajStore,
     query: &[Point],
     k: usize,
     threshold: f64,
 ) -> SearchResult {
-    top_k_filtered(trie, trajs, query, k, threshold, None, &[], None)
+    top_k_filtered(trie, store, query, k, threshold, None, &[], None)
 }
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn top_k_filtered(
     trie: &RpTrie,
-    trajs: &[Trajectory],
+    store: &TrajStore,
     query: &[Point],
     k: usize,
     threshold: f64,
-    filter: Option<&(dyn Fn(&Trajectory) -> bool + Sync)>,
+    filter: Option<&(dyn Fn(TrajId) -> bool + Sync)>,
     seeds: &[Hit],
     shared: Option<&dyn ThresholdSource>,
 ) -> SearchResult {
@@ -157,7 +157,7 @@ pub(crate) fn top_k_filtered(
     if k == 0 || query.is_empty() {
         return SearchResult { hits: Vec::new(), stats };
     }
-    if trajs.is_empty() {
+    if store.is_empty() {
         // Nothing in the trie: the answer is the best k seeds.
         let mut hits: Vec<Hit> = seeds.to_vec();
         hits.sort_by(Hit::cmp_by_dist_then_id);
@@ -173,8 +173,12 @@ pub(crate) fn top_k_filtered(
     let cfg = trie.config();
     let params = cfg.params;
 
+    // One scratch for the whole search: every pivot distance and leaf
+    // verification below reuses it, so a warm worker thread's verification
+    // loop performs zero heap allocations (`DistScratch` is per-thread).
+    DistScratch::with_thread(|scratch| {
     // dqp: distances from the query to every pivot (Section IV-D).
-    let dqp = trie.pivots().query_distances(cfg, query);
+    let dqp = trie.pivots().query_distances_in(cfg, query, scratch);
     stats.exact_computations += dqp.len();
     // The query's own prefilter summary, computed once: paired with the
     // per-member summaries stored in each leaf it yields an O(1) lower
@@ -229,12 +233,12 @@ pub(crate) fn top_k_filtered(
             let lbp = pivot_lower_bound(&dqp, frozen.hr(entry.node));
             if lbt.max(lbp) < dk(&best) {
                 for (si, &mi) in leaf.members.iter().enumerate() {
-                    let t = &trajs[mi as usize];
-                    if !seed_ids.is_empty() && seed_ids.contains(&t.id) {
+                    let id = store.id(mi as usize);
+                    if !seed_ids.is_empty() && seed_ids.contains(&id) {
                         continue;
                     }
                     if let Some(f) = filter {
-                        if !f(t) {
+                        if !f(id) {
                             continue;
                         }
                     }
@@ -243,25 +247,27 @@ pub(crate) fn top_k_filtered(
                     // abandons (cheaply) when it cannot — same results as
                     // the unbounded `params.distance` + `d < dk` check.
                     // The prefilter reuses the member summary frozen into
-                    // the leaf: O(1) per candidate instead of O(m+n).
+                    // the leaf: O(1) per candidate instead of O(m+n); the
+                    // candidate's points are a contiguous arena slice.
                     stats.exact_computations += 1;
                     let lb = params.summary_lower_bound(cfg.measure, &qsum, &leaf.summaries[si]);
-                    match params.distance_within_from_lb(
+                    match params.distance_within_from_lb_in(
                         cfg.measure,
                         query,
-                        &t.points,
+                        store.points(mi as usize),
                         dk(&best),
                         lb,
+                        scratch,
                     ) {
                         Some(d) => {
-                            best.push(Worst { dist: d, id: t.id });
+                            best.push(Worst { dist: d, id });
                             if best.len() > k {
                                 best.pop();
                             }
                             // A hit accepted here prunes every other search
                             // sharing the collector.
                             if let Some(s) = shared {
-                                s.publish(d, t.id);
+                                s.publish(d, id);
                             }
                         }
                         None => stats.exact_abandoned += 1,
@@ -308,6 +314,7 @@ pub(crate) fn top_k_filtered(
     debug_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
     hits.truncate(k);
     SearchResult { hits, stats }
+    }) // DistScratch::with_thread
 }
 
 #[cfg(test)]
@@ -315,7 +322,7 @@ mod tests {
     use super::*;
     use crate::RpTrieConfig;
     use repose_distance::{Measure, MeasureParams};
-    use repose_model::Mbr;
+    use repose_model::{Mbr, Trajectory};
     use repose_zorder::Grid;
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
@@ -324,6 +331,10 @@ mod tests {
 
     fn grid8() -> Grid {
         Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 3)
+    }
+
+    fn store_of(trajs: &[Trajectory]) -> TrajStore {
+        TrajStore::from_trajectories(trajs)
     }
 
     /// The paper's running example: Table II, Example 1 (top-2 under
@@ -351,12 +362,13 @@ mod tests {
     #[test]
     fn example_1_top_2() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
         );
-        let r = trie.top_k(&trajs, &query(), 2);
+        let r = trie.top_k(&store, &query(), 2);
         let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![1, 4]);
         assert!((r.hits[0].dist - 2.83).abs() < 0.01);
@@ -366,18 +378,19 @@ mod tests {
     #[test]
     fn matches_linear_scan_for_every_measure() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let q = query();
         let params = MeasureParams::with_eps(1.5);
         for measure in Measure::ALL {
             let trie = RpTrie::build(
-                &trajs,
+                &store,
                 grid8(),
                 RpTrieConfig::for_measure(measure)
                     .with_params(params)
                     .with_np(2),
             );
             for k in 1..=5 {
-                let got = trie.top_k(&trajs, &q, k);
+                let got = trie.top_k(&store, &q, k);
                 // brute force
                 let mut expect: Vec<(f64, u64)> = trajs
                     .iter()
@@ -397,37 +410,40 @@ mod tests {
     #[test]
     fn k_larger_than_dataset_returns_all() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff),
         );
-        let r = trie.top_k(&trajs, &query(), 50);
+        let r = trie.top_k(&store, &query(), 50);
         assert_eq!(r.hits.len(), 5);
     }
 
     #[test]
     fn k_zero_and_empty_query() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff),
         );
-        assert!(trie.top_k(&trajs, &query(), 0).hits.is_empty());
-        assert!(trie.top_k(&trajs, &[], 3).hits.is_empty());
+        assert!(trie.top_k(&store, &query(), 0).hits.is_empty());
+        assert!(trie.top_k(&store, &[], 3).hits.is_empty());
     }
 
     #[test]
     fn bounded_search_respects_threshold() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff),
         );
         // Only τ1 (2.83) beats a threshold of 3.0.
-        let r = trie.top_k_bounded(&trajs, &query(), 5, 3.0);
+        let r = trie.top_k_bounded(&store, &query(), 5, 3.0);
         let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![1]);
     }
@@ -446,12 +462,13 @@ mod tests {
                 pts(&[(bx, by), (bx + 0.4, by + 0.2), (bx + 0.9, by + 0.4)]),
             ));
         }
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff).with_np(3),
         );
-        let r = trie.top_k(&trajs, &query(), 2);
+        let r = trie.top_k(&store, &query(), 2);
         assert_eq!(r.hits[0].id, 1);
         assert!(
             r.stats.exact_computations < trajs.len() / 2,
@@ -477,13 +494,14 @@ mod tests {
             ));
         }
         let grid = Grid::new(Mbr::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)), 1);
+        let store = store_of(&trajs);
         for measure in Measure::ALL {
             let trie = RpTrie::build(
-                &trajs,
+                &store,
                 grid.clone(),
                 RpTrieConfig::for_measure(measure).with_params(MeasureParams::with_eps(1.5)),
             );
-            let r = trie.top_k(&trajs, &query(), 2);
+            let r = trie.top_k(&store, &query(), 2);
             assert!(
                 r.stats.exact_abandoned > 0,
                 "{measure}: expected abandoned verifications, stats {:?}",
@@ -496,9 +514,10 @@ mod tests {
     #[test]
     fn seeded_search_merges_and_prunes() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let q = query();
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
         );
@@ -506,15 +525,15 @@ mod tests {
         // not appear.
         let champion = Hit { id: 100, dist: 0.5 };
         let hopeless = Hit { id: 101, dist: 1e9 };
-        let r = trie.top_k_seeded(&trajs, &q, 2, &[champion, hopeless], None);
+        let r = trie.top_k_seeded(&store, &q, 2, &[champion, hopeless], None);
         let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![100, 1]);
 
         // k good seeds tighten the threshold: never more exact distance
         // computations than the unseeded search.
-        let unseeded = trie.top_k(&trajs, &q, 2);
+        let unseeded = trie.top_k(&store, &q, 2);
         let seeded = trie.top_k_seeded(
-            &trajs,
+            &store,
             &q,
             2,
             &[Hit { id: 100, dist: 0.5 }, Hit { id: 102, dist: 0.6 }],
@@ -523,8 +542,8 @@ mod tests {
         assert!(seeded.stats.exact_computations <= unseeded.stats.exact_computations);
 
         // Seeds + filter: filter applies to indexed trajectories only.
-        let no_t1 = |t: &Trajectory| t.id != 1;
-        let r = trie.top_k_seeded(&trajs, &q, 2, &[champion], Some(&no_t1));
+        let no_t1 = |id: u64| id != 1;
+        let r = trie.top_k_seeded(&store, &q, 2, &[champion], Some(&no_t1));
         let ids: Vec<u64> = r.hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![100, 4]);
 
@@ -532,18 +551,19 @@ mod tests {
         // appears once, at the seed's distance (the serving layer's
         // "delta version wins" upsert semantics).
         let shadow = Hit { id: 1, dist: 0.25 };
-        let r = trie.top_k_seeded(&trajs, &q, 5, &[shadow], None);
+        let r = trie.top_k_seeded(&store, &q, 5, &[shadow], None);
         let ones: Vec<&Hit> = r.hits.iter().filter(|h| h.id == 1).collect();
         assert_eq!(ones.len(), 1, "id 1 must appear exactly once");
         assert_eq!(ones[0].dist, 0.25);
 
-        // Empty trie slice: the seeds alone are ranked and truncated.
+        // Empty trie store: the seeds alone are ranked and truncated.
+        let empty_store = TrajStore::new();
         let empty = RpTrie::build(
-            &[],
+            &empty_store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff),
         );
-        let r = empty.top_k_seeded(&[], &q, 1, &[hopeless, champion], None);
+        let r = empty.top_k_seeded(&empty_store, &q, 1, &[hopeless, champion], None);
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].id, 100);
     }
@@ -553,11 +573,11 @@ mod tests {
         use crate::SharedTopK;
         // Two disjoint "partitions" over the paper dataset.
         let all = paper_dataset();
-        let (p0, p1) = (all[..2].to_vec(), all[2..].to_vec());
+        let (p0, p1) = (store_of(&all[..2]), store_of(&all[2..]));
         let q = query();
-        let build = |trajs: &[Trajectory]| {
+        let build = |store: &TrajStore| {
             RpTrie::build(
-                trajs,
+                store,
                 grid8(),
                 RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
             )
@@ -627,13 +647,14 @@ mod tests {
             ext.push(Point::new(7.5, 1.5 + i as f64));
             trajs.push(Trajectory::new(2 + i, ext));
         }
+        let store = store_of(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Frechet).with_np(0),
         );
         let src = CollapseAfterFirstPublish(AtomicBool::new(false));
-        let r = trie.top_k_shared(&trajs, &query(), 2, &[], None, &src);
+        let r = trie.top_k_shared(&store, &query(), 2, &[], None, &src);
         assert!(
             r.stats.bounds_abandoned > 0,
             "expected skipped child bound pushes, stats {:?}",
@@ -644,20 +665,21 @@ mod tests {
     #[test]
     fn optimized_and_unoptimized_tries_agree() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let q = query();
         let opt = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff).with_optimize(true),
         );
         let unopt = RpTrie::build(
-            &trajs,
+            &store,
             grid8(),
             RpTrieConfig::for_measure(Measure::Hausdorff).with_optimize(false),
         );
         for k in 1..=5 {
-            let a: Vec<u64> = opt.top_k(&trajs, &q, k).hits.iter().map(|h| h.id).collect();
-            let b: Vec<u64> = unopt.top_k(&trajs, &q, k).hits.iter().map(|h| h.id).collect();
+            let a: Vec<u64> = opt.top_k(&store, &q, k).hits.iter().map(|h| h.id).collect();
+            let b: Vec<u64> = unopt.top_k(&store, &q, k).hits.iter().map(|h| h.id).collect();
             assert_eq!(a, b, "k={k}");
         }
     }
@@ -665,14 +687,15 @@ mod tests {
     #[test]
     fn dense_level_variations_agree() {
         let trajs = paper_dataset();
+        let store = store_of(&trajs);
         let q = query();
         for dense in [0u8, 1, 2, 4] {
             let trie = RpTrie::build(
-                &trajs,
+                &store,
                 grid8(),
                 RpTrieConfig::for_measure(Measure::Frechet).with_dense_levels(dense),
             );
-            let ids: Vec<u64> = trie.top_k(&trajs, &q, 3).hits.iter().map(|h| h.id).collect();
+            let ids: Vec<u64> = trie.top_k(&store, &q, 3).hits.iter().map(|h| h.id).collect();
             assert_eq!(ids.len(), 3, "dense={dense}");
             assert_eq!(ids[0], 1, "dense={dense}");
         }

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use repose_distance::{Measure, MeasureParams};
-use repose_model::{Mbr, Point, Trajectory};
+use repose_model::{Mbr, Point, TrajStore, Trajectory};
 use repose_rptrie::{RpTrie, RpTrieConfig};
 use repose_zorder::Grid;
 
@@ -29,12 +29,13 @@ fn check_complete_ranking(
     level: u8,
 ) -> Result<(), TestCaseError> {
     let grid = Grid::new(region(), level);
+    let store = TrajStore::from_trajectories(trajs);
     let trie = RpTrie::build(
-        trajs,
+        &store,
         grid,
         RpTrieConfig::for_measure(measure).with_params(params).with_np(2),
     );
-    let r = trie.top_k(trajs, query, trajs.len());
+    let r = trie.top_k(&store, query, trajs.len());
     prop_assert_eq!(r.hits.len(), trajs.len(), "{} lost trajectories", measure);
     let mut expect: Vec<(f64, u64)> = trajs
         .iter()
@@ -126,12 +127,13 @@ proptest! {
         let measure = Measure::ALL[measure_idx];
         let params = MeasureParams::with_eps(1.5);
         let grid = Grid::new(region(), level);
+        let store = TrajStore::from_trajectories(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid,
             RpTrieConfig::for_measure(measure).with_params(params).with_np(2),
         );
-        let r = trie.top_k(&trajs, &query, k);
+        let r = trie.top_k(&store, &query, k);
         prop_assert!(r.stats.exact_abandoned <= r.stats.exact_computations);
         let mut expect: Vec<(f64, u64)> = trajs
             .iter()
@@ -192,15 +194,16 @@ proptest! {
             .collect();
         let query = pts(&query);
         let grid = Grid::new(region(), 4);
+        let store = TrajStore::from_trajectories(&trajs);
         let mut results = Vec::new();
         for dense in [0u8, 1, 3] {
             let trie = RpTrie::build(
-                &trajs,
+                &store,
                 grid.clone(),
                 RpTrieConfig::for_measure(Measure::Hausdorff).with_dense_levels(dense),
             );
             results.push(
-                trie.top_k(&trajs, &query, k)
+                trie.top_k(&store, &query, k)
                     .hits
                     .iter()
                     .map(|h| (h.id, h.dist))

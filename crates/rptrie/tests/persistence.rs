@@ -2,7 +2,7 @@
 //! into an observationally identical index — build once, query anywhere.
 
 use repose_distance::{Measure, MeasureParams};
-use repose_model::{Mbr, Point, Trajectory};
+use repose_model::{Mbr, Point, TrajStore, Trajectory};
 use repose_rptrie::{RpTrie, RpTrieConfig};
 use repose_zorder::Grid;
 
@@ -29,9 +29,10 @@ fn sample() -> (Vec<Trajectory>, Grid) {
 #[test]
 fn serde_roundtrip_preserves_query_behaviour() {
     let (trajs, grid) = sample();
+    let store = TrajStore::from_trajectories(&trajs);
     for measure in Measure::ALL {
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid.clone(),
             RpTrieConfig::for_measure(measure)
                 .with_params(MeasureParams::with_eps(0.8))
@@ -46,8 +47,8 @@ fn serde_roundtrip_preserves_query_behaviour() {
 
         let q: Vec<Point> = vec![Point::new(6.2, 4.1), Point::new(7.0, 4.4)];
         for k in [1, 5, 17] {
-            let a = trie.top_k(&trajs, &q, k);
-            let b = back.top_k(&trajs, &q, k);
+            let a = trie.top_k(&store, &q, k);
+            let b = back.top_k(&store, &q, k);
             assert_eq!(
                 a.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
                 b.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
@@ -64,7 +65,7 @@ fn serialized_form_is_compact_relative_to_json_of_raw_data() {
     // not dwarf the raw trajectory JSON.
     let (trajs, grid) = sample();
     let trie = RpTrie::build(
-        &trajs,
+        &TrajStore::from_trajectories(&trajs),
         grid,
         RpTrieConfig::for_measure(Measure::Hausdorff).with_np(2),
     );

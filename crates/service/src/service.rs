@@ -27,7 +27,7 @@ use crate::delta::{DeltaLog, LiveEntry};
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
 use repose_distance::MeasureParams;
-use repose_model::{Dataset, TrajId, Trajectory};
+use repose_model::{TrajId, TrajStore, Trajectory};
 use repose_rptrie::{Hit, SearchStats, SharedTopK};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,7 +145,7 @@ impl ReposeService {
         let (frozen, deltas, tombstones) = self.snapshot();
         let frozen_live = frozen
             .all_trajectories()
-            .filter(|t| !tombstones.contains_key(&t.id))
+            .filter(|(id, _)| !tombstones.contains_key(id))
             .count();
         frozen_live + deltas.iter().map(Vec::len).sum::<usize>()
     }
@@ -231,7 +231,7 @@ impl ReposeService {
         let mut hits: Vec<Hit> = Vec::new();
         let mut search = SearchStats::default();
         let mut delta_candidates = 0;
-        let filter = |t: &Trajectory| !tombstones.contains_key(&t.id);
+        let filter = |id: TrajId| !tombstones.contains_key(&id);
         for (pi, delta) in deltas.iter().enumerate() {
             let view = frozen.partition_view(pi);
             // Score the partition's live delta candidates under the shared
@@ -243,7 +243,7 @@ impl ReposeService {
             let seeds = scan_delta(view.trie, query, k, delta, &mut search, &collector);
             delta_candidates += delta.len();
             let local =
-                view.trie.top_k_shared(view.trajs, query, k, &seeds, Some(&filter), &collector);
+                view.trie.top_k_shared(view.store, query, k, &seeds, Some(&filter), &collector);
             search.merge(&local.stats);
             hits.extend_from_slice(&local.hits);
         }
@@ -300,24 +300,29 @@ impl ReposeService {
             )
         };
 
-        // Phase 2: rebuild offline from the live snapshot.
-        let mut live: Vec<Trajectory> = frozen
-            .all_trajectories()
-            .filter(|t| !tomb_snapshot.contains_key(&t.id))
-            .cloned()
-            .collect();
+        // Phase 2: rebuild offline from the live snapshot. The live set is
+        // assembled as one flat arena: frozen survivors are copied
+        // partition-arena-to-arena (one contiguous range copy per
+        // trajectory, no intermediate `Trajectory` clones), then live
+        // delta entries are appended from their write-path buffers.
+        let mut live = TrajStore::new();
+        for pi in 0..frozen.num_partitions() {
+            let view = frozen.partition_view(pi);
+            for slot in 0..view.store.len() {
+                if !tomb_snapshot.contains_key(&view.store.id(slot)) {
+                    live.push_from(view.store, slot);
+                }
+            }
+        }
         for log in &raw_deltas {
             for (seq, t) in log {
                 if tomb_snapshot.get(&t.id).is_none_or(|&ts| *seq >= ts) {
-                    live.push((**t).clone());
+                    live.push(t.id, &t.points);
                 }
             }
         }
         let rebuilt_len = live.len();
-        let rebuilt = Repose::build(
-            &Dataset::from_trajectories(live),
-            *frozen.config(),
-        );
+        let rebuilt = Repose::build_from_store(&live, *frozen.config());
 
         // Phase 3: atomic install.
         {

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use repose_datagen::sample_queries;
 use repose_distance::{Measure, MeasureParams};
-use repose_model::{Dataset, Mbr, Point, Trajectory};
+use repose_model::{Dataset, Mbr, Point, TrajStore, Trajectory};
 use repose_rptrie::{RpTrie, RpTrieConfig};
 use repose_zorder::Grid;
 
@@ -49,12 +49,13 @@ proptest! {
         let query: Vec<Point> = query.into_iter().map(|(x, y)| Point::new(x, y)).collect();
         let params = MeasureParams::with_eps(2.0);
         let grid = Grid::new(region(), level);
+        let store = TrajStore::from_trajectories(&trajs);
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid,
             RpTrieConfig::for_measure(measure).with_params(params).with_np(3),
         );
-        let got = trie.top_k(&trajs, &query, k).hits;
+        let got = trie.top_k(&store, &query, k).hits;
 
         let mut expect: Vec<(f64, u64)> = trajs
             .iter()
@@ -86,7 +87,7 @@ proptest! {
         let params = MeasureParams::default();
         let grid = Grid::new(region(), 4);
         let trie = RpTrie::build(
-            &trajs,
+            &TrajStore::from_trajectories(&trajs),
             grid,
             RpTrieConfig::for_measure(measure).with_params(params).with_np(2),
         );
@@ -106,16 +107,16 @@ fn sampled_queries_always_rank_themselves_first() {
     // hit with distance 0 for every measure (identity law, end to end).
     let dataset = repose_datagen::PaperDataset::SF.generate(0.05, 77);
     let queries = sample_queries(&dataset, 3, 123);
-    let trajs = dataset.trajectories().to_vec();
+    let store = TrajStore::from_trajectories(dataset.trajectories());
     let grid = Grid::with_delta(dataset.enclosing_square().unwrap(), 0.05);
     for measure in Measure::ALL {
         let trie = RpTrie::build(
-            &trajs,
+            &store,
             grid.clone(),
             RpTrieConfig::for_measure(measure).with_params(MeasureParams::with_eps(0.01)),
         );
         for q in &queries {
-            let r = trie.top_k(&trajs, &q.points, 1);
+            let r = trie.top_k(&store, &q.points, 1);
             assert_eq!(r.hits[0].id, q.id, "{measure}");
             assert!(r.hits[0].dist.abs() < 1e-12, "{measure}");
         }
