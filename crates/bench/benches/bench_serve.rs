@@ -1,6 +1,7 @@
 //! Criterion companion to the `serve` experiment: single-call latencies of
-//! the serving layer — cold query, cached query, query with a populated
-//! delta buffer, and insert.
+//! the serving layer — cold query (sequential and pooled), cached query,
+//! query with a populated delta buffer, insert, and incremental vs full
+//! compaction.
 
 mod common;
 
@@ -29,9 +30,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
     group.sample_size(10);
 
-    let uncached = ReposeService::with_config(build(), ServiceConfig { cache_capacity: 0 });
+    // Sequential path: the scaling baseline of the serve_pool experiment.
+    let uncached = ReposeService::with_config(
+        build(),
+        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+    );
     group.bench_function("query_uncached", |b| {
         b.iter(|| black_box(uncached.query(q, cfg.k)))
+    });
+
+    // Bound-ordered pooled execution on 4 workers.
+    let pooled = ReposeService::with_config(
+        build(),
+        ServiceConfig { cache_capacity: 0, pool_threads: 4 },
+    );
+    group.bench_function("query_pooled_4t", |b| {
+        b.iter(|| black_box(pooled.query(q, cfg.k)))
     });
 
     let cached = ReposeService::new(build());
@@ -40,7 +54,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(cached.query(q, cfg.k)))
     });
 
-    let with_delta = ReposeService::with_config(build(), ServiceConfig { cache_capacity: 0 });
+    let with_delta = ReposeService::with_config(
+        build(),
+        ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
+    );
     for i in 0..200u64 {
         let jit = i as f64 * 1e-5;
         with_delta.insert(Trajectory::new(
@@ -58,6 +75,27 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             next_id += 1;
             sink.insert(Trajectory::new(next_id, q.clone()));
+        })
+    });
+
+    // Compaction: one dirty partition, incremental vs forced-full. Each
+    // iteration inserts one trajectory (so exactly one partition is
+    // dirty) and compacts; the insert cost is negligible vs the rebuild.
+    let compacting = ReposeService::new(build());
+    compacting.compact();
+    let mut cid = 7_000_000u64;
+    group.bench_function("compact_incremental_one_dirty", |b| {
+        b.iter(|| {
+            cid += 1;
+            compacting.insert(Trajectory::new(cid, q.clone()));
+            black_box(compacting.compact())
+        })
+    });
+    group.bench_function("compact_full", |b| {
+        b.iter(|| {
+            cid += 1;
+            compacting.insert(Trajectory::new(cid, q.clone()));
+            black_box(compacting.compact_full())
         })
     });
     group.finish();

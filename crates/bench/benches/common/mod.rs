@@ -19,6 +19,7 @@ pub fn bench_cfg() -> ExpConfig {
         readers: 2,
         writers: 1,
         write_burst: 20,
+        pool_threads: 4,
     }
 }
 

@@ -18,7 +18,7 @@ fn main() {
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
         eprintln!(
             "usage: experiments <name|all> [--scale S] [--queries N] [--k K] [--partitions P] \
-             [--readers R] [--writers W] [--burst B]"
+             [--readers R] [--writers W] [--burst B] [--pool-threads T]"
         );
         eprintln!("experiments:");
         for e in exp::ALL {
@@ -61,6 +61,10 @@ fn main() {
             }
             Some("--burst") => {
                 cfg.write_burst = args[i + 1].parse().expect("bad --burst");
+                i += 2;
+            }
+            Some("--pool-threads") => {
+                cfg.pool_threads = args[i + 1].parse().expect("bad --pool-threads");
                 i += 2;
             }
             Some(other) => panic!("unknown flag {other}"),

@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod serve;
+pub mod serve_pool;
 pub mod table4;
 pub mod table5;
 pub mod table6;
@@ -60,5 +61,10 @@ pub const ALL: &[Experiment] = &[
         name: "kernels",
         what: "Zero-allocation verification: arena + scratch kernels vs the seed path",
         run: kernels::run,
+    },
+    Experiment {
+        name: "serve_pool",
+        what: "Worker-pool serving: query latency vs pool size + incremental compaction",
+        run: serve_pool::run,
     },
 ];

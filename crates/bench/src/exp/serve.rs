@@ -37,6 +37,10 @@ struct WorkloadResult {
     write_latency: LatencySummary,
     cache_hit_rate: f64,
     exact_abandoned: u64,
+    /// Partitions rebuilt by the mid-stream compaction(s) — with
+    /// incremental compaction this counts only the dirtied ones.
+    partitions_rebuilt: u64,
+    partitions: usize,
 }
 
 fn run_mixed(
@@ -116,6 +120,8 @@ fn run_mixed(
         ),
         cache_hit_rate: stats.cache_hit_rate(),
         exact_abandoned: abandoned.load(Ordering::Relaxed),
+        partitions_rebuilt: stats.partitions_rebuilt,
+        partitions: stats.partitions,
     }
 }
 
@@ -145,7 +151,7 @@ pub fn run(exp: &ExpConfig) -> Value {
         for (label, cache_capacity) in [("cached", 1024usize), ("uncached", 0usize)] {
             let service = Arc::new(ReposeService::with_config(
                 Repose::build(&data, cfg),
-                ServiceConfig { cache_capacity },
+                ServiceConfig { cache_capacity, ..ServiceConfig::default() },
             ));
             let r = run_mixed(
                 &service,
@@ -184,6 +190,8 @@ pub fn run(exp: &ExpConfig) -> Value {
                 "write_p99_s": r.write_latency.p99.as_secs_f64(),
                 "cache_hit_rate": r.cache_hit_rate,
                 "exact_abandoned": r.exact_abandoned,
+                "partitions_rebuilt": r.partitions_rebuilt,
+                "partitions": r.partitions,
             }));
         }
     }
@@ -218,6 +226,7 @@ mod tests {
             readers: 4,
             writers: 2,
             write_burst: 50,
+            ..ExpConfig::default()
         };
         let v = run(&exp);
         let rows = v.as_array().expect("array of configurations");

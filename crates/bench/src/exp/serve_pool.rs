@@ -1,0 +1,243 @@
+//! Worker-pool serving experiment (beyond the paper): wall-clock query
+//! latency vs pool size, and incremental- vs full-compaction cost.
+//!
+//! Two sections, one JSON object:
+//!
+//! * `"query"` — one row per swept pool size. Each query's per-partition
+//!   task durations are measured once on the *sequential* path (clean
+//!   single-core numbers, the same methodology `repose-cluster` uses for
+//!   the paper's QT), then list-scheduled onto `t` pool threads to give
+//!   the **modeled** pooled latency — host-core-count-independent, which
+//!   is what makes the scaling claim reproducible on any machine. The
+//!   **host** wall latencies of real pooled executions are reported next
+//!   to it (they only show the speedup when the host actually has the
+//!   cores).
+//! * `"compaction"` — a write burst confined to one partition, compacted
+//!   incrementally (`compact`) vs globally (`compact_full`), with the
+//!   partition-rebuild counters and wall times of each.
+
+use crate::runner::{load, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, ReposeConfig};
+use repose_cluster::list_schedule;
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_model::Trajectory;
+use repose_service::{ReposeService, ServiceConfig};
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+/// Pool sizes to sweep: 1 (the sequential baseline), half the maximum,
+/// and the maximum.
+fn pool_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut sizes = vec![1, max.div_ceil(2), max];
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+fn mean_secs(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64
+}
+
+/// Runs the pool-threads sweep + compaction comparison.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let measure = Measure::Hausdorff;
+    let (data, queries) = load(ds, exp);
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(ds.paper_delta(measure))
+        .with_seed(exp.seed);
+
+    // ---- Query-latency sweep ----------------------------------------
+    // Sequential reference pass: real latencies *and* the per-partition
+    // task durations every modeled schedule below is built from.
+    let sequential = ReposeService::with_config(
+        Repose::build(&data, cfg),
+        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+    );
+    // Warm-up (thread scratch, page-in) outside measurement.
+    if let Some(q) = queries.first() {
+        let _ = sequential.query(&q.points, exp.k);
+    }
+    let mut seq_latency: Vec<Duration> = Vec::new();
+    let mut task_times: Vec<Vec<Duration>> = Vec::new();
+    for q in &queries {
+        let out = sequential.query(&q.points, exp.k);
+        seq_latency.push(out.latency);
+        task_times.push(out.partition_times);
+    }
+    let modeled_seq: Vec<f64> = task_times
+        .iter()
+        .map(|t| t.iter().map(Duration::as_secs_f64).sum())
+        .collect();
+    let modeled_seq_mean = modeled_seq.iter().sum::<f64>() / modeled_seq.len().max(1) as f64;
+
+    let mut rows = Vec::new();
+    let mut query_rows = Vec::new();
+    for &threads in &pool_sweep(exp.pool_threads) {
+        let service = ReposeService::with_config(
+            Repose::build(&data, cfg),
+            ServiceConfig { cache_capacity: 0, pool_threads: threads },
+        );
+        if let Some(q) = queries.first() {
+            let _ = service.query(&q.points, exp.k);
+        }
+        let mut host: Vec<Duration> = Vec::new();
+        for q in &queries {
+            host.push(service.query(&q.points, exp.k).latency);
+        }
+        let modeled: Vec<f64> = task_times
+            .iter()
+            .map(|t| list_schedule(t, threads).as_secs_f64())
+            .collect();
+        let modeled_mean = modeled.iter().sum::<f64>() / modeled.len().max(1) as f64;
+        let modeled_speedup = if modeled_mean > 0.0 {
+            modeled_seq_mean / modeled_mean
+        } else {
+            1.0
+        };
+        let host_mean = mean_secs(&host);
+        let host_speedup = if host_mean > 0.0 {
+            mean_secs(&seq_latency) / host_mean
+        } else {
+            1.0
+        };
+        rows.push(vec![
+            format!("{threads}"),
+            fmt_secs(host_mean),
+            format!("{host_speedup:.2}x"),
+            fmt_secs(modeled_mean),
+            format!("{modeled_speedup:.2}x"),
+        ]);
+        query_rows.push(json!({
+            "pool_threads": threads,
+            "partitions": exp.partitions,
+            "queries": queries.len(),
+            "k": exp.k,
+            "host_mean_s": host_mean,
+            "host_speedup_vs_seq": host_speedup,
+            "modeled_mean_s": modeled_mean,
+            "modeled_seq_mean_s": modeled_seq_mean,
+            "modeled_speedup_vs_seq": modeled_speedup,
+        }));
+    }
+
+    // ---- Compaction: incremental vs full ----------------------------
+    // A write burst confined to one partition (ids ≡ 1 mod n, geometry
+    // copied from indexed trajectories so the frozen region always
+    // contains it — no full-rebuild fallback).
+    let n = exp.partitions;
+    let burst_of = |svc: &ReposeService| {
+        for (i, t) in data.trajectories().iter().take(exp.write_burst).enumerate() {
+            let id = 20_000_000 + (i * n + 1) as u64;
+            svc.insert(Trajectory::new(id, t.points.clone()));
+        }
+    };
+    let incremental = ReposeService::with_config(
+        Repose::build(&data, cfg),
+        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads },
+    );
+    // Settle the initial state so only the burst is dirty.
+    incremental.compact();
+    burst_of(&incremental);
+    let t0 = Instant::now();
+    let inc_live = incremental.compact();
+    let inc_secs = t0.elapsed().as_secs_f64();
+    let inc_stats = incremental.stats();
+
+    let full = ReposeService::with_config(
+        Repose::build(&data, cfg),
+        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads },
+    );
+    full.compact();
+    burst_of(&full);
+    let t0 = Instant::now();
+    let full_live = full.compact_full();
+    let full_secs = t0.elapsed().as_secs_f64();
+    let full_stats = full.stats();
+    assert_eq!(inc_live, full_live, "compaction paths disagree on live count");
+
+    let compaction = json!({
+        "burst": exp.write_burst,
+        "partitions": n,
+        "incremental_s": inc_secs,
+        "incremental_partitions_rebuilt": inc_stats.last_compact_rebuilt,
+        "full_s": full_secs,
+        "full_partitions_rebuilt": full_stats.last_compact_rebuilt,
+        "speedup": if inc_secs > 0.0 { full_secs / inc_secs } else { 1.0 },
+        "live": inc_live,
+    });
+
+    println!(
+        "\n== serve_pool: pool sweep up to {} threads, {} partitions, k = {}, {} queries ==",
+        exp.pool_threads, exp.partitions, exp.k, queries.len()
+    );
+    print_table(
+        &["threads", "host mean", "host speedup", "modeled mean", "modeled speedup"],
+        &rows,
+    );
+    println!(
+        "compaction: incremental {} ({} partitions rebuilt) vs full {} ({} rebuilt)",
+        fmt_secs(inc_secs),
+        inc_stats.last_compact_rebuilt,
+        fmt_secs(full_secs),
+        full_stats.last_compact_rebuilt,
+    );
+    json!({ "query": query_rows, "compaction": compaction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn pool_sweep_is_deduped_and_sorted() {
+        assert_eq!(pool_sweep(4), vec![1, 2, 4]);
+        assert_eq!(pool_sweep(1), vec![1]);
+        assert_eq!(pool_sweep(8), vec![1, 4, 8]);
+        assert_eq!(pool_sweep(0), vec![1]);
+    }
+
+    #[test]
+    fn serve_pool_experiment_produces_sound_numbers() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            queries: 3,
+            k: 5,
+            partitions: 8,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 3,
+            write_burst: 24,
+            pool_threads: 4,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp);
+        let rows = v["query"].as_array().expect("query rows");
+        assert_eq!(rows.len(), 3); // {1, 2, 4}
+        for row in rows {
+            let t = row["pool_threads"].as_u64().unwrap();
+            let modeled = row["modeled_speedup_vs_seq"].as_f64().unwrap();
+            assert!(modeled > 0.0);
+            if t == 1 {
+                assert!((modeled - 1.0).abs() < 1e-9, "1 thread must model as 1.0x");
+            } else {
+                // List scheduling n tasks onto t threads can never be
+                // slower than sequential.
+                assert!(modeled >= 1.0 - 1e-9);
+            }
+        }
+        let c = &v["compaction"];
+        assert_eq!(c["incremental_partitions_rebuilt"].as_u64().unwrap(), 1);
+        assert_eq!(c["full_partitions_rebuilt"].as_u64().unwrap(), 8);
+        assert!(c["incremental_s"].as_f64().unwrap() > 0.0);
+        assert!(c["full_s"].as_f64().unwrap() > 0.0);
+    }
+}

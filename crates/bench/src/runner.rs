@@ -31,6 +31,10 @@ pub struct ExpConfig {
     /// Delta-burst size for the `serve` experiment: inserts each writer
     /// issues (the uncompacted backlog a query must search through).
     pub write_burst: usize,
+    /// Largest worker-pool size for the `serve_pool` experiment's sweep
+    /// (smaller pool sizes are derived from it; 1 is always included as
+    /// the sequential baseline).
+    pub pool_threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -45,6 +49,7 @@ impl Default for ExpConfig {
             readers: 4,
             writers: 2,
             write_burst: 100,
+            pool_threads: 4,
         }
     }
 }

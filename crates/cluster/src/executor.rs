@@ -12,12 +12,10 @@ pub struct Cluster {
 
 impl Cluster {
     /// A cluster with the given topology, using as many physical threads as
-    /// the host offers.
+    /// the host offers ([`crate::default_pool_threads`] — the same sizing
+    /// rule as [`crate::WorkerPool`]).
     pub fn new(config: ClusterConfig) -> Self {
-        let pool_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Cluster { config, pool_threads }
+        Cluster { config, pool_threads: crate::default_pool_threads() }
     }
 
     /// The paper's 16x4 cluster.

@@ -41,11 +41,13 @@
 mod dataset;
 mod executor;
 mod partitioner;
+mod pool;
 mod stats;
 
 pub use dataset::DistDataset;
 pub use executor::Cluster;
 pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};
+pub use pool::{default_pool_threads, PoolScope, WorkerPool};
 pub use stats::{list_schedule, JobStats, LatencySummary, SimTime};
 
 /// Cluster topology: the paper's default is 16 workers with 4 cores each

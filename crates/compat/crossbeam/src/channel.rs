@@ -1,0 +1,242 @@
+//! Offline stand-in for `crossbeam-channel`: the [`unbounded`] MPMC
+//! channel, backed by `Mutex<VecDeque>` + `Condvar`.
+//!
+//! Only the slice of the API this workspace uses is provided: unbounded
+//! capacity, cloneable senders *and* receivers (multiple consumers pop
+//! from one queue — the property `std::sync::mpsc` lacks), blocking
+//! `recv`, and disconnection when the last handle on the other side is
+//! dropped.
+//!
+//! ```
+//! let (tx, rx) = crossbeam::channel::unbounded();
+//! let rx2 = rx.clone();
+//! tx.send(1).unwrap();
+//! tx.send(2).unwrap();
+//! let a = rx.recv().unwrap();
+//! let b = rx2.recv().unwrap();
+//! assert_eq!(a + b, 3);
+//! drop(tx);
+//! assert!(rx.recv().is_err()); // all senders gone, queue drained
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] has been
+/// dropped; the unsent value is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    // Like crossbeam's: no `T: Debug` bound, the payload is elided.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// [`Sender`] has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half of an [`unbounded`] channel. Cloneable.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+/// The receiving half of an [`unbounded`] channel. Cloneable: clones pop
+/// from the *same* queue (each message is delivered to exactly one
+/// receiver), which is what makes the channel usable as a work queue.
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, waking one blocked receiver. Fails only when
+    /// every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.0.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.0
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(value);
+        self.0.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::Relaxed);
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake every blocked receiver so it can
+            // observe disconnection. The notification must happen with the
+            // queue lock held — otherwise a receiver that has already
+            // checked `senders` (seeing 1) but not yet parked on the
+            // condvar would miss this wakeup and block forever.
+            let _queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available (returning it) or every sender
+    /// has been dropped *and* the queue is drained (returning
+    /// [`RecvError`]).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .0
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pops a message without blocking (`None` when the queue is empty,
+    /// whether or not senders remain).
+    pub fn try_recv(&self) -> Option<T> {
+        self.0
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::Relaxed);
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn each_message_delivered_to_exactly_one_consumer() {
+        let (tx, rx) = unbounded::<u64>();
+        const N: u64 = 1000;
+        const WORKERS: usize = 4;
+        let sum: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut local = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            local += v;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for i in 1..=N {
+                tx.send(i).unwrap();
+            }
+            drop(tx); // disconnect: workers drain and exit
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(sum, N * (N + 1) / 2);
+    }
+
+    #[test]
+    fn recv_errors_after_last_sender_drops() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "queued items survive sender drops");
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_last_receiver_drops() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

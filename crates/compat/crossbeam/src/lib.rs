@@ -1,6 +1,7 @@
 //! Offline stand-in for `crossbeam`: the [`scope`] API, backed by
 //! `std::thread::scope` (which has provided structured borrowing of stack
-//! data since Rust 1.63).
+//! data since Rust 1.63), and the [`channel`] module's unbounded MPMC
+//! queue, backed by a mutex + condvar.
 //!
 //! ```
 //! let data = vec![1, 2, 3, 4];
@@ -15,6 +16,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 use std::thread;
 

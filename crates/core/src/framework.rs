@@ -3,6 +3,7 @@ use repose_cluster::{Cluster, DistDataset, JobStats};
 use repose_model::{Dataset, Mbr, Point, TrajId, TrajStore};
 use repose_rptrie::{Hit, RpTrie, SearchStats, SharedTopK};
 use repose_zorder::Grid;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One partition's package of data + local index — the paper's
@@ -62,11 +63,16 @@ pub struct PartitionView<'a> {
 
 /// A built REPOSE deployment: partitioned trajectories, one RP-Trie per
 /// partition, and the simulated cluster that executes queries.
+///
+/// Partitions live behind `Arc` so a selective rebuild
+/// ([`Repose::rebuild_partitions`] — the serving layer's incremental
+/// compaction) can share untouched partitions' arenas and tries with the
+/// previous deployment instead of deep-copying them.
 #[derive(Debug)]
 pub struct Repose {
     config: ReposeConfig,
     cluster: Cluster,
-    data: DistDataset<LocalPartition>,
+    data: DistDataset<Arc<LocalPartition>>,
     region: Mbr,
     build_stats: JobStats,
     partition_wall: Duration,
@@ -165,7 +171,7 @@ impl Repose {
                 grid.clone(),
                 trie_cfg.with_seed(trie_cfg.seed ^ pi as u64),
             );
-            LocalPartition { store, trie }
+            Arc::new(LocalPartition { store, trie })
         });
         let build_stats = JobStats::simulate(
             times,
@@ -176,6 +182,96 @@ impl Repose {
         );
         let data = DistDataset::from_partitions(built.into_iter().map(|p| vec![p]).collect());
         Repose { config, cluster, data, region, build_stats, partition_wall }
+    }
+
+    /// Rebuilds *only* the given partitions, sharing every other
+    /// partition's arena and trie with `self` (an `Arc` clone — no copy).
+    /// This is the selective-rebuild entry point behind the serving
+    /// layer's incremental compaction: a deployment with `n` partitions
+    /// and one dirty partition pays one trie build, not `n`.
+    ///
+    /// Each replacement `(pi, store)` becomes partition `pi`'s new data;
+    /// its trie is built with the *same* grid (region + `delta`) and the
+    /// same per-partition seed as the original build, so reused and
+    /// rebuilt partitions stay mutually consistent. Replacement builds run
+    /// on the simulated cluster like [`Repose::build`]'s; the returned
+    /// deployment's [`Repose::build_stats`] describe the selective job
+    /// only.
+    ///
+    /// Every point of every replacement store must lie within
+    /// [`Repose::region`] — reference-point discretization clamps to the
+    /// region, so out-of-region data would get unsound lower bounds. The
+    /// caller is responsible for falling back to a full rebuild in that
+    /// case (debug builds assert it).
+    ///
+    /// # Panics
+    /// If a replacement index is out of range or duplicated.
+    pub fn rebuild_partitions(&self, replacements: Vec<(usize, TrajStore)>) -> Repose {
+        let n = self.config.num_partitions;
+        let t0 = Instant::now();
+        let mut seen = vec![false; n];
+        for &(pi, ref store) in &replacements {
+            assert!(pi < n, "replacement partition {pi} out of range ({n} partitions)");
+            assert!(!seen[pi], "replacement partition {pi} given twice");
+            seen[pi] = true;
+            debug_assert!(
+                store
+                    .enclosing_square()
+                    .is_none_or(|sq| self.region.contains_mbr(&sq) || {
+                        // `enclosing_square` pads the tight bbox up to a
+                        // square; only the raw points must be in-region.
+                        store.iter().all(|(_, pts)| {
+                            pts.iter().all(|p| self.region.contains(*p))
+                        })
+                    }),
+                "replacement stores must stay within the deployment region"
+            );
+        }
+        let grid = Grid::with_delta(self.region, self.config.delta);
+        let trie_cfg = self.config.trie;
+        let raw = DistDataset::from_partitions(
+            replacements.into_iter().map(|r| vec![r]).collect(),
+        );
+        let (tries, times, wall) = self.cluster.run_partitions(&raw, |_, chunk| {
+            let (pi, store) = &chunk[0];
+            RpTrie::build(store, grid.clone(), trie_cfg.with_seed(trie_cfg.seed ^ *pi as u64))
+        });
+        let assignment: Vec<usize> = raw
+            .partitions()
+            .iter()
+            .map(|chunk| chunk[0].0)
+            .collect();
+        let mut rebuilt: std::collections::HashMap<usize, Arc<LocalPartition>> = raw
+            .into_partitions()
+            .into_iter()
+            .zip(tries)
+            .map(|(mut chunk, trie)| {
+                let (pi, store) = chunk.pop().expect("one store per replacement");
+                (pi, Arc::new(LocalPartition { store, trie }))
+            })
+            .collect();
+        let parts: Vec<Vec<Arc<LocalPartition>>> = (0..n)
+            .map(|pi| {
+                vec![rebuilt
+                    .remove(&pi)
+                    .unwrap_or_else(|| Arc::clone(&self.data.partition(pi)[0]))]
+            })
+            .collect();
+        let build_stats = JobStats::simulate(
+            times,
+            assignment,
+            self.config.cluster.workers,
+            self.config.cluster.cores_per_worker,
+            wall,
+        );
+        Repose {
+            config: self.config,
+            cluster: self.cluster.clone(),
+            data: DistDataset::from_partitions(parts),
+            region: self.region,
+            build_stats,
+            partition_wall: t0.elapsed(),
+        }
     }
 
     /// Runs a distributed top-k query with **cross-partition shared-
@@ -631,6 +727,69 @@ mod tests {
             one.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
             two.hits.iter().map(|h| h.id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn rebuild_partitions_shares_untouched_and_replaces_dirty() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(4)
+            .with_delta(0.7);
+        let r = Repose::build(&d, cfg);
+        let q: Vec<Point> = (0..12).map(|s| Point::new(s as f64 * 0.3, 0.1)).collect();
+        let before = r.query(&q, 8);
+
+        // Identity rebuild: replace partition 2 with its own data.
+        let view = r.partition_view(2);
+        let mut same = TrajStore::new();
+        for slot in 0..view.store.len() {
+            same.push_from(view.store, slot);
+        }
+        let r2 = r.rebuild_partitions(vec![(2, same)]);
+        let after = r2.query(&q, 8);
+        assert_eq!(
+            before.hits.iter().map(|h| (h.dist.to_bits(), h.id)).collect::<Vec<_>>(),
+            after.hits.iter().map(|h| (h.dist.to_bits(), h.id)).collect::<Vec<_>>(),
+        );
+        // Untouched partitions share the original arenas (no copy).
+        for pi in [0usize, 1, 3] {
+            assert!(std::ptr::eq(
+                r.partition_view(pi).store,
+                r2.partition_view(pi).store
+            ));
+        }
+        assert!(!std::ptr::eq(r.partition_view(2).store, r2.partition_view(2).store));
+
+        // Real replacement: drop one trajectory from partition 2; the
+        // result must match a scratch rebuild over the reduced live set.
+        let victim = r.partition_view(2).store.id(0);
+        let mut reduced = TrajStore::new();
+        for slot in 0..view.store.len() {
+            if view.store.id(slot) != victim {
+                reduced.push_from(view.store, slot);
+            }
+        }
+        let r3 = r.rebuild_partitions(vec![(2, reduced)]);
+        let got: Vec<u64> = r3.query(&q, 8).hits.iter().map(|h| h.id).collect();
+        let live: Vec<Trajectory> = d
+            .trajectories()
+            .iter()
+            .filter(|t| t.id != victim)
+            .cloned()
+            .collect();
+        let fresh = Repose::build(&Dataset::from_trajectories(live), cfg);
+        let expect: Vec<u64> = fresh.query(&q, 8).hits.iter().map(|h| h.id).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rebuild_partitions_rejects_bad_index() {
+        let d = dataset();
+        let cfg = ReposeConfig::new(Measure::Hausdorff)
+            .with_partitions(4)
+            .with_delta(0.7);
+        Repose::build(&d, cfg).rebuild_partitions(vec![(9, TrajStore::new())]);
     }
 
     #[test]

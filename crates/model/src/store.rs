@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// other.push_from(&store, slot);
 /// assert_eq!(other.points(0), store.points(slot));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrajStore {
     /// Trajectory id per slot.
     ids: Vec<TrajId>,
@@ -42,6 +42,15 @@ pub struct TrajStore {
     starts: Vec<usize>,
     /// All sample points, back to back in slot order.
     points: Vec<Point>,
+}
+
+/// Same as [`TrajStore::new`]. (Deriving `Default` would produce an
+/// *empty* `starts` table, violating the `ids.len() + 1` prefix-table
+/// invariant — the first push into such a store corrupts it silently.)
+impl Default for TrajStore {
+    fn default() -> Self {
+        TrajStore::new()
+    }
 }
 
 impl TrajStore {
@@ -169,6 +178,15 @@ mod tests {
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
         v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn default_upholds_the_starts_invariant() {
+        let mut s = TrajStore::default();
+        assert!(s.validate().is_ok());
+        s.push(1, &pts(&[(0.0, 0.0), (1.0, 1.0)]));
+        assert!(s.validate().is_ok());
+        assert_eq!(s.points(0).len(), 2);
     }
 
     #[test]

@@ -5,24 +5,36 @@
 //! freezes every partition's RP-Trie at construction. This crate adds the
 //! online path a production deployment needs, without giving up exactness:
 //!
-//! * **Writes** go to per-partition append-only *delta logs* plus a
-//!   tombstone map ([`ReposeService::insert`] / [`ReposeService::remove`]
-//!   — upsert/delete semantics). Frozen tries are never mutated.
+//! * **Writes** go to per-partition append-only *delta arena segments*
+//!   (flat `TrajStore`s — the frozen layout's contiguous-scan property,
+//!   extended to the write path) plus a tombstone map
+//!   ([`ReposeService::insert`] / [`ReposeService::remove`] —
+//!   upsert/delete semantics). Frozen tries are never mutated.
 //! * **Queries** ([`ReposeService::query`]) search every frozen partition
 //!   *and* its delta against one live `SharedTopK` collector: delta
 //!   candidates are scanned cheapest-stored-summary-bound first under the
 //!   global threshold (hopeless ones abandoned or skipped), the survivors
 //!   seed the trie search (`RpTrie::top_k_shared`), and every accepted
 //!   hit published anywhere tightens every later scan and descent —
-//!   across partitions. Results are exactly what a freshly rebuilt index
-//!   over the same live data would return.
-//! * **Compaction** ([`ReposeService::compact`]) rebuilds the frozen
-//!   deployment from the live data off-line and swaps it in atomically
-//!   (`RwLock<Arc<Repose>>` style); readers keep serving the old state
-//!   during the rebuild and are only blocked for the pointer swap.
+//!   across partitions. The per-partition tasks run **wall-clock
+//!   parallel** on a persistent worker pool, dispatched in *bound order*
+//!   (most promising partition first, so it publishes first);
+//!   [`ReposeService::query_batch`] admits whole batches onto the same
+//!   pool with per-query collectors. Results are exactly what a freshly
+//!   rebuilt index over the same live data would return.
+//! * **Compaction** ([`ReposeService::compact`]) rebuilds *only the
+//!   partitions dirtied since the last compact* (delta epoch counters +
+//!   tombstone scan; untouched partitions are shared by `Arc`) off-line
+//!   and swaps the deployment in atomically; readers keep serving the
+//!   old state during the rebuild and are only blocked for the pointer
+//!   swap. [`ReposeService::compact_full`] forces the global
+//!   re-partition.
 //! * **Caching**: results are cached per (quantized polyline, k, measure)
 //!   and invalidated by a global write version — a cache hit is never
-//!   staler than the latest completed write.
+//!   staler than the latest completed write. Completed answers also feed
+//!   a threshold-hint ring that pre-bounds near-duplicate queries'
+//!   collectors (metric measures, triangle inequality — sound and
+//!   answer-preserving).
 //!
 //! ```
 //! use repose::{Repose, ReposeConfig};

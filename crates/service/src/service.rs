@@ -7,27 +7,49 @@
 //! work happens *outside* it:
 //!
 //! * **Queries** take the read lock just long enough to clone the frozen
-//!   `Arc<Repose>`, the tombstone map, and the live delta entries
-//!   (`Arc<Trajectory>` clones), then release it and search. Many queries
+//!   `Arc<Repose>`, the tombstone map, and the per-partition delta
+//!   segments (`Arc` clones), then release it and search. Many queries
 //!   snapshot and search in parallel.
-//! * **Writes** take the write lock for an O(1) append + map insert.
-//! * **Compaction** snapshots under the read lock, rebuilds the frozen
-//!   deployment with no lock held, then takes the write lock for an O(n)
-//!   pointer swap + prefix drain. Readers are never exposed to a half-
-//!   compacted state: they either snapshot entirely before or entirely
-//!   after the swap, and both states answer queries identically.
+//! * **Writes** take the write lock for an O(1) arena append + map insert.
+//! * **Compaction** snapshots under the read lock, rebuilds *only the
+//!   dirtied partitions* with no lock held, then takes the write lock for
+//!   an O(n) pointer swap + prefix drain. Readers are never exposed to a
+//!   half-compacted state: they either snapshot entirely before or
+//!   entirely after the swap, and both states answer queries identically.
+//!
+//! # Execution model
+//!
+//! A query's per-partition work (delta scan + trie search) is dispatched
+//! onto a persistent [`WorkerPool`] in **bound order**: partitions sorted
+//! by a cheap lower bound on their best possible hit
+//! ([`repose_rptrie::RpTrie::root_bound`] min'd with the best stored delta
+//! summary bound), so the most promising partition publishes into the
+//! query's [`SharedTopK`] collector first and tightens the live pruning
+//! threshold for everyone else — the two-phase seed idea generalized to a
+//! priority schedule, without any phase barrier. [`ReposeService::
+//! query_batch`] admits every query of a batch onto the same pool with
+//! per-query collectors, so concurrent read throughput scales with cores
+//! instead of queueing behind one query. With `pool_threads <= 1` the
+//! service runs the same bound-ordered schedule inline on the caller
+//! thread (the sequential reference path; results are identical either
+//! way — see the `shared` module of `repose-rptrie` for the soundness
+//! argument).
 //!
 //! A monotone *write version* ([`AtomicU64`]) is bumped **after** every
 //! completed mutation; cache entries are stamped with the version current
 //! when their query *began*, so a concurrent write always invalidates
-//! in-flight results before they can be served from cache.
+//! in-flight results before they can be served from cache. Completed
+//! answers additionally seed later near-duplicate queries' collectors
+//! through the cache's threshold-hint ring (metric measures only; see
+//! `crate::cache`).
 
 use crate::cache::{CacheKey, QueryCache};
-use crate::delta::{DeltaLog, LiveEntry};
+use crate::delta::{snapshot_len, DeltaLog, DeltaSnapshot};
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
-use repose_distance::MeasureParams;
-use repose_model::{TrajId, TrajStore, Trajectory};
+use repose_cluster::{default_pool_threads, WorkerPool};
+use repose_distance::{just_above, Measure, MeasureParams, TrajSummary};
+use repose_model::{Point, TrajId, TrajStore, Trajectory};
 use repose_rptrie::{Hit, SearchStats, SharedTopK};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,13 +59,23 @@ use std::time::{Duration, Instant};
 /// Tuning knobs for [`ReposeService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Result-cache capacity in entries (0 disables caching).
+    /// Result-cache capacity in entries (0 disables caching *and* the
+    /// threshold-hint ring).
     pub cache_capacity: usize,
+    /// Worker threads of the query execution pool. Defaults to the host's
+    /// available parallelism ([`repose_cluster::default_pool_threads`]);
+    /// `<= 1` disables the pool and runs the same bound-ordered partition
+    /// schedule inline on the calling thread (the sequential reference
+    /// path).
+    pub pool_threads: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { cache_capacity: 1024 }
+        ServiceConfig {
+            cache_capacity: 1024,
+            pool_threads: default_pool_threads(),
+        }
     }
 }
 
@@ -51,6 +83,11 @@ impl Default for ServiceConfig {
 struct ServeState {
     frozen: Arc<Repose>,
     deltas: Vec<DeltaLog>,
+    /// Each partition's [`DeltaLog::epoch`] as of the last completed
+    /// compaction — the incremental-compaction dirtiness counters:
+    /// `deltas[pi].epoch() > compacted_epochs[pi]` means partition `pi`'s
+    /// log changed since the last compact and it must be rebuilt.
+    compacted_epochs: Vec<u64>,
     /// id -> sequence of its latest write (insert *or* delete). An id in
     /// this map is hidden from the frozen index; the delta entry with a
     /// sequence >= the tombstone sequence (if any) is its live version.
@@ -68,7 +105,10 @@ pub struct ServiceOutcome {
     /// Top-k hits over the live data (frozen ∪ delta − tombstones),
     /// ascending by distance with ties broken by id.
     pub hits: Vec<Hit>,
-    /// Host wall time of this call (what a caller actually waited).
+    /// Host wall time of this call (what a caller actually waited). For a
+    /// query answered as part of [`ReposeService::query_batch`]'s pooled
+    /// execution this is the *batch* wall time — per-query work interleaves
+    /// on the pool, so individual completion times are not meaningful.
     pub latency: Duration,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
@@ -80,6 +120,23 @@ pub struct ServiceOutcome {
     pub search: SearchStats,
     /// Delta-buffer candidates considered for this query.
     pub delta_candidates: usize,
+    /// Single-thread duration of each partition's task (delta scan + trie
+    /// search), indexed by partition. Empty on a cache hit. Enables
+    /// modeling the pooled schedule on hosts with any core count (see the
+    /// `serve_pool` experiment).
+    pub partition_times: Vec<Duration>,
+    /// The initial collector bound this query started from: finite when a
+    /// cache threshold hint pre-bounded `dk` before the first
+    /// verification, `INFINITY` otherwise.
+    pub threshold_seed: f64,
+}
+
+/// One partition's completed task.
+struct PartResult {
+    hits: Vec<Hit>,
+    stats: SearchStats,
+    delta_live: usize,
+    time: Duration,
 }
 
 /// A thread-safe online serving layer over a [`Repose`] deployment.
@@ -88,18 +145,21 @@ pub struct ServiceOutcome {
 /// module docs for the locking discipline. Construction freezes the
 /// initial dataset exactly like the offline pipeline; everything written
 /// afterwards lives in delta buffers until [`ReposeService::compact`]
-/// folds it into freshly rebuilt tries.
+/// folds it into (selectively) rebuilt tries.
 pub struct ReposeService {
     state: RwLock<ServeState>,
     /// Serializes compactions (the rebuild is expensive; overlapping
     /// compactions would waste work and interleave drains).
     compact_gate: Mutex<()>,
     cache: Mutex<QueryCache>,
+    /// The persistent query-execution pool (`None` when
+    /// [`ServiceConfig::pool_threads`] <= 1: the sequential path).
+    pool: Option<WorkerPool>,
     /// Bumped after every completed mutation; tags cache entries.
     version: AtomicU64,
     /// The deployment's measure, copied out so the cache-hit fast path
     /// never touches the state lock.
-    measure: repose_distance::Measure,
+    measure: Measure,
     /// The deployment's measure parameters, copied out so writes can
     /// summarize without touching the state lock.
     params: MeasureParams,
@@ -123,11 +183,13 @@ impl ReposeService {
             state: RwLock::new(ServeState {
                 frozen: Arc::new(repose),
                 deltas: (0..partitions).map(|_| DeltaLog::default()).collect(),
+                compacted_epochs: vec![0; partitions],
                 tombstones: Arc::new(HashMap::new()),
                 op_seq: 0,
             }),
             compact_gate: Mutex::new(()),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            pool: (config.pool_threads > 1).then(|| WorkerPool::new(config.pool_threads)),
             version: AtomicU64::new(0),
             counters: ServiceCounters::default(),
         }
@@ -138,16 +200,23 @@ impl ReposeService {
         *self.read_state().frozen.config()
     }
 
+    /// Worker threads of the query execution pool (1 = sequential path).
+    pub fn pool_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
     /// Number of live trajectories (frozen + delta − tombstones).
     ///
     /// O(frozen + delta); intended for tests and monitoring, not hot paths.
     pub fn len(&self) -> usize {
-        let (frozen, deltas, tombstones) = self.snapshot();
-        let frozen_live = frozen
+        let s = self.read_state();
+        let frozen_live = s
+            .frozen
             .all_trajectories()
-            .filter(|(id, _)| !tombstones.contains_key(id))
+            .filter(|(id, _)| !s.tombstones.contains_key(id))
             .count();
-        frozen_live + deltas.iter().map(Vec::len).sum::<usize>()
+        let delta_live: usize = s.deltas.iter().map(|d| d.live_len(&s.tombstones)).sum();
+        frozen_live + delta_live
     }
 
     /// Whether no live trajectories exist.
@@ -157,6 +226,8 @@ impl ReposeService {
 
     /// Inserts `traj`, replacing any live trajectory with the same id
     /// (upsert). Visible to every query that starts after this returns.
+    /// The points are copied into the partition's delta arena segment
+    /// ([`Trajectory`] is only the I/O edge).
     pub fn insert(&self, traj: Trajectory) {
         let t0 = Instant::now();
         // Summarize outside the lock: the same O(1)-prefilter summary the
@@ -169,7 +240,7 @@ impl ReposeService {
             let seq = s.op_seq;
             let partition = (traj.id as usize) % s.deltas.len();
             Arc::make_mut(&mut s.tombstones).insert(traj.id, seq);
-            s.deltas[partition].push(seq, Arc::new(traj), summary);
+            s.deltas[partition].push(seq, traj.id, &traj.points, summary);
         }
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.inserts);
@@ -191,7 +262,14 @@ impl ReposeService {
     }
 
     /// Exact top-k over the live data.
-    pub fn query(&self, query: &[repose_model::Point], k: usize) -> ServiceOutcome {
+    ///
+    /// Every partition's delta scan and trie search shares one
+    /// [`SharedTopK`] collector, and the per-partition tasks run on the
+    /// service's worker pool in bound order (see the module docs), so the
+    /// query's wall-clock latency scales with cores while the answer stays
+    /// exactly what the sequential path returns (identical distance
+    /// multiset; ties may resolve per the paper's Definition 3).
+    pub fn query(&self, query: &[Point], k: usize) -> ServiceOutcome {
         let t0 = Instant::now();
         ServiceCounters::bump(&self.counters.queries);
 
@@ -202,12 +280,7 @@ impl ReposeService {
         // landing between the load and the snapshot merely makes the
         // cached entry conservatively stale.)
         let version = self.version.load(Ordering::Acquire);
-        if let Some(hits) = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .get(&key, version)
-        {
+        if let Some(hits) = self.cache.lock().expect("cache lock").get(&key, version) {
             ServiceCounters::bump(&self.counters.cache_hits);
             let latency = t0.elapsed();
             self.counters.record_read(latency);
@@ -217,43 +290,55 @@ impl ReposeService {
                 cache_hit: true,
                 search: SearchStats::default(),
                 delta_candidates: 0,
+                partition_times: Vec::new(),
+                threshold_seed: f64::INFINITY,
             };
         }
         ServiceCounters::bump(&self.counters.cache_misses);
 
-        let (frozen, deltas, tombstones) = self.snapshot();
+        let (frozen, deltas, tombstones, state_seq) = self.snapshot();
+        // Hints are matched on the snapshot's op-seq, *after* the
+        // snapshot: a hint seeds this query iff it was computed on this
+        // exact logical dataset.
+        let threshold_seed = self.hint_bound(query, k, state_seq);
 
         // One shared collector for the whole query: every partition's
         // delta scan and trie search publishes into it and prunes with its
         // live global k-th-distance bound, so a close delta candidate in
         // partition 0 tightens partition 5's trie descent and vice versa.
-        let collector = SharedTopK::new(k);
+        // A finite threshold hint pre-bounds dk before the first
+        // verification anywhere (inclusively, via `just_above`, so ties at
+        // the seed bound are kept).
+        let collector = if threshold_seed.is_finite() {
+            SharedTopK::with_initial_bound(k, just_above(threshold_seed))
+        } else {
+            SharedTopK::new(k)
+        };
+        let qsum = self.params.summary_of(query);
+        let parts = self.run_partitions(&frozen, &deltas, &tombstones, query, k, &qsum, &collector);
+
         let mut hits: Vec<Hit> = Vec::new();
         let mut search = SearchStats::default();
         let mut delta_candidates = 0;
-        let filter = |id: TrajId| !tombstones.contains_key(&id);
-        for (pi, delta) in deltas.iter().enumerate() {
-            let view = frozen.partition_view(pi);
-            // Score the partition's live delta candidates under the shared
-            // threshold: cheapest (stored, O(1)) lower bound first, so the
-            // earliest candidates tighten the threshold and the rest are
-            // refuted by the early-abandoning kernel — or skipped outright
-            // once even their lower bound cannot win. The k survivors seed
-            // the trie search, which keeps tightening the same collector.
-            let seeds = scan_delta(view.trie, query, k, delta, &mut search, &collector);
-            delta_candidates += delta.len();
-            let local =
-                view.trie.top_k_shared(view.store, query, k, &seeds, Some(&filter), &collector);
-            search.merge(&local.stats);
-            hits.extend_from_slice(&local.hits);
+        let mut partition_times = Vec::with_capacity(parts.len());
+        for p in &parts {
+            search.merge(&p.stats);
+            delta_candidates += p.delta_live;
+            partition_times.push(p.time);
+            hits.extend_from_slice(&p.hits);
         }
         hits.sort_by(Hit::cmp_by_dist_then_id);
         hits.truncate(k);
 
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .put(key, version, hits.clone());
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache.put(key, version, hits.clone());
+            if hits.len() == k {
+                if let Some(kth) = hits.last() {
+                    cache.record_hint(self.measure, query, k, state_seq, kth.dist);
+                }
+            }
+        }
         let latency = t0.elapsed();
         self.counters.record_read(latency);
         ServiceOutcome {
@@ -262,19 +347,215 @@ impl ReposeService {
             cache_hit: false,
             search,
             delta_candidates,
+            partition_times,
+            threshold_seed,
         }
     }
 
     /// Answers a batch of queries (cache consulted per query).
-    pub fn query_batch(
-        &self,
-        queries: &[Vec<repose_model::Point>],
-        k: usize,
-    ) -> Vec<ServiceOutcome> {
-        queries.iter().map(|q| self.query(q, k)).collect()
+    ///
+    /// With the pool enabled, every cache-missing query of the batch is
+    /// admitted onto the pool at once — one task per (query, partition),
+    /// interleaved so each query's most promising partition dispatches
+    /// first — with one [`SharedTopK`] collector *per query*. Concurrent
+    /// read throughput therefore scales with pool threads instead of the
+    /// batch queueing behind one query at a time. Results are exactly the
+    /// per-query [`ReposeService::query`] answers.
+    pub fn query_batch(&self, queries: &[Vec<Point>], k: usize) -> Vec<ServiceOutcome> {
+        let Some(pool) = &self.pool else {
+            return queries.iter().map(|q| self.query(q, k)).collect();
+        };
+        if queries.len() <= 1 {
+            return queries.iter().map(|q| self.query(q, k)).collect();
+        }
+
+        let t0 = Instant::now();
+        let version = self.version.load(Ordering::Acquire);
+        let mut outcomes: Vec<Option<ServiceOutcome>> = Vec::new();
+        outcomes.resize_with(queries.len(), || None);
+        // Unique cache-missing queries; in-batch duplicates collapse onto
+        // one execution (`dup_of[qi]` points at the query that computes
+        // their shared answer), like the sequential path's second-query
+        // cache hit.
+        let mut misses: Vec<usize> = Vec::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; queries.len()];
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let mut seen: HashMap<CacheKey, usize> = HashMap::new();
+            for (qi, q) in queries.iter().enumerate() {
+                ServiceCounters::bump(&self.counters.queries);
+                let key = CacheKey::new(self.measure, q, k);
+                if let Some(hits) = cache.get(&key, version) {
+                    ServiceCounters::bump(&self.counters.cache_hits);
+                    // Cache hits are done now; their latency is their own,
+                    // not the batch's.
+                    outcomes[qi] = Some(ServiceOutcome {
+                        hits,
+                        latency: t0.elapsed(),
+                        cache_hit: true,
+                        search: SearchStats::default(),
+                        delta_candidates: 0,
+                        partition_times: Vec::new(),
+                        threshold_seed: f64::INFINITY,
+                    });
+                } else if let Some(&twin) = seen.get(&key) {
+                    ServiceCounters::bump(&self.counters.cache_hits);
+                    dup_of[qi] = Some(twin);
+                } else {
+                    ServiceCounters::bump(&self.counters.cache_misses);
+                    seen.insert(key, qi);
+                    misses.push(qi);
+                }
+            }
+        }
+
+        if !misses.is_empty() {
+            let (frozen, deltas, tombstones, state_seq) = self.snapshot();
+            let n = frozen.num_partitions();
+            // Hint seeding happens *after* the snapshot, matched on its
+            // op-seq: a hint applies iff computed on this exact dataset.
+            let seeds: Vec<f64> = misses
+                .iter()
+                .map(|&qi| self.hint_bound(&queries[qi], k, state_seq))
+                .collect();
+            let collectors: Vec<SharedTopK> = seeds
+                .iter()
+                .map(|&b| {
+                    if b.is_finite() {
+                        SharedTopK::with_initial_bound(k, just_above(b))
+                    } else {
+                        SharedTopK::new(k)
+                    }
+                })
+                .collect();
+            let qsums: Vec<TrajSummary> = misses
+                .iter()
+                .map(|&qi| self.params.summary_of(&queries[qi]))
+                .collect();
+            #[allow(clippy::type_complexity)]
+            let schedules: Vec<(Vec<usize>, Vec<Vec<(f64, u64, &[Point])>>)> = misses
+                .iter()
+                .zip(&qsums)
+                .map(|(&qi, qsum)| {
+                    partition_schedule(
+                        &frozen,
+                        &deltas,
+                        &tombstones,
+                        &queries[qi],
+                        qsum,
+                        self.params,
+                    )
+                })
+                .collect();
+            let results: Vec<Vec<Mutex<Option<PartResult>>>> = (0..misses.len())
+                .map(|_| (0..n).map(|_| Mutex::new(None)).collect())
+                .collect();
+
+            pool.scope(|s| {
+                // Rank-major interleaving: every query's best-bound
+                // partition dispatches before any query's second-best, so
+                // each collector tightens as early as possible. (`rank`
+                // deliberately indexes every query's schedule at once —
+                // not a needless range loop over one slice.)
+                #[allow(clippy::needless_range_loop)]
+                for rank in 0..n {
+                    for (mi, &qi) in misses.iter().enumerate() {
+                        let pi = schedules[mi].0[rank];
+                        let slot = &results[mi][pi];
+                        let collector = &collectors[mi];
+                        let cands = &schedules[mi].1[pi];
+                        let query = queries[qi].as_slice();
+                        let frozen = &frozen;
+                        let tombstones = &tombstones;
+                        let params = self.params;
+                        s.submit(move || {
+                            let r = run_partition(
+                                frozen, tombstones, query, k, collector, params, cands, pi,
+                            );
+                            *slot.lock().expect("partition slot") = Some(r);
+                        });
+                    }
+                }
+            });
+
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (mi, &qi) in misses.iter().enumerate() {
+                let mut hits: Vec<Hit> = Vec::new();
+                let mut search = SearchStats::default();
+                let mut delta_candidates = 0;
+                let mut partition_times = Vec::with_capacity(n);
+                for slot in &results[mi] {
+                    let p = slot
+                        .lock()
+                        .expect("partition slot")
+                        .take()
+                        .expect("every partition task completed");
+                    search.merge(&p.stats);
+                    delta_candidates += p.delta_live;
+                    partition_times.push(p.time);
+                    hits.extend_from_slice(&p.hits);
+                }
+                hits.sort_by(Hit::cmp_by_dist_then_id);
+                hits.truncate(k);
+                let key = CacheKey::new(self.measure, &queries[qi], k);
+                cache.put(key, version, hits.clone());
+                if hits.len() == k {
+                    if let Some(kth) = hits.last() {
+                        cache.record_hint(self.measure, &queries[qi], k, state_seq, kth.dist);
+                    }
+                }
+                outcomes[qi] = Some(ServiceOutcome {
+                    hits,
+                    latency: Duration::ZERO, // stamped below
+                    cache_hit: false,
+                    search,
+                    delta_candidates,
+                    partition_times,
+                    threshold_seed: seeds[mi],
+                });
+            }
+        }
+
+        // In-batch duplicates share their twin's hits but report as cache
+        // hits (they did no search work of their own).
+        let latency = t0.elapsed();
+        for qi in 0..queries.len() {
+            if let Some(twin) = dup_of[qi] {
+                let hits = outcomes[twin]
+                    .as_ref()
+                    .expect("twin executed")
+                    .hits
+                    .clone();
+                outcomes[qi] = Some(ServiceOutcome {
+                    hits,
+                    latency,
+                    cache_hit: true,
+                    search: SearchStats::default(),
+                    delta_candidates: 0,
+                    partition_times: Vec::new(),
+                    threshold_seed: f64::INFINITY,
+                });
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| {
+                let mut o = o.expect("every query answered");
+                if !o.cache_hit {
+                    o.latency = latency;
+                }
+                self.counters.record_read(o.latency);
+                o
+            })
+            .collect()
     }
 
-    /// Folds every buffered write into freshly rebuilt frozen tries.
+    /// Folds every buffered write into rebuilt frozen tries —
+    /// **incrementally**: only partitions whose delta log changed since
+    /// the last compact (per-partition epoch counters) or whose frozen
+    /// data is hit by a tombstone are rebuilt; every other partition's
+    /// arena and trie are shared with the previous deployment untouched
+    /// (`Arc` clones via [`Repose::rebuild_partitions`]).
     ///
     /// The rebuild runs without holding the state lock — readers and
     /// writers proceed against the old state — and the new deployment is
@@ -282,61 +563,155 @@ impl ReposeService {
     /// compacted delta prefix. Writes that land mid-rebuild stay buffered
     /// and survive into the next compaction. Returns the number of
     /// trajectories in the rebuilt deployment.
+    ///
+    /// Incremental compaction keeps each rebuilt partition's existing data
+    /// placement (frozen survivors + its own delta arrivals) and reuses
+    /// the deployment's region grid; if a live delta point falls *outside*
+    /// that region — where reference-point discretization would clamp and
+    /// lose bound soundness — the compaction transparently falls back to
+    /// [`ReposeService::compact_full`]'s global re-partition.
     pub fn compact(&self) -> usize {
+        self.compact_inner(false)
+    }
+
+    /// [`ReposeService::compact`] forced to rebuild the *whole*
+    /// deployment: the live set is re-partitioned globally (fresh region,
+    /// fresh placement), like the offline build. Use it to restore
+    /// partition balance after long runs of skewed writes; plain
+    /// `compact` is the cheap steady-state operation.
+    pub fn compact_full(&self) -> usize {
+        self.compact_inner(true)
+    }
+
+    fn compact_inner(&self, force_full: bool) -> usize {
         let _gate = self.compact_gate.lock().expect("compact gate");
 
         // Phase 1: consistent snapshot.
-        let (frozen, raw_deltas, prefix_lens, tomb_snapshot, seq_snapshot) = {
+        let (frozen, raw_deltas, prefix_lens, epochs, compacted_epochs, tomb_snapshot, seq_snapshot) = {
             let s = self.state.read().expect("service state lock");
-            let raw: Vec<Vec<(u64, Arc<Trajectory>)>> =
-                s.deltas.iter().map(DeltaLog::snapshot).collect();
-            let lens: Vec<usize> = raw.iter().map(Vec::len).collect();
+            let raw: Vec<DeltaSnapshot> = s.deltas.iter().map(DeltaLog::snapshot).collect();
+            let lens: Vec<usize> = raw.iter().map(snapshot_len).collect();
+            let epochs: Vec<u64> = s.deltas.iter().map(DeltaLog::epoch).collect();
             (
                 Arc::clone(&s.frozen),
                 raw,
                 lens,
+                epochs,
+                s.compacted_epochs.clone(),
                 Arc::clone(&s.tombstones),
                 s.op_seq,
             )
         };
+        let n = frozen.num_partitions();
 
-        // Phase 2: rebuild offline from the live snapshot. The live set is
-        // assembled as one flat arena: frozen survivors are copied
-        // partition-arena-to-arena (one contiguous range copy per
-        // trajectory, no intermediate `Trajectory` clones), then live
-        // delta entries are appended from their write-path buffers.
-        let mut live = TrajStore::new();
-        for pi in 0..frozen.num_partitions() {
-            let view = frozen.partition_view(pi);
-            for slot in 0..view.store.len() {
-                if !tomb_snapshot.contains_key(&view.store.id(slot)) {
-                    live.push_from(view.store, slot);
+        // Selective rebuild reuses the frozen region's grid; live points
+        // outside it would discretize unsoundly — fall back to the global
+        // rebuild, which recomputes the region. (Checked lazily: a forced
+        // full rebuild skips the scan over every live delta point.)
+        let in_region = || {
+            let region = frozen.region();
+            raw_deltas.iter().flatten().all(|seg| {
+                (0..seg.store.len()).all(|slot| {
+                    !seg.is_live(slot, &tomb_snapshot)
+                        || seg.store.points(slot).iter().all(|p| region.contains(*p))
+                })
+            })
+        };
+
+        // Phase 2: rebuild offline from the live snapshot.
+        let (new_frozen, rebuilt_parts) = if force_full || !in_region() {
+            // Global re-partition: the live set is assembled as one flat
+            // arena (frozen survivors copied partition-arena-to-arena, one
+            // contiguous range copy per trajectory; then live delta
+            // entries, segment-arena-to-arena) and dealt out afresh.
+            let mut live = TrajStore::new();
+            for pi in 0..n {
+                let view = frozen.partition_view(pi);
+                for slot in 0..view.store.len() {
+                    if !tomb_snapshot.contains_key(&view.store.id(slot)) {
+                        live.push_from(view.store, slot);
+                    }
                 }
             }
-        }
-        for log in &raw_deltas {
-            for (seq, t) in log {
-                if tomb_snapshot.get(&t.id).is_none_or(|&ts| *seq >= ts) {
-                    live.push(t.id, &t.points);
+            for segs in &raw_deltas {
+                for seg in segs {
+                    for slot in 0..seg.store.len() {
+                        if seg.is_live(slot, &tomb_snapshot) {
+                            live.push_from(&seg.store, slot);
+                        }
+                    }
                 }
             }
-        }
-        let rebuilt_len = live.len();
-        let rebuilt = Repose::build_from_store(&live, *frozen.config());
+            (
+                Arc::new(Repose::build_from_store(&live, *frozen.config())),
+                n,
+            )
+        } else {
+            // Incremental: each dirty partition's new arena is its frozen
+            // survivors plus its own live delta arrivals, assembled purely
+            // with arena-to-arena range copies; untouched partitions swap
+            // in their existing trie + arena via `Arc`. A partition is
+            // dirty when its delta epoch moved past the last compacted
+            // epoch (buffered writes), or when a tombstone hides any of
+            // its frozen rows.
+            let dirty = (0..n).map(|pi| {
+                epochs[pi] > compacted_epochs[pi] || {
+                    let view = frozen.partition_view(pi);
+                    (0..view.store.len())
+                        .any(|slot| tomb_snapshot.contains_key(&view.store.id(slot)))
+                }
+            });
+            let mut replacements: Vec<(usize, TrajStore)> = Vec::new();
+            for (pi, is_dirty) in dirty.enumerate() {
+                if !is_dirty {
+                    continue;
+                }
+                let view = frozen.partition_view(pi);
+                let mut part = TrajStore::new();
+                for slot in 0..view.store.len() {
+                    if !tomb_snapshot.contains_key(&view.store.id(slot)) {
+                        part.push_from(view.store, slot);
+                    }
+                }
+                for seg in &raw_deltas[pi] {
+                    for slot in 0..seg.store.len() {
+                        if seg.is_live(slot, &tomb_snapshot) {
+                            part.push_from(&seg.store, slot);
+                        }
+                    }
+                }
+                replacements.push((pi, part));
+            }
+            let count = replacements.len();
+            let rebuilt = if replacements.is_empty() {
+                Arc::clone(&frozen)
+            } else {
+                Arc::new(frozen.rebuild_partitions(replacements))
+            };
+            (rebuilt, count)
+        };
+        let rebuilt_len: usize = new_frozen.partition_sizes().iter().sum();
 
         // Phase 3: atomic install.
         {
             let mut s = self.state.write().expect("service state lock");
-            for (log, &n) in s.deltas.iter_mut().zip(&prefix_lens) {
-                log.drain_prefix(n);
+            for (log, &len) in s.deltas.iter_mut().zip(&prefix_lens) {
+                log.drain_prefix(len);
             }
+            s.compacted_epochs.copy_from_slice(&epochs);
             // Tombstones at or before the snapshot are fully reflected in
             // the rebuilt deployment; later ones still apply.
             Arc::make_mut(&mut s.tombstones).retain(|_, seq| *seq > seq_snapshot);
-            s.frozen = Arc::new(rebuilt);
+            s.frozen = new_frozen;
         }
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.compactions);
+        self.counters
+            .partitions_rebuilt
+            .fetch_add(rebuilt_parts as u64, Ordering::Relaxed);
+        self.counters
+            .last_compact_rebuilt
+            .store(rebuilt_parts as u64, Ordering::Relaxed);
         rebuilt_len
     }
 
@@ -345,75 +720,234 @@ impl ReposeService {
         let s = self.read_state();
         let delta_len = s.deltas.iter().map(DeltaLog::len).sum();
         let tombstones = s.tombstones.len();
+        let partitions = s.frozen.num_partitions();
         drop(s);
         let cached = self.cache.lock().expect("cache lock").len();
-        self.counters.snapshot(delta_len, tombstones, cached)
+        self.counters
+            .snapshot(delta_len, tombstones, cached, partitions)
     }
 
     fn read_state(&self) -> std::sync::RwLockReadGuard<'_, ServeState> {
         self.state.read().expect("service state lock")
     }
 
-    /// Clones everything a query needs, under a brief read lock.
+    /// Clones everything a query needs, under a brief read lock: the
+    /// frozen deployment, each partition's delta segments (`Arc` clones —
+    /// any later write starts a new segment rather than touching these),
+    /// the tombstone map, and the op-seq identifying this exact logical
+    /// dataset (the threshold-hint validity key).
     #[allow(clippy::type_complexity)]
     fn snapshot(
         &self,
-    ) -> (
-        Arc<Repose>,
-        Vec<Vec<LiveEntry>>,
-        Arc<HashMap<TrajId, u64>>,
-    ) {
+    ) -> (Arc<Repose>, Vec<DeltaSnapshot>, Arc<HashMap<TrajId, u64>>, u64) {
         let s = self.read_state();
-        let deltas = s
-            .deltas
-            .iter()
-            .map(|d| d.live(&s.tombstones))
-            .collect();
-        (Arc::clone(&s.frozen), deltas, Arc::clone(&s.tombstones))
+        let deltas = s.deltas.iter().map(DeltaLog::snapshot).collect();
+        (
+            Arc::clone(&s.frozen),
+            deltas,
+            Arc::clone(&s.tombstones),
+            s.op_seq,
+        )
+    }
+
+    /// The tightest sound upper bound on this query's k-th distance the
+    /// threshold-hint ring can offer (`INFINITY` when none): for each
+    /// metric-measure hint `q'` with the same `k` computed on the *same
+    /// logical dataset* (op-seq match — see [`crate::cache`]),
+    /// `dk(q) <= dk(q') + d(q, q')` by the triangle inequality. Kernel
+    /// calls happen outside the cache lock.
+    fn hint_bound(&self, query: &[Point], k: usize, state_seq: u64) -> f64 {
+        let candidates = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .hint_candidates(self.measure, k, state_seq);
+        let mut bound = f64::INFINITY;
+        for hint in candidates {
+            let d = self.params.distance(self.measure, query, &hint.query);
+            bound = bound.min(hint.kth + d);
+        }
+        bound
+    }
+
+    /// Executes every partition's task for one query against `collector`,
+    /// in bound order — on the pool when enabled (most promising partition
+    /// inline on the caller, the rest FIFO to the workers), inline
+    /// otherwise. Returns per-partition results indexed by partition.
+    #[allow(clippy::too_many_arguments)]
+    fn run_partitions(
+        &self,
+        frozen: &Arc<Repose>,
+        deltas: &[DeltaSnapshot],
+        tombstones: &Arc<HashMap<TrajId, u64>>,
+        query: &[Point],
+        k: usize,
+        qsum: &TrajSummary,
+        collector: &SharedTopK,
+    ) -> Vec<PartResult> {
+        let n = frozen.num_partitions();
+        let (order, cands) =
+            partition_schedule(frozen, deltas, tombstones, query, qsum, self.params);
+        let params = self.params;
+        let run = |pi: usize| {
+            run_partition(frozen, tombstones, query, k, collector, params, &cands[pi], pi)
+        };
+        let mut slots: Vec<Option<PartResult>> = Vec::new();
+        slots.resize_with(n, || None);
+        match &self.pool {
+            Some(pool) if n > 1 => {
+                let results: Vec<Mutex<Option<PartResult>>> =
+                    (0..n).map(|_| Mutex::new(None)).collect();
+                pool.scope(|s| {
+                    for &pi in &order[1..] {
+                        let slot = &results[pi];
+                        let run = &run;
+                        s.submit(move || {
+                            *slot.lock().expect("partition slot") = Some(run(pi));
+                        });
+                    }
+                    // The most promising partition runs right here on the
+                    // caller's thread: it starts without dispatch latency
+                    // and its published hits tighten everyone downstream.
+                    *results[order[0]].lock().expect("partition slot") = Some(run(order[0]));
+                });
+                for (slot, result) in slots.iter_mut().zip(results) {
+                    *slot = result.into_inner().expect("partition slot");
+                }
+            }
+            _ => {
+                for &pi in &order {
+                    slots[pi] = Some(run(pi));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every partition task completed"))
+            .collect()
     }
 }
 
-/// Scores one partition's delta candidates against the query, cheapest
-/// stored summary bound first, keeping the best `k` under the query's
-/// shared threshold
+/// One partition's full task for one query: delta scan (cheapest stored
+/// bound first, under the live shared threshold), then the trie search
+/// seeded with the scan's survivors — both publishing into `collector`.
+/// `cands` is the partition's precomputed live delta candidate list from
+/// [`partition_schedule`] (bounds already priced; no second pass over the
+/// delta segments).
+#[allow(clippy::too_many_arguments)]
+fn run_partition(
+    frozen: &Arc<Repose>,
+    tombstones: &HashMap<TrajId, u64>,
+    query: &[Point],
+    k: usize,
+    collector: &SharedTopK,
+    params: MeasureParams,
+    cands: &[(f64, u64, &[Point])],
+    pi: usize,
+) -> PartResult {
+    let t0 = Instant::now();
+    let view = frozen.partition_view(pi);
+    let mut stats = SearchStats::default();
+    let delta_live = cands.len();
+    let seeds = scan_delta(
+        view.trie.measure(),
+        params,
+        query,
+        k,
+        cands,
+        &mut stats,
+        collector,
+    );
+    let filter = |id: TrajId| !tombstones.contains_key(&id);
+    let local = view
+        .trie
+        .top_k_shared(view.store, query, k, &seeds, Some(&filter), collector);
+    stats.merge(&local.stats);
+    PartResult {
+        hits: local.hits,
+        stats,
+        delta_live,
+        time: t0.elapsed(),
+    }
+}
+
+/// The bound-ordered partition schedule for one query: partitions sorted
+/// ascending by a cheap lower bound on the best hit they could possibly
+/// contain — the trie's root-level `LBo` min'd with the best stored
+/// summary bound among live delta entries. No exact kernels run. The most
+/// promising partition dispatches first, publishes first, and its k-th
+/// distance prunes every later partition; correctness never depends on
+/// the order (any schedule returns the same multiset), only wasted work
+/// does.
+///
+/// The same pass that prices each partition also materializes its live
+/// delta candidate list `(summary bound, id, arena point slice)` — the
+/// exact input [`scan_delta`] needs — so the liveness filtering and O(1)
+/// summary bounds are paid once per query, not once for scheduling and
+/// again per scan.
+#[allow(clippy::type_complexity)]
+fn partition_schedule<'a>(
+    frozen: &Arc<Repose>,
+    deltas: &'a [DeltaSnapshot],
+    tombstones: &HashMap<TrajId, u64>,
+    query: &[Point],
+    qsum: &TrajSummary,
+    params: MeasureParams,
+) -> (Vec<usize>, Vec<Vec<(f64, u64, &'a [Point])>>) {
+    let measure = frozen.config().measure();
+    let n = frozen.num_partitions();
+    debug_assert_eq!(deltas.len(), n);
+    let mut cands: Vec<Vec<(f64, u64, &[Point])>> = Vec::with_capacity(n);
+    let mut keyed: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for (pi, segs) in deltas.iter().enumerate() {
+        let mut key = frozen.partition_view(pi).trie.root_bound(query);
+        let mut list: Vec<(f64, u64, &[Point])> = Vec::with_capacity(snapshot_len(segs));
+        for seg in segs {
+            for slot in 0..seg.store.len() {
+                if seg.is_live(slot, tombstones) {
+                    let lb = params.summary_lower_bound(measure, qsum, &seg.meta[slot].1);
+                    key = key.min(lb);
+                    list.push((lb, seg.store.id(slot), seg.store.points(slot)));
+                }
+            }
+        }
+        cands.push(list);
+        keyed.push((key, pi));
+    }
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    (keyed.into_iter().map(|(_, pi)| pi).collect(), cands)
+}
+
+/// Scores one partition's live delta candidates against the query,
+/// cheapest stored summary bound first, keeping the best `k` under the
+/// query's shared threshold
 /// ([`repose_distance::MeasureParams::refine_by_bound_shared`]).
 ///
-/// Returns the same `k` best `(dist, id)` seeds a full exact scan would
-/// (ties included), while charging far less: sort keys come from the
-/// insert-time [`repose_distance::TrajSummary`] (O(1) per candidate, no
-/// per-point walk), hopeless candidates are refuted by the early-
-/// abandoning kernel under the live cross-partition bound, and once even
-/// the cheap lower bound cannot beat the global k-th distance the (sorted)
-/// remainder is skipped outright. Accepted hits publish into `collector`
-/// so later partitions' scans and trie searches prune harder. Every
-/// candidate counts as an attempted verification, so
+/// Returns the same `k` best seeds a full exact scan would (ties
+/// included) while charging far less: sort keys are the insert-time
+/// [`TrajSummary`] bounds precomputed by [`partition_schedule`] (O(1) per
+/// candidate, no per-point walk), candidate points are contiguous arena
+/// slices of the delta segments, hopeless candidates are refuted by the
+/// early-abandoning kernel under the live cross-partition bound, and once
+/// even the cheap lower bound cannot beat the global k-th distance the
+/// (sorted) remainder is skipped outright. Accepted hits publish into
+/// `collector` so later partitions' scans and trie searches prune harder.
+/// Every candidate counts as an attempted verification, so
 /// `exact_abandoned <= exact_computations` always holds.
 fn scan_delta(
-    trie: &repose_rptrie::RpTrie,
-    query: &[repose_model::Point],
+    measure: Measure,
+    params: MeasureParams,
+    query: &[Point],
     k: usize,
-    delta: &[LiveEntry],
+    cands: &[(f64, u64, &[Point])],
     search: &mut SearchStats,
     collector: &SharedTopK,
 ) -> Vec<Hit> {
     use repose_distance::RefineEvent;
 
-    if k == 0 || delta.is_empty() {
+    if k == 0 || cands.is_empty() {
         return Vec::new();
     }
-    let measure = trie.measure();
-    let params = trie.params();
-    let qsum = params.summary_of(query);
-    let cands: Vec<(f64, u64, &[repose_model::Point])> = delta
-        .iter()
-        .map(|(t, summary)| {
-            (
-                params.summary_lower_bound(measure, &qsum, summary),
-                t.id,
-                t.points.as_slice(),
-            )
-        })
-        .collect();
     params
         .refine_by_bound_shared(
             measure,
@@ -421,7 +955,7 @@ fn scan_delta(
             k,
             f64::INFINITY,
             Some(collector),
-            cands,
+            cands.to_vec(),
             |e| match e {
                 RefineEvent::Scored { abandoned } => {
                     search.exact_computations += 1;
@@ -445,6 +979,7 @@ impl std::fmt::Debug for ReposeService {
             .field("partitions", &s.frozen.num_partitions())
             .field("delta_len", &s.deltas.iter().map(DeltaLog::len).sum::<usize>())
             .field("tombstones", &s.tombstones.len())
+            .field("pool_threads", &self.pool_threads())
             .field("version", &self.version.load(Ordering::Relaxed))
             .finish()
     }

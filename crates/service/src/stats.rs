@@ -33,6 +33,8 @@ pub(crate) struct ServiceCounters {
     pub(crate) inserts: AtomicU64,
     pub(crate) deletes: AtomicU64,
     pub(crate) compactions: AtomicU64,
+    pub(crate) partitions_rebuilt: AtomicU64,
+    pub(crate) last_compact_rebuilt: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
     pub(crate) read_latency: Mutex<Reservoir>,
@@ -52,12 +54,21 @@ impl ServiceCounters {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, delta_len: usize, tombstones: usize, cached: usize) -> ServiceStats {
+    pub(crate) fn snapshot(
+        &self,
+        delta_len: usize,
+        tombstones: usize,
+        cached: usize,
+        partitions: usize,
+    ) -> ServiceStats {
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            partitions_rebuilt: self.partitions_rebuilt.load(Ordering::Relaxed),
+            last_compact_rebuilt: self.last_compact_rebuilt.load(Ordering::Relaxed) as usize,
+            partitions,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             delta_len,
@@ -84,6 +95,15 @@ pub struct ServiceStats {
     pub deletes: u64,
     /// Completed compactions.
     pub compactions: u64,
+    /// Partitions rebuilt across all compactions so far. Incremental
+    /// compaction rebuilds only dirtied partitions, so this grows by the
+    /// dirty count per compact — not by the partition count.
+    pub partitions_rebuilt: u64,
+    /// Partitions the most recent compaction rebuilt (0 before any
+    /// compaction).
+    pub last_compact_rebuilt: usize,
+    /// Partitions in the deployment (the rebuild counters' denominator).
+    pub partitions: usize,
     /// Queries answered from the result cache.
     pub cache_hits: u64,
     /// Queries that had to search.

@@ -326,7 +326,7 @@ fn queries_racing_compaction_never_see_partial_state() {
     let service = Arc::new(ReposeService::with_config(
         Repose::build(&dataset(0..70), cfg),
         // Disable the cache so every query exercises the search path.
-        ServiceConfig { cache_capacity: 0 },
+        ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
     ));
     for id in 70..100 {
         service.insert(traj(id));

@@ -185,7 +185,13 @@ fn warm_service_query_allocations_do_not_scale_with_delta_verifications() {
             ReposeConfig::new(Measure::Frechet).with_partitions(2).with_delta(0.8),
         );
         // Cache off: every query must walk the real verification path.
-        let svc = ReposeService::with_config(repose, ServiceConfig { cache_capacity: 0 });
+        // Pool off: allocation counts must be deterministic run to run,
+        // and pooled execution's publish counts (hence collector heap
+        // growth) legitimately vary with thread interleaving.
+        let svc = ReposeService::with_config(
+            repose,
+            ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+        );
         for i in 0..delta {
             let jit = (i % 9) as f64 * 0.11;
             svc.insert(Trajectory::new(
