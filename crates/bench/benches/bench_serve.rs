@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     // Sequential path: the scaling baseline of the serve_pool experiment.
     let uncached = ReposeService::with_config(
         build(),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
     );
     group.bench_function("query_uncached", |b| {
         b.iter(|| black_box(uncached.query(q, cfg.k)))
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
     // Bound-ordered pooled execution on 4 workers.
     let pooled = ReposeService::with_config(
         build(),
-        ServiceConfig { cache_capacity: 0, pool_threads: 4 },
+        ServiceConfig { cache_capacity: 0, pool_threads: 4, backend: None },
     );
     group.bench_function("query_pooled_4t", |b| {
         b.iter(|| black_box(pooled.query(q, cfg.k)))

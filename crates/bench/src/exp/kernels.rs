@@ -1,31 +1,40 @@
-//! Zero-allocation kernel experiment (beyond the paper): what the flat
-//! trajectory arena + reusable DP scratch buy on the exact-verification
-//! hot path, per measure.
+//! Kernel experiment (beyond the paper): what the flat trajectory arena,
+//! reusable DP scratch, and the SIMD verification backends buy on the
+//! exact-verification hot path, per measure **and per backend**.
 //!
-//! Two comparisons, both against the **seed path** preserved verbatim in
-//! [`repose_distance::reference`]:
+//! The whole experiment repeats once per SIMD backend the host CPU
+//! supports (scalar always, then SSE4.1, then AVX2), with that backend
+//! forced process-wide — so one run produces the full differential
+//! matrix. Three comparisons per (backend, measure), all against the
+//! **seed path** preserved verbatim in [`repose_distance::reference`]:
 //!
 //! * **full kernel** — exhaustively score every candidate with the
 //!   unbounded kernel: per-call-allocating seed kernels over
-//!   `Vec<Trajectory>` heap islands vs scratch-threaded kernels over one
-//!   contiguous [`TrajStore`] arena.
+//!   `Vec<Trajectory>` heap islands vs scratch-threaded (and now
+//!   SIMD-dispatched) kernels over one contiguous [`TrajStore`] arena.
 //! * **leaf-verification scan** — the realistic verification loop: score
 //!   each candidate that survives the O(1) summary prefilter with the
 //!   threshold-aware kernel under the true k-th distance, exactly like
-//!   trie-leaf verification. (Prefilter-rejected candidates cost a few
-//!   nanoseconds in either path and are excluded so the comparison
-//!   measures kernel work, not shared bound arithmetic.) Most surviving
-//!   candidates abandon after a few DP rows, so fixed per-call costs —
-//!   allocation, buffer zeroing, per-cell gap square roots — dominate:
-//!   the regime the zero-allocation refactor targets.
+//!   trie-leaf verification, one candidate at a time. Most surviving
+//!   candidates abandon after a few DP rows, so fixed per-call costs
+//!   dominate: the regime the zero-allocation + SIMD work targets.
+//! * **batched scan** — the same loop through
+//!   `distance_within_batch_in`, the production leaf/refinement path:
+//!   lane-batched multi-candidate verification for DTW/Fréchet/ERP
+//!   (candidates share each query column load), sequential fallback for
+//!   the other measures.
 //!
-//! Timing is min-of-repeats per arm; results are bit-identical between
-//! arms (asserted here on every run, not just in the test suite).
+//! Timing is min-of-repeats per arm. Bit-identity of every arm against
+//! the seed path is asserted in-run, per backend — the experiment is
+//! itself a differential test, not just a stopwatch.
 
 use crate::runner::{load, params_for, ExpConfig};
 use crate::{fmt_secs, print_table};
 use repose_datagen::PaperDataset;
-use repose_distance::{bound_exceeds, just_above, reference, DistScratch, Measure, TrajSummary};
+use repose_distance::{
+    available_backends, bound_exceeds, force_backend, just_above, reference, Backend,
+    DistScratch, Measure, TrajSummary,
+};
 use repose_model::{Dataset, Point, TrajStore};
 use serde_json::{json, Value};
 use std::hint::black_box;
@@ -50,6 +59,7 @@ struct MeasureRow {
     full_arena_s: f64,
     scan_seed_s: f64,
     scan_arena_s: f64,
+    scan_batch_s: f64,
     abandoned: usize,
     scanned: usize,
 }
@@ -62,6 +72,7 @@ fn run_measure(
     measure: Measure,
     params: &repose_distance::MeasureParams,
     k: usize,
+    backend: Backend,
 ) -> MeasureRow {
     let qsum = params.summary_of(query);
     let summaries: Vec<TrajSummary> = data
@@ -88,7 +99,7 @@ fn run_measure(
     assert_eq!(
         seed_dists.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
         arena_dists.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
-        "{measure}: arena kernels diverged from the seed kernels"
+        "{measure} on {backend}: arena kernels diverged from the seed kernels"
     );
 
     // The true k-th distance: the selectivity an ideal index hands every
@@ -143,19 +154,58 @@ fn run_measure(
         }
         abandoned
     });
-    assert_eq!(seed_scan, arena_scan, "{measure}: scan decisions diverged");
+    assert_eq!(
+        seed_scan, arena_scan,
+        "{measure} on {backend}: scan decisions diverged"
+    );
+
+    // -- Batched scan: the production multi-candidate verification path. --
+    let cand_refs: Vec<(f64, &[Point])> = kernel_cands
+        .iter()
+        .map(|&(slot, lb)| (lb, store.points(slot)))
+        .collect();
+    let mut batch_out = vec![None; cand_refs.len()];
+    let (scan_batch_s, batch_abandoned) = timed(|| {
+        params.distance_within_batch_in(
+            measure,
+            query,
+            &cand_refs,
+            dk,
+            &mut scratch,
+            &mut batch_out,
+        );
+        black_box(batch_out.iter().filter(|o| o.is_none()).count())
+    });
+    assert_eq!(
+        seed_scan, batch_abandoned,
+        "{measure} on {backend}: batched scan decisions diverged"
+    );
+    // Full bitwise identity of the batched lane results vs the seed path,
+    // candidate by candidate — the differential matrix, in-run.
+    for (&(slot, lb), got) in kernel_cands.iter().zip(&batch_out) {
+        let pts = &data.trajectories()[slot].points;
+        let want = reference::distance_within_from_lb(params, measure, query, pts, dk, lb);
+        assert_eq!(
+            got.map(f64::to_bits),
+            want.map(f64::to_bits),
+            "{measure} on {backend}: batched lane result diverged from seed"
+        );
+    }
 
     MeasureRow {
         full_seed_s,
         full_arena_s,
         scan_seed_s,
         scan_arena_s,
+        scan_batch_s,
         abandoned: arena_scan,
         scanned: kernel_cands.len(),
     }
 }
 
-/// Runs the zero-allocation kernel comparison over all six measures.
+/// Runs the kernel comparison over all six measures, once per available
+/// SIMD backend (forced process-wide for its pass; the widest backend is
+/// restored afterwards).
 pub fn run(exp: &ExpConfig) -> Value {
     let ds = PaperDataset::TDrive;
     let (data, queries) = load(ds, exp);
@@ -166,56 +216,79 @@ pub fn run(exp: &ExpConfig) -> Value {
     let store = TrajStore::from_trajectories(data.trajectories());
     let query = &queries[0].points;
 
+    let backends = available_backends();
+    let widest = *backends.last().expect("scalar is always available");
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    let mut scan_speedup_product = 1.0f64;
-    for measure in Measure::ALL {
-        let params = params_for(ds, measure);
-        let r = run_measure(&data, &store, query, measure, &params, exp.k);
-        let full_speedup = if r.full_arena_s > 0.0 { r.full_seed_s / r.full_arena_s } else { 0.0 };
-        let scan_speedup = if r.scan_arena_s > 0.0 { r.scan_seed_s / r.scan_arena_s } else { 0.0 };
-        scan_speedup_product *= scan_speedup.max(f64::MIN_POSITIVE);
-        rows.push(vec![
-            measure.name().to_string(),
-            fmt_secs(r.full_seed_s),
-            fmt_secs(r.full_arena_s),
-            format!("{full_speedup:.2}x"),
-            fmt_secs(r.scan_seed_s),
-            fmt_secs(r.scan_arena_s),
-            format!("{scan_speedup:.2}x"),
-            format!("{}/{}", r.abandoned, r.scanned),
-        ]);
-        out.push(json!({
-            "measure": measure.name(),
-            "full_seed_s": r.full_seed_s,
-            "full_arena_s": r.full_arena_s,
-            "full_speedup": full_speedup,
-            "scan_seed_s": r.scan_seed_s,
-            "scan_arena_s": r.scan_arena_s,
-            "scan_speedup": scan_speedup,
-            "scan_abandoned": r.abandoned,
-            "scanned": r.scanned,
-        }));
+    // Headline: geomean over measures of the production (batched) scan
+    // speedup on the widest backend — the path live queries actually take.
+    let mut headline_product = 1.0f64;
+    for &backend in &backends {
+        force_backend(backend);
+        for measure in Measure::ALL {
+            let params = params_for(ds, measure);
+            let r = run_measure(&data, &store, query, measure, &params, exp.k, backend);
+            let ratio = |seed: f64, new: f64| if new > 0.0 { seed / new } else { 0.0 };
+            let full_speedup = ratio(r.full_seed_s, r.full_arena_s);
+            let scan_speedup = ratio(r.scan_seed_s, r.scan_arena_s);
+            let batch_speedup = ratio(r.scan_seed_s, r.scan_batch_s);
+            if backend == widest {
+                headline_product *= batch_speedup.max(f64::MIN_POSITIVE);
+            }
+            rows.push(vec![
+                backend.name().to_string(),
+                measure.name().to_string(),
+                fmt_secs(r.full_seed_s),
+                fmt_secs(r.full_arena_s),
+                format!("{full_speedup:.2}x"),
+                fmt_secs(r.scan_seed_s),
+                fmt_secs(r.scan_arena_s),
+                format!("{scan_speedup:.2}x"),
+                fmt_secs(r.scan_batch_s),
+                format!("{batch_speedup:.2}x"),
+                format!("{}/{}", r.abandoned, r.scanned),
+            ]);
+            out.push(json!({
+                "backend": backend.name(),
+                "measure": measure.name(),
+                "full_seed_s": r.full_seed_s,
+                "full_arena_s": r.full_arena_s,
+                "full_speedup": full_speedup,
+                "scan_seed_s": r.scan_seed_s,
+                "scan_arena_s": r.scan_arena_s,
+                "scan_speedup": scan_speedup,
+                "scan_batch_s": r.scan_batch_s,
+                "batch_speedup": batch_speedup,
+                "scan_abandoned": r.abandoned,
+                "scanned": r.scanned,
+            }));
+        }
     }
-    let scan_speedup_geomean = scan_speedup_product.powf(1.0 / Measure::ALL.len() as f64);
+    force_backend(widest);
+    let scan_speedup_geomean = headline_product.powf(1.0 / Measure::ALL.len() as f64);
     out.push(json!({
         "summary": true,
+        "backends": backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        "headline_backend": widest.name(),
         "scan_speedup_geomean": scan_speedup_geomean,
         "scale": exp.scale,
         "k": exp.k,
     }));
     println!(
-        "\n== kernels: arena + scratch vs seed path, k = {}, scale {} ==",
+        "\n== kernels: SIMD backends + arena/scratch vs seed path, k = {}, scale {} ==",
         exp.k, exp.scale
     );
     print_table(
         &[
-            "Measure", "full seed", "full arena", "speedup", "scan seed", "scan arena",
-            "speedup", "abandoned",
+            "Backend", "Measure", "full seed", "full arena", "speedup", "scan seed",
+            "scan arena", "speedup", "scan batch", "speedup", "abandoned",
         ],
         &rows,
     );
-    println!("leaf-verification scan speedup (geomean): {scan_speedup_geomean:.2}x");
+    println!(
+        "leaf-verification scan speedup (geomean, batched, {}): {scan_speedup_geomean:.2}x",
+        widest.name()
+    );
     Value::Array(out)
 }
 
@@ -237,15 +310,27 @@ mod tests {
         };
         let v = run(&exp);
         let rows = v.as_array().expect("rows + summary");
-        assert_eq!(rows.len(), 7, "six measures + summary");
-        for row in rows.iter().take(6) {
+        let n_backends = available_backends().len();
+        assert_eq!(
+            rows.len(),
+            6 * n_backends + 1,
+            "six measures per available backend + summary"
+        );
+        for row in rows.iter().take(6 * n_backends) {
             // run() itself asserts bitwise agreement; here check shape.
+            assert!(row["backend"].as_str().is_some());
             assert!(row["full_seed_s"].as_f64().unwrap() >= 0.0);
             assert!(row["scan_speedup"].as_f64().unwrap() > 0.0);
+            assert!(row["batch_speedup"].as_f64().unwrap() > 0.0);
             let scanned = row["scanned"].as_u64().unwrap();
             assert!(row["scan_abandoned"].as_u64().unwrap() <= scanned);
         }
-        assert!(rows[6]["summary"].as_bool().unwrap());
-        assert!(rows[6]["scan_speedup_geomean"].as_f64().unwrap() > 0.0);
+        let summary = &rows[6 * n_backends];
+        assert!(summary["summary"].as_bool().unwrap());
+        assert!(summary["scan_speedup_geomean"].as_f64().unwrap() > 0.0);
+        assert_eq!(
+            summary["backends"].as_array().unwrap().len(),
+            n_backends
+        );
     }
 }

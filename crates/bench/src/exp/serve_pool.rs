@@ -60,7 +60,7 @@ pub fn run(exp: &ExpConfig) -> Value {
     // task durations every modeled schedule below is built from.
     let sequential = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
     );
     // Warm-up (thread scratch, page-in) outside measurement.
     if let Some(q) = queries.first() {
@@ -84,7 +84,7 @@ pub fn run(exp: &ExpConfig) -> Value {
     for &threads in &pool_sweep(exp.pool_threads) {
         let service = ReposeService::with_config(
             Repose::build(&data, cfg),
-            ServiceConfig { cache_capacity: 0, pool_threads: threads },
+            ServiceConfig { cache_capacity: 0, pool_threads: threads, backend: None },
         );
         if let Some(q) = queries.first() {
             let _ = service.query(&q.points, exp.k);
@@ -142,7 +142,7 @@ pub fn run(exp: &ExpConfig) -> Value {
     };
     let incremental = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads },
+        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads, backend: None },
     );
     // Settle the initial state so only the burst is dirty.
     incremental.compact();
@@ -154,7 +154,7 @@ pub fn run(exp: &ExpConfig) -> Value {
 
     let full = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads },
+        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads, backend: None },
     );
     full.compact();
     burst_of(&full);

@@ -1,0 +1,236 @@
+//! Runtime-selectable SIMD backends for the verification kernels.
+//!
+//! The six exact kernels each exist in up to three implementations: the
+//! scalar code (the oracle — unchanged from the pre-SIMD tree), an SSE4.1
+//! variant (128-bit lanes) and an AVX2 variant (256-bit lanes). All three
+//! produce **bit-identical** results (see the `simd` module docs for the
+//! argument), so which one runs is purely a performance decision — made
+//! once per process from CPU feature detection, and overridable so tests,
+//! benches and CI can pin a backend regardless of the host CPU:
+//!
+//! 1. [`force_backend`] — explicit programmatic override (also reachable
+//!    through `ServiceConfig::backend` in the serving layer); panics with a
+//!    clear message when the host cannot run the requested backend.
+//! 2. The `REPOSE_BACKEND` environment variable (`scalar`, `sse4.1`,
+//!    `avx2`, or `auto`), consulted once on first use.
+//! 3. Auto-detection: the widest backend the CPU supports.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation family executes verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable scalar kernels — always available, and the oracle the SIMD
+    /// backends are differentially tested against.
+    Scalar,
+    /// 128-bit `std::arch` kernels (requires SSE4.1; x86-64 only).
+    Sse41,
+    /// 256-bit `std::arch` kernels (requires AVX2; x86-64 only).
+    Avx2,
+}
+
+impl Backend {
+    /// All backends, narrowest to widest.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Sse41, Backend::Avx2];
+
+    /// Canonical lowercase name (`scalar`, `sse4.1`, `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse41 => "sse4.1",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Number of candidates the lane-batched verification path scores per
+    /// vector with this backend (1 = no lane batching).
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Sse41 => 2,
+            Backend::Avx2 => 4,
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse41 => std::arch::is_x86_feature_detected!("sse4.1"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Backend::Scalar),
+            "sse4.1" | "sse41" | "sse" => Ok(Backend::Sse41),
+            "avx2" | "avx" => Ok(Backend::Avx2),
+            other => Err(format!(
+                "unknown backend `{other}` (expected scalar, sse4.1, avx2, or auto)"
+            )),
+        }
+    }
+}
+
+/// Every backend the running CPU supports, narrowest to widest.
+pub fn available_backends() -> Vec<Backend> {
+    Backend::ALL.into_iter().filter(|b| b.is_supported()).collect()
+}
+
+// Encoding for the atomic: 0 = uninitialized, otherwise 1 + index in ALL.
+const UNSET: u8 = 0;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Sse41 => 2,
+        Backend::Avx2 => 3,
+    }
+}
+
+fn decode(v: u8) -> Backend {
+    match v {
+        1 => Backend::Scalar,
+        2 => Backend::Sse41,
+        _ => Backend::Avx2,
+    }
+}
+
+fn widest_supported() -> Backend {
+    if Backend::Avx2.is_supported() {
+        Backend::Avx2
+    } else if Backend::Sse41.is_supported() {
+        Backend::Sse41
+    } else {
+        Backend::Scalar
+    }
+}
+
+#[cold]
+fn init_from_env() -> Backend {
+    let chosen = match std::env::var("REPOSE_BACKEND") {
+        Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("auto") => {
+            let b: Backend = v
+                .parse()
+                .unwrap_or_else(|e| panic!("REPOSE_BACKEND: {e}"));
+            assert!(
+                b.is_supported(),
+                "REPOSE_BACKEND={v}: backend {b} is not supported by this CPU \
+                 (available: {:?})",
+                available_backends()
+            );
+            b
+        }
+        _ => widest_supported(),
+    };
+    ACTIVE.store(encode(chosen), Ordering::Relaxed);
+    chosen
+}
+
+/// The backend the kernels currently dispatch to.
+///
+/// Initialized lazily from `REPOSE_BACKEND` (or auto-detection) on first
+/// call; [`force_backend`] changes it at any time. Because every backend is
+/// bit-identical, reading a stale value from another thread is harmless.
+#[inline]
+pub fn active_backend() -> Backend {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v == UNSET {
+        init_from_env()
+    } else {
+        decode(v)
+    }
+}
+
+/// Forces every subsequent kernel call (process-wide) onto `backend`.
+///
+/// # Panics
+/// When the running CPU does not support `backend` — a forced backend must
+/// never silently fall back, or a CI matrix entry would quietly test the
+/// wrong code.
+pub fn force_backend(backend: Backend) {
+    assert!(
+        backend.is_supported(),
+        "cannot force backend {backend}: not supported by this CPU (available: {:?})",
+        available_backends()
+    );
+    ACTIVE.store(encode(backend), Ordering::Relaxed);
+}
+
+/// Dispatches a kernel call to the active backend's wrapper and `return`s
+/// its result; falls through (no-op) when the scalar backend is active or
+/// the architecture has no SIMD backends.
+///
+/// Usage, from inside a public kernel entry point after its degenerate-case
+/// guards: `simd_dispatch!(dtw(t1, t2, scratch));`.
+macro_rules! simd_dispatch {
+    ($func:ident($($arg:expr),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        {
+            match $crate::backend::active_backend() {
+                // SAFETY: `active_backend`/`force_backend` only ever select
+                // a backend whose CPU feature `is_supported` verified.
+                $crate::backend::Backend::Avx2 => {
+                    return unsafe { $crate::simd::avx2::$func($($arg),*) };
+                }
+                $crate::backend::Backend::Sse41 => {
+                    return unsafe { $crate::simd::sse41::$func($($arg),*) };
+                }
+                $crate::backend::Backend::Scalar => {}
+            }
+        }
+    };
+}
+pub(crate) use simd_dispatch;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!("SSE41".parse::<Backend>().unwrap(), Backend::Sse41);
+        assert!("neon".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn scalar_always_available_and_forcible() {
+        assert!(Backend::Scalar.is_supported());
+        assert!(available_backends().contains(&Backend::Scalar));
+        // Forcing any available backend must stick; leave the widest one
+        // active so other tests in this binary see the default behaviour.
+        for b in available_backends() {
+            force_backend(b);
+            assert_eq!(active_backend(), b);
+        }
+        force_backend(widest_supported());
+    }
+
+    #[test]
+    fn available_is_prefix_closed() {
+        // If AVX2 is available SSE4.1 must be too: the matrix never has
+        // holes on real hardware.
+        if Backend::Avx2.is_supported() {
+            assert!(Backend::Sse41.is_supported());
+        }
+    }
+}

@@ -105,13 +105,22 @@ pub fn dtw(t1: &[Point], t2: &[Point]) -> f64 {
 }
 
 /// [`dtw`] against a caller-managed scratch: zero heap allocations once
-/// `scratch` is warm (no re-zeroing either — the first column fully
-/// initializes the buffer), with reference points consumed in pairs so
-/// two columns' dependency chains overlap in the pipeline.
+/// `scratch` is warm. Dispatches to the active SIMD backend (packed
+/// ground-distance precompute feeding the same column chain) or to the
+/// scalar kernel — bit-identical either way (see [`crate::backend`]).
 pub fn dtw_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
+    crate::backend::simd_dispatch!(dtw(t1, t2, scratch));
+    dtw_scalar_in(t1, t2, scratch)
+}
+
+/// The scalar [`dtw_in`] body (the oracle the SIMD backends are tested
+/// against): no re-zeroing — the first column fully initializes the buffer
+/// — and reference points consumed in pairs so two columns' dependency
+/// chains overlap in the pipeline.
+pub(crate) fn dtw_scalar_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     let col = scratch.f1_uninit(t1.len());
     let (p0, rest) = t2.split_first().expect("non-empty");
     dtw_advance(col, true, t1, |q| q.dist(p0));

@@ -17,10 +17,22 @@ pub fn edr(t1: &[Point], t2: &[Point], eps: f64) -> f64 {
 /// [`edr`] against a caller-managed scratch: zero heap allocations once
 /// `scratch` is warm.
 pub fn edr_in(t1: &[Point], t2: &[Point], eps: f64, scratch: &mut DistScratch) -> f64 {
-    let (m, n) = (t1.len(), t2.len());
-    if m == 0 || n == 0 {
-        return (m + n) as f64;
+    if t1.is_empty() || t2.is_empty() {
+        return (t1.len() + t2.len()) as f64;
     }
+    crate::backend::simd_dispatch!(edr(t1, t2, eps, scratch));
+    edr_scalar_in(t1, t2, eps, scratch)
+}
+
+/// The scalar [`edr_in`] body (the oracle the SIMD backends are tested
+/// against).
+pub(crate) fn edr_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    scratch: &mut DistScratch,
+) -> f64 {
+    let n = t2.len();
     let (mut prev, mut cur) = scratch.u2_uninit(n + 1, n + 1);
     for (j, p) in prev.iter_mut().enumerate() {
         *p = j as u32;

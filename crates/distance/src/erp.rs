@@ -27,13 +27,25 @@ pub fn erp(t1: &[Point], t2: &[Point], gap: Point) -> f64 {
 /// bit-identical; the `O(m·n)` square roots the seed kernel spent on them
 /// are not.
 pub fn erp_in(t1: &[Point], t2: &[Point], gap: Point, scratch: &mut DistScratch) -> f64 {
-    let (m, n) = (t1.len(), t2.len());
-    if m == 0 {
+    if t1.is_empty() {
         return t2.iter().map(|p| p.dist(&gap)).sum();
     }
-    if n == 0 {
+    if t2.is_empty() {
         return t1.iter().map(|p| p.dist(&gap)).sum();
     }
+    crate::backend::simd_dispatch!(erp(t1, t2, gap, scratch));
+    erp_scalar_in(t1, t2, gap, scratch)
+}
+
+/// The scalar [`erp_in`] body (the oracle the SIMD backends are tested
+/// against).
+pub(crate) fn erp_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    gap: Point,
+    scratch: &mut DistScratch,
+) -> f64 {
+    let n = t2.len();
     let (mut prev, mut cur, gap_b) = scratch.f3_uninit(n + 1, n + 1, n);
     for (g, p) in gap_b.iter_mut().zip(t2) {
         *g = p.dist(&gap);

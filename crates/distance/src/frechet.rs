@@ -102,17 +102,23 @@ pub fn frechet(t1: &[Point], t2: &[Point]) -> f64 {
 }
 
 /// [`frechet`] against a caller-managed scratch: zero heap allocations
-/// once `scratch` is warm.
-///
-/// Runs the whole DP in *squared* distance space — one `sqrt` at the end
-/// instead of one per matrix cell, bit-identical to the linear-space
-/// kernel (sqrt is monotone and correctly rounded; see the column-kernel
-/// docs) — consuming reference points in pairs so two columns' dependency
-/// chains overlap.
+/// once `scratch` is warm. Dispatches to the active SIMD backend or the
+/// scalar kernel — bit-identical either way (see [`crate::backend`]).
 pub fn frechet_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
+    crate::backend::simd_dispatch!(frechet(t1, t2, scratch));
+    frechet_scalar_in(t1, t2, scratch)
+}
+
+/// The scalar [`frechet_in`] body (the oracle the SIMD backends are tested
+/// against). Runs the whole DP in *squared* distance space — one `sqrt` at
+/// the end instead of one per matrix cell, bit-identical to the
+/// linear-space kernel (sqrt is monotone and correctly rounded; see the
+/// column-kernel docs) — consuming reference points in pairs so two
+/// columns' dependency chains overlap.
+pub(crate) fn frechet_scalar_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     let col = scratch.f1_uninit(t1.len());
     let (p0, rest) = t2.split_first().expect("non-empty");
     frechet_advance(col, true, t1, |q| q.dist_sq(p0));

@@ -42,6 +42,13 @@ pub fn hausdorff_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f6
     if t1.is_empty() || t2.is_empty() {
         return if t1.is_empty() && t2.is_empty() { 0.0 } else { f64::INFINITY };
     }
+    crate::backend::simd_dispatch!(hausdorff(t1, t2, scratch));
+    hausdorff_scalar_in(t1, t2, scratch)
+}
+
+/// The scalar [`hausdorff_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn hausdorff_scalar_in(t1: &[Point], t2: &[Point], scratch: &mut DistScratch) -> f64 {
     // Single pass over the m x n matrix keeping row minima for one direction
     // and column minima for the other (this is what Fig. 4 of the paper
     // depicts).

@@ -24,6 +24,18 @@ pub fn lcss_length_in(
     if t1.is_empty() || t2.is_empty() {
         return 0;
     }
+    crate::backend::simd_dispatch!(lcss_length(t1, t2, eps, scratch));
+    lcss_length_scalar_in(t1, t2, eps, scratch)
+}
+
+/// The scalar [`lcss_length_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn lcss_length_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    scratch: &mut DistScratch,
+) -> usize {
     let n = t2.len();
     let (mut prev, mut cur) = scratch.u2(n + 1, n + 1);
     for a in t1 {

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 mod dtw;
 mod edr;
 mod erp;
@@ -39,16 +40,19 @@ mod lcss;
 mod measure;
 pub mod reference;
 mod scratch;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
 mod summary;
 pub mod within;
 
+pub use backend::{active_backend, available_backends, force_backend, Backend};
 pub use dtw::{dtw, dtw_in, DtwColumn};
 pub use edr::{edr, edr_in};
 pub use erp::{erp, erp_in};
 pub use frechet::{frechet, frechet_in, FrechetColumn};
 pub use hausdorff::{directed_hausdorff, hausdorff, hausdorff_in, HausdorffState};
 pub use lcss::{lcss_distance, lcss_distance_in, lcss_length, lcss_length_in};
-pub use measure::{Measure, MeasureParams, RefineEvent};
+pub use measure::{Measure, MeasureParams, RefineEvent, BATCH_LANES};
 pub use scratch::DistScratch;
 pub use summary::TrajSummary;
 pub use within::{

@@ -8,6 +8,12 @@ use crate::{
 };
 use repose_model::Point;
 
+/// Maximum number of candidates [`MeasureParams::distance_within_batch_in`]
+/// scores in one SIMD lane group (the AVX2 width; SSE4.1 groups 2, the
+/// scalar backend scores one at a time). Callers sizing stack buffers for
+/// batched verification should use this.
+pub const BATCH_LANES: usize = 4;
+
 /// What happened to one candidate inside [`MeasureParams::refine_by_bound`]
 /// — the hook callers use to account for verification work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +67,24 @@ impl Measure {
     /// re-arrangement trie optimization (Section III-C: Hausdorff only).
     pub fn is_order_independent(&self) -> bool {
         matches!(self, Measure::Hausdorff)
+    }
+
+    /// Number of candidates the active backend's lane-batched verification
+    /// path scores together for this measure — [`Backend::lanes`] for the
+    /// measures with a batched kernel (DTW, Fréchet, ERP), 1 (sequential)
+    /// for the rest. Group-collecting verification loops size their batches
+    /// with this so the scalar backend keeps its candidate-at-a-time
+    /// threshold cadence.
+    ///
+    /// [`Backend::lanes`]: crate::Backend::lanes
+    pub fn batch_lanes(&self) -> usize {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Measure::Dtw | Measure::Frechet | Measure::Erp => {
+                crate::backend::active_backend().lanes()
+            }
+            _ => 1,
+        }
     }
 
     /// Human-readable name, matching the paper's tables.
@@ -228,6 +252,131 @@ impl MeasureParams {
         }
     }
 
+    /// Threshold-aware exact distances of several candidates against one
+    /// query in one call: on return `out[i]` equals
+    /// `distance_within_from_lb_in(measure, query, cands[i].1, threshold,
+    /// cands[i].0, scratch)` — bit-identically, on every backend.
+    ///
+    /// When the active backend is SIMD and `measure` has a lane-batched
+    /// kernel (DTW, Fréchet, ERP), candidates that survive the prefilter
+    /// are verified in parallel vector lanes: the DP dependency chain —
+    /// the scan bottleneck a single-pair kernel cannot break — advances
+    /// once per cell for the whole lane group, and every query-side load
+    /// is shared. Other measures, the scalar backend, and degenerate
+    /// inputs are scored candidate by candidate with the sequential
+    /// kernels.
+    ///
+    /// `cands` pairs each candidate's [`MeasureParams::lower_bound`] with
+    /// its points (the bound contract of
+    /// [`MeasureParams::distance_within_from_lb`] applies); `out` must be
+    /// exactly as long as `cands`.
+    pub fn distance_within_batch_in(
+        &self,
+        measure: Measure,
+        query: &[Point],
+        cands: &[(f64, &[Point])],
+        threshold: f64,
+        scratch: &mut DistScratch,
+        out: &mut [Option<f64>],
+    ) {
+        assert_eq!(cands.len(), out.len(), "one output slot per candidate");
+        #[cfg(target_arch = "x86_64")]
+        {
+            let backend = crate::backend::active_backend();
+            let lanes = backend.lanes();
+            if lanes > 1
+                && matches!(measure, Measure::Dtw | Measure::Frechet | Measure::Erp)
+                && !query.is_empty()
+                && threshold > 0.0
+            {
+                for (c, o) in cands.chunks(lanes).zip(out.chunks_mut(lanes)) {
+                    self.batch_lane_group(backend, measure, query, c, threshold, scratch, o);
+                }
+                return;
+            }
+        }
+        for (&(lb, pts), o) in cands.iter().zip(out.iter_mut()) {
+            *o = self.distance_within_from_lb_in(measure, query, pts, threshold, lb, scratch);
+        }
+    }
+
+    /// Scores one lane group: prefilter-rejected and empty candidates are
+    /// settled without touching a kernel, survivors go through the
+    /// backend's batched kernel (or the sequential kernel when only one
+    /// survives — a one-lane vector would waste the whole group's gathers).
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    fn batch_lane_group(
+        &self,
+        backend: crate::Backend,
+        measure: Measure,
+        query: &[Point],
+        cands: &[(f64, &[Point])],
+        threshold: f64,
+        scratch: &mut DistScratch,
+        out: &mut [Option<f64>],
+    ) {
+        debug_assert!(cands.len() <= BATCH_LANES);
+        let mut group: [&[Point]; BATCH_LANES] = [&[]; BATCH_LANES];
+        let mut slot = [0usize; BATCH_LANES];
+        let mut nl = 0;
+        for (i, &(lb, pts)) in cands.iter().enumerate() {
+            if prefilter_rejects(lb, threshold) {
+                out[i] = None;
+            } else if pts.is_empty() {
+                out[i] =
+                    self.distance_within_from_lb_in(measure, query, pts, threshold, lb, scratch);
+            } else {
+                group[nl] = pts;
+                slot[nl] = i;
+                nl += 1;
+            }
+        }
+        if nl == 0 {
+            return;
+        }
+        if nl == 1 {
+            let (lb, pts) = cands[slot[0]];
+            out[slot[0]] =
+                self.distance_within_from_lb_in(measure, query, pts, threshold, lb, scratch);
+            return;
+        }
+        let mut lane_out = [None; BATCH_LANES];
+        // SAFETY: `backend.lanes() > 1` means a SIMD backend selected by
+        // `active_backend`, whose CPU feature `is_supported` verified.
+        // `nl <= backend.lanes()`, the query and every grouped candidate
+        // are non-empty, and `threshold > 0.0` and non-NaN — the batch
+        // kernels' documented requirements.
+        unsafe {
+            use crate::simd::{avx2, sse41};
+            let (g, o) = (&group[..nl], &mut lane_out[..nl]);
+            match (backend, measure) {
+                (crate::Backend::Avx2, Measure::Dtw) => {
+                    avx2::batch_dtw(query, g, threshold, scratch, o)
+                }
+                (crate::Backend::Avx2, Measure::Frechet) => {
+                    avx2::batch_frechet(query, g, threshold, scratch, o)
+                }
+                (crate::Backend::Avx2, Measure::Erp) => {
+                    avx2::batch_erp(query, g, self.erp_gap, threshold, scratch, o)
+                }
+                (crate::Backend::Sse41, Measure::Dtw) => {
+                    sse41::batch_dtw(query, g, threshold, scratch, o)
+                }
+                (crate::Backend::Sse41, Measure::Frechet) => {
+                    sse41::batch_frechet(query, g, threshold, scratch, o)
+                }
+                (crate::Backend::Sse41, Measure::Erp) => {
+                    sse41::batch_erp(query, g, self.erp_gap, threshold, scratch, o)
+                }
+                _ => unreachable!("lane-batched path requires a SIMD backend and kernel"),
+            }
+        }
+        for (l, &s) in slot[..nl].iter().enumerate() {
+            out[s] = lane_out[l];
+        }
+    }
+
     /// Exact top-k refinement of `(lower_bound, id, points)` candidates
     /// under a running threshold — the early-abandoning replacement for
     /// "score every candidate, sort, truncate to k", shared by the serving
@@ -306,30 +455,60 @@ impl MeasureParams {
         }
         cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let total = cands.len();
+        // Lane-batched measures collect a vector's worth of candidates per
+        // cutoff refresh; everything else keeps the candidate-at-a-time
+        // cadence (a group of one degenerates to exactly the old loop).
+        let group_len = measure.batch_lanes();
         let mut best = RunningTopK::new(k);
-        for (i, (lb, id, points)) in cands.into_iter().enumerate() {
+        let mut group = [(0.0f64, [].as_slice()); BATCH_LANES];
+        let mut ids = [0u64; BATCH_LANES];
+        let mut scored = [None; BATCH_LANES];
+        let mut idx = 0;
+        while idx < total {
+            // The cutoff is refreshed per group; within one it goes stale,
+            // but stale means only *larger* than the live value (cutoffs
+            // tighten monotonically), so group members can be scored where
+            // the sequential scan would have skipped them — never the
+            // reverse. The extra `Some`s carry distances above the final
+            // k-th and fall back out of the top-k heap, so the returned
+            // results are identical.
             let mut cutoff = best.kth().map_or(cap, |kth| cap.min(kth));
             if let Some(s) = shared {
                 cutoff = cutoff.min(s.bound());
             }
-            if bound_exceeds(lb, cutoff) {
-                on_event(RefineEvent::SkippedRest(total - i));
-                break;
+            let mut nb = 0;
+            let mut stopped = false;
+            while idx < total && nb < group_len {
+                let (lb, id, points) = cands[idx];
+                if bound_exceeds(lb, cutoff) {
+                    stopped = true;
+                    break;
+                }
+                group[nb] = (lb, points);
+                ids[nb] = id;
+                nb += 1;
+                idx += 1;
             }
-            let d = self.distance_within_from_lb_in(
+            self.distance_within_batch_in(
                 measure,
                 query,
-                points,
+                &group[..nb],
                 just_above(cutoff),
-                lb,
                 scratch,
+                &mut scored[..nb],
             );
-            on_event(RefineEvent::Scored { abandoned: d.is_none() });
-            if let Some(d) = d {
-                best.push(d, id);
-                if let Some(s) = shared {
-                    s.publish(d, id);
+            for (&d, &id) in scored[..nb].iter().zip(&ids[..nb]) {
+                on_event(RefineEvent::Scored { abandoned: d.is_none() });
+                if let Some(d) = d {
+                    best.push(d, id);
+                    if let Some(s) = shared {
+                        s.publish(d, id);
+                    }
                 }
+            }
+            if stopped {
+                on_event(RefineEvent::SkippedRest(total - idx));
+                break;
             }
         }
         best.into_sorted()

@@ -20,20 +20,33 @@
 
 use std::cell::RefCell;
 
+/// One 4-lane group of batched-verification column state: candidate lane
+/// `l`'s DP cell lives at `.0[l]`. 32-byte alignment keeps every lane
+/// group on one AVX2 load/store.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C, align(32))]
+pub(crate) struct Lane4(pub [f64; 4]);
+
 /// Reusable kernel scratch space (see module docs).
 ///
 /// The buffers are deliberately typed by role, not by kernel: `fa`/`fb`
 /// serve as DP column + ground-distance cache (DTW, Fréchet), as the
 /// row pair (ERP), or as column-minima (Hausdorff); `fc` caches ERP gap
-/// distances; `ua`/`ub` are the integer row pair of EDR and LCSS. A single
-/// scratch therefore serves all six measures interchangeably.
+/// distances and `fd` the SIMD kernels' per-row-pair ground distances;
+/// `ua`/`ub` are the integer row pair of EDR and LCSS and `uc` the SIMD
+/// wavefront's precomputed match rows; `lanes` holds the lane-interleaved
+/// column state of batched multi-candidate verification. A single scratch
+/// therefore serves all six measures interchangeably.
 #[derive(Debug, Default)]
 pub struct DistScratch {
     fa: Vec<f64>,
     fb: Vec<f64>,
     fc: Vec<f64>,
+    fd: Vec<f64>,
     ua: Vec<u32>,
     ub: Vec<u32>,
+    uc: Vec<u32>,
+    lanes: Vec<Lane4>,
 }
 
 fn grow_u(buf: &mut Vec<u32>, n: usize) -> &mut [u32] {
@@ -102,15 +115,68 @@ impl DistScratch {
         )
     }
 
+    /// Four `f64` buffers with **unspecified contents** — the SIMD ERP
+    /// kernel's row pair, gap cache, and packed per-row ground distances.
+    pub(crate) fn f4_uninit(
+        &mut self,
+        na: usize,
+        nb: usize,
+        nc: usize,
+        nd: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        (
+            grow_f_uninit(&mut self.fa, na),
+            grow_f_uninit(&mut self.fb, nb),
+            grow_f_uninit(&mut self.fc, nc),
+            grow_f_uninit(&mut self.fd, nd),
+        )
+    }
+
+    /// Three `u32` buffers with **unspecified contents** — the SIMD
+    /// EDR/LCSS wavefront's row pair plus its precomputed match rows.
+    pub(crate) fn u3_uninit(
+        &mut self,
+        na: usize,
+        nb: usize,
+        nc: usize,
+    ) -> (&mut [u32], &mut [u32], &mut [u32]) {
+        (
+            grow_u_uninit(&mut self.ua, na),
+            grow_u_uninit(&mut self.ub, nb),
+            grow_u_uninit(&mut self.uc, nc),
+        )
+    }
+
+    /// Lane-interleaved batch column state (length `nl` lane groups) plus
+    /// two `f64` rows, all with **unspecified contents** — the batched
+    /// multi-candidate kernels' working set.
+    pub(crate) fn batch_f(
+        &mut self,
+        nl: usize,
+        na: usize,
+        nb: usize,
+    ) -> (&mut [Lane4], &mut [f64], &mut [f64]) {
+        if self.lanes.len() < nl {
+            self.lanes.resize(nl, Lane4::default());
+        }
+        (
+            &mut self.lanes[..nl],
+            grow_f_uninit(&mut self.fa, na),
+            grow_f_uninit(&mut self.fb, nb),
+        )
+    }
+
     /// Total reserved capacity in bytes across all buffers.
     ///
     /// Stable across calls once the scratch is warm — tests assert this to
     /// prove a warm verification loop never grows (hence never allocates
     /// from) the scratch.
     pub fn footprint(&self) -> usize {
-        (self.fa.capacity() + self.fb.capacity() + self.fc.capacity())
+        (self.fa.capacity() + self.fb.capacity() + self.fc.capacity() + self.fd.capacity())
             * std::mem::size_of::<f64>()
-            + (self.ua.capacity() + self.ub.capacity()) * std::mem::size_of::<u32>()
+            + (self.ua.capacity() + self.ub.capacity() + self.uc.capacity())
+                * std::mem::size_of::<u32>()
+            + self.lanes.capacity() * std::mem::size_of::<Lane4>()
     }
 
     /// Runs `f` with the calling thread's scratch — the per-worker-thread

@@ -220,6 +220,17 @@ pub fn hausdorff_within(t1: &[Point], t2: &[Point], threshold: f64) -> Option<f6
     if threshold.is_nan() || threshold <= 0.0 {
         return None; // distances are non-negative
     }
+    crate::backend::simd_dispatch!(hausdorff_within(t1, t2, threshold));
+    hausdorff_within_scalar(t1, t2, threshold)
+}
+
+/// The scalar [`hausdorff_within`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn hausdorff_within_scalar(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+) -> Option<f64> {
     let thr_sq = if threshold < f64::MAX.sqrt() {
         threshold * threshold
     } else {
@@ -275,6 +286,18 @@ pub fn frechet_within_in(
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
+    crate::backend::simd_dispatch!(frechet_within(t1, t2, threshold, scratch));
+    frechet_within_scalar_in(t1, t2, threshold, scratch)
+}
+
+/// The scalar [`frechet_within_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn frechet_within_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     let col = scratch.f1_uninit(t1.len());
     let (p0, rest) = t2.split_first().expect("non-empty");
     let cmin_sq = frechet_advance(col, true, t1, |q| q.dist_sq(p0));
@@ -326,6 +349,18 @@ pub fn dtw_within_in(
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
+    crate::backend::simd_dispatch!(dtw_within(t1, t2, threshold, scratch));
+    dtw_within_scalar_in(t1, t2, threshold, scratch)
+}
+
+/// The scalar [`dtw_within_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn dtw_within_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     let col = scratch.f1_uninit(t1.len());
     let (p0, rest) = t2.split_first().expect("non-empty");
     let cmin = dtw_advance(col, true, t1, |q| q.dist(p0));
@@ -386,6 +421,20 @@ pub fn erp_within_in(
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
+    crate::backend::simd_dispatch!(erp_within(t1, t2, gap, threshold, scratch));
+    erp_within_scalar_in(t1, t2, gap, threshold, scratch)
+}
+
+/// The scalar [`erp_within_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn erp_within_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    gap: Point,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
+    let n = t2.len();
     let (mut prev, mut cur, gap_b) = scratch.f3_uninit(n + 1, n + 1, n);
     for (g, p) in gap_b.iter_mut().zip(t2) {
         *g = p.dist(&gap);
@@ -451,6 +500,20 @@ pub fn edr_within_in(
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
+    crate::backend::simd_dispatch!(edr_within(t1, t2, eps, threshold, scratch));
+    edr_within_scalar_in(t1, t2, eps, threshold, scratch)
+}
+
+/// The scalar [`edr_within_in`] body (the oracle the SIMD backends are
+/// tested against).
+pub(crate) fn edr_within_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
+    let n = t2.len();
     let (mut prev, mut cur) = scratch.u2_uninit(n + 1, n + 1);
     for (j, p) in prev.iter_mut().enumerate() {
         *p = j as u32;
@@ -514,6 +577,19 @@ pub fn lcss_distance_within_in(
     if threshold.is_nan() || threshold <= 0.0 {
         return None;
     }
+    crate::backend::simd_dispatch!(lcss_within(t1, t2, eps, threshold, scratch));
+    lcss_distance_within_scalar_in(t1, t2, eps, threshold, scratch)
+}
+
+/// The scalar [`lcss_distance_within_in`] body (the oracle the SIMD
+/// backends are tested against).
+pub(crate) fn lcss_distance_within_scalar_in(
+    t1: &[Point],
+    t2: &[Point],
+    eps: f64,
+    threshold: f64,
+    scratch: &mut DistScratch,
+) -> Option<f64> {
     let (m, n) = (t1.len(), t2.len());
     let minlen = m.min(n);
     let (mut prev, mut cur) = scratch.u2(n + 1, n + 1);

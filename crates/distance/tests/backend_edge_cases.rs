@@ -1,0 +1,235 @@
+//! Per-backend edge-case tests for the SIMD verification kernels: the
+//! boundary shapes where vector code classically diverges from scalar code
+//! — lengths below one vector/wavefront strip, lane remainders, exact-zero
+//! distances at zero-adjacent thresholds, and points coinciding with the
+//! ERP gap — all checked bit-for-bit against the seed `reference` kernels
+//! on every backend the host CPU supports.
+
+use repose_distance::{
+    available_backends, force_backend, just_above, reference, Backend, DistScratch, Measure,
+    MeasureParams,
+};
+use repose_model::Point;
+use std::sync::Mutex;
+
+const GAP: Point = Point::new(0.0, 0.0);
+
+/// Serializes backend-forcing tests (the active backend is process-global).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn for_each_backend(mut f: impl FnMut(Backend)) {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    let all = available_backends();
+    for &b in &all {
+        force_backend(b);
+        f(b);
+    }
+    force_backend(*all.last().expect("scalar is always available"));
+}
+
+/// A deterministic wiggly trajectory of `n` points.
+fn traj(n: usize, seed: u64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            let x = ((i.wrapping_mul(seed).wrapping_add(7)) % 23) as f64 * 0.5;
+            let y = ((i.wrapping_mul(seed ^ 0x9e37).wrapping_add(3)) % 19) as f64 * 0.5;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+fn assert_all_measures_agree(a: &[Point], b: &[Point], label: &str) {
+    let params = MeasureParams::with_eps(0.5);
+    for_each_backend(|backend| {
+        let mut scratch = DistScratch::new();
+        for m in Measure::ALL {
+            let seed = reference::distance(&params, m, a, b);
+            let got = params.distance_in(m, a, b, &mut scratch);
+            assert_eq!(
+                got.to_bits(),
+                seed.to_bits(),
+                "{label}: {m} on {backend}: {got} != reference {seed}"
+            );
+            let lb = params.lower_bound(m, a, b);
+            for thr in [seed, just_above(seed), f64::INFINITY] {
+                let want = reference::distance_within_from_lb(&params, m, a, b, thr, lb);
+                let got = params.distance_within_from_lb_in(m, a, b, thr, lb, &mut scratch);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{label}: {m} on {backend} thr={thr}"
+                );
+            }
+        }
+    });
+}
+
+/// Lengths 1–3 sit below one EDR/LCSS wavefront strip (4 rows) and below
+/// one AVX2 point-load (4 points): everything runs in boundary/remainder
+/// code.
+#[test]
+fn tiny_lengths() {
+    for la in 1..=3usize {
+        for lb in 1..=3usize {
+            let a = traj(la, 11);
+            let b = traj(lb, 29);
+            assert_all_measures_agree(&a, &b, &format!("lengths {la}x{lb}"));
+        }
+    }
+}
+
+/// Single-point trajectories against longer ones: one-row DPs and one-cell
+/// columns.
+#[test]
+fn single_point_against_long() {
+    let p = vec![Point::new(1.5, 2.5)];
+    for n in [1usize, 2, 3, 4, 5, 8, 17] {
+        let t = traj(n, 13);
+        assert_all_measures_agree(&p, &t, &format!("1x{n}"));
+        assert_all_measures_agree(&t, &p, &format!("{n}x1"));
+    }
+}
+
+/// Lane-remainder lengths around the SSE (2), AVX2 (4) and wavefront-strip
+/// (4) widths, plus chunked-Hausdorff (8) boundaries: every `n % 4 != 0`
+/// and `n % 8 != 0` tail path runs.
+#[test]
+fn lane_remainders() {
+    for &(la, lb) in &[(4usize, 5usize), (5, 4), (6, 7), (7, 6), (8, 9), (15, 17), (17, 15)] {
+        let a = traj(la, 3);
+        let b = traj(lb, 5);
+        assert_all_measures_agree(&a, &b, &format!("lengths {la}x{lb}"));
+    }
+}
+
+/// Identical trajectories have exact distance 0: threshold 0 must refute
+/// (strict `<`), its successor must keep the exact 0 — on every backend.
+#[test]
+fn identical_trajectories_at_zero_thresholds() {
+    let params = MeasureParams::with_eps(0.5);
+    for n in [1usize, 3, 4, 7, 16] {
+        let t = traj(n, 17);
+        for_each_backend(|backend| {
+            let mut scratch = DistScratch::new();
+            for m in Measure::ALL {
+                assert_eq!(
+                    params.distance_in(m, &t, &t, &mut scratch).to_bits(),
+                    0.0f64.to_bits(),
+                    "{m} on {backend}: identical trajectories (n={n})"
+                );
+                let lb = params.lower_bound(m, &t, &t);
+                assert_eq!(
+                    params.distance_within_from_lb_in(m, &t, &t, 0.0, lb, &mut scratch),
+                    None,
+                    "{m} on {backend}: threshold 0 must refute"
+                );
+                assert_eq!(
+                    params
+                        .distance_within_from_lb_in(
+                            m,
+                            &t,
+                            &t,
+                            just_above(0.0),
+                            lb,
+                            &mut scratch
+                        )
+                        .map(f64::to_bits),
+                    Some(0.0f64.to_bits()),
+                    "{m} on {backend}: just_above(0) must keep the exact 0"
+                );
+            }
+        });
+    }
+}
+
+/// Points coinciding with the ERP gap point make gap costs exactly 0 —
+/// ties between the three DP predecessors everywhere.
+#[test]
+fn erp_coincident_with_gap() {
+    let on_gap: Vec<Point> = vec![GAP; 5];
+    let mixed = vec![GAP, Point::new(1.0, 0.0), GAP, Point::new(0.0, 1.0)];
+    let other = traj(6, 7);
+    let params = MeasureParams::default();
+    for (a, b) in [
+        (on_gap.clone(), other.clone()),
+        (mixed.clone(), other),
+        (on_gap, mixed),
+    ] {
+        for_each_backend(|backend| {
+            let mut scratch = DistScratch::new();
+            let seed = reference::erp(&a, &b, GAP);
+            let got = repose_distance::erp_in(&a, &b, GAP, &mut scratch);
+            assert_eq!(got.to_bits(), seed.to_bits(), "erp on {backend}");
+            let lb = params.lower_bound(Measure::Erp, &a, &b);
+            for thr in [seed, just_above(seed), f64::INFINITY] {
+                let want =
+                    reference::distance_within_from_lb(&params, Measure::Erp, &a, &b, thr, lb);
+                let got = params
+                    .distance_within_from_lb_in(Measure::Erp, &a, &b, thr, lb, &mut scratch);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "erp_within on {backend} thr={thr}"
+                );
+            }
+        });
+    }
+}
+
+/// Empty inputs never reach a SIMD kernel (the dispatchers' guards settle
+/// them first), but the conventions must hold under every forced backend.
+#[test]
+fn empty_inputs_on_every_backend() {
+    let a = traj(3, 19);
+    let params = MeasureParams::with_eps(0.5);
+    let empty: &[Point] = &[];
+    for_each_backend(|backend| {
+        let mut scratch = DistScratch::new();
+        for m in Measure::ALL {
+            for (x, y) in [(empty, empty), (a.as_slice(), empty), (empty, a.as_slice())] {
+                let seed = reference::distance(&params, m, x, y);
+                let got = params.distance_in(m, x, y, &mut scratch);
+                assert_eq!(got.to_bits(), seed.to_bits(), "{m} on {backend}: empty case");
+            }
+        }
+    });
+}
+
+/// Batched verification with ragged lengths straddling the lane widths:
+/// every group shape from 1 to 6 candidates, including empty candidates
+/// (settled by the sequential fallback inside the group).
+#[test]
+fn batched_ragged_groups() {
+    let query = traj(9, 23);
+    let lens = [1usize, 2, 3, 4, 5, 6];
+    let cand_pts: Vec<Vec<Point>> = lens.iter().map(|&n| traj(n, n as u64 + 31)).collect();
+    let params = MeasureParams::default();
+    for m in [Measure::Dtw, Measure::Frechet, Measure::Erp] {
+        let dists: Vec<f64> = cand_pts
+            .iter()
+            .map(|c| reference::distance(&params, m, &query, c))
+            .collect();
+        let mid = dists.iter().copied().fold(0.0f64, f64::max) * 0.6 + 1e-9;
+        for take in 1..=cand_pts.len() {
+            let cands: Vec<(f64, &[Point])> = cand_pts[..take]
+                .iter()
+                .map(|c| (params.lower_bound(m, &query, c), c.as_slice()))
+                .collect();
+            for_each_backend(|backend| {
+                let mut scratch = DistScratch::new();
+                let mut out = vec![None; cands.len()];
+                params.distance_within_batch_in(m, &query, &cands, mid, &mut scratch, &mut out);
+                for (i, &(lb, c)) in cands.iter().enumerate() {
+                    let want =
+                        params.distance_within_from_lb_in(m, &query, c, mid, lb, &mut scratch);
+                    assert_eq!(
+                        out[i].map(f64::to_bits),
+                        want.map(f64::to_bits),
+                        "{m} on {backend}, group of {take}, lane {i}"
+                    );
+                }
+            });
+        }
+    }
+}

@@ -10,14 +10,36 @@
 //! contamination between kernels/sizes would be caught too.
 
 use proptest::prelude::*;
-use repose_distance::{reference, DistScratch, Measure, MeasureParams};
+use repose_distance::{
+    available_backends, force_backend, just_above, reference, Backend, DistScratch, Measure,
+    MeasureParams,
+};
 use repose_model::Point;
+use std::sync::Mutex;
 
 fn pts(v: &[(f64, f64)]) -> Vec<Point> {
     v.iter().map(|&(x, y)| Point::new(x, y)).collect()
 }
 
 const GAP: Point = Point::new(0.0, 0.0);
+
+/// The active backend is process-global: tests that force it hold this lock
+/// so two forcing tests never interleave. (Non-forcing tests in this binary
+/// are unaffected either way — every backend is bit-identical, which is the
+/// very property under test.)
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per backend the host CPU supports, with that backend
+/// forced; restores the widest backend afterwards.
+fn for_each_backend(mut f: impl FnMut(Backend)) {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    let all = available_backends();
+    for &b in &all {
+        force_backend(b);
+        f(b);
+    }
+    force_backend(*all.last().expect("scalar is always available"));
+}
 
 /// Coordinates drawn from a coarse lattice so exact ties (equal distances,
 /// equal DP cells) are common — the regime where tie-breaking divergence
@@ -102,6 +124,100 @@ proptest! {
             repose_distance::lcss_distance_in(&a, &b, 0.5, &mut s).to_bits(),
             reference::lcss_distance(&a, &b, 0.5).to_bits()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The backend-differential matrix: every backend the CPU supports
+    /// must reproduce the seed reference kernels bit-for-bit — all six
+    /// full kernels, and the `*_within` kernels' `Some`/`None` contract at
+    /// thresholds straddling the distance, including the exact-tie
+    /// threshold `thr == d` (must refute: the contract is strict `<`) and
+    /// its successor `just_above(d)` (must keep, with identical bits) —
+    /// the k-th-boundary tie cases a running top-k produces constantly.
+    #[test]
+    fn every_backend_agrees_bitwise_with_reference(
+        xs in proptest::collection::vec(coord(), 1..24),
+        ys in proptest::collection::vec(coord(), 1..24),
+        eps_idx in 0usize..3,
+    ) {
+        let eps = [0.25, 0.75, 1.5][eps_idx];
+        let a = pts(&xs);
+        let b = pts(&ys);
+        let params = MeasureParams::with_eps(eps);
+        for_each_backend(|backend| {
+            let mut scratch = DistScratch::new();
+            for m in Measure::ALL {
+                let seed = reference::distance(&params, m, &a, &b);
+                let got = params.distance_in(m, &a, &b, &mut scratch);
+                assert_eq!(
+                    got.to_bits(),
+                    seed.to_bits(),
+                    "{m} on {backend}: {got} != reference {seed}"
+                );
+                let lb = params.lower_bound(m, &a, &b);
+                for thr in [seed * 0.5, seed, just_above(seed), seed + 0.25, f64::INFINITY] {
+                    let seed_w =
+                        reference::distance_within_from_lb(&params, m, &a, &b, thr, lb);
+                    let got_w =
+                        params.distance_within_from_lb_in(m, &a, &b, thr, lb, &mut scratch);
+                    assert_eq!(
+                        got_w.map(f64::to_bits),
+                        seed_w.map(f64::to_bits),
+                        "{m} on {backend} thr={thr}: {got_w:?} != reference {seed_w:?}"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Lane-batched verification vs one-at-a-time: `out[l]` of
+    /// `distance_within_batch_in` must be bit-identical to the sequential
+    /// `distance_within_from_lb_in` of the same candidate at the same
+    /// threshold, on every backend, for every batchable measure — across
+    /// ragged candidate lengths (lanes finish at different columns) and
+    /// thresholds that abandon some lanes and not others.
+    #[test]
+    fn batched_verification_agrees_with_sequential(
+        q in proptest::collection::vec(coord(), 1..16),
+        cands in proptest::collection::vec(proptest::collection::vec(coord(), 1..20), 1..7),
+        thr_scale in 0.25f64..2.0,
+    ) {
+        let query = pts(&q);
+        let cand_pts: Vec<Vec<Point>> = cands.iter().map(|c| pts(c)).collect();
+        let params = MeasureParams::with_eps(0.5);
+        for m in [Measure::Dtw, Measure::Frechet, Measure::Erp, Measure::Hausdorff] {
+            // A threshold near the middle of the candidates' distance range
+            // so batches mix survivors, abandons, and prefilter rejections.
+            let dmax = cand_pts
+                .iter()
+                .map(|c| reference::distance(&params, m, &query, c))
+                .fold(0.0f64, f64::max);
+            let thr = dmax * thr_scale + 1e-6;
+            let cand_refs: Vec<(f64, &[Point])> = cand_pts
+                .iter()
+                .map(|c| (params.lower_bound(m, &query, c), c.as_slice()))
+                .collect();
+            for_each_backend(|backend| {
+                let mut scratch = DistScratch::new();
+                let mut out = vec![None; cand_refs.len()];
+                params.distance_within_batch_in(
+                    m, &query, &cand_refs, thr, &mut scratch, &mut out,
+                );
+                for (i, &(lb, c)) in cand_refs.iter().enumerate() {
+                    let want =
+                        params.distance_within_from_lb_in(m, &query, c, thr, lb, &mut scratch);
+                    assert_eq!(
+                        out[i].map(f64::to_bits),
+                        want.map(f64::to_bits),
+                        "{m} on {backend} lane {i} thr={thr}: batched {:?} != sequential {want:?}",
+                        out[i]
+                    );
+                }
+            });
+        }
     }
 }
 

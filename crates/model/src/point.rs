@@ -4,7 +4,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper treats coordinates as planar and uses the Euclidean distance
 /// between points (Definition 2); we follow that convention.
+///
+/// `repr(C)` guarantees the `x, y` field order in memory, so a contiguous
+/// `&[Point]` is exactly an interleaved `x0 y0 x1 y1 …` `f64` sequence —
+/// the layout the SIMD kernels' packed coordinate loads rely on.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Point {
     /// Longitude (x coordinate).
     pub x: f64,

@@ -4,7 +4,7 @@
 use crate::bounds::BoundState;
 use crate::pivot::pivot_lower_bound;
 use crate::{Hit, NodeId, RpTrie};
-use repose_distance::{bound_exceeds, DistScratch, ThresholdSource};
+use repose_distance::{bound_exceeds, DistScratch, ThresholdSource, BATCH_LANES};
 use repose_model::{Point, TrajId, TrajStore};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -232,45 +232,72 @@ pub(crate) fn top_k_filtered(
             let lbt = entry.state.lbt(grid, leaf, query.len());
             let lbp = pivot_lower_bound(&dqp, frozen.hr(entry.node));
             if lbt.max(lbp) < dk(&best) {
-                for (si, &mi) in leaf.members.iter().enumerate() {
-                    let id = store.id(mi as usize);
-                    if !seed_ids.is_empty() && seed_ids.contains(&id) {
-                        continue;
-                    }
-                    if let Some(f) = filter {
-                        if !f(id) {
+                // Verify members under the *live* k-th distance: the kernel
+                // returns the exact distance only when it beats dk and
+                // abandons (cheaply) when it cannot — same results as the
+                // unbounded `params.distance` + `d < dk` check. The
+                // prefilter reuses the member summary frozen into the leaf:
+                // O(1) per candidate instead of O(m+n); the candidate's
+                // points are a contiguous arena slice.
+                //
+                // On a SIMD backend, measures with a lane-batched kernel
+                // collect a vector's worth of members per dk refresh and
+                // verify them in parallel lanes. dk is stale within one
+                // group but stale only ever means *larger*, so a group
+                // member can be accepted where the one-at-a-time scan would
+                // have abandoned it — never the reverse; the extras carry
+                // distances above the final k-th and fall back out of the
+                // bounded heap, leaving the returned hits identical.
+                let group_len = cfg.measure.batch_lanes();
+                let mut group = [(0.0f64, [].as_slice()); BATCH_LANES];
+                let mut gids = [0u64; BATCH_LANES];
+                let mut scored = [None; BATCH_LANES];
+                let mut si = 0;
+                while si < leaf.members.len() {
+                    let thr = dk(&best);
+                    let mut nb = 0;
+                    while si < leaf.members.len() && nb < group_len {
+                        let mi = leaf.members[si];
+                        let summary = &leaf.summaries[si];
+                        si += 1;
+                        let id = store.id(mi as usize);
+                        if !seed_ids.is_empty() && seed_ids.contains(&id) {
                             continue;
                         }
-                    }
-                    // Verify under the *live* k-th distance: the kernel
-                    // returns the exact distance only when it beats dk and
-                    // abandons (cheaply) when it cannot — same results as
-                    // the unbounded `params.distance` + `d < dk` check.
-                    // The prefilter reuses the member summary frozen into
-                    // the leaf: O(1) per candidate instead of O(m+n); the
-                    // candidate's points are a contiguous arena slice.
-                    stats.exact_computations += 1;
-                    let lb = params.summary_lower_bound(cfg.measure, &qsum, &leaf.summaries[si]);
-                    match params.distance_within_from_lb_in(
-                        cfg.measure,
-                        query,
-                        store.points(mi as usize),
-                        dk(&best),
-                        lb,
-                        scratch,
-                    ) {
-                        Some(d) => {
-                            best.push(Worst { dist: d, id });
-                            if best.len() > k {
-                                best.pop();
-                            }
-                            // A hit accepted here prunes every other search
-                            // sharing the collector.
-                            if let Some(s) = shared {
-                                s.publish(d, id);
+                        if let Some(f) = filter {
+                            if !f(id) {
+                                continue;
                             }
                         }
-                        None => stats.exact_abandoned += 1,
+                        stats.exact_computations += 1;
+                        let lb = params.summary_lower_bound(cfg.measure, &qsum, summary);
+                        group[nb] = (lb, store.points(mi as usize));
+                        gids[nb] = id;
+                        nb += 1;
+                    }
+                    params.distance_within_batch_in(
+                        cfg.measure,
+                        query,
+                        &group[..nb],
+                        thr,
+                        scratch,
+                        &mut scored[..nb],
+                    );
+                    for (&d, &id) in scored[..nb].iter().zip(&gids[..nb]) {
+                        match d {
+                            Some(d) => {
+                                best.push(Worst { dist: d, id });
+                                if best.len() > k {
+                                    best.pop();
+                                }
+                                // A hit accepted here prunes every other
+                                // search sharing the collector.
+                                if let Some(s) = shared {
+                                    s.publish(d, id);
+                                }
+                            }
+                            None => stats.exact_abandoned += 1,
+                        }
                     }
                 }
             } else {

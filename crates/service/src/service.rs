@@ -68,6 +68,16 @@ pub struct ServiceConfig {
     /// schedule inline on the calling thread (the sequential reference
     /// path).
     pub pool_threads: usize,
+    /// Forces a specific verification-kernel backend process-wide at
+    /// service construction (`None` keeps the `REPOSE_BACKEND` /
+    /// auto-detected default). All backends are bit-identical, so this is a
+    /// performance/debugging knob, never a results knob.
+    ///
+    /// # Panics
+    /// Construction panics when the host CPU cannot run the requested
+    /// backend ([`repose_distance::force_backend`]'s contract): a forced
+    /// backend must never silently fall back.
+    pub backend: Option<repose_distance::Backend>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +85,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             pool_threads: default_pool_threads(),
+            backend: None,
         }
     }
 }
@@ -174,6 +185,9 @@ impl ReposeService {
 
     /// Wraps a built deployment.
     pub fn with_config(repose: Repose, config: ServiceConfig) -> Self {
+        if let Some(b) = config.backend {
+            repose_distance::force_backend(b);
+        }
         let partitions = repose.num_partitions();
         let measure = repose.config().measure();
         let params = repose.config().trie.params;

@@ -11,25 +11,11 @@ use repose_zorder::Grid;
 
 /// Random trajectory set in [0, 64)^2 with modest lengths.
 fn arb_trajectories() -> impl Strategy<Value = Vec<Trajectory>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0.0f64..64.0, 0.0f64..64.0), 2..12),
-        1..40,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, pts)| {
-                Trajectory::new(
-                    i as u64,
-                    pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
-                )
-            })
-            .collect()
-    })
+    repose_testkit::arb_trajectories(64.0, 1..40, 2..12)
 }
 
 fn region() -> Mbr {
-    Mbr::new(Point::new(0.0, 0.0), Point::new(64.0, 64.0))
+    repose_testkit::square(64.0)
 }
 
 proptest! {

@@ -21,45 +21,10 @@ use repose::{Repose, ReposeConfig};
 use repose_distance::{Measure, MeasureParams};
 use repose_model::{Dataset, Point, Trajectory};
 use repose_service::{ReposeService, ServiceConfig, ServiceOutcome};
+use repose_testkit::{sentinels, tie_dataset, tie_queries as queries, tie_traj};
 use std::sync::Arc;
 
 const POOL_THREADS: usize = 4;
-
-/// Deterministic trajectory: groups of *exact duplicates* (ids differing,
-/// geometry identical) so every query faces heavy k-th ties, plus jitter
-/// groups for distance variety. Coordinates stay within [0, 64]^2; two
-/// sentinel rows pin the region so delta inserts never leave it.
-fn tie_traj(id: u64) -> Trajectory {
-    let group = id / 5; // 5 ids per duplicate group
-    let gx = (group % 8) as f64 * 7.0;
-    let gy = (group / 8 % 8) as f64 * 7.0;
-    // Half the groups carry per-id jitter (distinct distances); the other
-    // half are exact duplicates (maximal ties at every k boundary).
-    let jit = if group.is_multiple_of(2) { 0.0 } else { (id % 5) as f64 * 1e-3 };
-    Trajectory::new(
-        id,
-        (0..8)
-            .map(|s| Point::new(gx + s as f64 * 0.5 + jit, gy + jit))
-            .collect(),
-    )
-}
-
-/// Region fence posts: extreme corners so `enclosing_square` always
-/// covers every trajectory `tie_traj` can produce (delta inserts included
-/// — incremental compaction must never fall back for region reasons in
-/// these tests unless a test wants it to).
-fn sentinels() -> Vec<Trajectory> {
-    vec![
-        Trajectory::new(1_000_000, vec![Point::new(-1.0, -1.0)]),
-        Trajectory::new(1_000_001, vec![Point::new(64.0, 64.0)]),
-    ]
-}
-
-fn tie_dataset(ids: std::ops::Range<u64>) -> Dataset {
-    let mut trajs: Vec<Trajectory> = ids.map(tie_traj).collect();
-    trajs.extend(sentinels());
-    Dataset::from_trajectories(trajs)
-}
 
 fn config(measure: Measure, partitions: usize) -> ReposeConfig {
     ReposeConfig::new(measure)
@@ -68,18 +33,11 @@ fn config(measure: Measure, partitions: usize) -> ReposeConfig {
         .with_params(MeasureParams::with_eps(0.5))
 }
 
-fn queries() -> Vec<Vec<Point>> {
-    [(0.2, 0.1), (7.3, 7.2), (21.5, 14.0), (35.1, 48.9), (10.0, 3.0)]
-        .iter()
-        .map(|&(x, y)| (0..8).map(|s| Point::new(x + s as f64 * 0.5, y)).collect())
-        .collect()
-}
-
 fn service(measure: Measure, pool_threads: usize) -> ReposeService {
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
         // Cache off so every query exercises the search path under test.
-        ServiceConfig { cache_capacity: 0, pool_threads },
+        ServiceConfig { cache_capacity: 0, pool_threads, backend: None },
     );
     // A live delta on every partition + tombstones over frozen data:
     // the pooled path must handle all three sources at once.
@@ -101,9 +59,7 @@ fn service(measure: Measure, pool_threads: usize) -> ReposeService {
 }
 
 fn sorted_dist_bits(o: &ServiceOutcome) -> Vec<u64> {
-    let mut d: Vec<u64> = o.hits.iter().map(|h| h.dist.to_bits()).collect();
-    d.sort_unstable();
-    d
+    repose_testkit::sorted_dist_bits(o.hits.iter().map(|h| h.dist))
 }
 
 /// The live set `service(measure, _)` constructs, for truth checking.
@@ -364,11 +320,11 @@ fn threshold_hints_seed_near_duplicate_queries_soundly() {
     // of the work counters.
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: 1 },
+        ServiceConfig { cache_capacity: 64, pool_threads: 1, backend: None },
     );
     let unseeded_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
     );
     let q1: Vec<Point> = (0..8).map(|s| Point::new(0.2 + s as f64 * 0.5, 0.1)).collect();
     // Nearby but distinct (beyond cache-key quantization).
@@ -422,7 +378,7 @@ fn batch_hints_and_repeat_batches_agree() {
     let measure = Measure::Frechet;
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS },
+        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, backend: None },
     );
     let qs = queries();
     let first = svc.query_batch(&qs, 5);
@@ -443,7 +399,7 @@ fn batch_hints_and_repeat_batches_agree() {
     let seeded = svc.query_batch(&near, 5);
     let fresh_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
     );
     let mut any_seeded = false;
     for (q, s) in near.iter().zip(&seeded) {
@@ -465,7 +421,7 @@ fn batch_hints_and_repeat_batches_agree() {
 fn duplicate_batch_queries_share_one_execution() {
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(Measure::Hausdorff, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS },
+        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, backend: None },
     );
     let q = queries().remove(0);
     let batch = svc.query_batch(&[q.clone(), q.clone(), q.clone()], 6);
@@ -495,7 +451,7 @@ fn partition_times_are_reported_per_partition() {
     // Cache hit path reports no partition times.
     let cached_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..40), config(Measure::Hausdorff, 4)),
-        ServiceConfig { cache_capacity: 8, pool_threads: POOL_THREADS },
+        ServiceConfig { cache_capacity: 8, pool_threads: POOL_THREADS, backend: None },
     );
     cached_svc.query(&queries()[0], 3);
     let hit = cached_svc.query(&queries()[0], 3);

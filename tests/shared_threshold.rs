@@ -24,9 +24,7 @@ fn small_cluster() -> ClusterConfig {
 }
 
 fn sorted_dist_bits(o: &QueryOutcome) -> Vec<u64> {
-    let mut d: Vec<u64> = o.hits.iter().map(|h| h.dist.to_bits()).collect();
-    d.sort_unstable();
-    d
+    repose_testkit::sorted_dist_bits(o.hits.iter().map(|h| h.dist))
 }
 
 /// Repeatedly compares shared-threshold execution with the independent
@@ -167,16 +165,8 @@ proptest! {
         k in 1usize..14,
         measure_idx in 0usize..6,
     ) {
-        let trajs: Vec<Trajectory> = raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, pts)| Trajectory::new(
-                i as u64,
-                pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
-            ))
-            .collect();
-        let data = Dataset::from_trajectories(trajs);
-        let q: Vec<Point> = qpts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let data = Dataset::from_trajectories(repose_testkit::trajectories_from_raw(raw));
+        let q = repose_testkit::pts(&qpts);
         let measure = Measure::ALL[measure_idx];
         let cfg = ReposeConfig::new(measure)
             .with_cluster(small_cluster())

@@ -65,18 +65,7 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
-fn arena(n: u64, len: usize, spread: f64) -> TrajStore {
-    let mut store = TrajStore::new();
-    for i in 0..n {
-        let y = (i % 7) as f64 * spread;
-        let x0 = (i / 7) as f64 * 0.9;
-        let pts: Vec<Point> = (0..len)
-            .map(|j| Point::new(x0 + j as f64 * 0.31, y + (j % 3) as f64 * 0.2))
-            .collect();
-        store.push(i, &pts);
-    }
-    store
-}
+use repose_testkit::arena;
 
 #[test]
 fn warm_kernels_allocate_exactly_zero() {
@@ -190,7 +179,7 @@ fn warm_service_query_allocations_do_not_scale_with_delta_verifications() {
         // growth) legitimately vary with thread interleaving.
         let svc = ReposeService::with_config(
             repose,
-            ServiceConfig { cache_capacity: 0, pool_threads: 1 },
+            ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
         );
         for i in 0..delta {
             let jit = (i % 9) as f64 * 0.11;
