@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     // Sequential path: the scaling baseline of the serve_pool experiment.
     let uncached = ReposeService::with_config(
         build(),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
     );
     group.bench_function("query_uncached", |b| {
         b.iter(|| black_box(uncached.query(q, cfg.k)))
@@ -42,14 +42,14 @@ fn bench(c: &mut Criterion) {
     // Bound-ordered pooled execution on 4 workers.
     let pooled = ReposeService::with_config(
         build(),
-        ServiceConfig { cache_capacity: 0, pool_threads: 4, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads: 4, ..ServiceConfig::default() },
     );
     group.bench_function("query_pooled_4t", |b| {
         b.iter(|| black_box(pooled.query(q, cfg.k)))
     });
 
     let cached = ReposeService::new(build());
-    cached.query(q, cfg.k); // prime
+    cached.query(q, cfg.k).expect("query"); // prime
     group.bench_function("query_cached", |b| {
         b.iter(|| black_box(cached.query(q, cfg.k)))
     });
@@ -60,10 +60,12 @@ fn bench(c: &mut Criterion) {
     );
     for i in 0..200u64 {
         let jit = i as f64 * 1e-5;
-        with_delta.insert(Trajectory::new(
-            5_000_000 + i,
-            q.iter().map(|p| Point::new(p.x + jit, p.y + jit)).collect(),
-        ));
+        with_delta
+            .insert(Trajectory::new(
+                5_000_000 + i,
+                q.iter().map(|p| Point::new(p.x + jit, p.y + jit)).collect(),
+            ))
+            .expect("insert");
     }
     group.bench_function("query_with_200_delta", |b| {
         b.iter(|| black_box(with_delta.query(q, cfg.k)))
@@ -74,7 +76,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("insert", |b| {
         b.iter(|| {
             next_id += 1;
-            sink.insert(Trajectory::new(next_id, q.clone()));
+            sink.insert(Trajectory::new(next_id, q.clone())).expect("insert");
         })
     });
 
@@ -82,20 +84,20 @@ fn bench(c: &mut Criterion) {
     // iteration inserts one trajectory (so exactly one partition is
     // dirty) and compacts; the insert cost is negligible vs the rebuild.
     let compacting = ReposeService::new(build());
-    compacting.compact();
+    compacting.compact().expect("compact");
     let mut cid = 7_000_000u64;
     group.bench_function("compact_incremental_one_dirty", |b| {
         b.iter(|| {
             cid += 1;
-            compacting.insert(Trajectory::new(cid, q.clone()));
-            black_box(compacting.compact())
+            compacting.insert(Trajectory::new(cid, q.clone())).expect("insert");
+            black_box(compacting.compact().expect("compact"))
         })
     });
     group.bench_function("compact_full", |b| {
         b.iter(|| {
             cid += 1;
-            compacting.insert(Trajectory::new(cid, q.clone()));
-            black_box(compacting.compact_full())
+            compacting.insert(Trajectory::new(cid, q.clone())).expect("insert");
+            black_box(compacting.compact_full().expect("compact"))
         })
     });
     group.finish();

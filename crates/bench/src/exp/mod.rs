@@ -4,6 +4,7 @@
 pub mod dist;
 pub mod fig6;
 pub mod kernels;
+pub mod recover;
 pub mod scale;
 pub mod fig7;
 pub mod fig8;
@@ -66,5 +67,10 @@ pub const ALL: &[Experiment] = &[
         name: "serve_pool",
         what: "Worker-pool serving: query latency vs pool size + incremental compaction",
         run: serve_pool::run,
+    },
+    Experiment {
+        name: "recover",
+        what: "Durability: WAL write cost per fsync policy + crash-recovery time",
+        run: recover::run,
     },
 ];

@@ -1,0 +1,234 @@
+//! Durability experiment (beyond the paper): what the write-ahead log
+//! costs on the write path, and what crash recovery costs afterwards.
+//!
+//! Two sections, one JSON object:
+//!
+//! * `"write"` — one row per fsync policy (`volatile` baseline without a
+//!   journal, then `never`, `every(8)` group commit, and `always`): the
+//!   same insert burst timed end-to-end, with the resulting write
+//!   throughput and the journal's byte/fsync counters. This is the price
+//!   list for [`repose_service::ServiceConfig::durability`].
+//! * `"recovery"` — the `always` deployment is dropped mid-flight (its
+//!   journal left behind, exactly as a crash would) and rebuilt with
+//!   [`repose_service::ReposeService::recover`]: snapshot restore +
+//!   record replay wall time, replay rate, and a soundness check that a
+//!   reference query answers with bitwise-identical distances before and
+//!   after the crash.
+
+use crate::runner::{load, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, ReposeConfig};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_model::Trajectory;
+use repose_service::{DurabilityConfig, FsyncPolicy, ReposeService, ServiceConfig};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A fresh, unique journal directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("repose-recover-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The query answer as a sorted multiset of distance bit patterns — the
+/// equality the crash-loop tests use (tied ids may legally differ).
+fn sorted_dist_bits(svc: &ReposeService, q: &[repose_model::Point], k: usize) -> Vec<u64> {
+    let mut bits: Vec<u64> = svc
+        .query(q, k)
+        .expect("query")
+        .hits
+        .iter()
+        .map(|h| h.dist.to_bits())
+        .collect();
+    bits.sort_unstable();
+    bits
+}
+
+/// Runs the fsync-policy write sweep + crash-recovery measurement.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let measure = Measure::Hausdorff;
+    let (data, queries) = load(ds, exp);
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(ds.paper_delta(measure))
+        .with_seed(exp.seed);
+
+    // The same burst for every policy: geometry copied from indexed
+    // trajectories (cycled), fresh ids.
+    let burst: Vec<Trajectory> = (0..exp.write_burst)
+        .map(|i| {
+            let src = &data.trajectories()[i % data.len()];
+            Trajectory::new(30_000_000 + i as u64, src.points.clone())
+        })
+        .collect();
+
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("volatile", None),
+        ("never", Some(FsyncPolicy::Never)),
+        ("every(8)", Some(FsyncPolicy::EveryN(8))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut write_rows = Vec::new();
+    let mut always_dir = None;
+    let mut volatile_s = 0.0f64;
+    for (name, fsync) in policies {
+        let dir = fsync.map(|_| fresh_dir(name));
+        let durability = match (&dir, fsync) {
+            (Some(d), Some(f)) => Some(DurabilityConfig::new(d).with_fsync(f)),
+            _ => None,
+        };
+        let svc = ReposeService::try_with_config(
+            Repose::build(&data, cfg),
+            ServiceConfig { cache_capacity: 0, pool_threads: 1, durability, ..ServiceConfig::default() },
+        )
+        .expect("service");
+        let t0 = Instant::now();
+        for t in &burst {
+            svc.insert(t.clone()).expect("insert");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = svc.stats();
+        let per_s = if wall > 0.0 { exp.write_burst as f64 / wall } else { 0.0 };
+        if fsync.is_none() {
+            volatile_s = wall;
+        }
+        let slowdown = if volatile_s > 0.0 { wall / volatile_s } else { 1.0 };
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(wall),
+            format!("{per_s:.0}/s"),
+            format!("{slowdown:.2}x"),
+            format!("{}", stats.wal_bytes),
+            format!("{}", stats.wal_fsyncs),
+        ]);
+        write_rows.push(json!({
+            "policy": name,
+            "burst": exp.write_burst,
+            "wall_s": wall,
+            "writes_per_s": per_s,
+            "slowdown_vs_volatile": slowdown,
+            "wal_bytes": stats.wal_bytes,
+            "wal_fsyncs": stats.wal_fsyncs,
+        }));
+        if name == "always" {
+            // Crash the durable deployment: record a reference answer,
+            // then drop it with the journal un-checkpointed.
+            let reference = queries
+                .first()
+                .map(|q| sorted_dist_bits(&svc, &q.points, exp.k));
+            drop(svc);
+            always_dir = dir.clone().map(|d| (d, reference));
+        } else if let Some(d) = &dir {
+            drop(svc);
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    // ---- Crash recovery from the `always` journal --------------------
+    let (dir, reference) = always_dir.expect("always policy ran");
+    let (recovered, report) = ReposeService::recover(
+        cfg,
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_threads: 1,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("recovery");
+    let wall = report.wall_time.as_secs_f64();
+    let replay_per_s = if wall > 0.0 { report.replayed_records as f64 / wall } else { 0.0 };
+    assert_eq!(
+        recovered.len(),
+        data.len() + exp.write_burst,
+        "recovery must restore base + every acknowledged insert"
+    );
+    let answers_match = match (&reference, queries.first()) {
+        (Some(r), Some(q)) => *r == sorted_dist_bits(&recovered, &q.points, exp.k),
+        _ => true,
+    };
+    assert!(answers_match, "recovered answers diverge from pre-crash answers");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let recovery = json!({
+        "base_trajectories": report.base_trajectories,
+        "replayed_records": report.replayed_records,
+        "torn_bytes": report.torn_bytes,
+        "wall_s": wall,
+        "replayed_per_s": replay_per_s,
+        "live": data.len() + exp.write_burst,
+        "answers_match_pre_crash": answers_match,
+    });
+
+    println!(
+        "\n== recover: {} burst writes, {} partitions, scale {} ==",
+        exp.write_burst, exp.partitions, exp.scale
+    );
+    print_table(
+        &["policy", "burst wall", "writes/s", "vs volatile", "wal bytes", "fsyncs"],
+        &rows,
+    );
+    println!(
+        "recovery: {} base + {} replayed in {} ({:.0} records/s), answers match pre-crash: {}",
+        report.base_trajectories,
+        report.replayed_records,
+        fmt_secs(wall),
+        replay_per_s,
+        answers_match,
+    );
+    json!({ "write": write_rows, "recovery": recovery })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn recover_experiment_produces_sound_numbers() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            queries: 2,
+            k: 5,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 7,
+            write_burst: 16,
+            pool_threads: 1,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp);
+        let rows = v["write"].as_array().expect("write rows");
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert!(row["wall_s"].as_f64().unwrap() > 0.0);
+            match row["policy"].as_str().unwrap() {
+                "volatile" => {
+                    assert_eq!(row["wal_bytes"].as_u64().unwrap(), 0);
+                    assert_eq!(row["wal_fsyncs"].as_u64().unwrap(), 0);
+                }
+                "never" => assert!(row["wal_bytes"].as_u64().unwrap() > 0),
+                "every(8)" => assert!(row["wal_fsyncs"].as_u64().unwrap() >= 2),
+                "always" => {
+                    // One fsync per acknowledged append, at least.
+                    assert!(row["wal_fsyncs"].as_u64().unwrap() >= 16);
+                }
+                other => panic!("unexpected policy {other}"),
+            }
+        }
+        let r = &v["recovery"];
+        assert_eq!(r["replayed_records"].as_u64().unwrap(), 16);
+        assert_eq!(r["torn_bytes"].as_u64().unwrap(), 0);
+        assert!(r["base_trajectories"].as_u64().unwrap() > 0);
+        assert!(r["answers_match_pre_crash"].as_bool().unwrap());
+    }
+}

@@ -41,6 +41,14 @@ struct WorkloadResult {
     /// incremental compaction this counts only the dirtied ones.
     partitions_rebuilt: u64,
     partitions: usize,
+    /// Durability / degradation counters (all zero for this volatile,
+    /// deadline-free workload — reported so the row shape matches a
+    /// durable deployment's and regressions are visible in the JSON).
+    wal_bytes: u64,
+    wal_fsyncs: u64,
+    recovered_records: u64,
+    queries_degraded: u64,
+    queries_shed: u64,
 }
 
 fn run_mixed(
@@ -67,7 +75,7 @@ fn run_mixed(
                 let mut local = Vec::with_capacity(OPS_PER_READER);
                 for i in 0..OPS_PER_READER {
                     let q = &queries[(r + i) % queries.len()];
-                    let out = service.query(&q.points, k);
+                    let out = service.query(&q.points, k).expect("query");
                     local.push(out.latency);
                     reads.fetch_add(1, Ordering::Relaxed);
                     abandoned.fetch_add(out.search.exact_abandoned as u64, Ordering::Relaxed);
@@ -94,12 +102,12 @@ fn run_mixed(
                             .collect(),
                     );
                     let t = Instant::now();
-                    service.insert(traj);
+                    service.insert(traj).expect("insert");
                     local.push(t.elapsed());
                     writes.fetch_add(1, Ordering::Relaxed);
                     // Fold the delta in once, mid-stream, under load.
                     if w == 0 && i == burst / 2 {
-                        service.compact();
+                        service.compact().expect("compact");
                     }
                 }
                 write_samples.lock().expect("samples").extend(local);
@@ -122,6 +130,11 @@ fn run_mixed(
         exact_abandoned: abandoned.load(Ordering::Relaxed),
         partitions_rebuilt: stats.partitions_rebuilt,
         partitions: stats.partitions,
+        wal_bytes: stats.wal_bytes,
+        wal_fsyncs: stats.wal_fsyncs,
+        recovered_records: stats.recovered_records,
+        queries_degraded: stats.queries_degraded,
+        queries_shed: stats.queries_shed,
     }
 }
 
@@ -192,6 +205,11 @@ pub fn run(exp: &ExpConfig) -> Value {
                 "exact_abandoned": r.exact_abandoned,
                 "partitions_rebuilt": r.partitions_rebuilt,
                 "partitions": r.partitions,
+                "wal_bytes": r.wal_bytes,
+                "wal_fsyncs": r.wal_fsyncs,
+                "recovered_records": r.recovered_records,
+                "queries_degraded": r.queries_degraded,
+                "queries_shed": r.queries_shed,
             }));
         }
     }
@@ -241,6 +259,17 @@ mod tests {
             );
             assert_eq!(row["writers"].as_u64().unwrap(), 2);
             assert_eq!(row["burst"].as_u64().unwrap(), 50);
+            // Volatile, deadline-free workload: every durability /
+            // degradation counter must read zero.
+            for key in [
+                "wal_bytes",
+                "wal_fsyncs",
+                "recovered_records",
+                "queries_degraded",
+                "queries_shed",
+            ] {
+                assert_eq!(row[key].as_u64(), Some(0), "{key} must be 0");
+            }
         }
         let readers: Vec<u64> = rows
             .iter()

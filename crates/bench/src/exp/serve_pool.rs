@@ -60,7 +60,7 @@ pub fn run(exp: &ExpConfig) -> Value {
     // task durations every modeled schedule below is built from.
     let sequential = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
     );
     // Warm-up (thread scratch, page-in) outside measurement.
     if let Some(q) = queries.first() {
@@ -69,7 +69,7 @@ pub fn run(exp: &ExpConfig) -> Value {
     let mut seq_latency: Vec<Duration> = Vec::new();
     let mut task_times: Vec<Vec<Duration>> = Vec::new();
     for q in &queries {
-        let out = sequential.query(&q.points, exp.k);
+        let out = sequential.query(&q.points, exp.k).expect("query");
         seq_latency.push(out.latency);
         task_times.push(out.partition_times);
     }
@@ -84,14 +84,14 @@ pub fn run(exp: &ExpConfig) -> Value {
     for &threads in &pool_sweep(exp.pool_threads) {
         let service = ReposeService::with_config(
             Repose::build(&data, cfg),
-            ServiceConfig { cache_capacity: 0, pool_threads: threads, backend: None },
+            ServiceConfig { cache_capacity: 0, pool_threads: threads, ..ServiceConfig::default() },
         );
         if let Some(q) = queries.first() {
             let _ = service.query(&q.points, exp.k);
         }
         let mut host: Vec<Duration> = Vec::new();
         for q in &queries {
-            host.push(service.query(&q.points, exp.k).latency);
+            host.push(service.query(&q.points, exp.k).expect("query").latency);
         }
         let modeled: Vec<f64> = task_times
             .iter()
@@ -137,29 +137,37 @@ pub fn run(exp: &ExpConfig) -> Value {
     let burst_of = |svc: &ReposeService| {
         for (i, t) in data.trajectories().iter().take(exp.write_burst).enumerate() {
             let id = 20_000_000 + (i * n + 1) as u64;
-            svc.insert(Trajectory::new(id, t.points.clone()));
+            svc.insert(Trajectory::new(id, t.points.clone())).expect("insert");
         }
     };
     let incremental = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads, backend: None },
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_threads: exp.pool_threads,
+            ..ServiceConfig::default()
+        },
     );
     // Settle the initial state so only the burst is dirty.
-    incremental.compact();
+    incremental.compact().expect("compact");
     burst_of(&incremental);
     let t0 = Instant::now();
-    let inc_live = incremental.compact();
+    let inc_live = incremental.compact().expect("compact");
     let inc_secs = t0.elapsed().as_secs_f64();
     let inc_stats = incremental.stats();
 
     let full = ReposeService::with_config(
         Repose::build(&data, cfg),
-        ServiceConfig { cache_capacity: 0, pool_threads: exp.pool_threads, backend: None },
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_threads: exp.pool_threads,
+            ..ServiceConfig::default()
+        },
     );
-    full.compact();
+    full.compact().expect("compact");
     burst_of(&full);
     let t0 = Instant::now();
-    let full_live = full.compact_full();
+    let full_live = full.compact_full().expect("compact");
     let full_secs = t0.elapsed().as_secs_f64();
     let full_stats = full.stats();
     assert_eq!(inc_live, full_live, "compaction paths disagree on live count");

@@ -38,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod dataset;
 mod executor;
 mod partitioner;
 mod pool;
 mod stats;
 
+pub use admission::{AdmissionGate, AdmissionPermit, Deadline};
 pub use dataset::DistDataset;
 pub use executor::Cluster;
 pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};

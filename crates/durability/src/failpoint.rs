@@ -1,0 +1,209 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! A [`FailPlan`] is a small, shareable registry of *named failure sites*
+//! armed with an action and a hit countdown. The WAL writer consults the
+//! plan at every registered point ([`POINTS`]); when an armed point's
+//! countdown reaches zero the action fires **exactly once**, so a test can
+//! say "on the 7th flush, tear the write in half" and get the same torn
+//! byte stream on every run — no randomness, no timing.
+//!
+//! Plans are per-instance (an `Arc` handed to each [`crate::Wal`]), never
+//! process-global: concurrent tests cannot interfere with each other, and
+//! a production service simply carries the default empty plan, whose
+//! per-append cost is one atomic load of an "anything armed?" flag.
+//!
+//! For integration-style runs the plan can also be parsed from the
+//! `REPOSE_FAILPOINTS` environment variable
+//! (`point=action[:after][,point=action[:after]...]`, e.g.
+//! `wal.flush=short:3,wal.sync=crash`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Every failure site the WAL writer consults, in hit order along the
+/// write path. The crash-loop harness iterates this list to prove
+/// recovery at *every* registered point.
+pub const POINTS: &[&str] = &[
+    "wal.append",
+    "wal.flush",
+    "wal.sync",
+    "wal.rotate",
+    "wal.snapshot",
+    "wal.checkpoint",
+];
+
+/// What an armed fail point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// The operation fails with an injected I/O error before writing
+    /// anything; the WAL goes dead (fail-stop).
+    IoError,
+    /// The pending bytes are written only up to half their length — a torn
+    /// write — then the WAL goes dead.
+    ShortWrite,
+    /// Process death at this point: whatever was already durably flushed
+    /// stays, half of the pending bytes land as a torn tail, and the WAL
+    /// goes dead. Recovery from the directory is the only way forward.
+    Crash,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    action: FailAction,
+    /// Hits remaining before the action fires (0 = fire on the next hit).
+    after: u32,
+    fired: bool,
+}
+
+/// A deterministic, shareable fault-injection plan (see module docs).
+/// Cloning shares the underlying registry.
+#[derive(Debug, Clone, Default)]
+pub struct FailPlan {
+    inner: Arc<PlanInner>,
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    /// Fast path: skip the mutex entirely when nothing was ever armed.
+    armed: AtomicBool,
+    arms: Mutex<HashMap<String, Arm>>,
+}
+
+impl FailPlan {
+    /// An empty plan (nothing ever fires).
+    pub fn new() -> Self {
+        FailPlan::default()
+    }
+
+    /// Arms `point` to fire `action` after `after` further hits (0 =
+    /// fire on the very next hit). Re-arming a point replaces its
+    /// previous arm.
+    pub fn arm(&self, point: &str, action: FailAction, after: u32) {
+        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
+        arms.insert(point.to_string(), Arm { action, after, fired: false });
+        self.inner.armed.store(true, Ordering::Release);
+    }
+
+    /// Hit `point`: decrements its countdown and returns the action the
+    /// moment it fires (exactly once per arm).
+    pub fn hit(&self, point: &str) -> Option<FailAction> {
+        if !self.inner.armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
+        let arm = arms.get_mut(point)?;
+        if arm.fired {
+            return None;
+        }
+        if arm.after == 0 {
+            arm.fired = true;
+            Some(arm.action)
+        } else {
+            arm.after -= 1;
+            None
+        }
+    }
+
+    /// Whether any arm has fired.
+    pub fn any_fired(&self) -> bool {
+        self.inner
+            .arms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .any(|a| a.fired)
+    }
+
+    /// A plan parsed from the `REPOSE_FAILPOINTS` environment variable;
+    /// empty when unset. Malformed entries panic with a message naming
+    /// them — a silently ignored fault plan is worse than none.
+    pub fn from_env() -> Self {
+        match std::env::var("REPOSE_FAILPOINTS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => FailPlan::new(),
+        }
+    }
+
+    /// Parses `point=action[:after][,...]` (actions: `io`, `short`,
+    /// `crash`).
+    pub fn parse(spec: &str) -> Self {
+        let plan = FailPlan::new();
+        for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (point, rhs) = entry
+                .split_once('=')
+                .unwrap_or_else(|| panic!("failpoint entry `{entry}` lacks `=`"));
+            let (action, after) = match rhs.split_once(':') {
+                Some((a, n)) => (
+                    a,
+                    n.parse::<u32>()
+                        .unwrap_or_else(|_| panic!("bad failpoint count in `{entry}`")),
+                ),
+                None => (rhs, 0),
+            };
+            let action = match action {
+                "io" => FailAction::IoError,
+                "short" => FailAction::ShortWrite,
+                "crash" => FailAction::Crash,
+                other => panic!("unknown failpoint action `{other}` in `{entry}`"),
+            };
+            plan.arm(point, action, after);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_never_fires() {
+        let plan = FailPlan::new();
+        for p in POINTS {
+            assert_eq!(plan.hit(p), None);
+        }
+        assert!(!plan.any_fired());
+    }
+
+    #[test]
+    fn countdown_fires_exactly_once() {
+        let plan = FailPlan::new();
+        plan.arm("wal.flush", FailAction::ShortWrite, 2);
+        assert_eq!(plan.hit("wal.flush"), None);
+        assert_eq!(plan.hit("wal.flush"), None);
+        assert_eq!(plan.hit("wal.flush"), Some(FailAction::ShortWrite));
+        assert_eq!(plan.hit("wal.flush"), None, "fires once, not repeatedly");
+        assert!(plan.any_fired());
+    }
+
+    #[test]
+    fn points_are_independent() {
+        let plan = FailPlan::new();
+        plan.arm("wal.sync", FailAction::Crash, 0);
+        assert_eq!(plan.hit("wal.append"), None);
+        assert_eq!(plan.hit("wal.sync"), Some(FailAction::Crash));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let plan = FailPlan::new();
+        let shared = plan.clone();
+        plan.arm("wal.append", FailAction::IoError, 0);
+        assert_eq!(shared.hit("wal.append"), Some(FailAction::IoError));
+    }
+
+    #[test]
+    fn parse_spec() {
+        let plan = FailPlan::parse("wal.flush=short:1, wal.sync=crash");
+        assert_eq!(plan.hit("wal.sync"), Some(FailAction::Crash));
+        assert_eq!(plan.hit("wal.flush"), None);
+        assert_eq!(plan.hit("wal.flush"), Some(FailAction::ShortWrite));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown failpoint action")]
+    fn parse_rejects_unknown_action() {
+        FailPlan::parse("wal.flush=explode");
+    }
+}

@@ -31,6 +31,7 @@ mod point;
 mod segment;
 mod store;
 mod trajectory;
+pub mod wire;
 
 pub use dataset::{Dataset, DatasetStats, PreprocessConfig};
 pub use error::ModelError;

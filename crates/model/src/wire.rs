@@ -1,0 +1,143 @@
+//! Little-endian wire primitives for the durability layer's on-disk
+//! records.
+//!
+//! Everything the write-ahead log persists bottoms out in four scalar
+//! shapes — `u32`, `u64`, `f64`, and [`Point`] runs — encoded here in one
+//! place so the encoder and decoder can never disagree on widths or byte
+//! order. Floats are encoded via [`f64::to_bits`], so a decode returns the
+//! *bit-identical* value that was written: NaN payloads, signed zeros, and
+//! subnormals all survive a roundtrip, which the exactness contract of the
+//! query path (bitwise-equal distances after recovery) depends on.
+//!
+//! Decoders are cursor-style: each `read_*` consumes from the front of a
+//! mutable byte-slice reference and returns `None` on underrun instead of
+//! panicking — a truncated (torn) record must be *detected*, never trip an
+//! index panic.
+
+use crate::Point;
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (little-endian).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a point run: a `u32` count followed by each point's `x`, `y`
+/// bit patterns.
+pub fn put_points(buf: &mut Vec<u8>, points: &[Point]) {
+    put_u32(buf, points.len() as u32);
+    for p in points {
+        put_f64(buf, p.x);
+        put_f64(buf, p.y);
+    }
+}
+
+/// Reads a `u32`, advancing the cursor; `None` on underrun.
+pub fn read_u32(cur: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = cur.split_first_chunk::<4>()?;
+    *cur = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Reads a `u64`, advancing the cursor; `None` on underrun.
+pub fn read_u64(cur: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = cur.split_first_chunk::<8>()?;
+    *cur = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+/// Reads an `f64` bit pattern, advancing the cursor; `None` on underrun.
+pub fn read_f64(cur: &mut &[u8]) -> Option<f64> {
+    read_u64(cur).map(f64::from_bits)
+}
+
+/// Reads a point run written by [`put_points`]; `None` on underrun or an
+/// impossible count (counts larger than the remaining bytes could hold are
+/// rejected before any allocation, so a corrupt length cannot trigger a
+/// huge reservation).
+pub fn read_points(cur: &mut &[u8]) -> Option<Vec<Point>> {
+    let n = read_u32(cur)? as usize;
+    if cur.len() < n.checked_mul(16)? {
+        return None;
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = read_f64(cur)?;
+        let y = read_f64(cur)?;
+        points.push(Point::new(x, y));
+    }
+    Some(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, -0.0);
+        let mut cur = buf.as_slice();
+        assert_eq!(read_u32(&mut cur), Some(0xDEAD_BEEF));
+        assert_eq!(read_u64(&mut cur), Some(u64::MAX - 7));
+        assert_eq!(read_f64(&mut cur).map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise() {
+        for v in [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            1.000_000_000_000_000_2,
+        ] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let mut cur = buf.as_slice();
+            assert_eq!(read_f64(&mut cur).unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn points_roundtrip() {
+        let pts = vec![Point::new(1.5, -2.5), Point::new(0.0, 64.0)];
+        let mut buf = Vec::new();
+        put_points(&mut buf, &pts);
+        let mut cur = buf.as_slice();
+        assert_eq!(read_points(&mut cur), Some(pts));
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn underrun_is_none_not_panic() {
+        let mut buf = Vec::new();
+        put_points(&mut buf, &[Point::new(1.0, 2.0)]);
+        for cut in 0..buf.len() {
+            let mut cur = &buf[..cut];
+            assert_eq!(read_points(&mut cur), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims ~4 billion points, provides none
+        let mut cur = buf.as_slice();
+        assert_eq!(read_points(&mut cur), None);
+    }
+}

@@ -35,6 +35,18 @@
 //!   a threshold-hint ring that pre-bounds near-duplicate queries'
 //!   collectors (metric measures, triangle inequality — sound and
 //!   answer-preserving).
+//! * **Durability & failure model** (opt-in via
+//!   [`ServiceConfig::durability`]): every acknowledged write is recorded
+//!   in a checksummed write-ahead log *before* it is applied, compaction
+//!   checkpoints truncate the log behind an atomic base snapshot, and
+//!   [`ReposeService::recover`] rebuilds the exact acknowledged state
+//!   after a crash (bitwise-identical query answers). Overload and
+//!   deadline pressure degrade *explicitly*:
+//!   [`ServiceConfig::max_inflight_queries`] sheds excess load with a
+//!   typed [`ServiceError::Overloaded`], and
+//!   [`ServiceConfig::query_deadline`] turns an expired query into a
+//!   partial answer flagged [`ServiceOutcome::degraded`] — never a
+//!   silently wrong "exact" result.
 //!
 //! ```
 //! use repose::{Repose, ReposeConfig};
@@ -55,27 +67,33 @@
 //! let service = ReposeService::new(repose);
 //!
 //! let query: Vec<Point> = (0..8).map(|j| Point::new(j as f64, 0.1)).collect();
-//! assert_eq!(service.query(&query, 3).hits.len(), 3);
+//! assert_eq!(service.query(&query, 3).unwrap().hits.len(), 3);
 //!
 //! // Insert a brand-new, perfectly matching trajectory: visible at once.
 //! service.insert(Trajectory::new(
 //!     999,
 //!     (0..8).map(|j| Point::new(j as f64, 0.1)).collect(),
-//! ));
-//! let out = service.query(&query, 3);
+//! )).unwrap();
+//! let out = service.query(&query, 3).unwrap();
 //! assert_eq!(out.hits[0].id, 999);
 //!
 //! // Merge the delta into freshly rebuilt frozen tries; answers unchanged.
-//! service.compact();
-//! assert_eq!(service.query(&query, 3).hits[0].id, 999);
+//! service.compact().unwrap();
+//! assert_eq!(service.query(&query, 3).unwrap().hits[0].id, 999);
 //! ```
 
 #![warn(missing_docs)]
 
 mod cache;
 mod delta;
+mod error;
 mod service;
 mod stats;
 
-pub use service::{ReposeService, ServiceConfig, ServiceOutcome};
+pub use error::ServiceError;
+pub use service::{RecoveryReport, ReposeService, ServiceConfig, ServiceOutcome};
 pub use stats::ServiceStats;
+
+// Durability types callers need to configure [`ServiceConfig::durability`]
+// or drive fault-injection tests, re-exported for convenience.
+pub use repose_durability::{DurabilityConfig, FailAction, FailPlan, FsyncPolicy, WalError};

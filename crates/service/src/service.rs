@@ -45,10 +45,12 @@
 
 use crate::cache::{CacheKey, QueryCache};
 use crate::delta::{snapshot_len, DeltaLog, DeltaSnapshot};
+use crate::error::ServiceError;
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
-use repose_cluster::{default_pool_threads, WorkerPool};
+use repose_cluster::{default_pool_threads, AdmissionGate, Deadline, WorkerPool};
 use repose_distance::{just_above, Measure, MeasureParams, TrajSummary};
+use repose_durability::{write_snapshot, DurabilityConfig, Wal, WalCounters, WalRecord};
 use repose_model::{Point, TrajId, TrajStore, Trajectory};
 use repose_rptrie::{Hit, SearchStats, SharedTopK};
 use std::collections::HashMap;
@@ -57,7 +59,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`ReposeService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Result-cache capacity in entries (0 disables caching *and* the
     /// threshold-hint ring).
@@ -78,6 +80,22 @@ pub struct ServiceConfig {
     /// backend ([`repose_distance::force_backend`]'s contract): a forced
     /// backend must never silently fall back.
     pub backend: Option<repose_distance::Backend>,
+    /// Wall-clock budget per query. `None` (the default) keeps the exact
+    /// path bit-for-bit unchanged; `Some(budget)` makes the bound-ordered
+    /// schedule stop dispatching partition tasks once the budget expires
+    /// and return whatever was found, explicitly marked
+    /// [`ServiceOutcome::degraded`]. Degraded answers are never cached.
+    pub query_deadline: Option<Duration>,
+    /// Maximum concurrently executing (cache-missing) queries before the
+    /// admission gate sheds load with [`ServiceError::Overloaded`].
+    /// 0 (the default) means unbounded. Cache hits are always served.
+    pub max_inflight_queries: usize,
+    /// Write-ahead logging configuration. `None` (the default) runs the
+    /// service volatile, exactly as before; `Some` makes every
+    /// acknowledged insert/delete durable per the configured
+    /// [`repose_durability::FsyncPolicy`] and enables
+    /// [`ReposeService::recover`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +104,9 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             pool_threads: default_pool_threads(),
             backend: None,
+            query_deadline: None,
+            max_inflight_queries: 0,
+            durability: None,
         }
     }
 }
@@ -140,6 +161,17 @@ pub struct ServiceOutcome {
     /// cache threshold hint pre-bounded `dk` before the first
     /// verification, `INFINITY` otherwise.
     pub threshold_seed: f64,
+    /// Whether the query's deadline expired before every partition was
+    /// searched: the hits are a best-effort partial answer, **not** the
+    /// exact top-k. Always `false` when [`ServiceConfig::query_deadline`]
+    /// is `None` (the default exact path).
+    pub degraded: bool,
+    /// Partitions actually searched (equals the partition count for an
+    /// exact answer; 0 for a cache hit, which needed no search).
+    pub partitions_searched: usize,
+    /// Partitions skipped because the deadline expired before their task
+    /// started (0 for an exact answer).
+    pub partitions_skipped: usize,
 }
 
 /// One partition's completed task.
@@ -148,6 +180,39 @@ struct PartResult {
     stats: SearchStats,
     delta_live: usize,
     time: Duration,
+    /// The task never ran: the query's deadline had already expired when
+    /// it was dispatched.
+    skipped: bool,
+}
+
+impl PartResult {
+    /// The marker for a deadline-skipped task.
+    fn skipped() -> Self {
+        PartResult {
+            hits: Vec::new(),
+            stats: SearchStats::default(),
+            delta_live: 0,
+            time: Duration::ZERO,
+            skipped: true,
+        }
+    }
+}
+
+/// What [`ReposeService::recover`] found and rebuilt.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Trajectories restored from the base snapshot.
+    pub base_trajectories: usize,
+    /// Data records (upserts + deletes) replayed from the log above the
+    /// snapshot.
+    pub replayed_records: u64,
+    /// Dangling bytes truncated from a torn final segment (0 after a
+    /// clean shutdown).
+    pub torn_bytes: u64,
+    /// The restored global operation sequence.
+    pub last_seq: u64,
+    /// Wall time of the whole recovery (replay + rebuild).
+    pub wall_time: Duration,
 }
 
 /// A thread-safe online serving layer over a [`Repose`] deployment.
@@ -175,6 +240,17 @@ pub struct ReposeService {
     /// summarize without touching the state lock.
     params: MeasureParams,
     counters: ServiceCounters,
+    /// The write-ahead log (`None` = volatile service). Its own mutex:
+    /// writers take the state lock *then* this one; compaction's
+    /// checkpoint takes only this one — a consistent order, no cycle.
+    wal: Option<Mutex<Wal>>,
+    /// The durability configuration (snapshot dir + fail plan), kept for
+    /// compaction checkpoints.
+    durability: Option<DurabilityConfig>,
+    /// Bounded query admission (limit 0 = unbounded).
+    admission: AdmissionGate,
+    /// Per-query wall-clock budget (`None` = exact path, no checks).
+    query_deadline: Option<Duration>,
 }
 
 impl ReposeService {
@@ -184,10 +260,51 @@ impl ReposeService {
     }
 
     /// Wraps a built deployment.
+    ///
+    /// # Panics
+    /// On a durability-layer failure while creating the write-ahead log
+    /// (use [`ReposeService::try_with_config`] for the fallible form), or
+    /// when a forced backend cannot run on this host.
     pub fn with_config(repose: Repose, config: ServiceConfig) -> Self {
+        ReposeService::try_with_config(repose, config).expect("service construction")
+    }
+
+    /// Wraps a built deployment; fails with a typed error if the
+    /// write-ahead log cannot be created (e.g. the directory already
+    /// holds a journal — recover instead of re-creating).
+    ///
+    /// With durability enabled this writes the initial base snapshot
+    /// (`base-0.snap`) of the frozen dataset, so the durability directory
+    /// is self-contained for [`ReposeService::recover`] from the first
+    /// acknowledged write onward.
+    pub fn try_with_config(
+        repose: Repose,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
         if let Some(b) = config.backend {
             repose_distance::force_backend(b);
         }
+        let wal = match &config.durability {
+            Some(dcfg) => {
+                let wal = Wal::create(dcfg)?;
+                write_snapshot(&dcfg.dir, 0, repose.all_trajectories(), &dcfg.failpoints)?;
+                Some(Mutex::new(wal))
+            }
+            None => None,
+        };
+        Ok(ReposeService::assemble(repose, &config, wal, 0))
+    }
+
+    /// The common constructor body: state layout, pool, cache, gates.
+    /// `op_seq` is 0 for a fresh service and the recovered sequence after
+    /// [`ReposeService::recover`] (the version stamp starts just above it,
+    /// so nothing ever sees a stale pre-crash cache generation).
+    fn assemble(
+        repose: Repose,
+        config: &ServiceConfig,
+        wal: Option<Mutex<Wal>>,
+        op_seq: u64,
+    ) -> Self {
         let partitions = repose.num_partitions();
         let measure = repose.config().measure();
         let params = repose.config().trie.params;
@@ -199,14 +316,107 @@ impl ReposeService {
                 deltas: (0..partitions).map(|_| DeltaLog::default()).collect(),
                 compacted_epochs: vec![0; partitions],
                 tombstones: Arc::new(HashMap::new()),
-                op_seq: 0,
+                op_seq,
             }),
             compact_gate: Mutex::new(()),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             pool: (config.pool_threads > 1).then(|| WorkerPool::new(config.pool_threads)),
-            version: AtomicU64::new(0),
+            version: AtomicU64::new(op_seq),
             counters: ServiceCounters::default(),
+            wal,
+            durability: config.durability.clone(),
+            admission: AdmissionGate::new(config.max_inflight_queries),
+            query_deadline: config.query_deadline,
         }
+    }
+
+    /// Rebuilds a service from its durability directory after a crash:
+    /// loads the newest complete base snapshot, replays every logged
+    /// operation above it into fresh delta segments (tolerating a torn
+    /// tail — see [`repose_durability::replay()`]), restores the operation
+    /// sequence, and reopens the WAL on a fresh segment.
+    ///
+    /// `repose_config` must be the deployment configuration the original
+    /// service was built with (measure, partitions, trie parameters);
+    /// `config.durability` names the directory and must be `Some`.
+    ///
+    /// The recovered service answers queries bitwise-identically to one
+    /// holding exactly the acknowledged pre-crash writes.
+    pub fn recover(
+        repose_config: ReposeConfig,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let t0 = Instant::now();
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or(ServiceError::DurabilityNotConfigured)?;
+        let replayed = repose_durability::replay(&dcfg.dir)?;
+
+        let mut base = TrajStore::new();
+        for (id, points) in &replayed.base {
+            base.push(*id, points);
+        }
+        let repose = Repose::build_from_store(&base, repose_config);
+        let wal = Wal::resume(
+            &dcfg,
+            replayed.segments,
+            replayed.next_segment_index,
+            replayed.last_seq,
+        )?;
+
+        let service =
+            ReposeService::assemble(repose, &config, Some(Mutex::new(wal)), replayed.last_seq);
+        let mut data_records = 0u64;
+        {
+            let mut s = service
+                .state
+                .write()
+                .map_err(|_| ServiceError::StatePoisoned)?;
+            let n = s.deltas.len();
+            for record in &replayed.records {
+                match record {
+                    WalRecord::Upsert { seq, id, points } => {
+                        let summary = service.params.summary_of(points);
+                        let partition = (*id as usize) % n;
+                        Arc::make_mut(&mut s.tombstones).insert(*id, *seq);
+                        s.deltas[partition].push(*seq, *id, points, summary);
+                        data_records += 1;
+                    }
+                    WalRecord::Delete { seq, id } => {
+                        Arc::make_mut(&mut s.tombstones).insert(*id, *seq);
+                        data_records += 1;
+                    }
+                    WalRecord::Seal { .. } => {
+                        // Mirror the logged segment boundary in the
+                        // recovered delta logs.
+                        for log in &mut s.deltas {
+                            log.seal();
+                        }
+                    }
+                    // `replay` consumes checkpoints while choosing what
+                    // to skip; none reach here.
+                    WalRecord::Checkpoint { .. } => {}
+                }
+            }
+        }
+        service
+            .counters
+            .recovered_records
+            .store(data_records, Ordering::Relaxed);
+        // Start the cache generation strictly above every pre-crash
+        // version so no stale entry or hint could ever match.
+        service
+            .version
+            .store(replayed.last_seq + 1, Ordering::Release);
+        let report = RecoveryReport {
+            base_trajectories: replayed.base.len(),
+            replayed_records: data_records,
+            torn_bytes: replayed.torn_bytes,
+            last_seq: replayed.last_seq,
+            wall_time: t0.elapsed(),
+        };
+        Ok((service, report))
     }
 
     /// The configuration of the underlying deployment.
@@ -242,16 +452,26 @@ impl ReposeService {
     /// (upsert). Visible to every query that starts after this returns.
     /// The points are copied into the partition's delta arena segment
     /// ([`Trajectory`] is only the I/O edge).
-    pub fn insert(&self, traj: Trajectory) {
+    ///
+    /// With durability enabled the write is logged **before** it is
+    /// applied: `Ok` means durable to the configured
+    /// [`repose_durability::FsyncPolicy`]'s guarantee; on `Err` the
+    /// in-memory state is unchanged and the write was not acknowledged.
+    pub fn insert(&self, traj: Trajectory) -> Result<(), ServiceError> {
         let t0 = Instant::now();
         // Summarize outside the lock: the same O(1)-prefilter summary the
         // frozen tries store per leaf member, paid once per write instead
         // of per query.
         let summary = self.params.summary_of(&traj.points);
         {
-            let mut s = self.state.write().expect("service state lock");
-            s.op_seq += 1;
-            let seq = s.op_seq;
+            let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
+            let seq = s.op_seq + 1;
+            self.log_write(|| WalRecord::Upsert {
+                seq,
+                id: traj.id,
+                points: traj.points.clone(),
+            })?;
+            s.op_seq = seq;
             let partition = (traj.id as usize) % s.deltas.len();
             Arc::make_mut(&mut s.tombstones).insert(traj.id, seq);
             s.deltas[partition].push(seq, traj.id, &traj.points, summary);
@@ -259,20 +479,37 @@ impl ReposeService {
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.inserts);
         self.counters.record_write(t0.elapsed());
+        Ok(())
     }
 
-    /// Deletes the trajectory with id `id` (a no-op if absent).
-    pub fn remove(&self, id: TrajId) {
+    /// Deletes the trajectory with id `id` (a no-op if absent). Same
+    /// durability contract as [`ReposeService::insert`].
+    pub fn remove(&self, id: TrajId) -> Result<(), ServiceError> {
         let t0 = Instant::now();
         {
-            let mut s = self.state.write().expect("service state lock");
-            s.op_seq += 1;
-            let seq = s.op_seq;
+            let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
+            let seq = s.op_seq + 1;
+            self.log_write(|| WalRecord::Delete { seq, id })?;
+            s.op_seq = seq;
             Arc::make_mut(&mut s.tombstones).insert(id, seq);
         }
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.deletes);
         self.counters.record_write(t0.elapsed());
+        Ok(())
+    }
+
+    /// Appends one record to the WAL (a no-op for a volatile service).
+    /// Called with the state write lock held — state → wal is the global
+    /// lock order. The record is built lazily so the volatile path pays
+    /// nothing.
+    fn log_write(&self, record: impl FnOnce() -> WalRecord) -> Result<(), ServiceError> {
+        if let Some(wal) = &self.wal {
+            wal.lock()
+                .map_err(|_| ServiceError::StatePoisoned)?
+                .append(&record())?;
+        }
+        Ok(())
     }
 
     /// Exact top-k over the live data.
@@ -283,7 +520,7 @@ impl ReposeService {
     /// query's wall-clock latency scales with cores while the answer stays
     /// exactly what the sequential path returns (identical distance
     /// multiset; ties may resolve per the paper's Definition 3).
-    pub fn query(&self, query: &[Point], k: usize) -> ServiceOutcome {
+    pub fn query(&self, query: &[Point], k: usize) -> Result<ServiceOutcome, ServiceError> {
         let t0 = Instant::now();
         ServiceCounters::bump(&self.counters.queries);
 
@@ -294,11 +531,11 @@ impl ReposeService {
         // landing between the load and the snapshot merely makes the
         // cached entry conservatively stale.)
         let version = self.version.load(Ordering::Acquire);
-        if let Some(hits) = self.cache.lock().expect("cache lock").get(&key, version) {
+        if let Some(hits) = self.lock_cache().get(&key, version) {
             ServiceCounters::bump(&self.counters.cache_hits);
             let latency = t0.elapsed();
             self.counters.record_read(latency);
-            return ServiceOutcome {
+            return Ok(ServiceOutcome {
                 hits,
                 latency,
                 cache_hit: true,
@@ -306,9 +543,25 @@ impl ReposeService {
                 delta_candidates: 0,
                 partition_times: Vec::new(),
                 threshold_seed: f64::INFINITY,
-            };
+                degraded: false,
+                partitions_searched: 0,
+                partitions_skipped: 0,
+            });
         }
+        // Admission is checked only for queries that must search: cache
+        // hits cost nothing and are always served, even under overload.
+        let _permit = match self.admission.try_acquire() {
+            Ok(p) => p,
+            Err(in_flight) => {
+                ServiceCounters::bump(&self.counters.queries_shed);
+                return Err(ServiceError::Overloaded {
+                    in_flight,
+                    limit: self.admission.limit(),
+                });
+            }
+        };
         ServiceCounters::bump(&self.counters.cache_misses);
+        let deadline = self.query_deadline.map(Deadline::after);
 
         let (frozen, deltas, tombstones, state_seq) = self.snapshot();
         // Hints are matched on the snapshot's op-seq, *after* the
@@ -329,23 +582,32 @@ impl ReposeService {
             SharedTopK::new(k)
         };
         let qsum = self.params.summary_of(query);
-        let parts = self.run_partitions(&frozen, &deltas, &tombstones, query, k, &qsum, &collector);
+        let parts = self.run_partitions(
+            &frozen, &deltas, &tombstones, query, k, &qsum, &collector, deadline,
+        );
 
         let mut hits: Vec<Hit> = Vec::new();
         let mut search = SearchStats::default();
         let mut delta_candidates = 0;
         let mut partition_times = Vec::with_capacity(parts.len());
+        let mut skipped = 0;
         for p in &parts {
             search.merge(&p.stats);
             delta_candidates += p.delta_live;
             partition_times.push(p.time);
             hits.extend_from_slice(&p.hits);
+            skipped += usize::from(p.skipped);
         }
         hits.sort_by(Hit::cmp_by_dist_then_id);
         hits.truncate(k);
+        let degraded = skipped > 0;
 
-        {
-            let mut cache = self.cache.lock().expect("cache lock");
+        if degraded {
+            // A partial answer must never poison the cache or the
+            // threshold-hint ring: both assume exact k-th distances.
+            ServiceCounters::bump(&self.counters.queries_degraded);
+        } else {
+            let mut cache = self.lock_cache();
             cache.put(key, version, hits.clone());
             if hits.len() == k {
                 if let Some(kth) = hits.last() {
@@ -355,7 +617,7 @@ impl ReposeService {
         }
         let latency = t0.elapsed();
         self.counters.record_read(latency);
-        ServiceOutcome {
+        Ok(ServiceOutcome {
             hits,
             latency,
             cache_hit: false,
@@ -363,7 +625,10 @@ impl ReposeService {
             delta_candidates,
             partition_times,
             threshold_seed,
-        }
+            degraded,
+            partitions_searched: parts.len() - skipped,
+            partitions_skipped: skipped,
+        })
     }
 
     /// Answers a batch of queries (cache consulted per query).
@@ -375,7 +640,17 @@ impl ReposeService {
     /// read throughput therefore scales with pool threads instead of the
     /// batch queueing behind one query at a time. Results are exactly the
     /// per-query [`ReposeService::query`] answers.
-    pub fn query_batch(&self, queries: &[Vec<Point>], k: usize) -> Vec<ServiceOutcome> {
+    ///
+    /// A batch holds **one** admission slot for all its cache-missing
+    /// queries (it is one caller); a full gate rejects the whole call
+    /// with [`ServiceError::Overloaded`]. With a configured deadline the
+    /// budget covers the batch, and each query reports its own degraded
+    /// flag.
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<Point>],
+        k: usize,
+    ) -> Result<Vec<ServiceOutcome>, ServiceError> {
         let Some(pool) = &self.pool else {
             return queries.iter().map(|q| self.query(q, k)).collect();
         };
@@ -394,7 +669,7 @@ impl ReposeService {
         let mut misses: Vec<usize> = Vec::new();
         let mut dup_of: Vec<Option<usize>> = vec![None; queries.len()];
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.lock_cache();
             let mut seen: HashMap<CacheKey, usize> = HashMap::new();
             for (qi, q) in queries.iter().enumerate() {
                 ServiceCounters::bump(&self.counters.queries);
@@ -411,6 +686,9 @@ impl ReposeService {
                         delta_candidates: 0,
                         partition_times: Vec::new(),
                         threshold_seed: f64::INFINITY,
+                        degraded: false,
+                        partitions_searched: 0,
+                        partitions_skipped: 0,
                     });
                 } else if let Some(&twin) = seen.get(&key) {
                     ServiceCounters::bump(&self.counters.cache_hits);
@@ -424,6 +702,17 @@ impl ReposeService {
         }
 
         if !misses.is_empty() {
+            let _permit = match self.admission.try_acquire() {
+                Ok(p) => p,
+                Err(in_flight) => {
+                    ServiceCounters::bump(&self.counters.queries_shed);
+                    return Err(ServiceError::Overloaded {
+                        in_flight,
+                        limit: self.admission.limit(),
+                    });
+                }
+            };
+            let deadline = self.query_deadline.map(Deadline::after);
             let (frozen, deltas, tombstones, state_seq) = self.snapshot();
             let n = frozen.num_partitions();
             // Hint seeding happens *after* the snapshot, matched on its
@@ -483,21 +772,26 @@ impl ReposeService {
                         let tombstones = &tombstones;
                         let params = self.params;
                         s.submit(move || {
-                            let r = run_partition(
-                                frozen, tombstones, query, k, collector, params, cands, pi,
-                            );
+                            let r = if deadline.is_some_and(|d| d.expired()) {
+                                PartResult::skipped()
+                            } else {
+                                run_partition(
+                                    frozen, tombstones, query, k, collector, params, cands, pi,
+                                )
+                            };
                             *slot.lock().expect("partition slot") = Some(r);
                         });
                     }
                 }
             });
 
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.lock_cache();
             for (mi, &qi) in misses.iter().enumerate() {
                 let mut hits: Vec<Hit> = Vec::new();
                 let mut search = SearchStats::default();
                 let mut delta_candidates = 0;
                 let mut partition_times = Vec::with_capacity(n);
+                let mut skipped = 0;
                 for slot in &results[mi] {
                     let p = slot
                         .lock()
@@ -508,14 +802,22 @@ impl ReposeService {
                     delta_candidates += p.delta_live;
                     partition_times.push(p.time);
                     hits.extend_from_slice(&p.hits);
+                    skipped += usize::from(p.skipped);
                 }
                 hits.sort_by(Hit::cmp_by_dist_then_id);
                 hits.truncate(k);
-                let key = CacheKey::new(self.measure, &queries[qi], k);
-                cache.put(key, version, hits.clone());
-                if hits.len() == k {
-                    if let Some(kth) = hits.last() {
-                        cache.record_hint(self.measure, &queries[qi], k, state_seq, kth.dist);
+                let degraded = skipped > 0;
+                if degraded {
+                    // Partial answers never reach the cache or the hint
+                    // ring (both assume exact k-th distances).
+                    ServiceCounters::bump(&self.counters.queries_degraded);
+                } else {
+                    let key = CacheKey::new(self.measure, &queries[qi], k);
+                    cache.put(key, version, hits.clone());
+                    if hits.len() == k {
+                        if let Some(kth) = hits.last() {
+                            cache.record_hint(self.measure, &queries[qi], k, state_seq, kth.dist);
+                        }
                     }
                 }
                 outcomes[qi] = Some(ServiceOutcome {
@@ -526,20 +828,22 @@ impl ReposeService {
                     delta_candidates,
                     partition_times,
                     threshold_seed: seeds[mi],
+                    degraded,
+                    partitions_searched: n - skipped,
+                    partitions_skipped: skipped,
                 });
             }
         }
 
         // In-batch duplicates share their twin's hits but report as cache
-        // hits (they did no search work of their own).
+        // hits (they did no search work of their own). A degraded twin's
+        // partial answer is shared too — flagged identically.
         let latency = t0.elapsed();
         for qi in 0..queries.len() {
             if let Some(twin) = dup_of[qi] {
-                let hits = outcomes[twin]
-                    .as_ref()
-                    .expect("twin executed")
-                    .hits
-                    .clone();
+                let twin = outcomes[twin].as_ref().expect("twin executed");
+                let hits = twin.hits.clone();
+                let degraded = twin.degraded;
                 outcomes[qi] = Some(ServiceOutcome {
                     hits,
                     latency,
@@ -548,10 +852,13 @@ impl ReposeService {
                     delta_candidates: 0,
                     partition_times: Vec::new(),
                     threshold_seed: f64::INFINITY,
+                    degraded,
+                    partitions_searched: 0,
+                    partitions_skipped: 0,
                 });
             }
         }
-        outcomes
+        Ok(outcomes
             .into_iter()
             .map(|o| {
                 let mut o = o.expect("every query answered");
@@ -561,7 +868,7 @@ impl ReposeService {
                 self.counters.record_read(o.latency);
                 o
             })
-            .collect()
+            .collect())
     }
 
     /// Folds every buffered write into rebuilt frozen tries —
@@ -584,7 +891,14 @@ impl ReposeService {
     /// that region — where reference-point discretization would clamp and
     /// lose bound soundness — the compaction transparently falls back to
     /// [`ReposeService::compact_full`]'s global re-partition.
-    pub fn compact(&self) -> usize {
+    ///
+    /// With durability enabled a completed compaction also **checkpoints**
+    /// the WAL: the rebuilt deployment is written as a fresh base snapshot,
+    /// the log rotates to a new segment (aligned with the delta-segment
+    /// seal), and every fully covered segment is pruned — so recovery time
+    /// tracks the write volume since the last compaction, not service
+    /// lifetime.
+    pub fn compact(&self) -> Result<usize, ServiceError> {
         self.compact_inner(false)
     }
 
@@ -593,16 +907,19 @@ impl ReposeService {
     /// fresh placement), like the offline build. Use it to restore
     /// partition balance after long runs of skewed writes; plain
     /// `compact` is the cheap steady-state operation.
-    pub fn compact_full(&self) -> usize {
+    pub fn compact_full(&self) -> Result<usize, ServiceError> {
         self.compact_inner(true)
     }
 
-    fn compact_inner(&self, force_full: bool) -> usize {
-        let _gate = self.compact_gate.lock().expect("compact gate");
+    fn compact_inner(&self, force_full: bool) -> Result<usize, ServiceError> {
+        let _gate = self
+            .compact_gate
+            .lock()
+            .map_err(|_| ServiceError::StatePoisoned)?;
 
         // Phase 1: consistent snapshot.
         let (frozen, raw_deltas, prefix_lens, epochs, compacted_epochs, tomb_snapshot, seq_snapshot) = {
-            let s = self.state.read().expect("service state lock");
+            let s = self.state.read().map_err(|_| ServiceError::StatePoisoned)?;
             let raw: Vec<DeltaSnapshot> = s.deltas.iter().map(DeltaLog::snapshot).collect();
             let lens: Vec<usize> = raw.iter().map(snapshot_len).collect();
             let epochs: Vec<u64> = s.deltas.iter().map(DeltaLog::epoch).collect();
@@ -708,7 +1025,7 @@ impl ReposeService {
 
         // Phase 3: atomic install.
         {
-            let mut s = self.state.write().expect("service state lock");
+            let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
             for (log, &len) in s.deltas.iter_mut().zip(&prefix_lens) {
                 log.drain_prefix(len);
             }
@@ -716,7 +1033,7 @@ impl ReposeService {
             // Tombstones at or before the snapshot are fully reflected in
             // the rebuilt deployment; later ones still apply.
             Arc::make_mut(&mut s.tombstones).retain(|_, seq| *seq > seq_snapshot);
-            s.frozen = new_frozen;
+            s.frozen = Arc::clone(&new_frozen);
         }
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.compactions);
@@ -726,7 +1043,28 @@ impl ReposeService {
         self.counters
             .last_compact_rebuilt
             .store(rebuilt_parts as u64, Ordering::Relaxed);
-        rebuilt_len
+
+        // Phase 4 (durable services): checkpoint the WAL against the
+        // installed deployment. The snapshot is written with *no* locks
+        // held (`new_frozen` is our own `Arc`; it reflects exactly the
+        // operations with seq <= seq_snapshot), then the log rotates and
+        // prunes under its own lock. Writers doing state -> wal cannot
+        // deadlock with this wal-only section.
+        if let (Some(wal), Some(dcfg)) = (&self.wal, &self.durability) {
+            let bytes = write_snapshot(
+                &dcfg.dir,
+                seq_snapshot,
+                new_frozen.all_trajectories(),
+                &dcfg.failpoints,
+            )?;
+            self.counters
+                .snapshot_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            let mut wal = wal.lock().map_err(|_| ServiceError::StatePoisoned)?;
+            wal.rotate()?;
+            wal.checkpoint(seq_snapshot)?;
+        }
+        Ok(rebuilt_len)
     }
 
     /// A point-in-time snapshot of the service's counters.
@@ -736,13 +1074,27 @@ impl ReposeService {
         let tombstones = s.tombstones.len();
         let partitions = s.frozen.num_partitions();
         drop(s);
-        let cached = self.cache.lock().expect("cache lock").len();
+        let cached = self.lock_cache().len();
+        let wal = self.wal.as_ref().map_or_else(WalCounters::default, |w| {
+            w.lock().unwrap_or_else(|e| e.into_inner()).counters()
+        });
         self.counters
-            .snapshot(delta_len, tombstones, cached, partitions)
+            .snapshot(delta_len, tombstones, cached, partitions, wal)
     }
 
+    /// Infallible observers (stats, `len`, `Debug`, queries) read through
+    /// lock poisoning: a panicked writer can at worst leave one
+    /// half-applied write, which these read-only paths tolerate — only
+    /// *mutation* refuses a poisoned state (typed
+    /// [`ServiceError::StatePoisoned`]).
     fn read_state(&self) -> std::sync::RwLockReadGuard<'_, ServeState> {
-        self.state.read().expect("service state lock")
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The cache's internal structure is valid at every step, so reads
+    /// and writes both recover from poisoning.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Clones everything a query needs, under a brief read lock: the
@@ -772,9 +1124,7 @@ impl ReposeService {
     /// calls happen outside the cache lock.
     fn hint_bound(&self, query: &[Point], k: usize, state_seq: u64) -> f64 {
         let candidates = self
-            .cache
-            .lock()
-            .expect("cache lock")
+            .lock_cache()
             .hint_candidates(self.measure, k, state_seq);
         let mut bound = f64::INFINITY;
         for hint in candidates {
@@ -788,6 +1138,12 @@ impl ReposeService {
     /// in bound order — on the pool when enabled (most promising partition
     /// inline on the caller, the rest FIFO to the workers), inline
     /// otherwise. Returns per-partition results indexed by partition.
+    ///
+    /// With a `deadline`, each task checks expiry at the moment it starts
+    /// executing: expired tasks are skipped (marked in their
+    /// [`PartResult`]) instead of searched, so the query returns promptly
+    /// with whatever the on-time partitions found. `None` adds no checks —
+    /// the exact path is untouched.
     #[allow(clippy::too_many_arguments)]
     fn run_partitions(
         &self,
@@ -798,12 +1154,16 @@ impl ReposeService {
         k: usize,
         qsum: &TrajSummary,
         collector: &SharedTopK,
+        deadline: Option<Deadline>,
     ) -> Vec<PartResult> {
         let n = frozen.num_partitions();
         let (order, cands) =
             partition_schedule(frozen, deltas, tombstones, query, qsum, self.params);
         let params = self.params;
         let run = |pi: usize| {
+            if deadline.is_some_and(|d| d.expired()) {
+                return PartResult::skipped();
+            }
             run_partition(frozen, tombstones, query, k, collector, params, &cands[pi], pi)
         };
         let mut slots: Vec<Option<PartResult>> = Vec::new();
@@ -882,6 +1242,7 @@ fn run_partition(
         stats,
         delta_live,
         time: t0.elapsed(),
+        skipped: false,
     }
 }
 

@@ -37,6 +37,16 @@ pub(crate) struct ServiceCounters {
     pub(crate) last_compact_rebuilt: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
+    /// Queries answered with a deadline-degraded (partial) schedule.
+    pub(crate) queries_degraded: AtomicU64,
+    /// Queries rejected at the admission gate.
+    pub(crate) queries_shed: AtomicU64,
+    /// Data records replayed by [`crate::ReposeService::recover`] (0 for a
+    /// fresh service).
+    pub(crate) recovered_records: AtomicU64,
+    /// Snapshot bytes written by compaction checkpoints (the WAL's own
+    /// counters cover only its segments).
+    pub(crate) snapshot_bytes: AtomicU64,
     pub(crate) read_latency: Mutex<Reservoir>,
     pub(crate) write_latency: Mutex<Reservoir>,
 }
@@ -60,6 +70,7 @@ impl ServiceCounters {
         tombstones: usize,
         cached: usize,
         partitions: usize,
+        wal: repose_durability::WalCounters,
     ) -> ServiceStats {
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
@@ -74,6 +85,11 @@ impl ServiceCounters {
             delta_len,
             tombstones,
             cached_queries: cached,
+            wal_bytes: wal.bytes_written + self.snapshot_bytes.load(Ordering::Relaxed),
+            wal_fsyncs: wal.fsyncs,
+            recovered_records: self.recovered_records.load(Ordering::Relaxed),
+            queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
             read_latency: LatencySummary::from_durations(
                 self.read_latency.lock().expect("stats lock").samples.clone(),
             ),
@@ -115,6 +131,19 @@ pub struct ServiceStats {
     pub tombstones: usize,
     /// Entries currently in the result cache.
     pub cached_queries: usize,
+    /// Bytes the durability layer has handed to the OS (WAL segments plus
+    /// compaction snapshots; 0 for a volatile service).
+    pub wal_bytes: u64,
+    /// `fsync` calls the WAL has issued (0 for a volatile service).
+    pub wal_fsyncs: u64,
+    /// Data records (upserts + deletes) replayed at recovery (0 for a
+    /// fresh service).
+    pub recovered_records: u64,
+    /// Queries whose deadline expired mid-schedule and were answered
+    /// explicitly degraded (partial partition coverage).
+    pub queries_degraded: u64,
+    /// Queries rejected at the admission gate under overload.
+    pub queries_shed: u64,
     /// Recent query latencies (host wall time, reservoir-sampled).
     pub read_latency: LatencySummary,
     /// Recent insert/delete latencies.

@@ -43,7 +43,7 @@ fn queries() -> Vec<Vec<Point>> {
 
 /// Ids returned by a service query.
 fn served_ids(service: &ReposeService, q: &[Point], k: usize) -> Vec<u64> {
-    service.query(q, k).hits.iter().map(|h| h.id).collect()
+    service.query(q, k).unwrap().hits.iter().map(|h| h.id).collect()
 }
 
 /// Ids returned by a freshly built offline deployment.
@@ -60,12 +60,12 @@ fn delta_search_is_exact_for_every_measure() {
         let service = ReposeService::new(Repose::build(&dataset(0..80), cfg));
         // Buffer 40 more trajectories without compacting.
         for id in 80..120 {
-            service.insert(traj(id));
+            service.insert(traj(id)).unwrap();
         }
         let full = dataset(0..120);
         for q in &queries() {
             for k in [1, 7, 30] {
-                let got = service.query(q, k);
+                let got = service.query(q, k).unwrap();
                 let want = Repose::build(&full, cfg).query(q, k);
                 if matches!(measure, Measure::Lcss | Measure::Edr) {
                     // Quantized measures tie freely; Definition 3 permits
@@ -111,7 +111,7 @@ fn upsert_and_delete_semantics() {
 
     // Delete a frozen trajectory: it must vanish from results.
     let victim = served_ids(&service, &q, 1)[0];
-    service.remove(victim);
+    service.remove(victim).unwrap();
     assert!(!served_ids(&service, &q, 30).contains(&victim));
     assert_eq!(service.len(), 29);
 
@@ -121,7 +121,7 @@ fn upsert_and_delete_semantics() {
         p.x += 100.0;
         p.y += 100.0;
     }
-    service.insert(moved);
+    service.insert(moved).unwrap();
     assert_eq!(service.len(), 30);
     let far_q: Vec<Point> = (0..10)
         .map(|s| Point::new(100.0 + s as f64 * 0.4, 100.0))
@@ -129,16 +129,18 @@ fn upsert_and_delete_semantics() {
     assert_eq!(served_ids(&service, &far_q, 1), vec![victim]);
 
     // Upsert an id twice more: still one live copy, latest geometry wins.
-    service.insert(traj(victim));
-    service.insert({
-        let mut t = traj(victim);
-        t.points[0].x += 0.001;
-        t
-    });
+    service.insert(traj(victim)).unwrap();
+    service
+        .insert({
+            let mut t = traj(victim);
+            t.points[0].x += 0.001;
+            t
+        })
+        .unwrap();
     assert_eq!(service.len(), 30);
 
     // Deleting a never-inserted id is a no-op.
-    service.remove(9999);
+    service.remove(9999).unwrap();
     assert_eq!(service.len(), 30);
 
     // Everything still matches a from-scratch rebuild.
@@ -164,9 +166,9 @@ fn cached_results_reflect_every_write() {
     let q: Vec<Point> = (0..10).map(|s| Point::new(s as f64 * 0.4, 0.05)).collect();
 
     // Prime the cache, then verify a hit.
-    let first = service.query(&q, 5);
+    let first = service.query(&q, 5).unwrap();
     assert!(!first.cache_hit);
-    let second = service.query(&q, 5);
+    let second = service.query(&q, 5).unwrap();
     assert!(second.cache_hit, "repeat query should hit the cache");
     assert_eq!(
         first.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
@@ -176,22 +178,22 @@ fn cached_results_reflect_every_write() {
     // Insert a trajectory that must dominate this query: the previously
     // cached answer is now stale and must not be served.
     let winner = Trajectory::new(777, q.clone());
-    service.insert(winner);
-    let after = service.query(&q, 5);
+    service.insert(winner).unwrap();
+    let after = service.query(&q, 5).unwrap();
     assert!(!after.cache_hit, "cache served a stale result across a write");
     assert_eq!(after.hits[0].id, 777);
     assert!(after.hits[0].dist.abs() < 1e-12);
 
     // Deletes invalidate too.
-    service.remove(777);
-    let post_delete = service.query(&q, 5);
+    service.remove(777).unwrap();
+    let post_delete = service.query(&q, 5).unwrap();
     assert!(!post_delete.cache_hit);
     assert_ne!(post_delete.hits[0].id, 777);
 
     // And compaction does as well (same answer, freshly computed).
     let pre = served_ids(&service, &q, 5);
-    service.compact();
-    let post = service.query(&q, 5);
+    service.compact().unwrap();
+    let post = service.query(&q, 5).unwrap();
     assert!(!post.cache_hit);
     assert_eq!(pre, post.hits.iter().map(|h| h.id).collect::<Vec<_>>());
 
@@ -206,10 +208,10 @@ fn compaction_drains_deltas_and_preserves_answers() {
     let cfg = config(Measure::Frechet);
     let service = ReposeService::new(Repose::build(&dataset(0..50), cfg));
     for id in 50..90 {
-        service.insert(traj(id));
+        service.insert(traj(id)).unwrap();
     }
     for id in [3, 17, 60] {
-        service.remove(id);
+        service.remove(id).unwrap();
     }
     let before: Vec<Vec<u64>> = queries()
         .iter()
@@ -218,7 +220,7 @@ fn compaction_drains_deltas_and_preserves_answers() {
     let stats = service.stats();
     assert!(stats.delta_len > 0 && stats.tombstones > 0);
 
-    let rebuilt = service.compact();
+    let rebuilt = service.compact().unwrap();
     assert_eq!(rebuilt, 87); // 50 + 40 - 3 deletes
     let stats = service.stats();
     assert_eq!(
@@ -251,9 +253,10 @@ fn interleaved_writers_and_readers_converge_to_rebuild() {
         let service = Arc::clone(&service);
         handles.push(std::thread::spawn(move || {
             for i in 0..30 {
-                service.insert(traj(1000 + w * 100 + i));
+                service.insert(traj(1000 + w * 100 + i)).unwrap();
                 if i % 7 == 0 {
-                    service.remove(w * 10 + i % 10); // delete some frozen ids
+                    // Delete some frozen ids.
+                    service.remove(w * 10 + i % 10).unwrap();
                 }
             }
         }));
@@ -264,7 +267,7 @@ fn interleaved_writers_and_readers_converge_to_rebuild() {
         handles.push(std::thread::spawn(move || {
             for round in 0..40 {
                 let q = &qs[(r + round) % qs.len()];
-                let out = service.query(q, 10);
+                let out = service.query(q, 10).unwrap();
                 // Mid-stream answers must be well-formed: sorted, deduped.
                 for w in out.hits.windows(2) {
                     assert!(
@@ -311,7 +314,7 @@ fn interleaved_writers_and_readers_converge_to_rebuild() {
     }
 
     // ...and the same equivalence must hold after compaction.
-    service.compact();
+    service.compact().unwrap();
     for q in &qs {
         assert_eq!(served_ids(&service, q, 25), rebuilt_ids(&full, cfg, q, 25));
     }
@@ -329,7 +332,7 @@ fn queries_racing_compaction_never_see_partial_state() {
         ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
     ));
     for id in 70..100 {
-        service.insert(traj(id));
+        service.insert(traj(id)).unwrap();
     }
     let expected: Vec<Vec<u64>> = {
         let full = dataset(0..100);
@@ -350,7 +353,7 @@ fn queries_racing_compaction_never_see_partial_state() {
             let mut rounds = 0u32;
             while !stop.load(Ordering::Relaxed) || rounds < 5 {
                 let qi = (r + rounds as usize) % qs.len();
-                let got = service.query(&qs[qi], 15);
+                let got = service.query(&qs[qi], 15).unwrap();
                 assert_eq!(
                     got.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
                     expected[qi],
@@ -362,7 +365,7 @@ fn queries_racing_compaction_never_see_partial_state() {
     }
     // Compact repeatedly while the readers hammer away.
     for _ in 0..3 {
-        service.compact();
+        service.compact().unwrap();
     }
     stop.store(true, Ordering::Relaxed);
     for h in handles {
@@ -377,20 +380,20 @@ fn service_on_empty_deployment() {
     let service = ReposeService::new(Repose::build(&Dataset::new(), cfg));
     assert!(service.is_empty());
     let q = vec![Point::new(0.0, 0.0)];
-    assert!(service.query(&q, 3).hits.is_empty());
+    assert!(service.query(&q, 3).unwrap().hits.is_empty());
 
     // Grow it purely through the online path.
     for id in 0..12 {
-        service.insert(traj(id));
+        service.insert(traj(id)).unwrap();
     }
     assert_eq!(service.len(), 12);
-    let out = service.query(&queries()[0], 5);
+    let out = service.query(&queries()[0], 5).unwrap();
     assert_eq!(out.hits.len(), 5);
     assert_eq!(
         served_ids(&service, &queries()[0], 5),
         rebuilt_ids(&dataset(0..12), cfg, &queries()[0], 5)
     );
-    service.compact();
+    service.compact().unwrap();
     assert_eq!(service.len(), 12);
     assert_eq!(
         served_ids(&service, &queries()[0], 5),
@@ -406,10 +409,10 @@ fn delta_scan_abandons_hopeless_candidates() {
     let cfg = config(Measure::Hausdorff);
     let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
     for id in 40..120 {
-        service.insert(traj(id));
+        service.insert(traj(id)).unwrap();
     }
     let q = &queries()[0];
-    let out = service.query(q, 3);
+    let out = service.query(q, 3).unwrap();
     assert!(out.delta_candidates > 0, "delta must be scanned");
     assert!(
         out.search.exact_abandoned > 0,
@@ -428,10 +431,10 @@ fn batch_queries_and_latency_stats() {
     let cfg = config(Measure::Hausdorff);
     let service = ReposeService::new(Repose::build(&dataset(0..40), cfg));
     for id in 40..50 {
-        service.insert(traj(id));
+        service.insert(traj(id)).unwrap();
     }
     let qs = queries();
-    let outcomes = service.query_batch(&qs, 6);
+    let outcomes = service.query_batch(&qs, 6).unwrap();
     assert_eq!(outcomes.len(), qs.len());
     for (q, o) in qs.iter().zip(&outcomes) {
         assert_eq!(

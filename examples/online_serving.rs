@@ -42,7 +42,7 @@ fn main() {
             s.spawn(move || {
                 for i in 0..150 {
                     let q = &queries[(r + i) % queries.len()];
-                    let out = service.query(&q.points, 10);
+                    let out = service.query(&q.points, 10).expect("query");
                     assert!(!out.hits.is_empty());
                 }
             });
@@ -52,15 +52,17 @@ fn main() {
         s.spawn(move || {
             for i in 0..200u64 {
                 let jit = (i + 1) as f64 * 1e-5;
-                service.insert(Trajectory::new(
-                    1_000_000 + i,
-                    template
-                        .iter()
-                        .map(|p| Point::new(p.x + jit, p.y + jit))
-                        .collect(),
-                ));
+                service
+                    .insert(Trajectory::new(
+                        1_000_000 + i,
+                        template
+                            .iter()
+                            .map(|p| Point::new(p.x + jit, p.y + jit))
+                            .collect(),
+                    ))
+                    .expect("insert");
                 if i == 100 {
-                    let n = service.compact();
+                    let n = service.compact().expect("compact");
                     println!("mid-stream compaction folded the delta into {n} trajectories");
                 }
             }
@@ -70,7 +72,7 @@ fn main() {
     // 3. The freshly inserted trips are immediately searchable: the query
     //    matching their template is now dominated by them (the template
     //    trajectory itself, at distance 0, keeps rank 1).
-    let out = service.query(&queries[0].points, 5);
+    let out = service.query(&queries[0].points, 5).expect("query");
     let fresh = out.hits.iter().filter(|h| h.id >= 1_000_000).count();
     assert!(fresh >= 4, "expected the fresh trips to dominate, got {fresh}/5");
     println!(
@@ -95,7 +97,7 @@ fn main() {
     );
 
     // 5. Final compaction leaves a clean frozen deployment.
-    let n = service.compact();
+    let n = service.compact().expect("compact");
     println!("\nfinal compaction: {n} live trajectories, delta drained");
     assert_eq!(service.stats().delta_len, 0);
 }

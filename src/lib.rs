@@ -10,6 +10,7 @@ pub use repose_baselines as baselines;
 pub use repose_cluster as cluster;
 pub use repose_datagen as datagen;
 pub use repose_distance as distance;
+pub use repose_durability as durability;
 pub use repose_model as model;
 pub use repose_rptrie as rptrie;
 pub use repose_service as service;

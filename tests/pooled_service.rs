@@ -37,15 +37,15 @@ fn service(measure: Measure, pool_threads: usize) -> ReposeService {
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
         // Cache off so every query exercises the search path under test.
-        ServiceConfig { cache_capacity: 0, pool_threads, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads, ..ServiceConfig::default() },
     );
     // A live delta on every partition + tombstones over frozen data:
     // the pooled path must handle all three sources at once.
     for id in 100..140 {
-        svc.insert(tie_traj(id));
+        svc.insert(tie_traj(id)).unwrap();
     }
     for id in [3u64, 17, 44, 90] {
-        svc.remove(id);
+        svc.remove(id).unwrap();
     }
     for id in 55..60 {
         // Upserts: moved copies shadow frozen originals.
@@ -53,7 +53,7 @@ fn service(measure: Measure, pool_threads: usize) -> ReposeService {
         for p in &mut t.points {
             p.y += 2.5;
         }
-        svc.insert(t);
+        svc.insert(t).unwrap();
     }
     svc
 }
@@ -96,8 +96,8 @@ fn pooled_query_matches_sequential_for_every_measure() {
             for k in [1usize, 3, 7, 25] {
                 // Repeat to shake out pool interleavings.
                 for round in 0..3 {
-                    let p = pooled.query(q, k);
-                    let s = sequential.query(q, k);
+                    let p = pooled.query(q, k).unwrap();
+                    let s = sequential.query(q, k).unwrap();
                     assert_eq!(
                         sorted_dist_bits(&p),
                         sorted_dist_bits(&s),
@@ -129,10 +129,10 @@ fn pooled_query_batch_matches_sequential_for_every_measure() {
         let sequential = service(measure, 1);
         let qs = queries();
         for k in [1usize, 7, 25] {
-            let batch = pooled.query_batch(&qs, k);
+            let batch = pooled.query_batch(&qs, k).unwrap();
             assert_eq!(batch.len(), qs.len());
             for (q, b) in qs.iter().zip(&batch) {
-                let s = sequential.query(q, k);
+                let s = sequential.query(q, k).unwrap();
                 assert_eq!(
                     sorted_dist_bits(b),
                     sorted_dist_bits(&s),
@@ -157,9 +157,9 @@ fn pooled_queries_race_writers_and_compactions() {
         let svc = Arc::clone(&svc);
         handles.push(std::thread::spawn(move || {
             for i in 0..25 {
-                svc.insert(tie_traj(500 + w * 100 + i));
+                svc.insert(tie_traj(500 + w * 100 + i)).unwrap();
                 if i % 9 == 0 {
-                    svc.compact();
+                    svc.compact().unwrap();
                 }
             }
         }));
@@ -169,7 +169,7 @@ fn pooled_queries_race_writers_and_compactions() {
         let qs = qs.clone();
         handles.push(std::thread::spawn(move || {
             for round in 0..30 {
-                let out = svc.query(&qs[(r + round) % qs.len()], 10);
+                let out = svc.query(&qs[(r + round) % qs.len()], 10).unwrap();
                 for w in out.hits.windows(2) {
                     assert!(
                         w[0].dist < w[1].dist
@@ -193,7 +193,7 @@ fn pooled_queries_race_writers_and_compactions() {
     }
     let rebuilt = Repose::build(&Dataset::from_trajectories(live), config(measure, 8));
     for q in &qs {
-        let got = svc.query(q, 12);
+        let got = svc.query(q, 12).unwrap();
         let want = rebuilt.query(q, 12);
         let mut gd: Vec<u64> = got.hits.iter().map(|h| h.dist.to_bits()).collect();
         let mut wd: Vec<u64> = want.hits.iter().map(|h| h.dist.to_bits()).collect();
@@ -214,8 +214,8 @@ fn incremental_compact_matches_full_rebuild_and_counts_dirty_partitions() {
     let full = service(measure, POOL_THREADS);
 
     // Round 1: both services compact their identical backlogs.
-    let a = incremental.compact();
-    let b = full.compact_full();
+    let a = incremental.compact().unwrap();
+    let b = full.compact_full().unwrap();
     assert_eq!(a, b, "live counts diverged");
     let stats = incremental.stats();
     assert_eq!(stats.partitions, n);
@@ -228,11 +228,11 @@ fn incremental_compact_matches_full_rebuild_and_counts_dirty_partitions() {
     // fresh ids, so no frozen partition is tombstone-dirtied elsewhere).
     for svc in [&incremental, &full] {
         for base in [2001u64, 2003, 2009, 2011] {
-            svc.insert(tie_traj(base * 8 + 1));
+            svc.insert(tie_traj(base * 8 + 1)).unwrap();
         }
     }
-    let a = incremental.compact();
-    let b = full.compact_full();
+    let a = incremental.compact().unwrap();
+    let b = full.compact_full().unwrap();
     assert_eq!(a, b);
     let inc_stats = incremental.stats();
     assert!(
@@ -251,20 +251,20 @@ fn incremental_compact_matches_full_rebuild_and_counts_dirty_partitions() {
     // pooled runs, Definition 3).
     let before: Vec<Vec<u64>> = queries()
         .iter()
-        .map(|q| sorted_dist_bits(&incremental.query(q, 9)))
+        .map(|q| sorted_dist_bits(&incremental.query(q, 9).unwrap()))
         .collect();
-    incremental.compact();
+    incremental.compact().unwrap();
     assert_eq!(incremental.stats().last_compact_rebuilt, 0);
     let after: Vec<Vec<u64>> = queries()
         .iter()
-        .map(|q| sorted_dist_bits(&incremental.query(q, 9)))
+        .map(|q| sorted_dist_bits(&incremental.query(q, 9).unwrap()))
         .collect();
     assert_eq!(before, after, "no-op compact changed answers");
 
     // Round 4: a single delete dirties exactly one partition.
-    incremental.remove(10); // a frozen id (in exactly one partition)
-    full.remove(10);
-    incremental.compact();
+    incremental.remove(10).unwrap(); // a frozen id (in exactly one partition)
+    full.remove(10).unwrap();
+    incremental.compact().unwrap();
     assert_eq!(incremental.stats().last_compact_rebuilt, 1);
 
     // Throughout: both services agree with a from-scratch rebuild.
@@ -274,10 +274,10 @@ fn incremental_compact_matches_full_rebuild_and_counts_dirty_partitions() {
     }
     live.retain(|t| t.id != 10);
     let rebuilt = Repose::build(&Dataset::from_trajectories(live), config(measure, 8));
-    full.compact_full();
+    full.compact_full().unwrap();
     for q in &queries() {
-        let i = incremental.query(q, 11);
-        let f = full.query(q, 11);
+        let i = incremental.query(q, 11).unwrap();
+        let f = full.query(q, 11).unwrap();
         let r = rebuilt.query(q, 11);
         let key = |hits: &[repose::Hit]| {
             let mut d: Vec<u64> = hits.iter().map(|h| h.dist.to_bits()).collect();
@@ -294,13 +294,14 @@ fn incremental_compact_matches_full_rebuild_and_counts_dirty_partitions() {
 #[test]
 fn out_of_region_writes_fall_back_to_full_rebuild() {
     let svc = service(Measure::Hausdorff, 1);
-    svc.compact();
+    svc.compact().unwrap();
     svc.insert(Trajectory::new(
         9_999_999,
         vec![Point::new(500.0, 500.0)], // far outside the sentinel fence
-    ));
+    ))
+    .unwrap();
     let before = svc.len();
-    svc.compact();
+    svc.compact().unwrap();
     assert_eq!(svc.len(), before);
     assert_eq!(
         svc.stats().last_compact_rebuilt,
@@ -308,7 +309,7 @@ fn out_of_region_writes_fall_back_to_full_rebuild() {
         "out-of-region write must trigger the full rebuild"
     );
     let q: Vec<Point> = vec![Point::new(499.0, 499.0)];
-    assert_eq!(svc.query(&q, 1).hits[0].id, 9_999_999);
+    assert_eq!(svc.query(&q, 1).unwrap().hits[0].id, 9_999_999);
 }
 
 /// The cache threshold-hint ring seeds near-duplicate queries' collectors
@@ -320,29 +321,29 @@ fn threshold_hints_seed_near_duplicate_queries_soundly() {
     // of the work counters.
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: 1, backend: None },
+        ServiceConfig { cache_capacity: 64, pool_threads: 1, ..ServiceConfig::default() },
     );
     let unseeded_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
     );
     let q1: Vec<Point> = (0..8).map(|s| Point::new(0.2 + s as f64 * 0.5, 0.1)).collect();
     // Nearby but distinct (beyond cache-key quantization).
     let q2: Vec<Point> = q1.iter().map(|p| Point::new(p.x + 0.05, p.y)).collect();
     let k = 7;
 
-    let first = svc.query(&q1, k);
+    let first = svc.query(&q1, k).unwrap();
     assert!(!first.cache_hit);
     assert_eq!(first.threshold_seed, f64::INFINITY, "nothing to seed from yet");
 
-    let second = svc.query(&q2, k);
+    let second = svc.query(&q2, k).unwrap();
     assert!(!second.cache_hit, "a *near*-duplicate must not be a cache hit");
     assert!(
         second.threshold_seed.is_finite(),
         "near-duplicate query should be hint-seeded"
     );
     // Seeding must not change the answer...
-    let truth = unseeded_svc.query(&q2, k);
+    let truth = unseeded_svc.query(&q2, k).unwrap();
     assert_eq!(
         second
             .hits
@@ -361,8 +362,8 @@ fn threshold_hints_seed_near_duplicate_queries_soundly() {
 
     // A write invalidates the hint (version mismatch): next near query
     // starts unseeded again.
-    svc.insert(tie_traj(7777));
-    let third = svc.query(&q1, k);
+    svc.insert(tie_traj(7777)).unwrap();
+    let third = svc.query(&q1, k).unwrap();
     assert!(!third.cache_hit);
     assert_eq!(
         third.threshold_seed,
@@ -378,11 +379,11 @@ fn batch_hints_and_repeat_batches_agree() {
     let measure = Measure::Frechet;
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, backend: None },
+        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, ..ServiceConfig::default() },
     );
     let qs = queries();
-    let first = svc.query_batch(&qs, 5);
-    let second = svc.query_batch(&qs, 5);
+    let first = svc.query_batch(&qs, 5).unwrap();
+    let second = svc.query_batch(&qs, 5).unwrap();
     for (a, b) in first.iter().zip(&second) {
         assert!(!a.cache_hit);
         assert!(b.cache_hit, "repeat batch should be all cache hits");
@@ -396,15 +397,15 @@ fn batch_hints_and_repeat_batches_agree() {
         .iter()
         .map(|q| q.iter().map(|p| Point::new(p.x + 0.03, p.y)).collect())
         .collect();
-    let seeded = svc.query_batch(&near, 5);
+    let seeded = svc.query_batch(&near, 5).unwrap();
     let fresh_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(measure, 8)),
-        ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
     );
     let mut any_seeded = false;
     for (q, s) in near.iter().zip(&seeded) {
         any_seeded |= s.threshold_seed.is_finite();
-        let f = fresh_svc.query(q, 5);
+        let f = fresh_svc.query(q, 5).unwrap();
         let mut sd: Vec<u64> = s.hits.iter().map(|h| h.dist.to_bits()).collect();
         let mut fd: Vec<u64> = f.hits.iter().map(|h| h.dist.to_bits()).collect();
         sd.sort_unstable();
@@ -421,10 +422,10 @@ fn batch_hints_and_repeat_batches_agree() {
 fn duplicate_batch_queries_share_one_execution() {
     let svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..100), config(Measure::Hausdorff, 8)),
-        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, backend: None },
+        ServiceConfig { cache_capacity: 64, pool_threads: POOL_THREADS, ..ServiceConfig::default() },
     );
     let q = queries().remove(0);
-    let batch = svc.query_batch(&[q.clone(), q.clone(), q.clone()], 6);
+    let batch = svc.query_batch(&[q.clone(), q.clone(), q.clone()], 6).unwrap();
     assert_eq!(batch.len(), 3);
     assert!(!batch[0].cache_hit, "first copy executes");
     assert!(batch[1].cache_hit && batch[2].cache_hit, "twins are served, not searched");
@@ -446,15 +447,15 @@ fn duplicate_batch_queries_share_one_execution() {
 #[test]
 fn partition_times_are_reported_per_partition() {
     let svc = service(Measure::Hausdorff, POOL_THREADS);
-    let out = svc.query(&queries()[0], 5);
+    let out = svc.query(&queries()[0], 5).unwrap();
     assert_eq!(out.partition_times.len(), 8);
     // Cache hit path reports no partition times.
     let cached_svc = ReposeService::with_config(
         Repose::build(&tie_dataset(0..40), config(Measure::Hausdorff, 4)),
-        ServiceConfig { cache_capacity: 8, pool_threads: POOL_THREADS, backend: None },
+        ServiceConfig { cache_capacity: 8, pool_threads: POOL_THREADS, ..ServiceConfig::default() },
     );
-    cached_svc.query(&queries()[0], 3);
-    let hit = cached_svc.query(&queries()[0], 3);
+    cached_svc.query(&queries()[0], 3).unwrap();
+    let hit = cached_svc.query(&queries()[0], 3).unwrap();
     assert!(hit.cache_hit);
     assert!(hit.partition_times.is_empty());
 }

@@ -65,11 +65,27 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Minimum allocation count over three runs. The counter is global, so a
+/// concurrent one-off allocation elsewhere in the process (libtest still
+/// spawning a sibling test thread that will park on [`MEASURE`]) can
+/// pollute a single window; it cannot pollute all three, while a real
+/// per-call allocation shows up in every one.
+fn min_allocs_during(mut f: impl FnMut()) -> u64 {
+    (0..3).map(|_| allocs_during(&mut f)).min().unwrap()
+}
+
+/// Locks [`MEASURE`] even if a failed sibling poisoned it: each test's
+/// measurement is independent, and the cascade of bogus `PoisonError`
+/// failures would bury the real one.
+fn measure_lock() -> std::sync::MutexGuard<'static, ()> {
+    MEASURE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 use repose_testkit::arena;
 
 #[test]
 fn warm_kernels_allocate_exactly_zero() {
-    let _g = MEASURE.lock().unwrap();
+    let _g = measure_lock();
     let store = arena(24, 48, 1.3);
     let query: Vec<Point> = (0..40).map(|j| Point::new(j as f64 * 0.33, 0.4)).collect();
     let params = MeasureParams::with_eps(0.5);
@@ -98,14 +114,14 @@ fn warm_kernels_allocate_exactly_zero() {
 
     // Steady state: the entire verification loop — six measures, full and
     // threshold-aware kernels, every candidate — allocates NOTHING.
-    let allocs = allocs_during(|| verify_all(&mut scratch));
+    let allocs = min_allocs_during(|| verify_all(&mut scratch));
     assert_eq!(allocs, 0, "warm verification kernels must not allocate");
     assert_eq!(scratch.footprint(), fp, "warm scratch must not grow");
 }
 
 #[test]
 fn warm_trie_query_allocations_do_not_scale_with_verifications() {
-    let _g = MEASURE.lock().unwrap();
+    let _g = measure_lock();
     // Decoys sharing one coarse grid cell sequence: they all land in the
     // same leaf, so extra members add verifications without adding trie
     // nodes. Allocation growth must stay decoupled from verification
@@ -135,10 +151,10 @@ fn warm_trie_query_allocations_do_not_scale_with_verifications() {
         // Warm: thread scratch + one full query.
         let r = trie.top_k(store, &query, 3);
         let verifications = r.stats.exact_computations;
-        let a1 = allocs_during(|| {
+        let a1 = min_allocs_during(|| {
             let _ = trie.top_k(store, &query, 3);
         });
-        let a2 = allocs_during(|| {
+        let a2 = min_allocs_during(|| {
             let _ = trie.top_k(store, &query, 3);
         });
         assert_eq!(a1, a2, "warm queries must be allocation-deterministic");
@@ -164,7 +180,7 @@ fn warm_trie_query_allocations_do_not_scale_with_verifications() {
 
 #[test]
 fn warm_service_query_allocations_do_not_scale_with_delta_verifications() {
-    let _g = MEASURE.lock().unwrap();
+    let _g = measure_lock();
     let query: Vec<Point> = (0..24).map(|j| Point::new(j as f64 * 0.3, 0.5)).collect();
 
     let build_service = |delta: u64| {
@@ -179,27 +195,28 @@ fn warm_service_query_allocations_do_not_scale_with_delta_verifications() {
         // growth) legitimately vary with thread interleaving.
         let svc = ReposeService::with_config(
             repose,
-            ServiceConfig { cache_capacity: 0, pool_threads: 1, backend: None },
+            ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
         );
         for i in 0..delta {
             let jit = (i % 9) as f64 * 0.11;
             svc.insert(Trajectory::new(
                 10_000 + i,
                 (0..24).map(|j| Point::new(j as f64 * 0.3 + jit, 0.5 + jit)).collect(),
-            ));
+            ))
+            .unwrap();
         }
         svc
     };
 
     let measure_warm = |svc: &ReposeService| {
-        let out = svc.query(&query, 5); // warm thread scratch + snapshot
+        let out = svc.query(&query, 5).unwrap(); // warm thread scratch + snapshot
         assert!(!out.cache_hit);
         let fp_before = DistScratch::thread_footprint();
         let mut verifications = 0;
-        let a1 = allocs_during(|| {
-            verifications = svc.query(&query, 5).search.exact_computations;
+        let a1 = min_allocs_during(|| {
+            verifications = svc.query(&query, 5).unwrap().search.exact_computations;
         });
-        let a2 = allocs_during(|| {
+        let a2 = min_allocs_during(|| {
             let _ = svc.query(&query, 5);
         });
         assert_eq!(a1, a2, "warm service queries must be allocation-deterministic");
@@ -233,7 +250,7 @@ fn warm_service_query_allocations_do_not_scale_with_delta_verifications() {
 /// (the result vector + top-k heap), independent of candidate count.
 #[test]
 fn warm_refinement_loop_allocations_independent_of_candidates() {
-    let _g = MEASURE.lock().unwrap();
+    let _g = measure_lock();
     let params = MeasureParams::with_eps(0.5);
     let query: Vec<Point> = (0..24).map(|j| Point::new(j as f64 * 0.3, 0.5)).collect();
     let mut scratch = DistScratch::new();
