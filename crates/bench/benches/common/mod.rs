@@ -20,6 +20,7 @@ pub fn bench_cfg() -> ExpConfig {
         writers: 1,
         write_burst: 20,
         pool_threads: 4,
+        shards: 2,
     }
 }
 

@@ -18,7 +18,7 @@ fn main() {
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
         eprintln!(
             "usage: experiments <name|all> [--scale S] [--queries N] [--k K] [--partitions P] \
-             [--readers R] [--writers W] [--burst B] [--pool-threads T]"
+             [--readers R] [--writers W] [--burst B] [--pool-threads T] [--shards N]"
         );
         eprintln!("experiments:");
         for e in exp::ALL {
@@ -65,6 +65,10 @@ fn main() {
             }
             Some("--pool-threads") => {
                 cfg.pool_threads = args[i + 1].parse().expect("bad --pool-threads");
+                i += 2;
+            }
+            Some("--shards") => {
+                cfg.shards = args[i + 1].parse().expect("bad --shards");
                 i += 2;
             }
             Some(other) => panic!("unknown flag {other}"),

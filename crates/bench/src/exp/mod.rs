@@ -11,6 +11,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod serve;
 pub mod serve_pool;
+pub mod shard;
 pub mod table4;
 pub mod table5;
 pub mod table6;
@@ -72,5 +73,10 @@ pub const ALL: &[Experiment] = &[
         name: "recover",
         what: "Durability: WAL write cost per fsync policy + crash-recovery time",
         run: recover::run,
+    },
+    Experiment {
+        name: "shard",
+        what: "Sharded serving: scatter-gather latency vs shard count + degraded mode",
+        run: shard::run,
     },
 ];

@@ -109,6 +109,10 @@ pub fn run(exp: &ExpConfig) -> Value {
         } else {
             1.0
         };
+        // How much of the host wall time the schedule model explains
+        // (1.0 = the model accounts for all of it; below 1.0 the gap is
+        // pool dispatch overhead and host-core contention).
+        let model_vs_wall = if host_mean > 0.0 { modeled_mean / host_mean } else { 1.0 };
         rows.push(vec![
             format!("{threads}"),
             fmt_secs(host_mean),
@@ -126,6 +130,7 @@ pub fn run(exp: &ExpConfig) -> Value {
             "modeled_mean_s": modeled_mean,
             "modeled_seq_mean_s": modeled_seq_mean,
             "modeled_speedup_vs_seq": modeled_speedup,
+            "model_vs_wall": model_vs_wall,
         }));
     }
 

@@ -1,0 +1,278 @@
+//! Sharded serving experiment (beyond the paper): scatter-gather over the
+//! loopback transport vs the single-node path, with the same
+//! `list_schedule` methodology the pool experiment uses.
+//!
+//! Two sections, one JSON object:
+//!
+//! * `"healthy"` — one row per swept shard count. Per-shard task durations
+//!   are measured once by querying each shard's service *directly and
+//!   sequentially* (clean single-core numbers, no coordinator in the way),
+//!   then list-scheduled onto the shards — every shard is a core of the
+//!   modeled deployment — to give the **modeled** distributed latency,
+//!   host-core-count-independent. The **host** wall latency of the real
+//!   scatter-gather (coordinator thread, worker threads, wire-level
+//!   `Tighten` broadcasts) is reported next to it, plus the
+//!   `model_vs_wall` ratio that says how much of the wall time the
+//!   schedule model explains. Every merged answer is asserted, in-run,
+//!   bitwise-equal (distance multiset) to the single-node reference.
+//! * `"degraded"` — the same queries against an unreplicated cluster with
+//!   one shard crashed: every answer must come back flagged `degraded`
+//!   with the retry accounting that proves the coordinator actually
+//!   walked its deadline/backoff ladder before giving up.
+
+use crate::runner::{load, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, ReposeConfig};
+use repose_cluster::list_schedule;
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_rptrie::Hit;
+use repose_service::{ReposeService, ServiceConfig};
+use repose_shard::{NetFault, NetFaultPlan, ShardCluster, ShardClusterConfig};
+use serde_json::{json, Value};
+use std::time::Duration;
+
+/// Shard counts to sweep: 1 (the single-node baseline), half the maximum,
+/// and the maximum.
+fn shard_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut sizes = vec![1, max.div_ceil(2), max];
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// The sorted distance multiset of a result, as exact bits — the same
+/// exactness contract the differential suites use (tied *ids* may resolve
+/// differently between two exact executions; distances may not).
+fn dist_bits(hits: &[Hit]) -> Vec<u64> {
+    let mut d: Vec<u64> = hits.iter().map(|h| h.dist.to_bits()).collect();
+    d.sort_unstable();
+    d
+}
+
+fn mean_secs(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64
+}
+
+/// A cluster config tuned for benching: no result cache (every query is
+/// measured cold) and deadlines short enough that the degraded section's
+/// retry ladder completes quickly.
+fn bench_cluster_config(shards: usize, replicate: bool) -> ShardClusterConfig {
+    ShardClusterConfig {
+        shards,
+        replicate,
+        cache_capacity: 0,
+        attempt_timeout: Duration::from_millis(150),
+        max_retries: 1,
+        ..ShardClusterConfig::default()
+    }
+}
+
+/// Runs the shard sweep + crashed-shard degradation pass.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let measure = Measure::Hausdorff;
+    let (data, queries) = load(ds, exp);
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(ds.paper_delta(measure))
+        .with_seed(exp.seed);
+
+    // ---- Single-node reference ---------------------------------------
+    // The answer every merged scatter-gather result must match bitwise,
+    // and the latency baseline the speedup columns divide by.
+    let single = ReposeService::with_config(
+        Repose::build(&data, cfg),
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
+    );
+    if let Some(q) = queries.first() {
+        let _ = single.query(&q.points, exp.k); // warm-up outside measurement
+    }
+    let mut single_latency: Vec<Duration> = Vec::new();
+    let mut reference_bits: Vec<Vec<u64>> = Vec::new();
+    for q in &queries {
+        let out = single.query(&q.points, exp.k).expect("query");
+        single_latency.push(out.latency);
+        reference_bits.push(dist_bits(&out.hits));
+    }
+    let single_mean = mean_secs(&single_latency);
+
+    // ---- Healthy sweep -----------------------------------------------
+    let mut rows = Vec::new();
+    let mut healthy_rows = Vec::new();
+    for &shards in &shard_sweep(exp.shards) {
+        let mut cluster = ShardCluster::build(
+            data.clone(),
+            cfg,
+            bench_cluster_config(shards, false),
+            NetFaultPlan::new(),
+            None,
+        );
+        // Per-shard task durations, measured sequentially against each
+        // shard's own service: what one shard's core spends on the query.
+        let mut task_times: Vec<Vec<Duration>> = Vec::new();
+        for q in &queries {
+            let per_shard: Vec<Duration> = (0..shards)
+                .map(|s| {
+                    cluster
+                        .leader_service(s)
+                        .query(&q.points, exp.k)
+                        .expect("shard query")
+                        .latency
+                })
+                .collect();
+            task_times.push(per_shard);
+        }
+        let modeled: Vec<f64> = task_times
+            .iter()
+            .map(|t| list_schedule(t, shards).as_secs_f64())
+            .collect();
+        let modeled_mean = modeled.iter().sum::<f64>() / modeled.len().max(1) as f64;
+
+        // The real scatter-gather, with the per-query exactness assert.
+        if let Some(q) = queries.first() {
+            let _ = cluster.query(&q.points, exp.k); // warm-up
+        }
+        let mut host: Vec<Duration> = Vec::new();
+        let (mut tightenings, mut retries, mut hedges) = (0u64, 0u64, 0u64);
+        for (q, want) in queries.iter().zip(&reference_bits) {
+            let out = cluster.query(&q.points, exp.k);
+            assert!(!out.degraded, "healthy cluster degraded a query");
+            assert_eq!(
+                &dist_bits(&out.hits),
+                want,
+                "scatter-gather diverged from the single-node answer"
+            );
+            host.push(out.latency);
+            tightenings += u64::from(out.tightenings);
+            retries += u64::from(out.retries);
+            hedges += u64::from(out.hedges);
+        }
+        cluster.shutdown();
+        let host_mean = mean_secs(&host);
+        let modeled_speedup = if modeled_mean > 0.0 { single_mean / modeled_mean } else { 1.0 };
+        let host_speedup = if host_mean > 0.0 { single_mean / host_mean } else { 1.0 };
+        let model_vs_wall = if host_mean > 0.0 { modeled_mean / host_mean } else { 1.0 };
+        rows.push(vec![
+            format!("{shards}"),
+            fmt_secs(host_mean),
+            format!("{host_speedup:.2}x"),
+            fmt_secs(modeled_mean),
+            format!("{modeled_speedup:.2}x"),
+            format!("{model_vs_wall:.2}"),
+            format!("{tightenings}"),
+        ]);
+        healthy_rows.push(json!({
+            "shards": shards,
+            "partitions": exp.partitions,
+            "queries": queries.len(),
+            "k": exp.k,
+            "host_mean_s": host_mean,
+            "host_speedup_vs_single": host_speedup,
+            "modeled_mean_s": modeled_mean,
+            "single_mean_s": single_mean,
+            "modeled_speedup_vs_single": modeled_speedup,
+            "model_vs_wall": model_vs_wall,
+            "tightenings": tightenings,
+            "retries": retries,
+            "hedges": hedges,
+            "exact": true,
+        }));
+    }
+
+    // ---- Degraded pass: one shard crashed, no replica ----------------
+    // Partial answers must come back flagged, with the retry ladder
+    // walked — never silently wrong, never cached.
+    let shards = exp.shards.max(2);
+    let faults = NetFaultPlan::new();
+    faults.arm(&format!("shard{}", shards - 1), NetFault::Crash, 0);
+    let mut cluster =
+        ShardCluster::build(data.clone(), cfg, bench_cluster_config(shards, false), faults, None);
+    let mut degraded_queries = 0u64;
+    let (mut shards_failed, mut deg_retries) = (0u64, 0u64);
+    let mut deg_latency: Vec<Duration> = Vec::new();
+    for q in &queries {
+        let out = cluster.query(&q.points, exp.k);
+        assert!(out.degraded, "a crashed shard must degrade the answer");
+        assert!(!out.cache_hit, "degraded answers must never be cached");
+        degraded_queries += 1;
+        shards_failed += u64::from(out.shards_failed);
+        deg_retries += u64::from(out.retries);
+        deg_latency.push(out.latency);
+    }
+    cluster.shutdown();
+    let degraded = json!({
+        "shards": shards,
+        "crashed": 1,
+        "queries": queries.len(),
+        "degraded_queries": degraded_queries,
+        "shards_failed_total": shards_failed,
+        "retries_total": deg_retries,
+        "host_mean_s": mean_secs(&deg_latency),
+    });
+
+    println!(
+        "\n== shard: sweep up to {} shards, {} partitions, k = {}, {} queries ==",
+        exp.shards, exp.partitions, exp.k, queries.len()
+    );
+    print_table(
+        &["shards", "host mean", "host speedup", "modeled mean", "modeled speedup",
+          "model/wall", "tightenings"],
+        &rows,
+    );
+    println!(
+        "degraded: {} shards with 1 crashed, {}/{} queries flagged, {} retries, mean {}",
+        shards,
+        degraded_queries,
+        queries.len(),
+        deg_retries,
+        fmt_secs(mean_secs(&deg_latency)),
+    );
+    json!({ "healthy": healthy_rows, "degraded": degraded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn shard_sweep_is_deduped_and_sorted() {
+        assert_eq!(shard_sweep(4), vec![1, 2, 4]);
+        assert_eq!(shard_sweep(1), vec![1]);
+        assert_eq!(shard_sweep(3), vec![1, 2, 3]);
+        assert_eq!(shard_sweep(0), vec![1]);
+    }
+
+    #[test]
+    fn shard_experiment_produces_sound_numbers() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            queries: 2,
+            k: 5,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 7,
+            shards: 2,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp); // the in-run asserts are the exactness check
+        let rows = v["healthy"].as_array().expect("healthy rows");
+        assert_eq!(rows.len(), 2); // {1, 2}
+        for row in rows {
+            assert!(row["host_mean_s"].as_f64().unwrap() > 0.0);
+            assert!(row["modeled_mean_s"].as_f64().unwrap() > 0.0);
+            assert!(row["model_vs_wall"].as_f64().unwrap() > 0.0);
+            assert!(row["exact"].as_bool().unwrap());
+        }
+        let d = &v["degraded"];
+        assert_eq!(d["degraded_queries"].as_u64().unwrap(), 2);
+        assert!(d["shards_failed_total"].as_u64().unwrap() >= 2);
+        assert!(d["retries_total"].as_u64().unwrap() >= 2);
+    }
+}

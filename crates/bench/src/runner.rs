@@ -35,6 +35,10 @@ pub struct ExpConfig {
     /// (smaller pool sizes are derived from it; 1 is always included as
     /// the sequential baseline).
     pub pool_threads: usize,
+    /// Largest shard count for the `shard` experiment's sweep (smaller
+    /// shard counts are derived from it; 1 is always included as the
+    /// single-node baseline).
+    pub shards: usize,
 }
 
 impl Default for ExpConfig {
@@ -50,6 +54,7 @@ impl Default for ExpConfig {
             writers: 2,
             write_burst: 100,
             pool_threads: 4,
+            shards: 4,
         }
     }
 }

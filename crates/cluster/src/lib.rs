@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod backoff;
 mod dataset;
 mod executor;
 mod partitioner;
@@ -46,6 +47,7 @@ mod pool;
 mod stats;
 
 pub use admission::{AdmissionGate, AdmissionPermit, Deadline};
+pub use backoff::{Backoff, BackoffConfig};
 pub use dataset::DistDataset;
 pub use executor::Cluster;
 pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};

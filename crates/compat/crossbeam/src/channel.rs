@@ -40,6 +40,15 @@ impl<T> std::fmt::Debug for SendError<T> {
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message (senders may still exist).
+    Timeout,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
 struct Chan<T> {
     queue: Mutex<VecDeque<T>>,
     ready: Condvar,
@@ -122,6 +131,39 @@ impl<T> Receiver<T> {
                 .ready
                 .wait(queue)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout` for a message. Returns the message,
+    /// [`RecvTimeoutError::Disconnected`] when every sender has been
+    /// dropped and the queue is drained, or
+    /// [`RecvTimeoutError::Timeout`] when the budget elapses first.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|r| !r.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (q, _timed_out) = self
+                .0
+                .ready
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            // Spurious wakeups and timeouts re-check the queue and the
+            // deadline at the top of the loop; no separate handling needed.
+            queue = q;
         }
     }
 
@@ -225,6 +267,33 @@ mod tests {
         let (tx, rx) = unbounded();
         std::thread::scope(|s| {
             let h = s.spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_message_immediately() {
+        let (tx, rx) = unbounded();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::ZERO), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_disconnects() {
+        let (tx, rx) = unbounded::<i32>();
+        let tiny = std::time::Duration::from_millis(5);
+        assert_eq!(rx.recv_timeout(tiny), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(tiny), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv_timeout(std::time::Duration::from_secs(10)));
             std::thread::sleep(std::time::Duration::from_millis(10));
             tx.send(42).unwrap();
             assert_eq!(h.join().unwrap(), Ok(42));

@@ -116,42 +116,105 @@ impl FailPlan {
     }
 
     /// A plan parsed from the `REPOSE_FAILPOINTS` environment variable;
-    /// empty when unset. Malformed entries panic with a message naming
-    /// them — a silently ignored fault plan is worse than none.
+    /// empty when unset. Malformed entries panic at arm time with a
+    /// message naming them — a silently ignored fault plan is worse than
+    /// none.
     pub fn from_env() -> Self {
         match std::env::var("REPOSE_FAILPOINTS") {
-            Ok(spec) => Self::parse(&spec),
+            Ok(spec) => match Self::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("REPOSE_FAILPOINTS: {e}"),
+            },
             Err(_) => FailPlan::new(),
         }
     }
 
     /// Parses `point=action[:after][,...]` (actions: `io`, `short`,
-    /// `crash`).
-    pub fn parse(spec: &str) -> Self {
+    /// `crash`; points must name a registered site from [`POINTS`] — an
+    /// unknown point would arm a fault that can never fire, which is the
+    /// silently-ignored plan this parser exists to refuse).
+    pub fn parse(spec: &str) -> Result<Self, FailSpecError> {
         let plan = FailPlan::new();
         for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let entry_err = |reason: FailSpecReason| FailSpecError {
+                entry: entry.to_string(),
+                reason,
+            };
             let (point, rhs) = entry
                 .split_once('=')
-                .unwrap_or_else(|| panic!("failpoint entry `{entry}` lacks `=`"));
+                .ok_or_else(|| entry_err(FailSpecReason::MissingEquals))?;
+            let point = point.trim();
+            if !POINTS.contains(&point) {
+                return Err(entry_err(FailSpecReason::UnknownPoint(point.to_string())));
+            }
             let (action, after) = match rhs.split_once(':') {
                 Some((a, n)) => (
                     a,
-                    n.parse::<u32>()
-                        .unwrap_or_else(|_| panic!("bad failpoint count in `{entry}`")),
+                    n.trim().parse::<u32>().map_err(|_| {
+                        entry_err(FailSpecReason::BadCount(n.trim().to_string()))
+                    })?,
                 ),
                 None => (rhs, 0),
             };
-            let action = match action {
+            let action = match action.trim() {
                 "io" => FailAction::IoError,
                 "short" => FailAction::ShortWrite,
                 "crash" => FailAction::Crash,
-                other => panic!("unknown failpoint action `{other}` in `{entry}`"),
+                other => {
+                    return Err(entry_err(FailSpecReason::UnknownAction(other.to_string())))
+                }
             };
             plan.arm(point, action, after);
         }
-        plan
+        Ok(plan)
     }
 }
+
+/// A malformed fail-point spec entry (see [`FailPlan::parse`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailSpecError {
+    /// The offending `point=action[:after]` entry, verbatim.
+    pub entry: String,
+    /// What was wrong with it.
+    pub reason: FailSpecReason,
+}
+
+/// Why a fail-point spec entry was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailSpecReason {
+    /// The entry has no `=` separating point from action.
+    MissingEquals,
+    /// The point names no registered failure site (see [`POINTS`]).
+    UnknownPoint(String),
+    /// The action is not one of `io`, `short`, `crash`.
+    UnknownAction(String),
+    /// The `:after` countdown is not a non-negative integer.
+    BadCount(String),
+}
+
+impl std::fmt::Display for FailSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entry = &self.entry;
+        match &self.reason {
+            FailSpecReason::MissingEquals => {
+                write!(f, "failpoint entry `{entry}` lacks `=`")
+            }
+            FailSpecReason::UnknownPoint(p) => write!(
+                f,
+                "unknown failpoint `{p}` in `{entry}` (registered points: {})",
+                POINTS.join(", ")
+            ),
+            FailSpecReason::UnknownAction(a) => {
+                write!(f, "unknown failpoint action `{a}` in `{entry}`")
+            }
+            FailSpecReason::BadCount(n) => {
+                write!(f, "bad failpoint count `{n}` in `{entry}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailSpecError {}
 
 #[cfg(test)]
 mod tests {
@@ -195,15 +258,48 @@ mod tests {
 
     #[test]
     fn parse_spec() {
-        let plan = FailPlan::parse("wal.flush=short:1, wal.sync=crash");
+        let plan = FailPlan::parse("wal.flush=short:1, wal.sync=crash").unwrap();
         assert_eq!(plan.hit("wal.sync"), Some(FailAction::Crash));
         assert_eq!(plan.hit("wal.flush"), None);
         assert_eq!(plan.hit("wal.flush"), Some(FailAction::ShortWrite));
     }
 
     #[test]
-    #[should_panic(expected = "unknown failpoint action")]
     fn parse_rejects_unknown_action() {
-        FailPlan::parse("wal.flush=explode");
+        let err = FailPlan::parse("wal.flush=explode").unwrap_err();
+        assert_eq!(
+            err.reason,
+            FailSpecReason::UnknownAction("explode".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_point() {
+        // The original motivation: a typo'd point must not silently arm a
+        // fault that can never fire.
+        let err = FailPlan::parse("wal.flsh=io").unwrap_err();
+        assert_eq!(err.reason, FailSpecReason::UnknownPoint("wal.flsh".into()));
+        assert!(err.to_string().contains("wal.append"), "error lists valid points");
+    }
+
+    #[test]
+    fn parse_rejects_missing_equals_and_bad_count() {
+        assert_eq!(
+            FailPlan::parse("wal.flush").unwrap_err().reason,
+            FailSpecReason::MissingEquals
+        );
+        assert_eq!(
+            FailPlan::parse("wal.flush=io:soon").unwrap_err().reason,
+            FailSpecReason::BadCount("soon".into())
+        );
+    }
+
+    #[test]
+    fn parse_empty_spec_is_empty_plan() {
+        let plan = FailPlan::parse("").unwrap();
+        assert!(!plan.any_fired());
+        for p in POINTS {
+            assert_eq!(plan.hit(p), None);
+        }
     }
 }

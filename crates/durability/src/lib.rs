@@ -27,7 +27,7 @@ pub mod record;
 pub mod replay;
 pub mod wal;
 
-pub use failpoint::{FailAction, FailPlan, POINTS};
+pub use failpoint::{FailAction, FailPlan, FailSpecError, FailSpecReason, POINTS};
 pub use record::{crc32, DecodeError, WalRecord};
 pub use replay::{replay, Replayed};
 pub use wal::{

@@ -6,8 +6,11 @@
 //!
 //! * a decode failure in the **final** segment is a torn tail — the crash
 //!   interrupted the last write. Everything before the bad frame is kept,
-//!   the dangling bytes are counted in [`Replayed::torn_bytes`], and
-//!   recovery proceeds. This can only ever drop records that were *not*
+//!   the dangling bytes are counted in [`Replayed::torn_bytes`] and
+//!   physically truncated from the file (so a later replay — recovery is
+//!   idempotent — never mistakes them for mid-log corruption once the
+//!   resumed writer has made this segment non-final), and recovery
+//!   proceeds. This can only ever drop records that were *not*
 //!   fsync-acknowledged (rotation seals segments with a flush + sync, so a
 //!   sealed, non-final segment is never torn by a clean failure).
 //! * a decode failure **anywhere else** is mid-log corruption: replay
@@ -95,6 +98,12 @@ pub fn replay(dir: &Path) -> Result<Replayed, WalError> {
                 Err(reason) => {
                     if Some(index) == last_index {
                         torn_bytes = cur.len() as u64;
+                        // Physically drop the dangling bytes so recovery is
+                        // idempotent: a resumed writer rotates to a *new*
+                        // segment, making this one non-final — if the torn
+                        // frame stayed on disk, the next replay would
+                        // misread it as mid-log corruption.
+                        truncate_segment(&path, (bytes.len() - cur.len()) as u64)?;
                         break;
                     }
                     return Err(WalError::Corrupt {
@@ -117,6 +126,17 @@ pub fn replay(dir: &Path) -> Result<Replayed, WalError> {
         segments: infos,
         next_segment_index,
     })
+}
+
+/// Truncates a torn final segment to its clean prefix and syncs it, so
+/// the dangling half-frame can never be re-read as corruption by a later
+/// replay (recovery must be idempotent).
+fn truncate_segment(path: &Path, clean_len: u64) -> Result<(), WalError> {
+    let io = |source: std::io::Error| WalError::Io { point: "replay.truncate", source };
+    let file = fs::OpenOptions::new().write(true).open(path).map_err(io)?;
+    file.set_len(clean_len).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    Ok(())
 }
 
 /// Loads and validates a base snapshot: a run of [`WalRecord::Upsert`]s

@@ -13,6 +13,7 @@ use repose_durability::{
     replay, DurabilityConfig, FailAction, FsyncPolicy, Wal, WalRecord,
 };
 use repose_model::Point;
+use repose_testkit::{build_record, record_point_bits as bits_of};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -26,34 +27,6 @@ fn scratch(tag: &str) -> PathBuf {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
-}
-
-/// A random record built from raw integers: `kind` selects the variant and
-/// the `u64` bit patterns become coordinates, so NaNs, infinities, -0.0 and
-/// subnormals all appear.
-fn build_record(kind: u8, seq: u64, id: u64, bits: &[(u64, u64)]) -> WalRecord {
-    match kind % 4 {
-        0 => WalRecord::Upsert {
-            seq,
-            id,
-            points: bits
-                .iter()
-                .map(|&(x, y)| Point::new(f64::from_bits(x), f64::from_bits(y)))
-                .collect(),
-        },
-        1 => WalRecord::Delete { seq, id },
-        2 => WalRecord::Seal { seq },
-        _ => WalRecord::Checkpoint { seq },
-    }
-}
-
-fn bits_of(r: &WalRecord) -> Vec<(u64, u64)> {
-    match r {
-        WalRecord::Upsert { points, .. } => {
-            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect()
-        }
-        _ => Vec::new(),
-    }
 }
 
 proptest! {

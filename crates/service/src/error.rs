@@ -29,6 +29,15 @@ pub enum ServiceError {
     /// [`crate::ReposeService::recover`] was called with a config whose
     /// `durability` is `None`.
     DurabilityNotConfigured,
+    /// A replicated record arrived out of order: applying it would leave a
+    /// hole in the operation sequence, so the replica refuses (and does
+    /// not acknowledge) rather than silently diverge from its leader.
+    ReplicationGap {
+        /// The next sequence this replica can accept.
+        expected: u64,
+        /// The sequence that actually arrived.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -45,6 +54,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::DurabilityNotConfigured => {
                 write!(f, "recovery requires a durability configuration")
             }
+            ServiceError::ReplicationGap { expected, got } => write!(
+                f,
+                "replicated record out of order: expected sequence {expected}, got {got}"
+            ),
         }
     }
 }

@@ -429,6 +429,13 @@ impl ReposeService {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
     }
 
+    /// The operation sequence of the last applied write (0 before any).
+    /// A replica acknowledges replication with this value — it names the
+    /// exact prefix of the leader's log this service has durably adopted.
+    pub fn op_seq(&self) -> u64 {
+        self.read_state().op_seq
+    }
+
     /// Number of live trajectories (frozen + delta − tombstones).
     ///
     /// O(frozen + delta); intended for tests and monitoring, not hot paths.
@@ -458,12 +465,19 @@ impl ReposeService {
     /// [`repose_durability::FsyncPolicy`]'s guarantee; on `Err` the
     /// in-memory state is unchanged and the write was not acknowledged.
     pub fn insert(&self, traj: Trajectory) -> Result<(), ServiceError> {
+        self.insert_acked(traj).map(|_seq| ())
+    }
+
+    /// [`ReposeService::insert`], additionally returning the operation
+    /// sequence the write was logged under — the identity a replicating
+    /// leader needs to forward the exact logged record to its follower.
+    pub fn insert_acked(&self, traj: Trajectory) -> Result<u64, ServiceError> {
         let t0 = Instant::now();
         // Summarize outside the lock: the same O(1)-prefilter summary the
         // frozen tries store per leaf member, paid once per write instead
         // of per query.
         let summary = self.params.summary_of(&traj.points);
-        {
+        let seq = {
             let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
             let seq = s.op_seq + 1;
             self.log_write(|| WalRecord::Upsert {
@@ -475,28 +489,92 @@ impl ReposeService {
             let partition = (traj.id as usize) % s.deltas.len();
             Arc::make_mut(&mut s.tombstones).insert(traj.id, seq);
             s.deltas[partition].push(seq, traj.id, &traj.points, summary);
-        }
+            seq
+        };
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.inserts);
         self.counters.record_write(t0.elapsed());
-        Ok(())
+        Ok(seq)
     }
 
     /// Deletes the trajectory with id `id` (a no-op if absent). Same
     /// durability contract as [`ReposeService::insert`].
     pub fn remove(&self, id: TrajId) -> Result<(), ServiceError> {
+        self.remove_acked(id).map(|_seq| ())
+    }
+
+    /// [`ReposeService::remove`], additionally returning the operation
+    /// sequence the delete was logged under (see
+    /// [`ReposeService::insert_acked`]).
+    pub fn remove_acked(&self, id: TrajId) -> Result<u64, ServiceError> {
         let t0 = Instant::now();
-        {
+        let seq = {
             let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
             let seq = s.op_seq + 1;
             self.log_write(|| WalRecord::Delete { seq, id })?;
             s.op_seq = seq;
             Arc::make_mut(&mut s.tombstones).insert(id, seq);
-        }
+            seq
+        };
         self.version.fetch_add(1, Ordering::Release);
         ServiceCounters::bump(&self.counters.deletes);
         self.counters.record_write(t0.elapsed());
-        Ok(())
+        Ok(seq)
+    }
+
+    /// Applies one record replicated from a leader, adopting the leader's
+    /// operation sequence so this replica's WAL and logical state stay
+    /// byte-identical to the leader's.
+    ///
+    /// * a record at or below the current sequence is a duplicate delivery
+    ///   (network retry or duplication): it is **not** re-logged or
+    ///   re-applied, and `Ok(false)` says so — acknowledging it again is
+    ///   safe, which is what makes replication idempotent;
+    /// * a record more than one ahead is a gap (a lost predecessor):
+    ///   refused with [`ServiceError::ReplicationGap`] so the leader
+    ///   retries from the hole instead of the replica silently diverging;
+    /// * the next record in sequence is logged **before** it is applied,
+    ///   exactly like a local write ([`ServiceError::Durability`] means
+    ///   not acknowledged).
+    ///
+    /// Only data records replicate; [`WalRecord::Seal`] /
+    /// [`WalRecord::Checkpoint`] are segment-lifecycle records each node
+    /// writes for itself and are rejected as a gap-free no-op (`Ok(false)`).
+    pub fn apply_replica(&self, record: &WalRecord) -> Result<bool, ServiceError> {
+        type Apply<'a> = Box<dyn FnOnce(&mut ServeState) + 'a>;
+        let (seq, apply): (u64, Apply<'_>) = match record {
+            WalRecord::Upsert { seq, id, points } => {
+                let summary = self.params.summary_of(points);
+                (*seq, Box::new(move |s: &mut ServeState| {
+                    let partition = (*id as usize) % s.deltas.len();
+                    Arc::make_mut(&mut s.tombstones).insert(*id, *seq);
+                    s.deltas[partition].push(*seq, *id, points, summary);
+                }))
+            }
+            WalRecord::Delete { seq, id } => (*seq, Box::new(move |s: &mut ServeState| {
+                Arc::make_mut(&mut s.tombstones).insert(*id, *seq);
+            })),
+            WalRecord::Seal { .. } | WalRecord::Checkpoint { .. } => return Ok(false),
+        };
+        {
+            let mut s = self.state.write().map_err(|_| ServiceError::StatePoisoned)?;
+            if seq <= s.op_seq {
+                return Ok(false);
+            }
+            if seq != s.op_seq + 1 {
+                return Err(ServiceError::ReplicationGap { expected: s.op_seq + 1, got: seq });
+            }
+            self.log_write(|| record.clone())?;
+            s.op_seq = seq;
+            apply(&mut s);
+        }
+        self.version.fetch_add(1, Ordering::Release);
+        match record {
+            WalRecord::Upsert { .. } => ServiceCounters::bump(&self.counters.inserts),
+            WalRecord::Delete { .. } => ServiceCounters::bump(&self.counters.deletes),
+            _ => {}
+        }
+        Ok(true)
     }
 
     /// Appends one record to the WAL (a no-op for a volatile service).
@@ -628,6 +706,78 @@ impl ReposeService {
             degraded,
             partitions_searched: parts.len() - skipped,
             partitions_skipped: skipped,
+        })
+    }
+
+    /// Exact top-k over the live data, executed sequentially in bound
+    /// order with a hook after every partition — the scatter-side entry a
+    /// shard worker drives when this service owns one shard of a larger
+    /// deployment.
+    ///
+    /// `seed_dk` pre-bounds the collector (inclusively, via `just_above`,
+    /// so ties at the seed survive) when finite — typically the
+    /// coordinator's current global k-th-distance bound at scatter time.
+    /// After each partition's task completes, `on_partition` receives the
+    /// query's collector and that partition's accepted hits: the worker
+    /// streams the hits to its coordinator and folds any remotely
+    /// received `Tighten` bounds into the collector
+    /// ([`SharedTopK::tighten`]) so later partitions prune mid-flight.
+    ///
+    /// Cache, admission, deadline, and the worker pool are intentionally
+    /// bypassed: the coordinator owns those policies for a distributed
+    /// query, and shard-level parallelism comes from the shards
+    /// themselves. The union of hits passed to `on_partition` equals the
+    /// hit set a plain [`ReposeService::query`] merges, so a coordinator
+    /// collecting every streamed hit reconstructs the exact answer.
+    pub fn query_scatter(
+        &self,
+        query: &[Point],
+        k: usize,
+        seed_dk: f64,
+        mut on_partition: impl FnMut(&SharedTopK, &[Hit]),
+    ) -> Result<ServiceOutcome, ServiceError> {
+        let t0 = Instant::now();
+        ServiceCounters::bump(&self.counters.queries);
+        ServiceCounters::bump(&self.counters.cache_misses);
+        let (frozen, deltas, tombstones, _state_seq) = self.snapshot();
+        let collector = if seed_dk.is_finite() {
+            SharedTopK::with_initial_bound(k, just_above(seed_dk))
+        } else {
+            SharedTopK::new(k)
+        };
+        let qsum = self.params.summary_of(query);
+        let (order, cands) =
+            partition_schedule(&frozen, &deltas, &tombstones, query, &qsum, self.params);
+
+        let mut hits: Vec<Hit> = Vec::new();
+        let mut search = SearchStats::default();
+        let mut delta_candidates = 0;
+        let mut partition_times = vec![Duration::ZERO; order.len()];
+        for &pi in &order {
+            let p = run_partition(
+                &frozen, &tombstones, query, k, &collector, self.params, &cands[pi], pi,
+            );
+            on_partition(&collector, &p.hits);
+            search.merge(&p.stats);
+            delta_candidates += p.delta_live;
+            partition_times[pi] = p.time;
+            hits.extend_from_slice(&p.hits);
+        }
+        hits.sort_by(Hit::cmp_by_dist_then_id);
+        hits.truncate(k);
+        let latency = t0.elapsed();
+        self.counters.record_read(latency);
+        Ok(ServiceOutcome {
+            hits,
+            latency,
+            cache_hit: false,
+            search,
+            delta_candidates,
+            partition_times,
+            threshold_seed: seed_dk,
+            degraded: false,
+            partitions_searched: order.len(),
+            partitions_skipped: 0,
         })
     }
 

@@ -1,0 +1,698 @@
+//! The scatter-gather coordinator: owns the client-facing query and write
+//! paths of a sharded deployment.
+//!
+//! # Query path (scatter, stream, tighten, gather)
+//!
+//! A query scatters to every shard at once; each shard streams accepted
+//! hits back as it searches ([`Message::Hit`]) and closes with a
+//! [`Message::Done`] carrying the count of hits it sent. The coordinator
+//! folds every streamed hit into its own [`SharedTopK`] pool and, whenever
+//! the pool's k-th distance tightens, broadcasts the new bound to the
+//! still-running shards ([`Message::Tighten`]) — a hit found on shard A
+//! prunes shard B's remaining partitions mid-flight, which is exactly the
+//! in-process shared-threshold design stretched over the wire. Exactness
+//! survives the stretch for the same reason it holds in-process: the
+//! broadcast bound is the coordinator pool's k-th distance, a sound upper
+//! bound on the global k-th at all times, and the only hits a shard can
+//! prune under it are ties at the k-th slot whose stand-ins the
+//! coordinator pool already holds (see `repose_rptrie::shared`).
+//!
+//! A shard's answer counts as arrived only when the hits received for one
+//! attempt match that attempt's `Done.hits_sent` — a `Done` that overtakes
+//! its own hits (reordering) or hits lost to a drop leave the shard
+//! incomplete and the retry machinery running, so faults can slow an
+//! answer but never silently truncate it.
+//!
+//! # Deadlines, retries, hedges, degradation
+//!
+//! Each shard attempt has a deadline; an expired attempt retries with
+//! jittered exponential backoff ([`repose_cluster::Backoff`]), alternating
+//! between the shard's leader and its replica, re-seeded with the
+//! coordinator's current bound so a retry only re-earns what is still
+//! missing. Independently, a shard whose attempt has outlived the observed
+//! latency percentile gets a *hedge*: a duplicate query to the other node
+//! of the pair, first answer wins, duplicates deduplicated by trajectory
+//! id. A shard that exhausts its retries is declared failed; the answer is
+//! returned anyway, marked [`ShardOutcome::degraded`] with an accurate
+//! [`ShardOutcome::shards_failed`] — and degraded answers are **never**
+//! admitted to the result cache.
+//!
+//! # Write path
+//!
+//! Writes route by `id % shards` to the shard's current leader and wait
+//! for the [`Message::WriteOk`] that the leader only sends after its WAL
+//! append *and* (when replicated) its follower's acknowledgment
+//! (log-before-ack). A refused or timed-out write retries against the
+//! other node of the pair; a success from the replica means the follower
+//! promoted itself after leader silence, and the coordinator adopts it as
+//! the shard's new leader.
+
+use crate::fault::NetFaultPlan;
+use crate::protocol::Message;
+use crate::transport::{Loopback, NodeId, Transport};
+use crate::worker::{Role, ShardWorker, WorkerConfig};
+use repose::{Repose, ReposeConfig};
+use repose_cluster::{Backoff, BackoffConfig};
+use repose_model::{Dataset, Point, Trajectory};
+use repose_rptrie::{Hit, SharedTopK};
+use repose_service::{ReposeService, ServiceConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`ShardCluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardClusterConfig {
+    /// Shard count; trajectories route by `id % shards`.
+    pub shards: usize,
+    /// Give every shard a follower replica (hedge target, write
+    /// replication target, promotion candidate).
+    pub replicate: bool,
+    /// Per-attempt deadline before a shard query attempt is retried.
+    pub attempt_timeout: Duration,
+    /// Retries per shard before it is declared failed for the query.
+    pub max_retries: u32,
+    /// Backoff shape between retry attempts (also seeds write retries).
+    pub backoff: BackoffConfig,
+    /// Hedge a shard once its attempt outlives this percentile of
+    /// observed attempt latencies (0..=1).
+    pub hedge_percentile: f64,
+    /// Never hedge earlier than this (also the hedge delay until enough
+    /// latency samples exist).
+    pub hedge_floor: Duration,
+    /// Per-attempt deadline for one write acknowledgment.
+    pub write_timeout: Duration,
+    /// Write retries before the write errors out.
+    pub write_retries: u32,
+    /// Coordinator result-cache capacity in entries (0 disables).
+    pub cache_capacity: usize,
+    /// Gather-loop poll granularity.
+    pub tick: Duration,
+    /// Seed for the coordinator's deterministic backoff jitter.
+    pub seed: u64,
+    /// Knobs forwarded to every shard worker.
+    pub worker: WorkerConfig,
+}
+
+impl Default for ShardClusterConfig {
+    fn default() -> Self {
+        ShardClusterConfig {
+            shards: 4,
+            replicate: true,
+            attempt_timeout: Duration::from_millis(500),
+            max_retries: 2,
+            backoff: BackoffConfig {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(200),
+                factor: 2.0,
+                jitter: 0.5,
+            },
+            hedge_percentile: 0.95,
+            hedge_floor: Duration::from_millis(50),
+            write_timeout: Duration::from_millis(500),
+            write_retries: 6,
+            cache_capacity: 256,
+            tick: Duration::from_millis(1),
+            seed: 0xC00D,
+            worker: WorkerConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one coordinated query.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Merged top-k, ascending by distance with ties broken by id. Exact
+    /// unless [`ShardOutcome::degraded`].
+    pub hits: Vec<Hit>,
+    /// At least one shard never completed: the hits are the exact answer
+    /// over the shards that did, a best-effort partial answer overall.
+    pub degraded: bool,
+    /// Shards that exhausted their retries.
+    pub shards_failed: u32,
+    /// Retry attempts scattered (deadline-driven re-sends).
+    pub retries: u32,
+    /// Hedge attempts scattered (latency-percentile-driven duplicates).
+    pub hedges: u32,
+    /// Tighten broadcasts sent (bound-propagation traffic).
+    pub tightenings: u32,
+    /// Served from the coordinator cache (never true for a degraded
+    /// answer — those are not cached).
+    pub cache_hit: bool,
+    /// Wall time of the whole scatter-gather.
+    pub latency: Duration,
+}
+
+/// The outcome of one acknowledged write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOutcome {
+    /// The owning shard's log sequence for this write.
+    pub seq: u64,
+    /// Scatter attempts it took (1 = first try).
+    pub attempts: u32,
+    /// The ack came from a freshly promoted replica; the coordinator
+    /// adopted it as the shard's leader.
+    pub promoted: bool,
+}
+
+/// A write that no node of the owning shard acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteFailed {
+    /// The shard that refused or timed out every attempt.
+    pub shard: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for WriteFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "write to shard {} failed after {} attempts",
+            self.shard, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for WriteFailed {}
+
+/// Per-shard progress of one in-flight query.
+struct ShardProgress {
+    state: ShardState,
+    /// Target of the current primary attempt.
+    target: NodeId,
+    /// Attempt number of the current primary attempt.
+    attempt: u32,
+    /// When the current primary attempt was scattered.
+    started: Instant,
+    hedged: bool,
+    retries: u32,
+    backoff: Backoff,
+    /// attempt -> `Done.hits_sent`, once the Done arrived.
+    expected: HashMap<u32, u32>,
+    /// attempt -> distinct hit ids received for it.
+    received: HashMap<u32, HashSet<u64>>,
+}
+
+enum ShardState {
+    Running,
+    /// Backing off; retry when the instant passes.
+    RetryAt(Instant),
+    Completed,
+    Failed,
+}
+
+/// A sharded deployment: one coordinator (this object, on the caller's
+/// thread), `shards` leader workers, and optionally one replica per shard,
+/// all joined by an in-process [`Loopback`] transport that a
+/// [`NetFaultPlan`] can make arbitrarily hostile. See module docs.
+pub struct ShardCluster {
+    cfg: ShardClusterConfig,
+    measure: repose_distance::Measure,
+    transport: Arc<Loopback>,
+    /// Current believed leader of each shard (updated on adopt-promotion).
+    leaders: Vec<NodeId>,
+    /// Replica node of each shard (empty when unreplicated).
+    replicas: Vec<NodeId>,
+    /// Leader services, for tests and shadow checks (shared with workers).
+    services: Vec<Arc<ReposeService>>,
+    /// Replica services (empty when unreplicated).
+    replica_services: Vec<Arc<ReposeService>>,
+    handles: Vec<JoinHandle<()>>,
+    qid: u64,
+    wid: u64,
+    /// Bumped on every acknowledged write; stamps cache entries.
+    version: u64,
+    /// Completed attempt latencies (bounded ring) feeding the hedge
+    /// percentile.
+    latencies: VecDeque<Duration>,
+    cache: HashMap<CacheKey, CacheEntry>,
+}
+
+/// Bit-exact cache key: the query's coordinate bit patterns plus k.
+type CacheKey = (Vec<(u64, u64)>, usize);
+/// A cached answer, stamped with the write version it was computed at.
+type CacheEntry = (u64, Vec<Hit>);
+
+impl ShardCluster {
+    /// Builds the deployment: shards `dataset` by `id % shards`, builds one
+    /// [`Repose`] + [`ReposeService`] per node (replicas start from the
+    /// same shard subset), wires everyone over a [`Loopback`] carrying
+    /// `faults`, and spawns the worker threads.
+    ///
+    /// `durability_root`, when given, puts every node's WAL under its own
+    /// subdirectory (`shard0/`, `replica0/`, ...) so crash tests can
+    /// inspect and byte-compare the logs.
+    pub fn build(
+        dataset: Dataset,
+        rcfg: ReposeConfig,
+        cfg: ShardClusterConfig,
+        faults: NetFaultPlan,
+        durability_root: Option<&Path>,
+    ) -> Self {
+        assert!(cfg.shards >= 1, "a cluster needs at least one shard");
+        assert!(
+            (0.0..=1.0).contains(&cfg.hedge_percentile),
+            "hedge percentile must be in 0..=1"
+        );
+        let shards = cfg.shards;
+        let mut subsets: Vec<Vec<Trajectory>> = vec![Vec::new(); shards];
+        for t in dataset.into_trajectories() {
+            subsets[(t.id % shards as u64) as usize].push(t);
+        }
+
+        let mut labels = vec!["coord".to_string()];
+        labels.extend((0..shards).map(|i| format!("shard{i}")));
+        if cfg.replicate {
+            labels.extend((0..shards).map(|i| format!("replica{i}")));
+        }
+        let transport = Arc::new(Loopback::new(labels, faults));
+
+        let service_for = |subset: &[Trajectory], label: &str| {
+            let repose = Repose::build(&Dataset::from_trajectories(subset.to_vec()), rcfg);
+            let scfg = ServiceConfig {
+                cache_capacity: 0,
+                pool_threads: 1,
+                durability: durability_root
+                    .map(|root| repose_durability::DurabilityConfig::new(root.join(label))),
+                ..ServiceConfig::default()
+            };
+            Arc::new(ReposeService::with_config(repose, scfg))
+        };
+
+        let mut services = Vec::with_capacity(shards);
+        let mut replica_services = Vec::new();
+        let mut leaders = Vec::with_capacity(shards);
+        let mut replicas = Vec::new();
+        let mut handles = Vec::new();
+        for (i, subset) in subsets.iter().enumerate() {
+            let leader_node = (1 + i) as NodeId;
+            let replica_node = (1 + shards + i) as NodeId;
+            leaders.push(leader_node);
+            let svc = service_for(subset, &format!("shard{i}"));
+            services.push(Arc::clone(&svc));
+            let role = Role::Leader {
+                follower: cfg.replicate.then_some(replica_node),
+            };
+            let worker = ShardWorker::new(
+                leader_node,
+                0,
+                role,
+                svc,
+                Arc::clone(&transport) as Arc<dyn Transport>,
+                cfg.worker,
+            );
+            handles.push(std::thread::spawn(move || worker.run()));
+            if cfg.replicate {
+                replicas.push(replica_node);
+                let rsvc = service_for(subset, &format!("replica{i}"));
+                replica_services.push(Arc::clone(&rsvc));
+                let worker = ShardWorker::new(
+                    replica_node,
+                    0,
+                    Role::Follower { leader: leader_node },
+                    rsvc,
+                    Arc::clone(&transport) as Arc<dyn Transport>,
+                    cfg.worker,
+                );
+                handles.push(std::thread::spawn(move || worker.run()));
+            }
+        }
+
+        ShardCluster {
+            cfg,
+            measure: rcfg.measure(),
+            transport,
+            leaders,
+            replicas,
+            services,
+            replica_services,
+            handles,
+            qid: 0,
+            wid: 0,
+            version: 0,
+            latencies: VecDeque::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying transport — for fault-test assertions on
+    /// [`crate::transport::NetStats`] and node liveness.
+    pub fn transport(&self) -> &Loopback {
+        &self.transport
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The node the coordinator currently believes leads `shard`.
+    pub fn leader_of(&self, shard: usize) -> NodeId {
+        self.leaders[shard]
+    }
+
+    /// The leader service of `shard` — for shadow checks in tests.
+    pub fn leader_service(&self, shard: usize) -> &Arc<ReposeService> {
+        &self.services[shard]
+    }
+
+    /// The replica service of `shard` (panics when unreplicated).
+    pub fn replica_service(&self, shard: usize) -> &Arc<ReposeService> {
+        &self.replica_services[shard]
+    }
+
+    /// Scatter-gathers the exact top-`k` for `query` (see module docs for
+    /// the retry/hedge/degradation contract).
+    pub fn query(&mut self, query: &[Point], k: usize) -> ShardOutcome {
+        let t0 = Instant::now();
+        let cache_key = (
+            query.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect::<Vec<_>>(),
+            k,
+        );
+        if let Some((version, hits)) = self.cache.get(&cache_key) {
+            if *version == self.version {
+                return ShardOutcome {
+                    hits: hits.clone(),
+                    degraded: false,
+                    shards_failed: 0,
+                    retries: 0,
+                    hedges: 0,
+                    tightenings: 0,
+                    cache_hit: true,
+                    latency: t0.elapsed(),
+                };
+            }
+        }
+
+        self.qid += 1;
+        let qid = self.qid;
+        let version_at_start = self.version;
+        let global = SharedTopK::new(k);
+        let mut all_hits: Vec<Hit> = Vec::new();
+        let mut seen_ids: HashSet<u64> = HashSet::new();
+        let mut next_attempt: u32 = 0;
+        let (mut retries, mut hedges, mut tightenings) = (0u32, 0u32, 0u32);
+        let mut last_broadcast = f64::INFINITY;
+        let hedge_after = self.hedge_delay();
+
+        let mut progress: Vec<ShardProgress> = (0..self.cfg.shards)
+            .map(|shard| {
+                let attempt = next_attempt;
+                next_attempt += 1;
+                let target = self.leaders[shard];
+                self.send_query(target, qid, attempt, k, f64::INFINITY, query);
+                ShardProgress {
+                    state: ShardState::Running,
+                    target,
+                    attempt,
+                    started: Instant::now(),
+                    hedged: false,
+                    retries: 0,
+                    backoff: Backoff::new(self.cfg.backoff, self.cfg.seed ^ qid ^ shard as u64),
+                    expected: HashMap::new(),
+                    received: HashMap::new(),
+                }
+            })
+            .collect();
+        // attempt number -> shard, so replies route without trusting the
+        // sender's node id (a hedge and a retry answer for the same shard).
+        let mut attempt_shard: HashMap<u32, usize> = (0..self.cfg.shards)
+            .map(|shard| (shard as u32, shard))
+            .collect();
+
+        loop {
+            let open = progress
+                .iter()
+                .any(|p| matches!(p.state, ShardState::Running | ShardState::RetryAt(_)));
+            if !open {
+                break;
+            }
+
+            // Drain the inbox.
+            let mut got = self.transport.recv_timeout(0, self.cfg.tick);
+            while let Some((_, msg)) = got {
+                match msg {
+                    Message::Hit { qid: q, attempt, id, dist } if q == qid => {
+                        if let Some(&shard) = attempt_shard.get(&attempt) {
+                            let p = &mut progress[shard];
+                            p.received.entry(attempt).or_default().insert(id);
+                            if seen_ids.insert(id) {
+                                global.publish(dist, id);
+                                all_hits.push(Hit { id, dist });
+                            }
+                            Self::check_complete(p, attempt, &mut self.latencies);
+                        }
+                    }
+                    Message::Done { qid: q, attempt, hits_sent, .. } if q == qid => {
+                        if let Some(&shard) = attempt_shard.get(&attempt) {
+                            let p = &mut progress[shard];
+                            p.expected.insert(attempt, hits_sent);
+                            Self::check_complete(p, attempt, &mut self.latencies);
+                        }
+                    }
+                    // Stale query traffic, stray write acks, anything a
+                    // fault replayed: not ours, not now.
+                    _ => {}
+                }
+                got = self.transport.try_recv(0).map(Some).unwrap_or(None);
+            }
+
+            // Propagate a tightened global bound to the still-running
+            // shards.
+            let bound = global.bound();
+            if bound < last_broadcast {
+                last_broadcast = bound;
+                for p in &progress {
+                    if let ShardState::Running = p.state {
+                        let msg = Message::Tighten { qid, dk: bound };
+                        self.transport.send(0, p.target, &msg);
+                        tightenings += 1;
+                        if p.hedged {
+                            let other = self.other_node(p.target);
+                            self.transport.send(0, other, &Message::Tighten { qid, dk: bound });
+                            tightenings += 1;
+                        }
+                    }
+                }
+            }
+
+            // Timers: hedges, attempt deadlines, backed-off retries.
+            for (shard, p) in progress.iter_mut().enumerate() {
+                match p.state {
+                    ShardState::Running => {
+                        let age = p.started.elapsed();
+                        if !p.hedged && !self.replicas.is_empty() && age >= hedge_after {
+                            p.hedged = true;
+                            hedges += 1;
+                            let attempt = next_attempt;
+                            next_attempt += 1;
+                            attempt_shard.insert(attempt, shard);
+                            let other = self.other_node(p.target);
+                            self.send_query(other, qid, attempt, k, global.bound(), query);
+                        }
+                        if age >= self.cfg.attempt_timeout {
+                            if p.retries < self.cfg.max_retries {
+                                p.retries += 1;
+                                p.state = ShardState::RetryAt(
+                                    Instant::now() + p.backoff.next_delay(),
+                                );
+                            } else {
+                                p.state = ShardState::Failed;
+                            }
+                        }
+                    }
+                    ShardState::RetryAt(when) => {
+                        if Instant::now() >= when {
+                            retries += 1;
+                            let attempt = next_attempt;
+                            next_attempt += 1;
+                            attempt_shard.insert(attempt, shard);
+                            // Alternate the pair on every retry; a crashed
+                            // or partitioned leader's replica answers.
+                            p.target = self.other_node(p.target);
+                            p.attempt = attempt;
+                            p.started = Instant::now();
+                            p.hedged = false;
+                            p.state = ShardState::Running;
+                            self.send_query(p.target, qid, attempt, k, global.bound(), query);
+                        }
+                    }
+                    ShardState::Completed | ShardState::Failed => {}
+                }
+            }
+        }
+
+        let shards_failed = progress
+            .iter()
+            .filter(|p| matches!(p.state, ShardState::Failed))
+            .count() as u32;
+        let degraded = shards_failed > 0;
+        all_hits.sort_by(Hit::cmp_by_dist_then_id);
+        all_hits.truncate(k);
+        if !degraded && self.cfg.cache_capacity > 0 && self.version == version_at_start {
+            if self.cache.len() >= self.cfg.cache_capacity {
+                self.cache.clear();
+            }
+            self.cache.insert(cache_key, (self.version, all_hits.clone()));
+        }
+        ShardOutcome {
+            hits: all_hits,
+            degraded,
+            shards_failed,
+            retries,
+            hedges,
+            tightenings,
+            cache_hit: false,
+            latency: t0.elapsed(),
+        }
+    }
+
+    /// Inserts (or replaces) a trajectory on its owning shard's leader,
+    /// acknowledged per the log-before-ack replication contract.
+    pub fn insert(&mut self, traj: Trajectory) -> Result<WriteOutcome, WriteFailed> {
+        let shard = (traj.id % self.cfg.shards as u64) as usize;
+        let (id, points) = (traj.id, traj.points);
+        self.write(shard, |wid| Message::Upsert { wid, id, points: points.clone() })
+    }
+
+    /// Deletes a trajectory from its owning shard, same contract as
+    /// [`ShardCluster::insert`].
+    pub fn remove(&mut self, id: u64) -> Result<WriteOutcome, WriteFailed> {
+        let shard = (id % self.cfg.shards as u64) as usize;
+        self.write(shard, |wid| Message::Delete { wid, id })
+    }
+
+    /// Asks every node to stop and joins the worker threads. Also runs on
+    /// drop; explicit call gives deterministic shutdown timing in tests.
+    pub fn shutdown(&mut self) {
+        self.transport.shutdown_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn send_query(
+        &self,
+        target: NodeId,
+        qid: u64,
+        attempt: u32,
+        k: usize,
+        seed_dk: f64,
+        query: &[Point],
+    ) {
+        let msg = Message::Query {
+            qid,
+            attempt,
+            k: k as u32,
+            measure: self.measure,
+            seed_dk,
+            points: query.to_vec(),
+        };
+        self.transport.send(0, target, &msg);
+    }
+
+    /// The other node of `node`'s shard pair; `node` itself when
+    /// unreplicated (retries re-ask the only node there is).
+    fn other_node(&self, node: NodeId) -> NodeId {
+        if self.replicas.is_empty() {
+            return node;
+        }
+        let shards = self.cfg.shards as NodeId;
+        if node <= shards {
+            node + shards
+        } else {
+            node - shards
+        }
+    }
+
+    /// Marks the shard completed when `attempt`'s received hits match its
+    /// `Done`; records the attempt latency for the hedge percentile.
+    fn check_complete(p: &mut ShardProgress, attempt: u32, latencies: &mut VecDeque<Duration>) {
+        if matches!(p.state, ShardState::Completed) {
+            return;
+        }
+        let Some(&expected) = p.expected.get(&attempt) else { return };
+        let received = p.received.get(&attempt).map_or(0, HashSet::len);
+        if received == expected as usize {
+            p.state = ShardState::Completed;
+            latencies.push_back(p.started.elapsed());
+            if latencies.len() > 512 {
+                latencies.pop_front();
+            }
+        }
+    }
+
+    /// The hedge trigger: the configured percentile of observed attempt
+    /// latencies, floored by `hedge_floor`; before enough samples exist,
+    /// half the attempt timeout (still floored).
+    fn hedge_delay(&self) -> Duration {
+        let floor = self.cfg.hedge_floor;
+        if self.latencies.len() < 8 {
+            return floor.max(self.cfg.attempt_timeout / 2);
+        }
+        let mut sorted: Vec<Duration> = self.latencies.iter().copied().collect();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * self.cfg.hedge_percentile).round() as usize;
+        floor.max(sorted[idx])
+    }
+
+    fn write(
+        &mut self,
+        shard: usize,
+        make: impl Fn(u64) -> Message,
+    ) -> Result<WriteOutcome, WriteFailed> {
+        let mut target = self.leaders[shard];
+        let mut backoff = Backoff::new(self.cfg.backoff, self.cfg.seed ^ 0xB11D ^ self.wid);
+        let mut attempts = 0u32;
+        while attempts <= self.cfg.write_retries {
+            attempts += 1;
+            self.wid += 1;
+            let wid = self.wid;
+            self.transport.send(0, target, &make(wid));
+            let deadline = Instant::now() + self.cfg.write_timeout;
+            'wait: loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break 'wait;
+                }
+                match self.transport.recv_timeout(0, remaining) {
+                    Some((_, Message::WriteOk { wid: w, seq })) if w == wid => {
+                        let promoted = target != self.leaders[shard];
+                        if promoted {
+                            self.leaders[shard] = target;
+                        }
+                        self.version += 1;
+                        return Ok(WriteOutcome { seq, attempts, promoted });
+                    }
+                    Some((_, Message::WriteRefused { wid: w, .. })) if w == wid => break 'wait,
+                    // Stale query traffic or an old attempt's answer.
+                    _ => {}
+                }
+            }
+            if attempts <= self.cfg.write_retries {
+                target = self.other_node(target);
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+        Err(WriteFailed { shard, attempts })
+    }
+}
+
+impl Drop for ShardCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCluster")
+            .field("shards", &self.cfg.shards)
+            .field("replicate", &self.cfg.replicate)
+            .field("leaders", &self.leaders)
+            .finish()
+    }
+}

@@ -1,0 +1,443 @@
+//! The transport abstraction and its in-process loopback implementation.
+//!
+//! Every message a node sends is **serialized through the wire protocol**
+//! ([`crate::Message::encode_frame`]) at send time and decoded at
+//! delivery — the loopback never shortcuts through memory — so the
+//! fault-matrix suite exercises the exact byte path a TCP transport
+//! would, and a codec bug cannot hide behind in-process object passing.
+//!
+//! Faults from the attached [`NetFaultPlan`] apply at send time. For each
+//! message the transport consults, in order, the sender's `.tx` site, the
+//! receiver's `.rx` site, and both bare node sites (for node-scoped
+//! faults like partition and crash); the first armed site whose countdown
+//! expires decides the message's fate. Partitioned and crashed nodes drop
+//! *all* subsequent traffic in both directions.
+
+use crate::fault::{NetFault, NetFaultPlan};
+use crate::protocol::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Index of a node on the transport (0 is the coordinator by convention).
+pub type NodeId = u16;
+
+/// An encoded frame in flight.
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: NodeId,
+    bytes: Vec<u8>,
+}
+
+/// Counters of what the network actually did (for experiments and fault
+/// assertions). Snapshot via [`Loopback::net_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted to [`Transport::send`].
+    pub sent: u64,
+    /// Messages actually delivered to an inbox (duplicates count twice).
+    pub delivered: u64,
+    /// Messages dropped by faults, partitions, or crashed endpoints.
+    pub dropped: u64,
+    /// Extra deliveries due to duplication faults.
+    pub duplicated: u64,
+    /// Messages delivered late due to delay faults.
+    pub delayed: u64,
+    /// Messages held back past a successor due to reorder faults.
+    pub reordered: u64,
+}
+
+/// What shard workers and coordinators program against. The in-process
+/// [`Loopback`] is the only implementation in this repository; a real
+/// TCP/QUIC transport would slot in behind the same five methods.
+pub trait Transport: Send + Sync {
+    /// Sends `msg` from `from` to `to`. Fire-and-forget: delivery is not
+    /// guaranteed (that is the point), and failure is silent — reliability
+    /// lives in the retry/ack layers above.
+    fn send(&self, from: NodeId, to: NodeId, msg: &Message);
+    /// Receives the next message addressed to `node`, waiting up to
+    /// `timeout`. `None` on timeout (or when the node is crashed).
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Option<(NodeId, Message)>;
+    /// Receives without blocking.
+    fn try_recv(&self, node: NodeId) -> Option<(NodeId, Message)>;
+    /// Whether a crash fault has killed `node`.
+    fn is_crashed(&self, node: NodeId) -> bool;
+    /// Whether the deployment is shutting down (worker loops must exit).
+    fn is_shutdown(&self) -> bool;
+    /// Begins teardown: every worker loop observes [`Transport::is_shutdown`]
+    /// on its next tick, even if partitioned away from the coordinator.
+    fn shutdown_all(&self);
+}
+
+struct LoopbackInner {
+    inboxes: Vec<(Sender<Envelope>, Receiver<Envelope>)>,
+    labels: Vec<String>,
+    faults: NetFaultPlan,
+    severed: Mutex<HashSet<NodeId>>,
+    crashed: Mutex<HashSet<NodeId>>,
+    /// One held-back message per link, delivered after the link's next
+    /// message (reorder fault).
+    reorder_pending: Mutex<HashMap<(NodeId, NodeId), Envelope>>,
+    shutdown: AtomicBool,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+}
+
+/// The in-process loopback transport (see module docs). Cloning shares
+/// the network.
+#[derive(Clone)]
+pub struct Loopback {
+    inner: Arc<LoopbackInner>,
+}
+
+impl Loopback {
+    /// A network of `labels.len()` nodes; `labels[n]` names node `n` for
+    /// fault sites (conventionally `coord`, `shard0`…, `replica0`…).
+    pub fn new(labels: Vec<String>, faults: NetFaultPlan) -> Self {
+        let inboxes = (0..labels.len()).map(|_| unbounded()).collect();
+        Loopback {
+            inner: Arc::new(LoopbackInner {
+                inboxes,
+                labels,
+                faults,
+                severed: Mutex::new(HashSet::new()),
+                crashed: Mutex::new(HashSet::new()),
+                reorder_pending: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                sent: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+                delayed: AtomicU64::new(0),
+                reordered: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The fault-site label of `node`.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.inner.labels[node as usize]
+    }
+
+    /// Snapshot of the network counters.
+    pub fn net_stats(&self) -> NetStats {
+        let i = &self.inner;
+        NetStats {
+            sent: i.sent.load(Ordering::Relaxed),
+            delivered: i.delivered.load(Ordering::Relaxed),
+            dropped: i.dropped.load(Ordering::Relaxed),
+            duplicated: i.duplicated.load(Ordering::Relaxed),
+            delayed: i.delayed.load(Ordering::Relaxed),
+            reordered: i.reordered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a partition fault has severed `node` from the network.
+    pub fn is_severed(&self, node: NodeId) -> bool {
+        self.inner
+            .severed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&node)
+    }
+
+    fn sever(&self, node: NodeId) {
+        self.inner
+            .severed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(node);
+    }
+
+    fn mark_crashed(&self, node: NodeId) {
+        self.inner
+            .crashed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(node);
+    }
+
+    /// The first fault armed on any site this (from, to) exchange touches.
+    /// Returns the fault and the node a node-scoped fault applies to.
+    fn fault_for(&self, from: NodeId, to: NodeId) -> Option<(NetFault, NodeId)> {
+        let faults = &self.inner.faults;
+        let from_label = self.label(from);
+        let to_label = self.label(to);
+        if let Some(f) = faults.hit(&format!("{from_label}.tx")) {
+            return Some((f, from));
+        }
+        if let Some(f) = faults.hit(&format!("{to_label}.rx")) {
+            return Some((f, to));
+        }
+        if let Some(f) = faults.hit(from_label) {
+            return Some((f, from));
+        }
+        if let Some(f) = faults.hit(to_label) {
+            return Some((f, to));
+        }
+        None
+    }
+
+    /// Delivers `env` to `to` unless an endpoint is dead or cut off.
+    fn deliver(&self, to: NodeId, env: Envelope) {
+        if self.is_severed(to) || self.is_severed(env.from) || self.is_crashed(to) {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.inner.inboxes[to as usize].0.send(env).is_ok() {
+            self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Delivers `env`, then flushes any reorder-held message on the link.
+    fn deliver_and_flush(&self, from: NodeId, to: NodeId, env: Envelope) {
+        self.deliver(to, env);
+        let held = self
+            .inner
+            .reorder_pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(from, to));
+        if let Some(h) = held {
+            self.deliver(to, h);
+        }
+    }
+
+    fn pop_envelope(
+        &self,
+        node: NodeId,
+        timeout: Option<Duration>,
+    ) -> Option<Envelope> {
+        if self.is_crashed(node) {
+            return None;
+        }
+        let rx = &self.inner.inboxes[node as usize].1;
+        match timeout {
+            // Timeout and disconnect both surface as "nothing arrived".
+            Some(t) => rx.recv_timeout(t).ok(),
+            None => rx.try_recv(),
+        }
+    }
+
+    fn decode(env: Envelope) -> Option<(NodeId, Message)> {
+        let mut cur = env.bytes.as_slice();
+        match Message::decode_frame(&mut cur) {
+            // In-process frames are never torn; a decode failure here is a
+            // protocol bug and must not be silently eaten in tests.
+            Ok(Some(msg)) => {
+                debug_assert!(cur.is_empty(), "one frame per envelope");
+                Some((env.from, msg))
+            }
+            Ok(None) | Err(_) => {
+                debug_assert!(false, "undecodable frame on loopback");
+                None
+            }
+        }
+    }
+}
+
+impl Transport for Loopback {
+    fn send(&self, from: NodeId, to: NodeId, msg: &Message) {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        if self.is_crashed(from) || self.is_severed(from) {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let env = Envelope { from, bytes: msg.encode_frame() };
+        match self.fault_for(from, to) {
+            None => self.deliver_and_flush(from, to, env),
+            Some((NetFault::Drop, _)) => {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some((NetFault::Duplicate, _)) => {
+                self.inner.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.deliver(to, env.clone());
+                self.deliver_and_flush(from, to, env);
+            }
+            Some((NetFault::Delay(d), _)) => {
+                self.inner.delayed.fetch_add(1, Ordering::Relaxed);
+                let net = self.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(d);
+                    net.deliver(to, env);
+                });
+            }
+            Some((NetFault::Reorder, _)) => {
+                self.inner.reordered.fetch_add(1, Ordering::Relaxed);
+                let prev = self
+                    .inner
+                    .reorder_pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert((from, to), env);
+                // Two reorder faults on one link: the first held message
+                // gives way, not disappears.
+                if let Some(p) = prev {
+                    self.deliver(to, p);
+                }
+            }
+            Some((NetFault::Partition, node)) => {
+                self.sever(node);
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some((NetFault::Crash, node)) => {
+                self.mark_crashed(node);
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Option<(NodeId, Message)> {
+        self.pop_envelope(node, Some(timeout)).and_then(Loopback::decode)
+    }
+
+    fn try_recv(&self, node: NodeId) -> Option<(NodeId, Message)> {
+        self.pop_envelope(node, None).and_then(Loopback::decode)
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner
+            .crashed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&node)
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    fn shutdown_all(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Loopback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Loopback")
+            .field("nodes", &self.inner.labels)
+            .field("stats", &self.net_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(faults: NetFaultPlan) -> Loopback {
+        Loopback::new(
+            vec!["coord".into(), "shard0".into(), "shard1".into()],
+            faults,
+        )
+    }
+
+    const TICK: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn healthy_delivery_roundtrips_through_the_codec() {
+        let n = net(NetFaultPlan::new());
+        n.send(0, 1, &Message::Ack { seq: 7 });
+        let (from, msg) = n.recv_timeout(1, TICK).unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(msg, Message::Ack { seq: 7 });
+        assert_eq!(n.net_stats().delivered, 1);
+    }
+
+    #[test]
+    fn drop_fault_loses_exactly_the_armed_message() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0.rx", NetFault::Drop, 1);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 1 });
+        n.send(0, 1, &Message::Ack { seq: 2 }); // armed: dropped
+        n.send(0, 1, &Message::Ack { seq: 3 });
+        let got: Vec<_> = (0..2).filter_map(|_| n.recv_timeout(1, TICK)).collect();
+        assert_eq!(
+            got.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>(),
+            vec![Message::Ack { seq: 1 }, Message::Ack { seq: 3 }]
+        );
+        assert!(n.try_recv(1).is_none());
+        assert_eq!(n.net_stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let plan = NetFaultPlan::new();
+        plan.arm("coord.tx", NetFault::Duplicate, 0);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 9 });
+        assert_eq!(n.recv_timeout(1, TICK).unwrap().1, Message::Ack { seq: 9 });
+        assert_eq!(n.recv_timeout(1, TICK).unwrap().1, Message::Ack { seq: 9 });
+    }
+
+    #[test]
+    fn reorder_fault_swaps_adjacent_messages() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0.rx", NetFault::Reorder, 0);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 1 }); // held
+        n.send(0, 1, &Message::Ack { seq: 2 }); // delivered, then flushes 1
+        assert_eq!(n.recv_timeout(1, TICK).unwrap().1, Message::Ack { seq: 2 });
+        assert_eq!(n.recv_timeout(1, TICK).unwrap().1, Message::Ack { seq: 1 });
+    }
+
+    #[test]
+    fn delay_fault_defers_but_still_delivers() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0.rx", NetFault::Delay(Duration::from_millis(30)), 0);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 5 });
+        assert!(n.try_recv(1).is_none(), "not delivered synchronously");
+        assert_eq!(
+            n.recv_timeout(1, Duration::from_secs(5)).unwrap().1,
+            Message::Ack { seq: 5 }
+        );
+    }
+
+    #[test]
+    fn partition_severs_both_directions_permanently() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0", NetFault::Partition, 0);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 1 }); // trips the partition
+        n.send(0, 1, &Message::Ack { seq: 2 });
+        n.send(1, 0, &Message::Ack { seq: 3 });
+        n.send(0, 2, &Message::Ack { seq: 4 }); // other shard unaffected
+        assert!(n.try_recv(1).is_none());
+        assert!(n.try_recv(0).is_none());
+        assert_eq!(n.recv_timeout(2, TICK).unwrap().1, Message::Ack { seq: 4 });
+        assert!(n.is_severed(1));
+    }
+
+    #[test]
+    fn crash_kills_the_node() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard1", NetFault::Crash, 0);
+        let n = net(plan);
+        n.send(0, 2, &Message::Ack { seq: 1 }); // trips the crash
+        assert!(n.is_crashed(2));
+        assert!(n.recv_timeout(2, TICK).is_none(), "a crashed node receives nothing");
+        n.send(2, 0, &Message::Ack { seq: 2 });
+        assert!(n.try_recv(0).is_none(), "a crashed node sends nothing");
+    }
+
+    #[test]
+    fn shutdown_reaches_partitioned_nodes() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0", NetFault::Partition, 0);
+        let n = net(plan);
+        n.send(0, 1, &Message::Ack { seq: 1 });
+        assert!(n.is_severed(1));
+        n.shutdown_all();
+        assert!(n.is_shutdown(), "shutdown is out-of-band, partitions cannot block it");
+    }
+}

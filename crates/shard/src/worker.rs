@@ -1,0 +1,401 @@
+//! The shard worker: one node owning one shard of the dataset (a full
+//! [`ReposeService`] over its subset), driven by a single-threaded
+//! message loop.
+//!
+//! # Query path
+//!
+//! A [`Message::Query`] executes via
+//! [`ReposeService::query_scatter`]: partitions run sequentially in bound
+//! order, each completed partition's accepted hits stream to the
+//! coordinator immediately, and between partitions the worker drains its
+//! inbox for [`Message::Tighten`] broadcasts, folding the coordinator's
+//! global bound into the running collector so a hit found on *another
+//! shard* prunes this one mid-flight — the wire-level generalization of
+//! the in-process `SharedTopK` design. The closing [`Message::Done`]
+//! carries the count of hits streamed, which lets the coordinator detect
+//! in-flight losses and reordering.
+//!
+//! # Replication and promotion
+//!
+//! A leader logs every write to its own WAL first
+//! ([`ReposeService::insert_acked`]), then sends its unacknowledged log
+//! suffix to its follower and waits for the follower's [`Message::Ack`]
+//! **before** acknowledging the client (log-before-ack; an unconfirmed
+//! replication refuses the write instead). The suffix-resend discipline
+//! plus the follower's idempotent, gap-refusing
+//! [`ReposeService::apply_replica`] make replication immune to dropped,
+//! duplicated, and reordered `Replicate` frames. Followers serve reads
+//! always, and promote to (followerless) leader when heartbeats go
+//! silent past the timeout — after which they accept writes too.
+//!
+//! A write refused for `ReplicationUnavailable` was *not* acknowledged
+//! but may still be applied (the leader logged it before replicating) —
+//! at-least-once semantics with idempotent upserts; the loss contract is
+//! one-directional: **acknowledged ⇒ survives**.
+
+use crate::protocol::{Message, RefusalReason};
+use crate::transport::{NodeId, Transport};
+use repose_cluster::{Backoff, BackoffConfig};
+use repose_durability::WalRecord;
+use repose_model::Trajectory;
+use repose_service::ReposeService;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a node is to its shard's replication pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; replicates to `follower` before acknowledging
+    /// (`None` = unreplicated deployment, acks after the local log).
+    Leader {
+        /// The replication target, if any.
+        follower: Option<NodeId>,
+    },
+    /// Serves reads, applies replicated records, and promotes itself when
+    /// `leader`'s heartbeats go silent.
+    Follower {
+        /// The node whose heartbeats this follower watches.
+        leader: NodeId,
+    },
+}
+
+/// Timing and retry knobs of a [`ShardWorker`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// How often a leader heartbeats its follower.
+    pub heartbeat_every: Duration,
+    /// Silence past this promotes a follower.
+    pub heartbeat_timeout: Duration,
+    /// How long a leader waits for one replication `Ack`.
+    pub ack_timeout: Duration,
+    /// Replication resends before refusing the write.
+    pub replication_retries: u32,
+    /// Backoff shape between replication resends.
+    pub backoff: BackoffConfig,
+    /// Idle poll granularity of the message loop.
+    pub tick: Duration,
+    /// Seed for this node's deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            heartbeat_every: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(150),
+            ack_timeout: Duration::from_millis(200),
+            replication_retries: 3,
+            backoff: BackoffConfig {
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(100),
+                factor: 2.0,
+                jitter: 0.5,
+            },
+            tick: Duration::from_millis(2),
+            seed: 0x5AAD,
+        }
+    }
+}
+
+/// One shard node's state and message loop (see module docs).
+pub struct ShardWorker {
+    node: NodeId,
+    coord: NodeId,
+    role: Role,
+    service: Arc<ReposeService>,
+    transport: Arc<dyn Transport>,
+    cfg: WorkerConfig,
+}
+
+impl ShardWorker {
+    /// Assembles a worker; call [`ShardWorker::run`] on its own thread.
+    pub fn new(
+        node: NodeId,
+        coord: NodeId,
+        role: Role,
+        service: Arc<ReposeService>,
+        transport: Arc<dyn Transport>,
+        cfg: WorkerConfig,
+    ) -> Self {
+        ShardWorker { node, coord, role, service, transport, cfg }
+    }
+
+    /// The message loop: runs until shutdown, a crash fault, or a
+    /// [`Message::Shutdown`].
+    pub fn run(mut self) {
+        let mut pending: VecDeque<(NodeId, Message)> = VecDeque::new();
+        let mut unreplicated: Vec<WalRecord> = Vec::new();
+        // First heartbeat goes out immediately.
+        let mut last_hb_sent = Instant::now() - self.cfg.heartbeat_every;
+        let mut last_hb_seen = Instant::now();
+        loop {
+            if self.transport.is_shutdown() || self.transport.is_crashed(self.node) {
+                return;
+            }
+            self.maybe_heartbeat(&mut last_hb_sent);
+            if let Role::Follower { .. } = self.role {
+                if last_hb_seen.elapsed() > self.cfg.heartbeat_timeout {
+                    // The leader went silent: take over. No follower of
+                    // our own — replication pairs are not chains.
+                    self.role = Role::Leader { follower: None };
+                }
+            }
+            let next = pending
+                .pop_front()
+                .or_else(|| self.transport.recv_timeout(self.node, self.cfg.tick));
+            let Some((from, msg)) = next else { continue };
+            match msg {
+                Message::Shutdown => return,
+                Message::Heartbeat { .. } => last_hb_seen = Instant::now(),
+                Message::Query { qid, attempt, k, measure, seed_dk, points } => {
+                    debug_assert_eq!(
+                        measure,
+                        self.service.config().measure(),
+                        "coordinator and shard disagree on the deployment measure"
+                    );
+                    self.handle_query(
+                        qid,
+                        attempt,
+                        k as usize,
+                        seed_dk,
+                        &points,
+                        &mut pending,
+                        &mut last_hb_sent,
+                        &mut last_hb_seen,
+                    );
+                }
+                // A tighten with no query running raced a finished (or
+                // retried) attempt; the bound is stale by construction.
+                Message::Tighten { .. } => {}
+                Message::Replicate { records } => {
+                    last_hb_seen = Instant::now();
+                    self.handle_replicate(from, &records);
+                }
+                Message::Upsert { wid, id, points } => {
+                    self.handle_upsert(wid, id, points, &mut pending, &mut unreplicated);
+                }
+                Message::Delete { wid, id } => {
+                    self.handle_delete(wid, id, &mut pending, &mut unreplicated);
+                }
+                // A late ack from a timed-out replication round still
+                // confirms the follower's progress.
+                Message::Ack { seq } => unreplicated.retain(|r| r.seq() > seq),
+                // Addressed to coordinators; nothing for a worker.
+                Message::Hit { .. }
+                | Message::Done { .. }
+                | Message::WriteOk { .. }
+                | Message::WriteRefused { .. } => {}
+            }
+        }
+    }
+
+    /// Sends a liveness heartbeat when one is due (leaders with followers
+    /// only). Also called between partitions of a running query so a long
+    /// search cannot starve the follower into a spurious promotion.
+    fn maybe_heartbeat(&self, last_hb_sent: &mut Instant) {
+        if let Role::Leader { follower: Some(f) } = self.role {
+            if last_hb_sent.elapsed() >= self.cfg.heartbeat_every {
+                let hb = Message::Heartbeat { seq: self.service.op_seq() };
+                self.transport.send(self.node, f, &hb);
+                *last_hb_sent = Instant::now();
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_query(
+        &self,
+        qid: u64,
+        attempt: u32,
+        k: usize,
+        seed_dk: f64,
+        points: &[repose_model::Point],
+        pending: &mut VecDeque<(NodeId, Message)>,
+        last_hb_sent: &mut Instant,
+        last_hb_seen: &mut Instant,
+    ) {
+        let (node, coord) = (self.node, self.coord);
+        let transport = &self.transport;
+        let mut hits_sent = 0u32;
+        let outcome = self.service.query_scatter(points, k, seed_dk, |collector, part_hits| {
+            for h in part_hits {
+                let hit = Message::Hit { qid, attempt, id: h.id, dist: h.dist };
+                transport.send(node, coord, &hit);
+            }
+            hits_sent += part_hits.len() as u32;
+            // Between partitions: fold in remote tightenings so the next
+            // partition prunes under the freshest global bound; stash
+            // anything else for the main loop.
+            while let Some((from, m)) = transport.try_recv(node) {
+                match m {
+                    Message::Tighten { qid: q, dk } if q == qid => collector.tighten(dk),
+                    Message::Tighten { .. } => {}
+                    // Liveness bookkeeping cannot wait for the search to
+                    // finish: a long query on a follower must not read as
+                    // leader silence and trigger a spurious promotion.
+                    Message::Heartbeat { .. } => *last_hb_seen = Instant::now(),
+                    other => {
+                        if matches!(other, Message::Replicate { .. }) {
+                            *last_hb_seen = Instant::now();
+                        }
+                        pending.push_back((from, other));
+                    }
+                }
+            }
+            self.maybe_heartbeat(last_hb_sent);
+        });
+        if let Ok(o) = outcome {
+            let done = Message::Done {
+                qid,
+                attempt,
+                hits_sent,
+                exact_computations: o.search.exact_computations as u64,
+                exact_abandoned: o.search.exact_abandoned as u64,
+            };
+            transport.send(node, coord, &done);
+        }
+        // A poisoned service sends nothing; the coordinator's deadline
+        // treats the silence like any other lost shard.
+    }
+
+    fn handle_replicate(&self, from: NodeId, records: &[WalRecord]) {
+        for r in records {
+            // Duplicates are skipped inside; a gap (or a dead WAL) stops
+            // the batch — the ack below tells the leader how far we got,
+            // and the suffix-resend covers the rest.
+            if self.service.apply_replica(r).is_err() {
+                break;
+            }
+        }
+        let ack = Message::Ack { seq: self.service.op_seq() };
+        self.transport.send(self.node, from, &ack);
+    }
+
+    fn handle_upsert(
+        &self,
+        wid: u64,
+        id: u64,
+        points: Vec<repose_model::Point>,
+        pending: &mut VecDeque<(NodeId, Message)>,
+        unreplicated: &mut Vec<WalRecord>,
+    ) {
+        if !matches!(self.role, Role::Leader { .. }) {
+            self.refuse(wid, RefusalReason::NotLeader);
+            return;
+        }
+        match self.service.insert_acked(Trajectory::new(id, points.clone())) {
+            Err(_) => self.refuse(wid, RefusalReason::Durability),
+            Ok(seq) => self.finish_write(
+                wid,
+                seq,
+                WalRecord::Upsert { seq, id, points },
+                pending,
+                unreplicated,
+            ),
+        }
+    }
+
+    fn handle_delete(
+        &self,
+        wid: u64,
+        id: u64,
+        pending: &mut VecDeque<(NodeId, Message)>,
+        unreplicated: &mut Vec<WalRecord>,
+    ) {
+        if !matches!(self.role, Role::Leader { .. }) {
+            self.refuse(wid, RefusalReason::NotLeader);
+            return;
+        }
+        match self.service.remove_acked(id) {
+            Err(_) => self.refuse(wid, RefusalReason::Durability),
+            Ok(seq) => {
+                self.finish_write(wid, seq, WalRecord::Delete { seq, id }, pending, unreplicated)
+            }
+        }
+    }
+
+    fn refuse(&self, wid: u64, reason: RefusalReason) {
+        let msg = Message::WriteRefused { wid, reason };
+        self.transport.send(self.node, self.coord, &msg);
+    }
+
+    /// Local log succeeded; replicate (if paired), then acknowledge.
+    fn finish_write(
+        &self,
+        wid: u64,
+        seq: u64,
+        record: WalRecord,
+        pending: &mut VecDeque<(NodeId, Message)>,
+        unreplicated: &mut Vec<WalRecord>,
+    ) {
+        let Role::Leader { follower } = self.role else { unreachable!("checked by callers") };
+        match follower {
+            None => {
+                let ok = Message::WriteOk { wid, seq };
+                self.transport.send(self.node, self.coord, &ok);
+            }
+            Some(f) => {
+                unreplicated.push(record);
+                if self.replicate_until_acked(f, seq, pending, unreplicated) {
+                    let ok = Message::WriteOk { wid, seq };
+                    self.transport.send(self.node, self.coord, &ok);
+                } else {
+                    self.refuse(wid, RefusalReason::ReplicationUnavailable);
+                }
+            }
+        }
+    }
+
+    /// Sends the unacknowledged log suffix until the follower confirms
+    /// everything up to `target_seq`, with jittered-backoff resends.
+    /// Returns false when the retry budget runs out (write not acked; the
+    /// suffix stays queued and rides along with the next write).
+    fn replicate_until_acked(
+        &self,
+        follower: NodeId,
+        target_seq: u64,
+        pending: &mut VecDeque<(NodeId, Message)>,
+        unreplicated: &mut Vec<WalRecord>,
+    ) -> bool {
+        let mut backoff =
+            Backoff::new(self.cfg.backoff, self.cfg.seed ^ (self.node as u64) ^ target_seq);
+        for attempt in 0..=self.cfg.replication_retries {
+            if self.transport.is_shutdown() || self.transport.is_crashed(self.node) {
+                return false;
+            }
+            let batch = Message::Replicate { records: unreplicated.clone() };
+            self.transport.send(self.node, follower, &batch);
+            let deadline = Instant::now() + self.cfg.ack_timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match self.transport.recv_timeout(self.node, remaining) {
+                    None => {}
+                    Some((_, Message::Ack { seq })) => {
+                        unreplicated.retain(|r| r.seq() > seq);
+                        if seq >= target_seq {
+                            return true;
+                        }
+                    }
+                    Some(other) => pending.push_back(other),
+                }
+            }
+            if attempt < self.cfg.replication_retries {
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for ShardWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWorker")
+            .field("node", &self.node)
+            .field("role", &self.role)
+            .finish()
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 use proptest::prelude::*;
+use repose_durability::WalRecord;
 use repose_model::{Dataset, Mbr, Point, TrajStore, Trajectory};
 
 /// Lifts `(x, y)` pairs into [`Point`]s.
@@ -132,6 +133,39 @@ pub fn arb_trajectories(
         count,
     )
     .prop_map(trajectories_from_raw)
+}
+
+/// A random WAL record built from raw integers: `kind` selects the
+/// variant and the `u64` bit patterns become coordinates, so NaNs,
+/// infinities, -0.0 and subnormals all appear. Shared by the durability
+/// property tests and the shard replication-log suite, so both exercise
+/// the identical record space.
+pub fn build_record(kind: u8, seq: u64, id: u64, bits: &[(u64, u64)]) -> WalRecord {
+    match kind % 4 {
+        0 => WalRecord::Upsert {
+            seq,
+            id,
+            points: bits
+                .iter()
+                .map(|&(x, y)| Point::new(f64::from_bits(x), f64::from_bits(y)))
+                .collect(),
+        },
+        1 => WalRecord::Delete { seq, id },
+        2 => WalRecord::Seal { seq },
+        _ => WalRecord::Checkpoint { seq },
+    }
+}
+
+/// The coordinate bit patterns of a record's points (empty for
+/// non-upserts) — bitwise comparison, because NaN != NaN under float
+/// equality.
+pub fn record_point_bits(r: &WalRecord) -> Vec<(u64, u64)> {
+    match r {
+        WalRecord::Upsert { points, .. } => {
+            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect()
+        }
+        _ => Vec::new(),
+    }
 }
 
 #[cfg(test)]

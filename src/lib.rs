@@ -14,4 +14,5 @@ pub use repose_durability as durability;
 pub use repose_model as model;
 pub use repose_rptrie as rptrie;
 pub use repose_service as service;
+pub use repose_shard as shard;
 pub use repose_zorder as zorder;

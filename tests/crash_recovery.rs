@@ -267,6 +267,78 @@ fn torn_tail_recovers_exactly_the_acknowledged_prefix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Recovery is idempotent: recovering the same journal twice (or three
+/// times) is a no-op yielding bitwise-identical state. The regression this
+/// pins down: replay used to *count* a torn tail without truncating it, so
+/// the first recovery's `Wal::resume` opened a fresh segment, the torn
+/// bytes were stranded in a now non-final segment, and the second recovery
+/// refused the journal as corrupt.
+#[test]
+fn recovery_is_idempotent_after_a_torn_tail() {
+    let dir = fresh_dir("idem");
+    let plan = FailPlan::new();
+    plan.arm("wal.flush", FailAction::ShortWrite, 5);
+    let cfg = repose_config(Measure::Hausdorff);
+    let svc = ReposeService::try_with_config(
+        Repose::build(&tie_dataset(0..30), cfg),
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_threads: 1,
+            durability: Some(
+                DurabilityConfig::new(&dir)
+                    .with_fsync(FsyncPolicy::Always)
+                    .with_failpoints(plan),
+            ),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("durable service");
+    let mut acked = 0u64;
+    for i in 0..9u64 {
+        if svc.insert(tie_traj(600 + i)).is_ok() {
+            acked += 1;
+        }
+    }
+    assert_eq!(acked, 5, "the torn flush refuses the 6th write");
+    drop(svc);
+
+    let durable_only = || ServiceConfig {
+        cache_capacity: 0,
+        pool_threads: 1,
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..ServiceConfig::default()
+    };
+    let (first, report1) =
+        ReposeService::recover(cfg, durable_only()).expect("first recovery");
+    assert!(report1.torn_bytes > 0, "the torn frame must be found once");
+    let q = &tie_queries()[0];
+    let want = sorted_dist_bits(
+        first.query(q, 5).expect("query").hits.iter().map(|h| h.dist),
+    );
+    let (want_len, want_seq) = (first.len(), report1.last_seq);
+    drop(first);
+
+    // The torn tail was physically truncated, so every later recovery of
+    // the same journal is a clean no-op.
+    for round in 2..=3 {
+        let (again, report) = ReposeService::recover(cfg, durable_only())
+            .unwrap_or_else(|e| panic!("recovery #{round} must be a no-op, got: {e}"));
+        assert_eq!(report.torn_bytes, 0, "recovery #{round} found torn bytes again");
+        assert_eq!(report.replayed_records, report1.replayed_records, "#{round}");
+        assert_eq!(report.last_seq, want_seq, "#{round}");
+        assert_eq!(again.len(), want_len, "#{round}");
+        assert_eq!(
+            sorted_dist_bits(
+                again.query(q, 5).expect("query").hits.iter().map(|h| h.dist)
+            ),
+            want.clone(),
+            "recovery #{round} diverged from the first"
+        );
+        drop(again);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An expired deadline yields an explicitly degraded partial answer —
 /// never a silently wrong "exact" one — and degraded answers never reach
 /// the cache.
