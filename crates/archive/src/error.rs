@@ -1,0 +1,58 @@
+//! The archive layer's typed error: every way an archive can fail to
+//! write, validate, or attach, each loud and specific — a corrupt archive
+//! is *refused*, never partially served.
+
+use std::path::PathBuf;
+
+/// Why an archive operation failed.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// An underlying filesystem operation failed (including injected
+    /// `arc.*` fail-point I/O errors).
+    Io {
+        /// What was being done (`"write tmp archive"`, `"map archive"`, ...).
+        op: &'static str,
+        /// The failing path.
+        path: PathBuf,
+        /// The OS (or injected) error.
+        source: std::io::Error,
+    },
+    /// The bytes are not a well-formed archive: bad magic, unsupported
+    /// version, out-of-bounds table entries, undersized file, misaligned
+    /// or inconsistent sections.
+    Format(String),
+    /// A CRC-32 check failed — the superblock, the sealed trailer, or a
+    /// named section does not match the bytes it covers.
+    Checksum(String),
+    /// The meta section parsed but describes an impossible deployment
+    /// (e.g. partition count disagreeing with its own config).
+    Meta(String),
+}
+
+impl ArchiveError {
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, source: std::io::Error) -> Self {
+        ArchiveError::Io { op, path: path.to_path_buf(), source }
+    }
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Io { op, path, source } => {
+                write!(f, "archive {op} failed for {}: {source}", path.display())
+            }
+            ArchiveError::Format(m) => write!(f, "malformed archive: {m}"),
+            ArchiveError::Checksum(m) => write!(f, "archive checksum mismatch: {m}"),
+            ArchiveError::Meta(m) => write!(f, "inconsistent archive meta: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The `RPARCH01` on-disk archive format: superblock, 8-aligned payload
+//! sections, table of contents, sealed trailer.
+//!
+//! ```text
+//! offset 0            SUPERBLOCK (64 bytes, CRC-sealed)
+//! offset 64           section payloads, each 8-aligned, zero-padded gaps
+//! toc_off             TOC: one 32-byte entry per section
+//! total_len - 24      TRAILER (24 bytes): seal over the whole file
+//! ```
+//!
+//! All integers are little-endian. Sections are the *raw element bytes*
+//! of the arrays a frozen deployment is made of (point arenas, slot
+//! tables, trie bitmap words, summary tables, ...), so attaching is a
+//! bounds-and-checksum *validation* of an mmapped file, never a decode:
+//! every array becomes a [`repose_succinct::FlatVec`] view into the
+//! mapping with zero copies and zero pointer fixup.
+//!
+//! Integrity is layered: the superblock carries a CRC-32 of itself (a
+//! torn or zeroed header is caught before any field is trusted); every
+//! TOC entry carries a CRC-32 of its section (corruption is localized to
+//! a named section — that is what [`crate::Archive::scrub`] re-verifies
+//! online); and the trailer seals the entire byte range with a file-level
+//! CRC-32 plus the total length (a truncated or tail-torn file fails
+//! before the TOC is even walked). The trailer is written as part of the
+//! same buffered image as everything else, so a torn install can never
+//! look sealed.
+
+use crate::ArchiveError;
+use repose_durability::crc32;
+
+/// Superblock magic: format name + major version, human-greppable.
+pub const MAGIC: &[u8; 8] = b"RPARCH01";
+/// Trailer magic.
+pub const END_MAGIC: &[u8; 8] = b"RPARCEND";
+/// Format version (bumped on any incompatible layout change).
+pub const VERSION: u32 = 1;
+/// Superblock size in bytes.
+pub const SUPERBLOCK_LEN: usize = 64;
+/// TOC entry size in bytes.
+pub const TOC_ENTRY_LEN: usize = 32;
+/// Trailer size in bytes.
+pub const TRAILER_LEN: usize = 24;
+/// The `partition` value of partition-independent sections (meta).
+pub const NO_PARTITION: u32 = u32::MAX;
+
+/// What a section holds. The numeric value is the on-disk `kind` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// JSON meta: config, region, op sequence, per-partition scalars and
+    /// pivots. Exactly one per archive, `partition = NO_PARTITION`.
+    Meta = 0,
+    /// `TrajStore` trajectory ids (`u64`).
+    StoreIds = 1,
+    /// `TrajStore` start-offset prefix table (`u64`).
+    StoreStarts = 2,
+    /// `TrajStore` point arena (`Point`, two `f64`s).
+    StorePoints = 3,
+    /// Dense child-bitmap words of the frozen trie (`u64`).
+    TrieBcWords = 4,
+    /// Sparse child-list offsets (`u32`).
+    TrieSparseOffsets = 5,
+    /// Varint-coded sparse child lists (`u8`).
+    TrieSparseBytes = 6,
+    /// Leaf-ness bitmap words (`u64`).
+    TrieHasLeafWords = 7,
+    /// Leaf member-range prefix table (`u64`).
+    LeafOffsets = 8,
+    /// Concatenated leaf member slots (`u32`).
+    LeafMembers = 9,
+    /// Concatenated member summaries (`TrajSummary`, 80 bytes).
+    LeafSummaries = 10,
+    /// Per-leaf `Dmax` (`f64`).
+    LeafDmax = 11,
+    /// Per-leaf shortest member length (`u32`).
+    LeafNmin = 12,
+    /// Interleaved per-node pivot intervals (`f64`, `2 * np` per node).
+    Hr = 13,
+}
+
+impl SectionKind {
+    /// Decodes an on-disk kind tag.
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        use SectionKind::*;
+        Some(match tag {
+            0 => Meta,
+            1 => StoreIds,
+            2 => StoreStarts,
+            3 => StorePoints,
+            4 => TrieBcWords,
+            5 => TrieSparseOffsets,
+            6 => TrieSparseBytes,
+            7 => TrieHasLeafWords,
+            8 => LeafOffsets,
+            9 => LeafMembers,
+            10 => LeafSummaries,
+            11 => LeafDmax,
+            12 => LeafNmin,
+            13 => Hr,
+            _ => return None,
+        })
+    }
+
+    /// Short human name, used in checksum/scrub error messages.
+    pub fn name(self) -> &'static str {
+        use SectionKind::*;
+        match self {
+            Meta => "meta",
+            StoreIds => "store.ids",
+            StoreStarts => "store.starts",
+            StorePoints => "store.points",
+            TrieBcWords => "trie.bc",
+            TrieSparseOffsets => "trie.sparse_offsets",
+            TrieSparseBytes => "trie.sparse_bytes",
+            TrieHasLeafWords => "trie.has_leaf",
+            LeafOffsets => "leaf.offsets",
+            LeafMembers => "leaf.members",
+            LeafSummaries => "leaf.summaries",
+            LeafDmax => "leaf.dmax",
+            LeafNmin => "leaf.nmin",
+            Hr => "hr",
+        }
+    }
+}
+
+/// The decoded superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Number of TOC entries.
+    pub section_count: u32,
+    /// Byte offset of the TOC.
+    pub toc_off: u64,
+    /// Byte length of the TOC.
+    pub toc_len: u64,
+    /// Operation sequence number the archive is current through — the
+    /// recovery cutover point between archive state and WAL tail.
+    pub op_seq: u64,
+    /// Partition count of the archived deployment.
+    pub partitions: u32,
+}
+
+impl Superblock {
+    /// Encodes the 64-byte CRC-sealed superblock.
+    pub fn encode(&self) -> [u8; SUPERBLOCK_LEN] {
+        let mut b = [0u8; SUPERBLOCK_LEN];
+        b[0..8].copy_from_slice(MAGIC);
+        b[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        b[12..16].copy_from_slice(&self.section_count.to_le_bytes());
+        b[16..24].copy_from_slice(&self.toc_off.to_le_bytes());
+        b[24..32].copy_from_slice(&self.toc_len.to_le_bytes());
+        b[32..40].copy_from_slice(&self.op_seq.to_le_bytes());
+        b[40..44].copy_from_slice(&self.partitions.to_le_bytes());
+        // bytes 44..60 reserved, zero
+        let crc = crc32(&b[0..60]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Decodes and validates a superblock from the head of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ArchiveError> {
+        if bytes.len() < SUPERBLOCK_LEN {
+            return Err(ArchiveError::Format(format!(
+                "file too short for a superblock ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let b = &bytes[..SUPERBLOCK_LEN];
+        let stored = u32::from_le_bytes(b[60..64].try_into().unwrap());
+        if crc32(&b[0..60]) != stored {
+            return Err(ArchiveError::Checksum("superblock CRC mismatch".into()));
+        }
+        if &b[0..8] != MAGIC {
+            return Err(ArchiveError::Format("bad superblock magic".into()));
+        }
+        let version = u32::from_le_bytes(b[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(ArchiveError::Format(format!(
+                "unsupported archive version {version} (this build reads {VERSION})"
+            )));
+        }
+        Ok(Superblock {
+            section_count: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+            toc_off: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            toc_len: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            op_seq: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            partitions: u32::from_le_bytes(b[40..44].try_into().unwrap()),
+        })
+    }
+}
+
+/// One TOC entry: a named, checksummed byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TocEntry {
+    /// What the section holds.
+    pub kind: SectionKind,
+    /// Which partition it belongs to ([`NO_PARTITION`] for meta).
+    pub partition: u32,
+    /// Byte offset of the section payload (8-aligned).
+    pub offset: u64,
+    /// Byte length of the payload.
+    pub len: u64,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+}
+
+impl TocEntry {
+    /// Encodes the 32-byte entry.
+    pub fn encode(&self) -> [u8; TOC_ENTRY_LEN] {
+        let mut b = [0u8; TOC_ENTRY_LEN];
+        b[0..4].copy_from_slice(&(self.kind as u32).to_le_bytes());
+        b[4..8].copy_from_slice(&self.partition.to_le_bytes());
+        b[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        b[16..24].copy_from_slice(&self.len.to_le_bytes());
+        b[24..28].copy_from_slice(&self.crc.to_le_bytes());
+        // bytes 28..32 reserved, zero
+        b
+    }
+
+    /// Decodes one entry.
+    pub fn decode(b: &[u8]) -> Result<Self, ArchiveError> {
+        debug_assert_eq!(b.len(), TOC_ENTRY_LEN);
+        let tag = u32::from_le_bytes(b[0..4].try_into().unwrap());
+        let kind = SectionKind::from_tag(tag)
+            .ok_or_else(|| ArchiveError::Format(format!("unknown section kind tag {tag}")))?;
+        Ok(TocEntry {
+            kind,
+            partition: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            offset: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            len: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            crc: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+        })
+    }
+
+    /// Section label for error messages: `store.points[p3]`.
+    pub fn label(&self) -> String {
+        if self.partition == NO_PARTITION {
+            self.kind.name().to_string()
+        } else {
+            format!("{}[p{}]", self.kind.name(), self.partition)
+        }
+    }
+}
+
+/// The decoded trailer seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trailer {
+    /// CRC-32 of every byte before the trailer.
+    pub file_crc: u32,
+    /// Total file length, trailer included.
+    pub total_len: u64,
+}
+
+impl Trailer {
+    /// Encodes the 24-byte trailer.
+    pub fn encode(&self) -> [u8; TRAILER_LEN] {
+        let mut b = [0u8; TRAILER_LEN];
+        b[0..8].copy_from_slice(END_MAGIC);
+        b[8..12].copy_from_slice(&self.file_crc.to_le_bytes());
+        // bytes 12..16 reserved, zero
+        b[16..24].copy_from_slice(&self.total_len.to_le_bytes());
+        b
+    }
+
+    /// Decodes and fully validates the trailer at the end of `bytes`,
+    /// including the file-level CRC over everything before it.
+    pub fn decode_and_verify(bytes: &[u8]) -> Result<Self, ArchiveError> {
+        if bytes.len() < SUPERBLOCK_LEN + TRAILER_LEN {
+            return Err(ArchiveError::Format(format!(
+                "file too short for a sealed archive ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let b = &bytes[bytes.len() - TRAILER_LEN..];
+        if &b[0..8] != END_MAGIC {
+            return Err(ArchiveError::Format(
+                "missing trailer seal (torn or truncated install)".into(),
+            ));
+        }
+        let trailer = Trailer {
+            file_crc: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            total_len: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+        };
+        if trailer.total_len != bytes.len() as u64 {
+            return Err(ArchiveError::Format(format!(
+                "trailer says {} bytes, file has {}",
+                trailer.total_len,
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..bytes.len() - TRAILER_LEN];
+        if crc32(body) != trailer.file_crc {
+            return Err(ArchiveError::Checksum("file-level CRC mismatch".into()));
+        }
+        Ok(trailer)
+    }
+}
+
+/// Rounds `off` up to the next 8-byte boundary (section alignment).
+pub fn align8(off: usize) -> usize {
+    off.div_ceil(8) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip_and_seal() {
+        let sb = Superblock {
+            section_count: 27,
+            toc_off: 4096,
+            toc_len: 27 * 32,
+            op_seq: 99,
+            partitions: 2,
+        };
+        let enc = sb.encode();
+        assert_eq!(Superblock::decode(&enc).unwrap(), sb);
+        // Any single-bit flip must be caught by the superblock CRC.
+        for i in 0..SUPERBLOCK_LEN {
+            let mut bad = enc;
+            bad[i] ^= 0x01;
+            assert!(Superblock::decode(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn toc_entry_roundtrip() {
+        let e = TocEntry {
+            kind: SectionKind::LeafSummaries,
+            partition: 3,
+            offset: 64,
+            len: 800,
+            crc: 0xDEAD_BEEF,
+        };
+        assert_eq!(TocEntry::decode(&e.encode()).unwrap(), e);
+        assert_eq!(e.label(), "leaf.summaries[p3]");
+    }
+
+    #[test]
+    fn trailer_seals_whole_file() {
+        let mut file = vec![0u8; 96];
+        file[..8].copy_from_slice(MAGIC);
+        let crc = crc32(&file);
+        let t = Trailer { file_crc: crc, total_len: (96 + TRAILER_LEN) as u64 };
+        file.extend_from_slice(&t.encode());
+        assert_eq!(Trailer::decode_and_verify(&file).unwrap(), t);
+        // Truncation and body corruption are both refused.
+        assert!(Trailer::decode_and_verify(&file[..file.len() - 1]).is_err());
+        let mut bad = file.clone();
+        bad[50] ^= 0x80;
+        assert!(matches!(
+            Trailer::decode_and_verify(&bad),
+            Err(ArchiveError::Checksum(_))
+        ));
+    }
+
+    #[test]
+    fn every_kind_tag_roundtrips() {
+        for tag in 0..=13u32 {
+            let kind = SectionKind::from_tag(tag).unwrap();
+            assert_eq!(kind as u32, tag);
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(SectionKind::from_tag(14), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! The archive's meta section: everything a frozen deployment needs that
+//! is *not* a flat array — configuration, region, pivots, per-partition
+//! scalars. Serialized as JSON (tiny next to the point arenas, and
+//! debuggable with any text tool); protected by the same per-section CRC
+//! and file seal as every other section.
+
+use repose::ReposeConfig;
+use repose_model::Mbr;
+use repose_rptrie::{PivotSet, RpTrieConfig};
+
+/// The deserialized meta section.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ArchiveMeta {
+    /// The deployment configuration the archive was built with.
+    pub config: ReposeConfig,
+    /// The global data region (grids are recomputed from it at attach).
+    pub region: Mbr,
+    /// Operation sequence number the archive is current through.
+    pub op_seq: u64,
+    /// One entry per partition, in partition order.
+    pub partitions: Vec<PartitionMeta>,
+}
+
+/// Per-partition scalars and pivots.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PartitionMeta {
+    /// Total trie node count.
+    pub n_nodes: usize,
+    /// Bitmap-encoded BFS-prefix length.
+    pub n_dense: usize,
+    /// Child-bitmap width (grid cells).
+    pub m_cells: usize,
+    /// Pivot count per node.
+    pub np: usize,
+    /// Length of the partition's trajectory store at build time.
+    pub built_over: usize,
+    /// The partition's exact trie configuration (per-partition seed
+    /// included), so attach restores it verbatim instead of re-deriving.
+    pub trie: RpTrieConfig,
+    /// The partition's pivot trajectories.
+    pub pivots: PivotSet,
+}
+
+impl ArchiveMeta {
+    /// Cross-checks the meta against the superblock it arrived with.
+    pub fn validate(&self, sb_partitions: u32, sb_op_seq: u64) -> Result<(), crate::ArchiveError> {
+        let n = self.partitions.len();
+        if n != self.config.num_partitions {
+            return Err(crate::ArchiveError::Meta(format!(
+                "meta has {n} partitions but its config says {}",
+                self.config.num_partitions
+            )));
+        }
+        if n != sb_partitions as usize {
+            return Err(crate::ArchiveError::Meta(format!(
+                "meta has {n} partitions but the superblock says {sb_partitions}"
+            )));
+        }
+        if self.op_seq != sb_op_seq {
+            return Err(crate::ArchiveError::Meta(format!(
+                "meta op_seq {} disagrees with superblock op_seq {sb_op_seq}",
+                self.op_seq
+            )));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,208 @@
+//! Read-only file mapping without an external mmap crate.
+//!
+//! On Linux/x86-64 the archive file is mapped with a raw `mmap(2)`
+//! syscall — attaching an index then costs no copy at all; pages fault in
+//! from the kernel page cache as sections are touched. Everywhere else
+//! (and whenever the syscall fails) the file is read once into an
+//! 8-aligned heap buffer ([`AlignedBytes`]), which preserves every
+//! alignment guarantee the zero-copy views rely on.
+
+use repose_succinct::{AlignedBytes, ByteStore};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// A read-only view of a whole file, mapped when the platform allows it.
+#[derive(Debug)]
+pub struct MappedFile {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped(Mapping),
+    Heap(AlignedBytes),
+}
+
+impl MappedFile {
+    /// Opens `path` read-only: a true `mmap` on Linux/x86-64, a one-shot
+    /// aligned heap read elsewhere or when mapping fails.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if len > 0 {
+            if let Some(m) = Mapping::map(&file, len) {
+                return Ok(MappedFile { inner: Inner::Mapped(m) });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile { inner: Inner::Heap(AlignedBytes::copy_from(&buf)) })
+    }
+
+    /// Opens `path` into the heap fallback unconditionally — the
+    /// copy-at-attach baseline the `restart` benchmark compares the
+    /// mapping against.
+    pub fn open_heap(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile { inner: Inner::Heap(AlignedBytes::copy_from(&buf)) })
+    }
+
+    /// Whether the bytes are a real kernel mapping (as opposed to the
+    /// heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Inner::Mapped(_) => true,
+            Inner::Heap(_) => false,
+        }
+    }
+}
+
+impl ByteStore for MappedFile {
+    fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Inner::Mapped(m) => m.as_slice(),
+            Inner::Heap(b) => b.bytes(),
+        }
+    }
+}
+
+/// A raw private read-only `mmap(2)` mapping (Linux/x86-64 only; the
+/// toolchain here has no libc crate, so the syscall is issued directly).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[derive(Debug)]
+struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ and MAP_PRIVATE — immutable shared
+// bytes, exactly what &[u8] promises across threads.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe impl Send for Mapping {}
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe impl Sync for Mapping {}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Mapping {
+    const SYS_MMAP: i64 = 9;
+    const SYS_MUNMAP: i64 = 11;
+    const PROT_READ: i64 = 1;
+    const MAP_PRIVATE: i64 = 2;
+
+    /// Maps the first `len` bytes of `file`; `None` when the kernel
+    /// refuses (the caller falls back to a heap read).
+    fn map(file: &File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len > 0, "mmap of zero bytes is EINVAL");
+        // SAFETY: a well-formed mmap syscall over a file descriptor we
+        // own; the result is checked for the kernel's -errno range.
+        let ret = unsafe {
+            syscall6(
+                Self::SYS_MMAP,
+                0,
+                len as i64,
+                Self::PROT_READ,
+                Self::MAP_PRIVATE,
+                file.as_raw_fd() as i64,
+                0,
+            )
+        };
+        // Error returns are -errno, i.e. in [-4095, -1].
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        Some(Mapping { ptr: ret as usize as *const u8, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len come from a successful PROT_READ mapping that
+        // lives as long as self (munmap only runs in Drop).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly the region mmap returned.
+        unsafe {
+            syscall6(Self::SYS_MUNMAP, self.ptr as usize as i64, self.len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+/// Raw Linux/x86-64 syscall (the standard `syscall` calling convention:
+/// number in rax, args in rdi/rsi/rdx/r10/r8/r9, rcx/r11 clobbered).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall6(num: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") num => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch_file(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "repose-archive-mmap-{tag}-{}",
+            std::process::id()
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_bytes_match_file() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = scratch_file("roundtrip", &data);
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), &data[..]);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(map.is_mapped(), "linux/x86-64 should get a real mapping");
+        // The mapping base must satisfy the zero-copy alignment contract.
+        assert_eq!(map.bytes().as_ptr() as usize % 8, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heap_fallback_matches_file() {
+        let data = b"heap fallback bytes".to_vec();
+        let path = scratch_file("heap", &data);
+        let heap = MappedFile::open_heap(&path).unwrap();
+        assert_eq!(heap.bytes(), &data[..]);
+        assert!(!heap.is_mapped());
+        assert_eq!(heap.bytes().as_ptr() as usize % 8, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_bytes() {
+        let path = scratch_file("empty", b"");
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.bytes().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,132 @@
+//! Archive roundtrip: a deployment written to disk and attached back from
+//! the mapped file must answer every query *bitwise identically* to the
+//! original, for all six measures — the restart path is only millisecond-
+//! fast if it is also exactly right.
+
+use repose::{Repose, ReposeConfig};
+use repose_archive::{latest_valid, list_generations, write_archive, Archive};
+use repose_cluster::ClusterConfig;
+use repose_distance::Measure;
+use repose_durability::FailPlan;
+use repose_testkit::{tie_dataset, tie_queries};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "repose-archive-rt-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(measure: Measure) -> ReposeConfig {
+    ReposeConfig::new(measure)
+        .with_cluster(ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 })
+        .with_partitions(4)
+}
+
+/// All hits of all fixed queries, as raw bits (id + f64 bit pattern), so
+/// equality is exact, not approximate.
+fn answer_bits(deployment: &Repose) -> Vec<(u64, u64)> {
+    tie_queries()
+        .iter()
+        .flat_map(|q| {
+            deployment
+                .query(q, 7)
+                .hits
+                .into_iter()
+                .map(|h| (h.id, h.dist.to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn attach_answers_bitwise_identically_for_all_measures() {
+    for measure in [
+        Measure::Hausdorff,
+        Measure::Frechet,
+        Measure::Dtw,
+        Measure::Lcss,
+        Measure::Edr,
+        Measure::Erp,
+    ] {
+        let dir = scratch("measures");
+        let built = Repose::build(&tie_dataset(0..40), config(measure));
+        let expected = answer_bits(&built);
+
+        let path = write_archive(&dir, &built, 17, &FailPlan::new()).unwrap();
+        let archive = Archive::open(&path, &FailPlan::new()).unwrap();
+        assert_eq!(archive.op_seq(), 17);
+        let attached = archive.attach().unwrap();
+
+        assert_eq!(
+            answer_bits(&attached),
+            expected,
+            "{measure:?}: attached deployment answers differ from the built one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn attach_is_zero_copy_over_the_mapping() {
+    let dir = scratch("zero-copy");
+    let built = Repose::build(&tie_dataset(0..40), config(Measure::Hausdorff));
+    let path = write_archive(&dir, &built, 1, &FailPlan::new()).unwrap();
+    let archive = Archive::open(&path, &FailPlan::new()).unwrap();
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    assert!(archive.is_mapped(), "linux/x86-64 attach should be a real mmap");
+    let attached = archive.attach().unwrap();
+    for pi in 0..attached.num_partitions() {
+        let view = attached.partition_view(pi);
+        // Mapped sections report zero owned heap bytes: the arenas live
+        // in the file mapping, not in copies.
+        assert_eq!(view.store.mem_bytes(), 0, "partition {pi} store was copied");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generations_install_in_sequence_and_latest_wins() {
+    let dir = scratch("gens");
+    let built = Repose::build(&tie_dataset(0..30), config(Measure::Hausdorff));
+    let p1 = write_archive(&dir, &built, 5, &FailPlan::new()).unwrap();
+    let p2 = write_archive(&dir, &built, 9, &FailPlan::new()).unwrap();
+    assert_ne!(p1, p2);
+    assert_eq!(list_generations(&dir).len(), 2);
+
+    let scan = latest_valid(&dir, &FailPlan::new());
+    assert!(scan.rejected.is_empty());
+    assert_eq!(scan.best.unwrap().op_seq(), 9, "newest generation wins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn heap_fallback_answers_identically_to_the_mapping() {
+    let dir = scratch("heap");
+    let built = Repose::build(&tie_dataset(0..30), config(Measure::Frechet));
+    let path = write_archive(&dir, &built, 3, &FailPlan::new()).unwrap();
+
+    let mapped = Archive::open(&path, &FailPlan::new()).unwrap().attach().unwrap();
+    let heap = Archive::open_heap(&path).unwrap().attach().unwrap();
+    assert_eq!(answer_bits(&mapped), answer_bits(&heap));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_is_clean_on_a_valid_archive() {
+    let dir = scratch("scrub");
+    let built = Repose::build(&tie_dataset(0..30), config(Measure::Hausdorff));
+    let path = write_archive(&dir, &built, 1, &FailPlan::new()).unwrap();
+    let archive = Archive::open(&path, &FailPlan::new()).unwrap();
+    let report = archive.scrub();
+    assert!(report.is_clean(), "unexpected corruption: {:?}", report.corrupt);
+    // 13 array sections per partition + 1 meta.
+    assert_eq!(report.sections, 4 * 13 + 1);
+    assert_eq!(report.bytes, archive.file_len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

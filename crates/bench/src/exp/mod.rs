@@ -5,6 +5,7 @@ pub mod dist;
 pub mod fig6;
 pub mod kernels;
 pub mod recover;
+pub mod restart;
 pub mod scale;
 pub mod fig7;
 pub mod fig8;
@@ -78,5 +79,10 @@ pub const ALL: &[Experiment] = &[
         name: "shard",
         what: "Sharded serving: scatter-gather latency vs shard count + degraded mode",
         run: shard::run,
+    },
+    Experiment {
+        name: "restart",
+        what: "Persistent archives: cold-start rebuild vs mmap attach + scrub throughput",
+        run: restart::run,
     },
 ];

@@ -1,0 +1,238 @@
+//! Restart experiment (beyond the paper): what a cold start costs with
+//! and without a persistent archive.
+//!
+//! Three sections, one JSON object:
+//!
+//! * `"cold_start"` — the same frozen deployment started two ways: a full
+//!   rebuild from raw trajectories (what a CSV restart must do) vs
+//!   checksum + `mmap` attach of an archive generation
+//!   ([`repose_archive::Archive::attach`]). Both paths are timed
+//!   end-to-end and the attach path's answers are asserted bitwise
+//!   identical, so the reported speedup never trades correctness.
+//! * `"scrub"` — throughput of the online corruption scrub over the
+//!   mapped generation (every checksum re-verified).
+//! * `"service"` — the full service-level restart: a durable + archived
+//!   service crashes after a compaction and a tail of writes, and
+//!   [`repose_service::ReposeService::recover`] runs once with the
+//!   archive (attach + WAL-tail replay) and once without (WAL base
+//!   rebuild), with identical fingerprints required.
+
+use crate::runner::{load, ExpConfig};
+use crate::{fmt_secs, print_table};
+use repose::{Repose, ReposeConfig};
+use repose_archive::{write_archive, Archive};
+use repose_datagen::PaperDataset;
+use repose_distance::Measure;
+use repose_durability::FailPlan;
+use repose_model::Trajectory;
+use repose_service::{DurabilityConfig, FsyncPolicy, ReposeService, ServiceConfig};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A fresh, unique directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("repose-restart-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Sorted distance bit patterns of the first query — the bit-exact
+/// fingerprint equality the crash suites use.
+fn deployment_bits(r: &Repose, q: &[repose_model::Point], k: usize) -> Vec<u64> {
+    let mut bits: Vec<u64> = r.query(q, k).hits.iter().map(|h| h.dist.to_bits()).collect();
+    bits.sort_unstable();
+    bits
+}
+
+fn service_bits(svc: &ReposeService, q: &[repose_model::Point], k: usize) -> Vec<u64> {
+    let mut bits: Vec<u64> = svc
+        .query(q, k)
+        .expect("query")
+        .hits
+        .iter()
+        .map(|h| h.dist.to_bits())
+        .collect();
+    bits.sort_unstable();
+    bits
+}
+
+/// Runs the cold-start comparison + scrub throughput measurement.
+pub fn run(exp: &ExpConfig) -> Value {
+    let ds = PaperDataset::TDrive;
+    let measure = Measure::Hausdorff;
+    let (data, queries) = load(ds, exp);
+    let cfg = ReposeConfig::new(measure)
+        .with_cluster(exp.cluster)
+        .with_partitions(exp.partitions)
+        .with_delta(ds.paper_delta(measure))
+        .with_seed(exp.seed);
+    let q = queries.first().expect("at least one query");
+
+    // ---- Cold start: rebuild vs attach -------------------------------
+    let t0 = Instant::now();
+    let built = Repose::build(&data, cfg);
+    let build_s = t0.elapsed().as_secs_f64();
+    let reference = deployment_bits(&built, &q.points, exp.k);
+
+    let arc_dir = fresh_dir("arc");
+    let t0 = Instant::now();
+    let path = write_archive(&arc_dir, &built, 0, &FailPlan::new()).expect("archive install");
+    let write_s = t0.elapsed().as_secs_f64();
+    let archive_bytes = std::fs::metadata(&path).expect("archive metadata").len();
+    drop(built);
+
+    let t0 = Instant::now();
+    let archive = Archive::open(&path, &FailPlan::new()).expect("archive open");
+    let attached = archive.attach().expect("archive attach");
+    let attach_s = t0.elapsed().as_secs_f64();
+    let answers_match = deployment_bits(&attached, &q.points, exp.k) == reference;
+    assert!(answers_match, "attached deployment diverged from the built one");
+    let speedup = if attach_s > 0.0 { build_s / attach_s } else { 0.0 };
+    drop(attached);
+
+    // ---- Scrub throughput --------------------------------------------
+    let t0 = Instant::now();
+    let scrub = archive.scrub();
+    let scrub_s = t0.elapsed().as_secs_f64();
+    assert!(scrub.is_clean(), "fresh archive scrubbed dirty: {:?}", scrub.corrupt);
+    let scrub_mb_s = if scrub_s > 0.0 {
+        scrub.bytes as f64 / scrub_s / (1024.0 * 1024.0)
+    } else {
+        0.0
+    };
+    drop(archive);
+    let _ = std::fs::remove_dir_all(&arc_dir);
+
+    // ---- Service-level restart: attach + WAL tail vs full rebuild ----
+    let (wal_dir, svc_arc_dir) = (fresh_dir("wal"), fresh_dir("svc-arc"));
+    let archived = |arc: bool| ServiceConfig {
+        cache_capacity: 0,
+        pool_threads: 1,
+        durability: Some(DurabilityConfig::new(&wal_dir).with_fsync(FsyncPolicy::Never)),
+        archive: arc.then(|| svc_arc_dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let svc = ReposeService::try_with_config(Repose::build(&data, cfg), archived(true))
+        .expect("archived service");
+    for i in 0..exp.write_burst {
+        let src = &data.trajectories()[i % data.len()];
+        svc.insert(Trajectory::new(40_000_000 + i as u64, src.points.clone()))
+            .expect("insert");
+    }
+    svc.compact().expect("compact");
+    // The tail only the WAL holds: half the burst again, after the
+    // archived checkpoint.
+    for i in 0..exp.write_burst / 2 {
+        let src = &data.trajectories()[i % data.len()];
+        svc.insert(Trajectory::new(41_000_000 + i as u64, src.points.clone()))
+            .expect("insert");
+    }
+    let pre_crash = service_bits(&svc, &q.points, exp.k);
+    drop(svc);
+
+    let (slow, slow_report) = ReposeService::recover(cfg, archived(false)).expect("rebuild recovery");
+    assert!(!slow_report.from_archive);
+    let slow_s = slow_report.wall_time.as_secs_f64();
+    let slow_bits = service_bits(&slow, &q.points, exp.k);
+    drop(slow);
+
+    let (fast, fast_report) = ReposeService::recover(cfg, archived(true)).expect("attach recovery");
+    assert!(fast_report.from_archive, "valid archive generation was not attached");
+    let fast_s = fast_report.wall_time.as_secs_f64();
+    let service_match = service_bits(&fast, &q.points, exp.k) == pre_crash && slow_bits == pre_crash;
+    assert!(service_match, "restart paths diverged from the pre-crash state");
+    let service_speedup = if fast_s > 0.0 { slow_s / fast_s } else { 0.0 };
+    drop(fast);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&svc_arc_dir);
+
+    println!(
+        "\n== restart: {} trajectories, {} partitions, scale {} ==",
+        data.len(),
+        exp.partitions,
+        exp.scale
+    );
+    print_table(
+        &["path", "cold-start wall", "speedup"],
+        &[
+            vec!["rebuild (CSV)".into(), fmt_secs(build_s), "1.00x".into()],
+            vec!["archive attach".into(), fmt_secs(attach_s), format!("{speedup:.2}x")],
+            vec!["service rebuild".into(), fmt_secs(slow_s), "1.00x".into()],
+            vec![
+                "service attach+tail".into(),
+                fmt_secs(fast_s),
+                format!("{service_speedup:.2}x"),
+            ],
+        ],
+    );
+    println!(
+        "archive: {archive_bytes} bytes written in {} ; scrub {} sections at {scrub_mb_s:.0} MB/s",
+        fmt_secs(write_s),
+        scrub.sections,
+    );
+
+    let cold_start = json!({
+        "trajectories": data.len(),
+        "build_wall_s": build_s,
+        "archive_write_s": write_s,
+        "archive_bytes": archive_bytes,
+        "attach_wall_s": attach_s,
+        "speedup": speedup,
+        "answers_match": answers_match,
+    });
+    let scrub_json = json!({
+        "sections": scrub.sections,
+        "bytes": scrub.bytes,
+        "wall_s": scrub_s,
+        "mb_per_s": scrub_mb_s,
+        "clean": scrub.is_clean(),
+    });
+    let service = json!({
+        "rebuild_recover_s": slow_s,
+        "attach_recover_s": fast_s,
+        "speedup": service_speedup,
+        "replayed_records_attach": fast_report.replayed_records,
+        "replayed_records_rebuild": slow_report.replayed_records,
+        "archives_quarantined": fast_report.archives_quarantined,
+        "answers_match_pre_crash": service_match,
+    });
+    json!({ "cold_start": cold_start, "scrub": scrub_json, "service": service })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repose_cluster::ClusterConfig;
+
+    #[test]
+    fn restart_experiment_produces_sound_numbers() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            queries: 2,
+            k: 5,
+            partitions: 4,
+            cluster: ClusterConfig { workers: 2, cores_per_worker: 2, timing_repeats: 1 },
+            seed: 7,
+            write_burst: 16,
+            pool_threads: 1,
+            ..ExpConfig::default()
+        };
+        let v = run(&exp);
+        let cold = &v["cold_start"];
+        assert!(cold["build_wall_s"].as_f64().unwrap() > 0.0);
+        assert!(cold["attach_wall_s"].as_f64().unwrap() > 0.0);
+        assert!(cold["archive_bytes"].as_u64().unwrap() > 0);
+        assert!(cold["answers_match"].as_bool().unwrap());
+        assert!(v["scrub"]["clean"].as_bool().unwrap());
+        assert!(v["scrub"]["bytes"].as_u64().unwrap() > 0);
+        let svc = &v["service"];
+        assert!(svc["answers_match_pre_crash"].as_bool().unwrap());
+        // The attach path replays only the post-checkpoint tail; the
+        // rebuild path replays the same tail from the WAL base snapshot
+        // (the compaction checkpointed the first burst away for both).
+        assert_eq!(svc["replayed_records_attach"].as_u64().unwrap(), 8);
+        assert_eq!(svc["archives_quarantined"].as_u64().unwrap(), 0);
+    }
+}

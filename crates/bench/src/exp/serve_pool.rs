@@ -11,7 +11,10 @@
 //!   is what makes the scaling claim reproducible on any machine. The
 //!   **host** wall latencies of real pooled executions are reported next
 //!   to it (they only show the speedup when the host actually has the
-//!   cores).
+//!   cores). Caveat: the checked-in baseline was produced on a
+//!   core-starved container, where the host-wall columns are flat by
+//!   construction; they still need confirming against the model on a
+//!   genuinely many-core host before being quoted as measured scaling.
 //! * `"compaction"` — a write burst confined to one partition, compacted
 //!   incrementally (`compact`) vs globally (`compact_full`), with the
 //!   partition-rebuild counters and wall times of each.

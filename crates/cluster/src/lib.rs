@@ -56,7 +56,7 @@ pub use stats::{list_schedule, JobStats, LatencySummary, SimTime};
 
 /// Cluster topology: the paper's default is 16 workers with 4 cores each
 /// and one partition per core (64 partitions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ClusterConfig {
     /// Number of worker nodes.
     pub workers: usize,

@@ -4,7 +4,7 @@ use repose_distance::{Measure, MeasureParams};
 use repose_rptrie::RpTrieConfig;
 
 /// Configuration of a REPOSE deployment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReposeConfig {
     /// Simulated cluster topology (paper: 16 workers × 4 cores).
     pub cluster: ClusterConfig,

@@ -184,6 +184,42 @@ impl Repose {
         Repose { config, cluster, data, region, build_stats, partition_wall }
     }
 
+    /// Reassembles a deployment from already-built partitions — the
+    /// archive attach path, which must not re-partition or re-freeze
+    /// anything. Each `(store, trie)` pair becomes one partition verbatim
+    /// (the trie must have been built over exactly that store; `RpTrie`
+    /// asserts the store length on every query). `region` and `config`
+    /// must be the ones the deployment was originally built with, or
+    /// later incremental rebuilds would use a different grid.
+    ///
+    /// Build stats are zero: nothing was built.
+    pub fn from_built_partitions(
+        partitions: Vec<(TrajStore, RpTrie)>,
+        region: Mbr,
+        config: ReposeConfig,
+    ) -> Self {
+        assert_eq!(
+            partitions.len(),
+            config.num_partitions,
+            "partition count must match the config it was built with"
+        );
+        let n = partitions.len();
+        let cluster = Cluster::new(config.cluster);
+        let built: Vec<Arc<LocalPartition>> = partitions
+            .into_iter()
+            .map(|(store, trie)| Arc::new(LocalPartition { store, trie }))
+            .collect();
+        let data = DistDataset::from_partitions(built.into_iter().map(|p| vec![p]).collect());
+        let build_stats = JobStats::simulate(
+            vec![Duration::ZERO; n],
+            (0..n).collect(),
+            config.cluster.workers,
+            config.cluster.cores_per_worker,
+            Duration::ZERO,
+        );
+        Repose { config, cluster, data, region, build_stats, partition_wall: Duration::ZERO }
+    }
+
     /// Rebuilds *only* the given partitions, sharing every other
     /// partition's arena and trie with `self` (an `Arc` clone — no copy).
     /// This is the selective-rebuild entry point behind the serving

@@ -14,7 +14,7 @@ use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 /// The three strategies of Table VII.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum PartitionStrategy {
     /// REPOSE: similar trajectories spread across partitions.
     Heterogeneous,

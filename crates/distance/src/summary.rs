@@ -18,7 +18,12 @@ use repose_model::{Mbr, Point};
 ///
 /// `gap_sum` is parameter-dependent (it is `Σ d(p, erp_gap)`): a summary
 /// must be built and consumed under the same [`MeasureParams`].
+/// `repr(C)` with an explicit tail filler so the 80-byte record has no
+/// compiler-inserted padding: summary tables are archived and checksummed
+/// byte-for-byte, and uninitialized padding would make that both undefined
+/// behaviour and nondeterministic.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[repr(C)]
 pub struct TrajSummary {
     /// Bounding rectangle (degenerate at the origin for empty inputs).
     pub mbr: Mbr,
@@ -30,7 +35,15 @@ pub struct TrajSummary {
     pub gap_sum: f64,
     /// Number of points.
     pub len: u32,
+    /// Explicit tail filler (always 0) in place of compiler padding, so
+    /// every byte of an archived record is initialized and deterministic.
+    pub pad: u32,
 }
+
+// SAFETY: `repr(C)`; fields are f64/u32 records with the tail padding made
+// explicit (asserted in tests), so there are no uninitialized bytes and
+// any bit pattern is a valid value.
+unsafe impl repose_succinct::Pod for TrajSummary {}
 
 /// Whether no point of `a` can `ε`-match any point of `b` under the
 /// per-dimension test LCSS and EDR use (their expanded boxes are disjoint
@@ -52,10 +65,11 @@ impl MeasureParams {
                 last: *t.last().expect("non-empty"),
                 gap_sum: t.iter().map(|p| p.dist(&self.erp_gap)).sum(),
                 len: t.len() as u32,
+                pad: 0,
             },
             None => {
                 let o = Point::new(0.0, 0.0);
-                TrajSummary { mbr: Mbr::new(o, o), first: o, last: o, gap_sum: 0.0, len: 0 }
+                TrajSummary { mbr: Mbr::new(o, o), first: o, last: o, gap_sum: 0.0, len: 0, pad: 0 }
             }
         }
     }
@@ -139,6 +153,13 @@ fn endpoint_mbr_bound(a: &TrajSummary, b: &TrajSummary) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_layout_has_no_hidden_padding() {
+        // mbr (4 f64) + first + last (2 f64 each) + gap_sum + len + pad.
+        assert_eq!(std::mem::size_of::<TrajSummary>(), 8 * 9 + 4 + 4);
+        assert_eq!(std::mem::align_of::<TrajSummary>(), 8);
+    }
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
         v.iter().map(|&(x, y)| Point::new(x, y)).collect()

@@ -1,11 +1,12 @@
 //! Deterministic fault injection for the durability layer.
 //!
 //! A [`FailPlan`] is a small, shareable registry of *named failure sites*
-//! armed with an action and a hit countdown. The WAL writer consults the
-//! plan at every registered point ([`POINTS`]); when an armed point's
-//! countdown reaches zero the action fires **exactly once**, so a test can
-//! say "on the 7th flush, tear the write in half" and get the same torn
-//! byte stream on every run — no randomness, no timing.
+//! armed with an action and a hit countdown. The WAL writer and the
+//! archive writer consult the plan at every registered point
+//! ([`POINTS`]); when an armed point's countdown reaches zero the action
+//! fires **exactly once**, so a test can say "on the 7th flush, tear the
+//! write in half" and get the same torn byte stream on every run — no
+//! randomness, no timing.
 //!
 //! Plans are per-instance (an `Arc` handed to each [`crate::Wal`]), never
 //! process-global: concurrent tests cannot interfere with each other, and
@@ -15,15 +16,32 @@
 //! For integration-style runs the plan can also be parsed from the
 //! `REPOSE_FAILPOINTS` environment variable
 //! (`point=action[:after][,point=action[:after]...]`, e.g.
-//! `wal.flush=short:3,wal.sync=crash`).
+//! `wal.flush=short:3,wal.sync=crash`). The grammar and the countdown
+//! registry are shared with the shard layer's `REPOSE_NETFAULTS` plan —
+//! see [`crate::spec`].
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::spec::{ArmRegistry, SpecIssue};
+use std::sync::Arc;
 
 /// Every failure site the WAL writer consults, in hit order along the
 /// write path. The crash-loop harness iterates this list to prove
-/// recovery at *every* registered point.
+/// recovery at *every* registered WAL point.
+pub const WAL_POINTS: &[&str] = &[
+    "wal.append",
+    "wal.flush",
+    "wal.sync",
+    "wal.rotate",
+    "wal.snapshot",
+    "wal.checkpoint",
+];
+
+/// Every failure site the archive writer and reader consult. Unlike the
+/// WAL points, an injected archive failure never refuses a client
+/// operation — the WAL stays the source of truth and serving continues —
+/// so the archive suites (not the crash loop) iterate these.
+pub const ARC_POINTS: &[&str] = &["arc.write", "arc.sync", "arc.rename", "arc.map"];
+
+/// Every registered failure site across both write paths.
 pub const POINTS: &[&str] = &[
     "wal.append",
     "wal.flush",
@@ -31,6 +49,10 @@ pub const POINTS: &[&str] = &[
     "wal.rotate",
     "wal.snapshot",
     "wal.checkpoint",
+    "arc.write",
+    "arc.sync",
+    "arc.rename",
+    "arc.map",
 ];
 
 /// What an armed fail point does when it fires.
@@ -48,26 +70,20 @@ pub enum FailAction {
     Crash,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Arm {
-    action: FailAction,
-    /// Hits remaining before the action fires (0 = fire on the next hit).
-    after: u32,
-    fired: bool,
+fn parse_action(s: &str) -> Option<FailAction> {
+    match s {
+        "io" => Some(FailAction::IoError),
+        "short" => Some(FailAction::ShortWrite),
+        "crash" => Some(FailAction::Crash),
+        _ => None,
+    }
 }
 
 /// A deterministic, shareable fault-injection plan (see module docs).
 /// Cloning shares the underlying registry.
 #[derive(Debug, Clone, Default)]
 pub struct FailPlan {
-    inner: Arc<PlanInner>,
-}
-
-#[derive(Debug, Default)]
-struct PlanInner {
-    /// Fast path: skip the mutex entirely when nothing was ever armed.
-    armed: AtomicBool,
-    arms: Mutex<HashMap<String, Arm>>,
+    inner: Arc<ArmRegistry<FailAction>>,
 }
 
 impl FailPlan {
@@ -80,39 +96,18 @@ impl FailPlan {
     /// fire on the very next hit). Re-arming a point replaces its
     /// previous arm.
     pub fn arm(&self, point: &str, action: FailAction, after: u32) {
-        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
-        arms.insert(point.to_string(), Arm { action, after, fired: false });
-        self.inner.armed.store(true, Ordering::Release);
+        self.inner.arm(point, action, after);
     }
 
     /// Hit `point`: decrements its countdown and returns the action the
     /// moment it fires (exactly once per arm).
     pub fn hit(&self, point: &str) -> Option<FailAction> {
-        if !self.inner.armed.load(Ordering::Acquire) {
-            return None;
-        }
-        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
-        let arm = arms.get_mut(point)?;
-        if arm.fired {
-            return None;
-        }
-        if arm.after == 0 {
-            arm.fired = true;
-            Some(arm.action)
-        } else {
-            arm.after -= 1;
-            None
-        }
+        self.inner.hit(point)
     }
 
     /// Whether any arm has fired.
     pub fn any_fired(&self) -> bool {
-        self.inner
-            .arms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .any(|a| a.fired)
+        self.inner.any_fired()
     }
 
     /// A plan parsed from the `REPOSE_FAILPOINTS` environment variable;
@@ -135,37 +130,21 @@ impl FailPlan {
     /// silently-ignored plan this parser exists to refuse).
     pub fn parse(spec: &str) -> Result<Self, FailSpecError> {
         let plan = FailPlan::new();
-        for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let entry_err = |reason: FailSpecReason| FailSpecError {
-                entry: entry.to_string(),
-                reason,
-            };
-            let (point, rhs) = entry
-                .split_once('=')
-                .ok_or_else(|| entry_err(FailSpecReason::MissingEquals))?;
-            let point = point.trim();
-            if !POINTS.contains(&point) {
-                return Err(entry_err(FailSpecReason::UnknownPoint(point.to_string())));
-            }
-            let (action, after) = match rhs.split_once(':') {
-                Some((a, n)) => (
-                    a,
-                    n.trim().parse::<u32>().map_err(|_| {
-                        entry_err(FailSpecReason::BadCount(n.trim().to_string()))
-                    })?,
-                ),
-                None => (rhs, 0),
-            };
-            let action = match action.trim() {
-                "io" => FailAction::IoError,
-                "short" => FailAction::ShortWrite,
-                "crash" => FailAction::Crash,
-                other => {
-                    return Err(entry_err(FailSpecReason::UnknownAction(other.to_string())))
-                }
-            };
-            plan.arm(point, action, after);
-        }
+        crate::spec::parse_spec(
+            spec,
+            |p| POINTS.contains(&p),
+            parse_action,
+            |point, action, after| plan.arm(point, action, after),
+        )
+        .map_err(|e| FailSpecError {
+            entry: e.entry,
+            reason: match e.issue {
+                SpecIssue::MissingEquals => FailSpecReason::MissingEquals,
+                SpecIssue::BadPoint(p) => FailSpecReason::UnknownPoint(p),
+                SpecIssue::BadAction(a) => FailSpecReason::UnknownAction(a),
+                SpecIssue::BadCount(n) => FailSpecReason::BadCount(n),
+            },
+        })?;
         Ok(plan)
     }
 }
@@ -262,6 +241,13 @@ mod tests {
         assert_eq!(plan.hit("wal.sync"), Some(FailAction::Crash));
         assert_eq!(plan.hit("wal.flush"), None);
         assert_eq!(plan.hit("wal.flush"), Some(FailAction::ShortWrite));
+    }
+
+    #[test]
+    fn parse_accepts_archive_points() {
+        let plan = FailPlan::parse("arc.rename=crash, arc.write=short:2").unwrap();
+        assert_eq!(plan.hit("arc.rename"), Some(FailAction::Crash));
+        assert_eq!(plan.hit("arc.write"), None);
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!   replay, with a torn-tail policy that never drops an
 //!   fsync-acknowledged record and never papers over mid-log corruption.
 //! * [`failpoint`] — a deterministic, per-instance fault-injection
-//!   registry ([`FailPlan`]) the writer consults at six named points, so
-//!   tests can crash the write path at any site and prove recovery.
+//!   registry ([`FailPlan`]) the WAL and archive writers consult at named
+//!   points ([`POINTS`]), so tests can crash either write path at any
+//!   site and prove recovery.
+//! * [`spec`] — the shared `point=action[:after]` spec grammar and the
+//!   exactly-once countdown registry, reused by the shard layer's
+//!   `REPOSE_NETFAULTS` plan.
 //!
 //! The format stores coordinates via `f64::to_bits`, so recovered
 //! trajectories are bit-identical to what was acknowledged — queries after
@@ -25,9 +29,12 @@
 pub mod failpoint;
 pub mod record;
 pub mod replay;
+pub mod spec;
 pub mod wal;
 
-pub use failpoint::{FailAction, FailPlan, FailSpecError, FailSpecReason, POINTS};
+pub use failpoint::{
+    FailAction, FailPlan, FailSpecError, FailSpecReason, ARC_POINTS, POINTS, WAL_POINTS,
+};
 pub use record::{crc32, DecodeError, WalRecord};
 pub use replay::{replay, Replayed};
 pub use wal::{

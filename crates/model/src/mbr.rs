@@ -7,7 +7,10 @@ use serde::{Deserialize, Serialize};
 /// baseline, and the DITA baseline's pivot MBRs. An `Mbr` is always
 /// non-degenerate in the sense `min.x <= max.x && min.y <= max.y` when built
 /// through the provided constructors.
+/// `repr(C)` so an `Mbr` embedded in an archived summary record has a
+/// defined, build-independent byte layout.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Mbr {
     /// Lower-left corner.
     pub min: Point,

@@ -53,6 +53,11 @@ impl Point {
     }
 }
 
+// SAFETY: `repr(C)`, two `f64` fields, no padding, any bit pattern is a
+// valid (if possibly non-finite) point — byte-reinterpretable from a
+// mapped archive section.
+unsafe impl repose_succinct::Pod for Point {}
+
 impl From<(f64, f64)> for Point {
     fn from((x, y): (f64, f64)) -> Self {
         Point::new(x, y)

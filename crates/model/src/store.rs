@@ -1,4 +1,5 @@
 use crate::{Mbr, Point, TrajId, Trajectory};
+use repose_succinct::FlatVec;
 use serde::{Deserialize, Serialize};
 
 /// A flat arena of trajectories: every sample point of every trajectory in
@@ -32,16 +33,20 @@ use serde::{Deserialize, Serialize};
 /// other.push_from(&store, slot);
 /// assert_eq!(other.points(0), store.points(slot));
 /// ```
+/// The three backing arrays live in [`FlatVec`]s, so a store is either
+/// owned (build/compaction time) or three zero-copy views into a mapped
+/// archive (`starts` is stored as `u64`, not `usize`, so the on-disk
+/// layout is platform-independent).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrajStore {
     /// Trajectory id per slot.
-    ids: Vec<TrajId>,
+    ids: FlatVec<TrajId>,
     /// Prefix offsets into `points`: slot `i` owns
     /// `points[starts[i]..starts[i + 1]]`. Always `ids.len() + 1` entries
     /// (a lone `0` when empty).
-    starts: Vec<usize>,
+    starts: FlatVec<u64>,
     /// All sample points, back to back in slot order.
-    points: Vec<Point>,
+    points: FlatVec<Point>,
 }
 
 /// Same as [`TrajStore::new`]. (Deriving `Default` would produce an
@@ -56,21 +61,43 @@ impl Default for TrajStore {
 impl TrajStore {
     /// An empty store.
     pub fn new() -> Self {
-        TrajStore { ids: Vec::new(), starts: vec![0], points: Vec::new() }
+        TrajStore {
+            ids: FlatVec::new(),
+            starts: FlatVec::Owned(vec![0]),
+            points: FlatVec::new(),
+        }
     }
 
     /// An empty store with room for `trajs` trajectories totalling
     /// `points` sample points.
     pub fn with_capacity(trajs: usize, points: usize) -> Self {
         TrajStore {
-            ids: Vec::with_capacity(trajs),
+            ids: FlatVec::with_capacity(trajs),
             starts: {
                 let mut s = Vec::with_capacity(trajs + 1);
                 s.push(0);
-                s
+                FlatVec::Owned(s)
             },
-            points: Vec::with_capacity(points),
+            points: FlatVec::with_capacity(points),
         }
+    }
+
+    /// Reassembles a store from its backing arrays (e.g. mapped archive
+    /// sections), validating the cross-field invariant first.
+    pub fn from_parts(
+        ids: FlatVec<TrajId>,
+        starts: FlatVec<u64>,
+        points: FlatVec<Point>,
+    ) -> Result<Self, crate::ModelError> {
+        let store = TrajStore { ids, starts, points };
+        store.validate()?;
+        Ok(store)
+    }
+
+    /// The backing arrays `(ids, starts, points)` — the archive writer's
+    /// view of the store. `starts` is the raw `u64` prefix table.
+    pub fn as_parts(&self) -> (&[TrajId], &[u64], &[Point]) {
+        (&self.ids, &self.starts, &self.points)
     }
 
     /// Copies a `Trajectory` slice into a fresh arena, preserving order
@@ -87,8 +114,8 @@ impl TrajStore {
     /// Appends a trajectory, returning its slot.
     pub fn push(&mut self, id: TrajId, points: &[Point]) -> usize {
         self.ids.push(id);
-        self.points.extend_from_slice(points);
-        self.starts.push(self.points.len());
+        self.points.to_mut().extend_from_slice(points);
+        self.starts.push(self.points.len() as u64);
         self.ids.len() - 1
     }
 
@@ -123,7 +150,7 @@ impl TrajStore {
     /// The points of `slot`, as a subslice of the shared arena.
     #[inline]
     pub fn points(&self, slot: usize) -> &[Point] {
-        &self.points[self.starts[slot]..self.starts[slot + 1]]
+        &self.points[self.starts[slot] as usize..self.starts[slot + 1] as usize]
     }
 
     /// Iterates `(id, points)` in slot order.
@@ -155,7 +182,7 @@ impl TrajStore {
     pub fn validate(&self) -> Result<(), crate::ModelError> {
         let ok = self.starts.len() == self.ids.len() + 1
             && self.starts.first() == Some(&0)
-            && self.starts.last() == Some(&self.points.len())
+            && self.starts.last() == Some(&(self.points.len() as u64))
             && self.starts.windows(2).all(|w| w[0] <= w[1]);
         if ok {
             Ok(())
@@ -164,11 +191,10 @@ impl TrajStore {
         }
     }
 
-    /// Approximate heap footprint in bytes (the three backing arrays).
+    /// Approximate heap footprint in bytes (the three backing arrays;
+    /// 0 when all three are views of a mapped archive).
     pub fn mem_bytes(&self) -> usize {
-        self.ids.capacity() * std::mem::size_of::<TrajId>()
-            + self.starts.capacity() * std::mem::size_of::<usize>()
-            + self.points.capacity() * std::mem::size_of::<Point>()
+        self.ids.mem_bytes() + self.starts.mem_bytes() + self.points.mem_bytes()
     }
 }
 

@@ -20,7 +20,7 @@
 //!   length; only the leaf bound is usable (internal `lbo` is 0), because
 //!   the distance normalizer `min(m, n)` needs the member lengths.
 
-use crate::frozen::LeafPayload;
+use crate::frozen::LeafRef;
 use repose_distance::{DtwColumn, FrechetColumn, HausdorffState, Measure, MeasureParams};
 use repose_model::{Mbr, Point};
 use repose_zorder::{Grid, ZValue};
@@ -84,7 +84,7 @@ impl BoundState {
     }
 
     /// Two-side lower bound `LBt` for the trajectories stored in a leaf.
-    pub fn lbt(&self, grid: &Grid, leaf: &LeafPayload, query_len: usize) -> f64 {
+    pub fn lbt(&self, grid: &Grid, leaf: &LeafRef<'_>, query_len: usize) -> f64 {
         let slack = grid.half_diagonal();
         match self {
             BoundState::Hausdorff(s) => (s.full() - leaf.dmax).max(0.0),
@@ -336,7 +336,7 @@ mod tests {
         let g = grid8();
         let q = pts(&[(0.4, 0.3), (1.2, 1.7), (3.6, 2.2)]);
         let params = MeasureParams::with_eps(0.4);
-        let leaf = LeafPayload { members: vec![0], summaries: Vec::new(), dmax: 0.5, nmin: 3 };
+        let leaf = LeafRef { members: &[0], summaries: &[], dmax: 0.5, nmin: 3 };
         for m in Measure::ALL {
             let mut st = BoundState::new(m, &params, &q);
             for z in [g.z_value(q[0]), g.z_value(q[1])] {
@@ -372,7 +372,7 @@ mod tests {
         st.push(&q, &g, g.z_value(q[0]), &params);
         assert_eq!(st.lbo(&g), 0.0, "LCSS internal bound must stay zero");
         // leaf with min member length 2: denom = min(4, 2) = 2, L_ub = 1
-        let leaf = LeafPayload { members: vec![0], summaries: Vec::new(), dmax: 0.0, nmin: 2 };
+        let leaf = LeafRef { members: &[0], summaries: &[], dmax: 0.0, nmin: 2 };
         assert!((st.lbt(&g, &leaf, q.len()) - 0.5).abs() < 1e-12);
     }
 }

@@ -1,21 +1,27 @@
 use crate::builder::BuildTrie;
 use crate::RpTrieConfig;
 use repose_distance::TrajSummary;
-use repose_succinct::{varint, BitVec, RankSelect};
+use repose_succinct::{varint, BitVec, FlatVec, RankSelect};
 use repose_zorder::{Grid, ZValue};
 
 /// Index of a node in the frozen trie (BFS order, root = 0).
 pub type NodeId = u32;
 
-/// A leaf's payload: the trajectories whose reference trajectory ends here.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct LeafPayload {
+/// A borrowed view of one leaf's payload: the trajectories whose reference
+/// trajectory ends at that node.
+///
+/// Leaves are stored structure-of-arrays inside [`FrozenTrie`] (one flat
+/// table per field across all leaves), so a leaf "value" is just slices
+/// into those tables — equally cheap over an owned trie and over one
+/// mapped from an archive.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafRef<'a> {
     /// Indices into the partition's trajectory slice (`Tid` in Fig. 2).
-    pub members: Vec<u32>,
+    pub members: &'a [u32],
     /// Per-member prefilter summaries (parallel to `members`), built once
     /// at construction so verification sites get an O(1) lower bound per
     /// candidate instead of re-walking both trajectories.
-    pub summaries: Vec<TrajSummary>,
+    pub summaries: &'a [TrajSummary],
     /// `Dmax`: maximum distance from the members to the leaf's reference
     /// trajectory under the index measure.
     pub dmax: f64,
@@ -33,6 +39,13 @@ pub struct LeafPayload {
 /// (varint-coded child lists). The paper's `Bl` bitmap (leaf-ness) is kept
 /// per *node* (`has_leaf`) rather than per (node, cell) — equivalent
 /// information, one bit per node cheaper.
+///
+/// Every array field is a [`FlatVec`], and leaves are flattened
+/// structure-of-arrays behind a prefix-offset table, so the whole trie is
+/// either owned (just built) or a set of zero-copy views into one mapped
+/// archive buffer ([`FrozenTrie::from_parts`]). The rank directories are
+/// rebuilt at attach time from the persisted bitmaps — a single popcount
+/// pass, negligible next to the data they index.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FrozenTrie {
     n_nodes: usize,
@@ -43,15 +56,27 @@ pub struct FrozenTrie {
     /// Concatenated `Bc` bitmaps of the dense nodes.
     bc: RankSelect,
     /// Byte offsets of each sparse node's child list in `sparse_bytes`.
-    sparse_offsets: Vec<u32>,
+    sparse_offsets: FlatVec<u32>,
     /// Varint-coded child lists of the sparse nodes.
-    sparse_bytes: Vec<u8>,
+    sparse_bytes: FlatVec<u8>,
     /// One bit per node: does a reference trajectory end here?
     has_leaf: RankSelect,
-    /// Leaf payloads, indexed by `has_leaf.rank1(node)`.
-    leaves: Vec<LeafPayload>,
-    /// Per-node pivot distance intervals, `np` per node (flattened).
-    hr: Vec<(f64, f64)>,
+    /// Prefix offsets: leaf `i` owns `leaf_members[leaf_offsets[i]..
+    /// leaf_offsets[i + 1]]` (and the parallel `leaf_summaries` range).
+    /// Always `leaf_count + 1` entries.
+    leaf_offsets: FlatVec<u64>,
+    /// All leaves' member slots, back to back in leaf order.
+    leaf_members: FlatVec<u32>,
+    /// All leaves' member summaries, parallel to `leaf_members`.
+    leaf_summaries: FlatVec<TrajSummary>,
+    /// Per-leaf `Dmax`.
+    leaf_dmax: FlatVec<f64>,
+    /// Per-leaf shortest member length.
+    leaf_nmin: FlatVec<u32>,
+    /// Per-node pivot distance intervals: `np` `(lo, hi)` pairs per node,
+    /// stored interleaved (`lo, hi, lo, hi, …` — `2 * np` floats per node;
+    /// tuples have no defined layout, so the flat form is what archives).
+    hr: FlatVec<f64>,
     np: usize,
 }
 
@@ -123,23 +148,29 @@ impl FrozenTrie {
             sparse_offsets.push(sparse_bytes.len() as u32);
         }
 
-        // Leaves + HR.
+        // Leaves (structure-of-arrays) + HR.
         let mut has_leaf = BitVec::zeros(n_nodes);
-        let mut leaves = Vec::new();
+        let mut leaf_offsets: Vec<u64> = vec![0];
+        let mut leaf_members: Vec<u32> = Vec::new();
+        let mut leaf_summaries: Vec<TrajSummary> = Vec::new();
+        let mut leaf_dmax: Vec<f64> = Vec::new();
+        let mut leaf_nmin: Vec<u32> = Vec::new();
         let np = build.np();
-        let mut hr = Vec::with_capacity(if np > 0 { n_nodes * np } else { 0 });
+        let mut hr = Vec::with_capacity(if np > 0 { n_nodes * np * 2 } else { 0 });
         for (new_id, &old) in bfs.iter().enumerate() {
             if let Some((members, summaries, dmax, nmin)) = build.leaf_of(old) {
                 has_leaf.set(new_id, true);
-                leaves.push(LeafPayload {
-                    members: members.to_vec(),
-                    summaries: summaries.to_vec(),
-                    dmax,
-                    nmin,
-                });
+                leaf_members.extend_from_slice(members);
+                leaf_summaries.extend_from_slice(summaries);
+                leaf_offsets.push(leaf_members.len() as u64);
+                leaf_dmax.push(dmax);
+                leaf_nmin.push(nmin);
             }
             if np > 0 {
-                hr.extend_from_slice(build.hr_of(old));
+                for &(lo, hi) in build.hr_of(old) {
+                    hr.push(lo);
+                    hr.push(hi);
+                }
             }
         }
 
@@ -148,12 +179,141 @@ impl FrozenTrie {
             n_dense,
             m_cells,
             bc: RankSelect::new(bc),
+            sparse_offsets: FlatVec::Owned(sparse_offsets),
+            sparse_bytes: FlatVec::Owned(sparse_bytes),
+            has_leaf: RankSelect::new(has_leaf),
+            leaf_offsets: FlatVec::Owned(leaf_offsets),
+            leaf_members: FlatVec::Owned(leaf_members),
+            leaf_summaries: FlatVec::Owned(leaf_summaries),
+            leaf_dmax: FlatVec::Owned(leaf_dmax),
+            leaf_nmin: FlatVec::Owned(leaf_nmin),
+            hr: FlatVec::Owned(hr),
+            np,
+        }
+    }
+
+    /// Reassembles a frozen trie from its persisted parts (typically
+    /// zero-copy views into a mapped archive), revalidating every
+    /// structural invariant the accessors rely on and rebuilding the rank
+    /// directories.
+    ///
+    /// Cross-field corruption that per-section checksums cannot catch
+    /// (sections individually intact but mutually inconsistent lengths)
+    /// fails here with a diagnostic, never a later panic or a wrong
+    /// answer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(parts: FrozenTrieParts) -> Result<Self, String> {
+        let FrozenTrieParts {
+            n_nodes,
+            n_dense,
+            m_cells,
+            bc_bits,
             sparse_offsets,
             sparse_bytes,
-            has_leaf: RankSelect::new(has_leaf),
-            leaves,
+            has_leaf_bits,
+            leaf_offsets,
+            leaf_members,
+            leaf_summaries,
+            leaf_dmax,
+            leaf_nmin,
             hr,
             np,
+        } = parts;
+        if n_dense > n_nodes {
+            return Err(format!("n_dense {n_dense} exceeds n_nodes {n_nodes}"));
+        }
+        if bc_bits.len() != n_dense * m_cells {
+            return Err(format!(
+                "bc bitmap has {} bits, want n_dense {n_dense} x m_cells {m_cells}",
+                bc_bits.len()
+            ));
+        }
+        if has_leaf_bits.len() != n_nodes {
+            return Err(format!(
+                "has_leaf bitmap has {} bits for {n_nodes} nodes",
+                has_leaf_bits.len()
+            ));
+        }
+        if sparse_offsets.len() != n_nodes - n_dense + 1 {
+            return Err(format!(
+                "sparse_offsets has {} entries, want {}",
+                sparse_offsets.len(),
+                n_nodes - n_dense + 1
+            ));
+        }
+        if sparse_offsets.first() != Some(&0)
+            || sparse_offsets.last().copied() != Some(sparse_bytes.len() as u32)
+            || sparse_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("sparse_offsets is not a prefix table of sparse_bytes".into());
+        }
+        let leaf_count = has_leaf_bits.count_ones();
+        if leaf_offsets.len() != leaf_count + 1
+            || leaf_dmax.len() != leaf_count
+            || leaf_nmin.len() != leaf_count
+        {
+            return Err(format!(
+                "leaf tables sized {}/{}/{} for {leaf_count} leaves",
+                leaf_offsets.len(),
+                leaf_dmax.len(),
+                leaf_nmin.len()
+            ));
+        }
+        if leaf_summaries.len() != leaf_members.len() {
+            return Err(format!(
+                "{} summaries for {} members",
+                leaf_summaries.len(),
+                leaf_members.len()
+            ));
+        }
+        if leaf_offsets.first() != Some(&0)
+            || leaf_offsets.last().copied() != Some(leaf_members.len() as u64)
+            || leaf_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("leaf_offsets is not a prefix table of leaf_members".into());
+        }
+        let want_hr = if np > 0 { n_nodes * np * 2 } else { 0 };
+        if hr.len() != want_hr {
+            return Err(format!("hr has {} floats, want {want_hr}", hr.len()));
+        }
+        Ok(FrozenTrie {
+            n_nodes,
+            n_dense,
+            m_cells,
+            bc: RankSelect::new(bc_bits),
+            sparse_offsets,
+            sparse_bytes,
+            has_leaf: RankSelect::new(has_leaf_bits),
+            leaf_offsets,
+            leaf_members,
+            leaf_summaries,
+            leaf_dmax,
+            leaf_nmin,
+            hr,
+            np,
+        })
+    }
+
+    /// Decomposes the trie into the parts [`FrozenTrie::from_parts`]
+    /// accepts — the archive writer's view. Cheap (bitvec clones are
+    /// copy-on-write views or word vectors; everything else is borrowed
+    /// into `FlatVec` clones).
+    pub fn to_parts(&self) -> FrozenTrieParts {
+        FrozenTrieParts {
+            n_nodes: self.n_nodes,
+            n_dense: self.n_dense,
+            m_cells: self.m_cells,
+            bc_bits: self.bc.bits().clone(),
+            sparse_offsets: self.sparse_offsets.clone(),
+            sparse_bytes: self.sparse_bytes.clone(),
+            has_leaf_bits: self.has_leaf.bits().clone(),
+            leaf_offsets: self.leaf_offsets.clone(),
+            leaf_members: self.leaf_members.clone(),
+            leaf_summaries: self.leaf_summaries.clone(),
+            leaf_dmax: self.leaf_dmax.clone(),
+            leaf_nmin: self.leaf_nmin.clone(),
+            hr: self.hr.clone(),
+            np: self.np,
         }
     }
 
@@ -235,46 +395,84 @@ impl FrozenTrie {
     }
 
     /// The leaf payload ending at `node`, if any.
-    pub fn leaf(&self, node: NodeId) -> Option<&LeafPayload> {
+    pub fn leaf(&self, node: NodeId) -> Option<LeafRef<'_>> {
         if self.has_leaf.bits().get(node as usize) {
-            Some(&self.leaves[self.has_leaf.rank1(node as usize)])
+            let i = self.has_leaf.rank1(node as usize);
+            let range = self.leaf_offsets[i] as usize..self.leaf_offsets[i + 1] as usize;
+            Some(LeafRef {
+                members: &self.leaf_members[range.clone()],
+                summaries: &self.leaf_summaries[range],
+                dmax: self.leaf_dmax[i],
+                nmin: self.leaf_nmin[i],
+            })
         } else {
             None
         }
     }
 
-    /// The node's pivot-distance intervals (empty when pivots are
-    /// disabled).
-    pub fn hr(&self, node: NodeId) -> &[(f64, f64)] {
+    /// The node's pivot-distance intervals as interleaved `lo, hi` floats
+    /// (`2 * np` entries; empty when pivots are disabled).
+    pub fn hr(&self, node: NodeId) -> &[f64] {
         if self.np == 0 {
             &[]
         } else {
-            let s = node as usize * self.np;
-            &self.hr[s..s + self.np]
+            let s = node as usize * self.np * 2;
+            &self.hr[s..s + self.np * 2]
         }
     }
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
+        self.leaf_dmax.len()
     }
 
     /// Approximate heap size in bytes — the paper's index-size (IS) metric
-    /// for the local index.
+    /// for the local index. Views into a mapped archive count as 0 (the
+    /// map is accounted once by its owner).
     pub fn mem_bytes(&self) -> usize {
         self.bc.mem_bytes()
-            + self.sparse_offsets.capacity() * 4
-            + self.sparse_bytes.capacity()
+            + self.sparse_offsets.mem_bytes()
+            + self.sparse_bytes.mem_bytes()
             + self.has_leaf.mem_bytes()
-            + self
-                .leaves
-                .iter()
-                .map(|l| {
-                    std::mem::size_of::<LeafPayload>()
-                        + l.members.capacity() * 4
-                        + l.summaries.capacity() * std::mem::size_of::<TrajSummary>()
-                })
-                .sum::<usize>()
-            + self.hr.capacity() * 16
+            + self.leaf_offsets.mem_bytes()
+            + self.leaf_members.mem_bytes()
+            + self.leaf_summaries.mem_bytes()
+            + self.leaf_dmax.mem_bytes()
+            + self.leaf_nmin.mem_bytes()
+            + self.hr.mem_bytes()
     }
+}
+
+/// The exploded form of a [`FrozenTrie`] — what an archive stores per
+/// partition and what [`FrozenTrie::from_parts`] revalidates.
+#[derive(Debug, Clone)]
+pub struct FrozenTrieParts {
+    /// Total node count.
+    pub n_nodes: usize,
+    /// Bitmap-encoded BFS-prefix length.
+    pub n_dense: usize,
+    /// Child-bitmap width (grid cells).
+    pub m_cells: usize,
+    /// Concatenated dense child bitmaps (`n_dense * m_cells` bits).
+    pub bc_bits: BitVec,
+    /// Sparse child-list offsets (`n_nodes - n_dense + 1` entries).
+    pub sparse_offsets: FlatVec<u32>,
+    /// Varint-coded sparse child lists.
+    pub sparse_bytes: FlatVec<u8>,
+    /// Leaf-ness bitmap (`n_nodes` bits).
+    pub has_leaf_bits: BitVec,
+    /// Leaf member-range prefix table (`leaf_count + 1` entries).
+    pub leaf_offsets: FlatVec<u64>,
+    /// Concatenated leaf member slots.
+    pub leaf_members: FlatVec<u32>,
+    /// Concatenated member summaries (parallel to `leaf_members`).
+    pub leaf_summaries: FlatVec<TrajSummary>,
+    /// Per-leaf `Dmax`.
+    pub leaf_dmax: FlatVec<f64>,
+    /// Per-leaf shortest member length.
+    pub leaf_nmin: FlatVec<u32>,
+    /// Interleaved per-node pivot intervals (`2 * np` floats per node).
+    pub hr: FlatVec<f64>,
+    /// Pivot count per node.
+    pub np: usize,
 }

@@ -107,7 +107,7 @@ fn every_trajectory_reachable_via_some_leaf() {
     let mut stack = vec![f.root()];
     while let Some(n) = stack.pop() {
         if let Some(l) = f.leaf(n) {
-            members.extend_from_slice(&l.members);
+            members.extend_from_slice(l.members);
         }
         stack.extend(f.children(n).iter().map(|c| c.1));
     }

@@ -53,7 +53,7 @@ mod shared;
 
 pub use builder::{BuildTrie, ZSeqPolicy};
 pub use config::RpTrieConfig;
-pub use frozen::{FrozenTrie, LeafPayload, NodeId};
+pub use frozen::{FrozenTrie, FrozenTrieParts, LeafRef, NodeId};
 pub use pivot::{select_pivots, PivotSet};
 pub use search::{SearchResult, SearchStats};
 pub use shared::SharedTopK;
@@ -97,6 +97,26 @@ impl RpTrie {
         let build = BuildTrie::construct(store, &grid, &config, &pivots);
         let frozen = build.freeze(&grid, &config);
         RpTrie { frozen, grid, config, pivots, built_over: store.len() }
+    }
+
+    /// Reassembles a trie from prebuilt parts — the archive attach path,
+    /// which must not re-run construction. `built_over` is the length of
+    /// the [`TrajStore`] the frozen trie's member slots index into; every
+    /// query asserts its store against it.
+    pub fn from_parts(
+        frozen: FrozenTrie,
+        grid: Grid,
+        config: RpTrieConfig,
+        pivots: PivotSet,
+        built_over: usize,
+    ) -> Self {
+        RpTrie { frozen, grid, config, pivots, built_over }
+    }
+
+    /// The store length this trie was built over (see
+    /// [`RpTrie::from_parts`]).
+    pub fn built_over(&self) -> usize {
+        self.built_over
     }
 
     /// Runs a top-k query (Algorithm 2). `store` must be the arena the

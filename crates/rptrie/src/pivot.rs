@@ -106,13 +106,16 @@ pub fn select_pivots(store: &TrajStore, cfg: &RpTrieConfig) -> PivotSet {
 /// The pivot-based lower bound `LBp` (Section IV-D, corrected form — see
 /// DESIGN.md):
 ///
-/// With `dqp[i] = D(τq, pivot_i)` and `hr[i] = (min, max)` over
-/// `D(pivot_i, τ)` for every trajectory `τ` in the subtree, the triangle
-/// inequality gives `D(τq, τ) >= max(dqp[i] - hr[i].max, hr[i].min - dqp[i], 0)`.
-pub fn pivot_lower_bound(dqp: &[f64], hr: &[(f64, f64)]) -> f64 {
-    debug_assert_eq!(dqp.len(), hr.len());
+/// With `dqp[i] = D(τq, pivot_i)` and `hr` the node's interleaved
+/// `min, max` interval floats over `D(pivot_i, τ)` for every trajectory
+/// `τ` in the subtree (`hr[2i], hr[2i + 1]` — the flat layout
+/// [`crate::FrozenTrie::hr`] stores and archives), the triangle inequality
+/// gives `D(τq, τ) >= max(dqp[i] - hr[2i+1], hr[2i] - dqp[i], 0)`.
+pub fn pivot_lower_bound(dqp: &[f64], hr: &[f64]) -> f64 {
+    debug_assert_eq!(dqp.len() * 2, hr.len());
     let mut lb = 0.0f64;
-    for (d, (lo, hi)) in dqp.iter().zip(hr.iter()) {
+    for (d, pair) in dqp.iter().zip(hr.chunks_exact(2)) {
+        let (lo, hi) = (pair[0], pair[1]);
         let b = (d - hi).max(lo - d);
         if b > lb {
             lb = b;
@@ -188,14 +191,14 @@ mod tests {
     #[test]
     fn pivot_lower_bound_cases() {
         // query far outside the subtree's pivot-distance interval
-        assert_eq!(pivot_lower_bound(&[10.0], &[(1.0, 3.0)]), 7.0);
+        assert_eq!(pivot_lower_bound(&[10.0], &[1.0, 3.0]), 7.0);
         // query closer to the pivot than any subtree trajectory
-        assert_eq!(pivot_lower_bound(&[1.0], &[(5.0, 9.0)]), 4.0);
+        assert_eq!(pivot_lower_bound(&[1.0], &[5.0, 9.0]), 4.0);
         // query inside the interval: bound collapses to zero
-        assert_eq!(pivot_lower_bound(&[6.0], &[(5.0, 9.0)]), 0.0);
+        assert_eq!(pivot_lower_bound(&[6.0], &[5.0, 9.0]), 0.0);
         // multiple pivots: the max bound wins
         assert_eq!(
-            pivot_lower_bound(&[10.0, 1.0], &[(1.0, 3.0), (5.0, 9.0)]),
+            pivot_lower_bound(&[10.0, 1.0], &[1.0, 3.0, 5.0, 9.0]),
             7.0
         );
         // no pivots

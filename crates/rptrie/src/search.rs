@@ -229,7 +229,7 @@ pub(crate) fn top_k_filtered(
         // Leaf payload at this node ('$'-terminated reference trajectory).
         if let Some(leaf) = frozen.leaf(entry.node) {
             stats.leaves_visited += 1;
-            let lbt = entry.state.lbt(grid, leaf, query.len());
+            let lbt = entry.state.lbt(grid, &leaf, query.len());
             let lbp = pivot_lower_bound(&dqp, frozen.hr(entry.node));
             if lbt.max(lbp) < dk(&best) {
                 // Verify members under the *live* k-th distance: the kernel

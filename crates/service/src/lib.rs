@@ -47,6 +47,15 @@
 //!   [`ServiceConfig::query_deadline`] turns an expired query into a
 //!   partial answer flagged [`ServiceOutcome::degraded`] — never a
 //!   silently wrong "exact" result.
+//! * **Persistent archives** (opt-in via [`ServiceConfig::archive`]):
+//!   construction and every compaction atomically install a checksummed
+//!   zero-copy archive of the frozen deployment ([`repose_archive`]), so
+//!   [`ReposeService::recover`] restarts by *attaching* the newest valid
+//!   generation (mmap + checksum verification) and replaying only the
+//!   WAL tail — milliseconds instead of an index rebuild. Corrupt
+//!   generations are quarantined loudly and recovery falls back to the
+//!   full rebuild; [`ReposeService::scrub`] re-verifies the live
+//!   generation's checksums online.
 //!
 //! ```
 //! use repose::{Repose, ReposeConfig};
@@ -97,3 +106,7 @@ pub use stats::ServiceStats;
 // Durability types callers need to configure [`ServiceConfig::durability`]
 // or drive fault-injection tests, re-exported for convenience.
 pub use repose_durability::{DurabilityConfig, FailAction, FailPlan, FsyncPolicy, WalError};
+
+// Archive types callers need to interpret [`ReposeService::scrub`] reports
+// or inspect generations written via [`ServiceConfig::archive`].
+pub use repose_archive::{ArchiveError, ScrubReport};

@@ -48,15 +48,22 @@ use crate::delta::{snapshot_len, DeltaLog, DeltaSnapshot};
 use crate::error::ServiceError;
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
+use repose_archive::{latest_valid, prune_generations, quarantine, write_archive, Archive, ScrubReport};
 use repose_cluster::{default_pool_threads, AdmissionGate, Deadline, WorkerPool};
 use repose_distance::{just_above, Measure, MeasureParams, TrajSummary};
-use repose_durability::{write_snapshot, DurabilityConfig, Wal, WalCounters, WalRecord};
+use repose_durability::{write_snapshot, DurabilityConfig, FailPlan, Wal, WalCounters, WalRecord};
 use repose_model::{Point, TrajId, TrajStore, Trajectory};
 use repose_rptrie::{Hit, SearchStats, SharedTopK};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// How many installed archive generations a service retains: the one it
+/// just wrote plus one predecessor to fall back to if the newest is later
+/// found corrupt. Older generations are pruned on every install.
+const ARCHIVE_GENERATIONS_KEPT: usize = 2;
 
 /// Tuning knobs for [`ReposeService`].
 #[derive(Debug, Clone)]
@@ -96,6 +103,19 @@ pub struct ServiceConfig {
     /// [`repose_durability::FsyncPolicy`] and enables
     /// [`ReposeService::recover`].
     pub durability: Option<DurabilityConfig>,
+    /// Directory for persistent zero-copy archive generations
+    /// (`gen-*.arc`; see [`repose_archive`]). `None` (the default) keeps
+    /// every existing path byte-identical. `Some` makes construction and
+    /// every compaction atomically install a checksummed archive of the
+    /// frozen deployment, and makes [`ReposeService::recover`] prefer
+    /// *attaching* the newest valid generation (mmap + checksum, an
+    /// O(checksum) restart) over rebuilding the index from the WAL base
+    /// snapshot — replaying only the WAL tail past the archived
+    /// operation sequence. A generation that fails validation is
+    /// quarantined loudly and recovery falls back, first to the previous
+    /// generation, then to the full WAL rebuild: a corrupt archive can
+    /// cost speed, never correctness.
+    pub archive: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +127,7 @@ impl Default for ServiceConfig {
             query_deadline: None,
             max_inflight_queries: 0,
             durability: None,
+            archive: None,
         }
     }
 }
@@ -211,7 +232,19 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// The restored global operation sequence.
     pub last_seq: u64,
-    /// Wall time of the whole recovery (replay + rebuild).
+    /// Whether the frozen deployment was *attached* from a persisted
+    /// archive generation (mmap + checksum) instead of rebuilt from the
+    /// WAL base snapshot. When `true`, only WAL records past
+    /// [`RecoveryReport::archive_op_seq`] were replayed.
+    pub from_archive: bool,
+    /// The operation sequence of the attached archive generation
+    /// (`None` when recovery fell back to the full rebuild).
+    pub archive_op_seq: Option<u64>,
+    /// Archive generations that failed validation and were moved into
+    /// the archive directory's `.quarantine/` — loud evidence, never
+    /// silently served or silently deleted.
+    pub archives_quarantined: usize,
+    /// Wall time of the whole recovery (replay + rebuild or attach).
     pub wall_time: Duration,
 }
 
@@ -251,6 +284,21 @@ pub struct ReposeService {
     admission: AdmissionGate,
     /// Per-query wall-clock budget (`None` = exact path, no checks).
     query_deadline: Option<Duration>,
+    /// Archive-generation state (`None` = no persistent archives).
+    archive: Option<ArchiveState>,
+}
+
+/// Where archive generations live and which one this service last
+/// installed or attached (the scrub target).
+struct ArchiveState {
+    dir: PathBuf,
+    /// The `arc.*` fail points ride on the durability fail plan when one
+    /// is configured, so one `REPOSE_FAILPOINTS` spec drives both layers.
+    failpoints: FailPlan,
+    /// The newest generation this service wrote or attached, re-opened
+    /// through validation so [`ReposeService::scrub`] re-verifies the
+    /// exact bytes a restart would map.
+    current: Mutex<Option<Archive>>,
 }
 
 impl ReposeService {
@@ -292,7 +340,12 @@ impl ReposeService {
             }
             None => None,
         };
-        Ok(ReposeService::assemble(repose, &config, wal, 0))
+        let service = ReposeService::assemble(repose, &config, wal, 0);
+        if service.archive.is_some() {
+            let frozen = Arc::clone(&service.read_state().frozen);
+            service.install_archive_generation(&frozen, 0);
+        }
+        Ok(service)
     }
 
     /// The common constructor body: state layout, pool, cache, gates.
@@ -327,7 +380,62 @@ impl ReposeService {
             durability: config.durability.clone(),
             admission: AdmissionGate::new(config.max_inflight_queries),
             query_deadline: config.query_deadline,
+            archive: config.archive.as_ref().map(|dir| ArchiveState {
+                dir: dir.clone(),
+                failpoints: config
+                    .durability
+                    .as_ref()
+                    .map_or_else(FailPlan::new, |d| d.failpoints.clone()),
+                current: Mutex::new(None),
+            }),
         }
+    }
+
+    /// Installs a fresh archive generation of `deployment` and re-opens it
+    /// as the scrub target. Failure is *graceful by design*: the archive
+    /// only accelerates restarts (the WAL stays the source of truth), so
+    /// an install error is counted in
+    /// [`ServiceStats::archive_write_failures`] and serving continues.
+    fn install_archive_generation(&self, deployment: &Repose, op_seq: u64) {
+        let Some(arc) = &self.archive else { return };
+        match write_archive(&arc.dir, deployment, op_seq, &arc.failpoints) {
+            Ok(path) => {
+                ServiceCounters::bump(&self.counters.archive_generations);
+                prune_generations(&arc.dir, ARCHIVE_GENERATIONS_KEPT);
+                // Read-back verification: re-open through full validation,
+                // proving end-to-end that a restart could attach these
+                // exact bytes. The handle becomes the scrub target.
+                match Archive::open(&path, &arc.failpoints) {
+                    Ok(archive) => {
+                        *arc.current.lock().unwrap_or_else(|e| e.into_inner()) = Some(archive);
+                    }
+                    Err(_) => {
+                        ServiceCounters::bump(&self.counters.archive_write_failures);
+                        let _ = quarantine(&path);
+                    }
+                }
+            }
+            Err(_) => ServiceCounters::bump(&self.counters.archive_write_failures),
+        }
+    }
+
+    /// Re-verifies every checksum of the current archive generation
+    /// against its mapped bytes — the online corruption scrub. Returns
+    /// `None` when the service has no archive (not configured, or every
+    /// install failed). Corrupt regions are counted in
+    /// [`ServiceStats::scrub_corruptions`] and named in the report; a
+    /// dirty generation is left in place for recovery to quarantine (the
+    /// report is the operator's signal to compact, which installs a fresh
+    /// generation).
+    pub fn scrub(&self) -> Option<ScrubReport> {
+        let arc = self.archive.as_ref()?;
+        let current = arc.current.lock().unwrap_or_else(|e| e.into_inner());
+        let report = current.as_ref()?.scrub();
+        ServiceCounters::bump(&self.counters.scrubs);
+        self.counters
+            .scrub_corruptions
+            .fetch_add(report.corrupt.len() as u64, Ordering::Relaxed);
+        Some(report)
     }
 
     /// Rebuilds a service from its durability directory after a crash:
@@ -335,6 +443,17 @@ impl ReposeService {
     /// operation above it into fresh delta segments (tolerating a torn
     /// tail — see [`repose_durability::replay()`]), restores the operation
     /// sequence, and reopens the WAL on a fresh segment.
+    ///
+    /// With [`ServiceConfig::archive`] configured, the O(index build)
+    /// step is skipped whenever a valid archive generation can stand in
+    /// for it: the newest generation whose checksums verify, whose
+    /// configuration matches, and whose operation sequence the WAL can
+    /// bridge is *attached* (mmap) as the frozen deployment, and only the
+    /// WAL records past its sequence are replayed. Generations that fail
+    /// validation are quarantined (see
+    /// [`RecoveryReport::archives_quarantined`]); with none usable,
+    /// recovery falls back to the full rebuild below — identical answers,
+    /// just slower.
     ///
     /// `repose_config` must be the deployment configuration the original
     /// service was built with (measure, partitions, trie parameters);
@@ -353,11 +472,59 @@ impl ReposeService {
             .ok_or(ServiceError::DurabilityNotConfigured)?;
         let replayed = repose_durability::replay(&dcfg.dir)?;
 
-        let mut base = TrajStore::new();
-        for (id, points) in &replayed.base {
-            base.push(*id, points);
+        // Archive-first: attach the newest valid, bridgeable generation.
+        let mut quarantined = 0usize;
+        let mut attached: Option<(Repose, Archive)> = None;
+        if let Some(adir) = &config.archive {
+            loop {
+                let scan = latest_valid(adir, &dcfg.failpoints);
+                for (path, _err) in &scan.rejected {
+                    if quarantine(path).is_ok() {
+                        quarantined += 1;
+                    }
+                }
+                let Some(archive) = scan.best else { break };
+                // Usable only if the WAL can bridge from its sequence to
+                // the present: records in (archive, last] must all still
+                // be in the log. A generation older than the WAL base
+                // snapshot is stale (checkpoints pruned its tail) — valid
+                // but unusable, so it is skipped, not quarantined.
+                let bridgeable = archive.op_seq() >= replayed.base_seq
+                    && archive.op_seq() <= replayed.last_seq;
+                if !bridgeable || archive.meta().config != repose_config {
+                    break;
+                }
+                match archive.attach() {
+                    Ok(repose) => {
+                        attached = Some((repose, archive));
+                        break;
+                    }
+                    Err(_) => {
+                        // Checksums passed but reconstruction didn't —
+                        // quarantine and retry with the next-newest. If
+                        // even the quarantine move fails we must stop
+                        // rescanning (the same file would be found again)
+                        // and fall back to the full rebuild.
+                        if quarantine(archive.path()).is_ok() {
+                            quarantined += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
         }
-        let repose = Repose::build_from_store(&base, repose_config);
+
+        let (repose, current_archive) = match attached {
+            Some((repose, archive)) => (repose, Some(archive)),
+            None => {
+                let mut base = TrajStore::new();
+                for (id, points) in &replayed.base {
+                    base.push(*id, points);
+                }
+                (Repose::build_from_store(&base, repose_config), None)
+            }
+        };
         let wal = Wal::resume(
             &dcfg,
             replayed.segments,
@@ -367,6 +534,17 @@ impl ReposeService {
 
         let service =
             ReposeService::assemble(repose, &config, Some(Mutex::new(wal)), replayed.last_seq);
+        // Everything at or below the cutover is already inside the frozen
+        // deployment: the attached archive's sequence, or (full rebuild)
+        // the base snapshot's — where the filter is vacuous, because
+        // `replay` only returns records above the base.
+        let cutover = current_archive
+            .as_ref()
+            .map_or(replayed.base_seq, Archive::op_seq);
+        let archive_op_seq = current_archive.as_ref().map(Archive::op_seq);
+        if let (Some(state), Some(archive)) = (&service.archive, current_archive) {
+            *state.current.lock().unwrap_or_else(|e| e.into_inner()) = Some(archive);
+        }
         let mut data_records = 0u64;
         {
             let mut s = service
@@ -375,6 +553,9 @@ impl ReposeService {
                 .map_err(|_| ServiceError::StatePoisoned)?;
             let n = s.deltas.len();
             for record in &replayed.records {
+                if record.seq() <= cutover {
+                    continue;
+                }
                 match record {
                     WalRecord::Upsert { seq, id, points } => {
                         let summary = service.params.summary_of(points);
@@ -414,6 +595,9 @@ impl ReposeService {
             replayed_records: data_records,
             torn_bytes: replayed.torn_bytes,
             last_seq: replayed.last_seq,
+            from_archive: archive_op_seq.is_some(),
+            archive_op_seq,
+            archives_quarantined: quarantined,
             wall_time: t0.elapsed(),
         };
         Ok((service, report))
@@ -1214,6 +1398,13 @@ impl ReposeService {
             wal.rotate()?;
             wal.checkpoint(seq_snapshot)?;
         }
+
+        // Phase 5 (archived services): install a fresh archive generation
+        // of the deployment just swapped in, again with no locks held.
+        // `new_frozen` reflects exactly the operations with
+        // seq <= seq_snapshot, matching the WAL checkpoint above, so a
+        // restart attaches this generation and replays only the tail.
+        self.install_archive_generation(&new_frozen, seq_snapshot);
         Ok(rebuilt_len)
     }
 

@@ -47,6 +47,18 @@ pub(crate) struct ServiceCounters {
     /// Snapshot bytes written by compaction checkpoints (the WAL's own
     /// counters cover only its segments).
     pub(crate) snapshot_bytes: AtomicU64,
+    /// Archive generations successfully installed (construction +
+    /// compactions).
+    pub(crate) archive_generations: AtomicU64,
+    /// Archive installs that failed. An archive is a restart accelerator,
+    /// not the source of truth, so a failed install degrades gracefully:
+    /// it is counted here and serving continues on the WAL alone.
+    pub(crate) archive_write_failures: AtomicU64,
+    /// Completed [`crate::ReposeService::scrub`] passes.
+    pub(crate) scrubs: AtomicU64,
+    /// Corrupt regions found across all scrub passes (0 = every scrubbed
+    /// byte re-verified against its recorded checksum).
+    pub(crate) scrub_corruptions: AtomicU64,
     pub(crate) read_latency: Mutex<Reservoir>,
     pub(crate) write_latency: Mutex<Reservoir>,
 }
@@ -90,6 +102,10 @@ impl ServiceCounters {
             recovered_records: self.recovered_records.load(Ordering::Relaxed),
             queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            archive_generations: self.archive_generations.load(Ordering::Relaxed),
+            archive_write_failures: self.archive_write_failures.load(Ordering::Relaxed),
+            scrubs: self.scrubs.load(Ordering::Relaxed),
+            scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
             read_latency: LatencySummary::from_durations(
                 self.read_latency.lock().expect("stats lock").samples.clone(),
             ),
@@ -144,6 +160,20 @@ pub struct ServiceStats {
     pub queries_degraded: u64,
     /// Queries rejected at the admission gate under overload.
     pub queries_shed: u64,
+    /// Archive generations successfully installed by this service
+    /// (construction + compactions; 0 without
+    /// [`crate::ServiceConfig::archive`]).
+    pub archive_generations: u64,
+    /// Archive installs that failed and were degraded past (the service
+    /// keeps serving on the WAL alone — an archive only accelerates
+    /// restarts, it is never the source of truth).
+    pub archive_write_failures: u64,
+    /// Completed online [`crate::ReposeService::scrub`] passes.
+    pub scrubs: u64,
+    /// Corrupt regions found across all scrub passes (anything non-zero
+    /// means the current archive generation must not be trusted for the
+    /// next restart; it will be quarantined by recovery).
+    pub scrub_corruptions: u64,
     /// Recent query latencies (host wall time, reservoir-sampled).
     pub read_latency: LatencySummary,
     /// Recent insert/delete latencies.

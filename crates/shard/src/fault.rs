@@ -12,15 +12,15 @@
 //! sends" and get the same interleaving every run.
 //!
 //! Plans parse from the `REPOSE_NETFAULTS` environment variable with the
-//! same grammar idiom as `REPOSE_FAILPOINTS` —
-//! `point=action[:after][,...]` — and the same strictness contract: a
-//! malformed or misspelled entry is a typed [`NetSpecError`] (and a loud
-//! panic at arm time from [`NetFaultPlan::from_env`]), never a silently
-//! ignored fault.
+//! same grammar as `REPOSE_FAILPOINTS` — `point=action[:after][,...]` —
+//! and the same strictness contract: a malformed or misspelled entry is a
+//! typed [`NetSpecError`] (and a loud panic at arm time from
+//! [`NetFaultPlan::from_env`]), never a silently ignored fault. Both the
+//! grammar and the exactly-once countdown registry are the durability
+//! layer's [`repose_durability::spec`], not a copy.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use repose_durability::spec::{ArmRegistry, SpecIssue};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What an armed network site does to the message that trips it.
@@ -45,24 +45,25 @@ pub enum NetFault {
     Crash,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Arm {
-    fault: NetFault,
-    after: u32,
-    fired: bool,
+fn parse_action(s: &str) -> Option<NetFault> {
+    match s {
+        "drop" => Some(NetFault::Drop),
+        "dup" => Some(NetFault::Duplicate),
+        "reorder" => Some(NetFault::Reorder),
+        "partition" => Some(NetFault::Partition),
+        "crash" => Some(NetFault::Crash),
+        other => other
+            .strip_prefix("delay")
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map(|ms| NetFault::Delay(Duration::from_millis(ms))),
+    }
 }
 
 /// A deterministic, shareable network-fault plan (see module docs).
 /// Cloning shares the registry.
 #[derive(Debug, Clone, Default)]
 pub struct NetFaultPlan {
-    inner: Arc<PlanInner>,
-}
-
-#[derive(Debug, Default)]
-struct PlanInner {
-    armed: AtomicBool,
-    arms: Mutex<HashMap<String, Arm>>,
+    inner: Arc<ArmRegistry<NetFault>>,
 }
 
 impl NetFaultPlan {
@@ -84,39 +85,18 @@ impl NetFaultPlan {
             "`{point}` is not a network fault site (want coord|shard<N>|replica<N>, \
              optionally suffixed .tx or .rx)"
         );
-        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
-        arms.insert(point.to_string(), Arm { fault, after, fired: false });
-        self.inner.armed.store(true, Ordering::Release);
+        self.inner.arm(point, fault, after);
     }
 
     /// Hit `point`: decrements its countdown and returns the fault the
     /// moment it fires (exactly once per arm).
     pub fn hit(&self, point: &str) -> Option<NetFault> {
-        if !self.inner.armed.load(Ordering::Acquire) {
-            return None;
-        }
-        let mut arms = self.inner.arms.lock().unwrap_or_else(|e| e.into_inner());
-        let arm = arms.get_mut(point)?;
-        if arm.fired {
-            return None;
-        }
-        if arm.after == 0 {
-            arm.fired = true;
-            Some(arm.fault)
-        } else {
-            arm.after -= 1;
-            None
-        }
+        self.inner.hit(point)
     }
 
     /// Whether any arm has fired.
     pub fn any_fired(&self) -> bool {
-        self.inner
-            .arms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .any(|a| a.fired)
+        self.inner.any_fired()
     }
 
     /// A plan parsed from the `REPOSE_NETFAULTS` environment variable;
@@ -137,43 +117,21 @@ impl NetFaultPlan {
     /// Points must be well-formed site names (see [`valid_point`]).
     pub fn parse(spec: &str) -> Result<Self, NetSpecError> {
         let plan = NetFaultPlan::new();
-        for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let err = |reason: NetSpecReason| NetSpecError {
-                entry: entry.to_string(),
-                reason,
-            };
-            let (point, rhs) = entry
-                .split_once('=')
-                .ok_or_else(|| err(NetSpecReason::MissingEquals))?;
-            let point = point.trim();
-            if !valid_point(point) {
-                return Err(err(NetSpecReason::BadPoint(point.to_string())));
-            }
-            let (action, after) = match rhs.split_once(':') {
-                Some((a, n)) => (
-                    a.trim(),
-                    n.trim()
-                        .parse::<u32>()
-                        .map_err(|_| err(NetSpecReason::BadCount(n.trim().to_string())))?,
-                ),
-                None => (rhs.trim(), 0),
-            };
-            let fault = match action {
-                "drop" => NetFault::Drop,
-                "dup" => NetFault::Duplicate,
-                "reorder" => NetFault::Reorder,
-                "partition" => NetFault::Partition,
-                "crash" => NetFault::Crash,
-                other => match other.strip_prefix("delay") {
-                    Some(ms) => NetFault::Delay(Duration::from_millis(
-                        ms.parse::<u64>()
-                            .map_err(|_| err(NetSpecReason::BadAction(other.to_string())))?,
-                    )),
-                    None => return Err(err(NetSpecReason::BadAction(other.to_string()))),
-                },
-            };
-            plan.arm(point, fault, after);
-        }
+        repose_durability::spec::parse_spec(
+            spec,
+            valid_point,
+            parse_action,
+            |point, fault, after| plan.arm(point, fault, after),
+        )
+        .map_err(|e| NetSpecError {
+            entry: e.entry,
+            reason: match e.issue {
+                SpecIssue::MissingEquals => NetSpecReason::MissingEquals,
+                SpecIssue::BadPoint(p) => NetSpecReason::BadPoint(p),
+                SpecIssue::BadAction(a) => NetSpecReason::BadAction(a),
+                SpecIssue::BadCount(n) => NetSpecReason::BadCount(n),
+            },
+        })?;
         Ok(plan)
     }
 }

@@ -1,7 +1,12 @@
+use crate::FlatVec;
+
 /// A growable bit vector backed by `u64` words.
+///
+/// The words live in a [`FlatVec`], so a bit vector can be either owned
+/// (while building) or a zero-copy view into a mapped archive section.
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BitVec {
-    words: Vec<u64>,
+    words: FlatVec<u64>,
     len: usize,
 }
 
@@ -13,7 +18,31 @@ impl BitVec {
 
     /// Creates a bit vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { words: vec![0; len.div_ceil(64)], len }
+        BitVec { words: FlatVec::Owned(vec![0; len.div_ceil(64)]), len }
+    }
+
+    /// Rebuilds a bit vector from its backing words (e.g. a mapped archive
+    /// section) and its bit length.
+    ///
+    /// Validates the representation invariants — the word count matches
+    /// `len` and the bits beyond `len` in the last word are zero — so a
+    /// corrupt section is an error, never a structure that silently
+    /// miscounts ranks.
+    pub fn from_words(words: FlatVec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "bitvec of {len} bits needs {} words, got {}",
+                len.div_ceil(64),
+                words.len()
+            ));
+        }
+        if !len.is_multiple_of(64) {
+            let last = words[words.len() - 1];
+            if last >> (len % 64) != 0 {
+                return Err(format!("bitvec has nonzero bits beyond len {len}"));
+            }
+        }
+        Ok(BitVec { words, len })
     }
 
     /// Number of bits.
@@ -26,14 +55,15 @@ impl BitVec {
         self.len == 0
     }
 
-    /// Appends a bit.
+    /// Appends a bit (copy-on-write when the words are a mapped view).
     pub fn push(&mut self, bit: bool) {
         let w = self.len / 64;
-        if w == self.words.len() {
-            self.words.push(0);
+        let words = self.words.to_mut();
+        if w == words.len() {
+            words.push(0);
         }
         if bit {
-            self.words[w] |= 1u64 << (self.len % 64);
+            words[w] |= 1u64 << (self.len % 64);
         }
         self.len += 1;
     }
@@ -55,10 +85,11 @@ impl BitVec {
     pub fn set(&mut self, i: usize, bit: bool) {
         assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
         let mask = 1u64 << (i % 64);
+        let words = self.words.to_mut();
         if bit {
-            self.words[i / 64] |= mask;
+            words[i / 64] |= mask;
         } else {
-            self.words[i / 64] &= !mask;
+            words[i / 64] &= !mask;
         }
     }
 
@@ -78,9 +109,9 @@ impl BitVec {
         &self.words
     }
 
-    /// Approximate heap size in bytes.
+    /// Approximate heap size in bytes (0 when the words are a mapped view).
     pub fn mem_bytes(&self) -> usize {
-        self.words.capacity() * 8
+        self.words.mem_bytes()
     }
 }
 

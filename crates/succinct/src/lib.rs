@@ -26,11 +26,23 @@
 //! assert_eq!(varint::read_u64(&mut r), 300);
 //! ```
 
+//!
+//! For persistence, the same crate provides the zero-copy storage layer:
+//! [`Pod`] marks byte-reinterpretable element types, [`FlatVec`] holds a
+//! container's elements either owned (build time) or as a view into a
+//! shared [`ByteStore`] buffer (an `mmap`ed archive section), and the
+//! succinct structures themselves are `FlatVec`-backed so an index
+//! attaches from disk without deserialization.
+
 #![warn(missing_docs)]
 
 mod bitvec;
+mod flat;
+mod pod;
 mod rank;
 pub mod varint;
 
 pub use bitvec::BitVec;
+pub use flat::{AlignedBytes, ByteBuf, ByteStore, FlatVec};
+pub use pod::{bytes_of, Pod};
 pub use rank::RankSelect;

@@ -1,0 +1,66 @@
+//! The [`Pod`] marker: types whose values are plain bytes, so a section of
+//! a mapped archive can be reinterpreted as a typed slice with no decode
+//! step and no copy.
+
+/// Marker for plain-old-data element types of a [`crate::FlatVec`].
+///
+/// # Safety
+///
+/// Implementors must guarantee, for the archive's zero-copy contract:
+///
+/// * `#[repr(C)]` (or a primitive), so the in-memory layout is defined and
+///   identical across builds;
+/// * **every** bit pattern of `size_of::<T>()` bytes is a valid value
+///   (reading a mapped, attacker-flippable byte range as `&[T]` must never
+///   be undefined behaviour — validation happens by checksum, above this
+///   layer);
+/// * **no padding bytes** — every byte of the value is a field byte.
+///   Padding would be uninitialized on write (UB to read as bytes) and
+///   would make section checksums nondeterministic. Types with tail
+///   padding must carry an explicit zeroed filler field instead;
+/// * alignment at most 8 (archive sections are 8-byte aligned).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// Primitives: no padding, any bit pattern valid, align <= 8.
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// Reinterprets a typed slice as its raw bytes.
+///
+/// Sound for any [`Pod`] `T` (no padding, defined layout); this is the
+/// write/checksum side of the zero-copy contract.
+pub fn bytes_of<T: Pod>(slice: &[T]) -> &[u8] {
+    // SAFETY: Pod guarantees no padding (no uninitialized bytes) and a
+    // defined repr; the length never overflows because the slice exists.
+    unsafe {
+        std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_of_little_endian_words() {
+        let v: Vec<u64> = vec![0x0102_0304_0506_0708, u64::MAX];
+        let b = bytes_of(&v);
+        assert_eq!(b.len(), 16);
+        assert_eq!(&b[..8], &[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(&b[8..], &[0xff; 8]);
+    }
+
+    #[test]
+    fn bytes_of_empty() {
+        let v: Vec<u32> = Vec::new();
+        assert!(bytes_of(&v).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the succinct building blocks the archive format
+//! leans on: bit-vector word roundtrips (`as_words` → `from_words` is how
+//! a mapped archive section becomes a live `BitVec`), rank/select
+//! consistency, and varint stream roundtrips — with the degenerate shapes
+//! (empty, all ones, word-boundary lengths) pinned explicitly.
+
+use proptest::prelude::*;
+use repose_succinct::varint::{read_u64, write_u64};
+use repose_succinct::{AlignedBytes, BitVec, FlatVec, RankSelect};
+use std::sync::Arc;
+
+/// Reconstructs a `BitVec` the way the archive reader does: serialize the
+/// words to bytes, view them through a `ByteBuf`, and validate.
+fn roundtrip_words(bv: &BitVec) -> Result<BitVec, String> {
+    let bytes: Vec<u8> = bv.as_words().iter().flat_map(|w| w.to_le_bytes()).collect();
+    let buf = Arc::new(AlignedBytes::copy_from(&bytes));
+    let words = FlatVec::<u64>::view(buf, 0, bv.as_words().len())?;
+    BitVec::from_words(words, bv.len())
+}
+
+fn bitvec_of(bits: &[bool]) -> BitVec {
+    bits.iter().copied().collect()
+}
+
+#[test]
+fn empty_bitvec_roundtrips() {
+    let bv = BitVec::new();
+    let back = roundtrip_words(&bv).expect("empty roundtrip");
+    assert_eq!(back.len(), 0);
+    assert!(back.is_empty());
+    assert_eq!(back.count_ones(), 0);
+    let rs = RankSelect::new(back);
+    assert_eq!(rs.rank1(0), 0);
+    assert_eq!(rs.select1(0), None);
+}
+
+#[test]
+fn all_ones_roundtrips_at_word_boundaries() {
+    for len in [1usize, 63, 64, 65, 127, 128, 129, 1000] {
+        let bv = bitvec_of(&vec![true; len]);
+        let back = roundtrip_words(&bv).unwrap_or_else(|e| panic!("len {len}: {e}"));
+        assert_eq!(back.len(), len);
+        assert_eq!(back.count_ones(), len, "len {len}");
+        let rs = RankSelect::new(back);
+        for i in [0, len / 2, len] {
+            assert_eq!(rs.rank1(i), i, "len {len}, rank at {i}");
+        }
+        for k in [0, len - 1] {
+            assert_eq!(rs.select1(k), Some(k), "len {len}, select {k}");
+        }
+        assert_eq!(rs.select1(len), None, "len {len}: one-past-end select");
+    }
+}
+
+#[test]
+fn from_words_rejects_malformed_reconstructions() {
+    // Word count must match the bit length exactly...
+    let one_word = FlatVec::<u64>::from_iter([u64::MAX]);
+    assert!(BitVec::from_words(one_word, 128).is_err(), "too few words accepted");
+    let two_words = FlatVec::<u64>::from_iter([u64::MAX, u64::MAX]);
+    assert!(BitVec::from_words(two_words, 64).is_err(), "too many words accepted");
+    // ...and bits beyond the length must be zero (a flipped padding bit in
+    // a mapped archive section is corruption, not slack).
+    let padded = FlatVec::<u64>::from_iter([0b1000u64]);
+    assert!(BitVec::from_words(padded, 3).is_err(), "nonzero padding accepted");
+    let exact = FlatVec::<u64>::from_iter([0b0111u64]);
+    assert_eq!(BitVec::from_words(exact, 3).unwrap().count_ones(), 3);
+}
+
+proptest! {
+    /// Words → bytes → view → `from_words` is the identity on arbitrary
+    /// bit patterns, at arbitrary (boundary-biased) lengths.
+    #[test]
+    fn word_roundtrip_is_identity(
+        bits in proptest::collection::vec(any::<bool>(), 0..520),
+    ) {
+        let bv = bitvec_of(&bits);
+        let back = roundtrip_words(&bv).expect("roundtrip");
+        prop_assert_eq!(back.len(), bits.len());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(back.get(i), bit, "bit {} diverged", i);
+        }
+    }
+
+    /// rank0/rank1 partition every prefix, agree with a naive count, and
+    /// select1 inverts rank1 — after a words roundtrip.
+    #[test]
+    fn rank_select_consistency_after_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 0..700),
+    ) {
+        let rs = RankSelect::new(roundtrip_words(&bitvec_of(&bits)).expect("roundtrip"));
+        let n = bits.len();
+        let mut ones = 0usize;
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(rs.rank1(i), ones, "rank1({})", i);
+            prop_assert_eq!(rs.rank0(i) + rs.rank1(i), i, "ranks must partition [0, {})", i);
+            if bit {
+                prop_assert_eq!(rs.select1(ones), Some(i), "select1({})", ones);
+                ones += 1;
+            }
+        }
+        prop_assert_eq!(rs.rank1(n), ones, "rank1 over the full length");
+        prop_assert_eq!(rs.rank0(n) + rs.rank1(n), n, "full-length ranks must partition");
+        prop_assert_eq!(rs.count_ones(), ones);
+        prop_assert_eq!(rs.select1(ones), None);
+    }
+
+    /// A varint stream of arbitrary values decodes back to exactly the
+    /// input sequence. The one-byte/two-byte/ten-byte encoding edges are
+    /// spliced into every generated stream so the boundaries are always
+    /// exercised alongside random neighbors.
+    #[test]
+    fn varint_stream_roundtrips(
+        random in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let mut values = random;
+        values.extend([0u64, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX]);
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut r = &buf[..];
+        for &v in &values {
+            prop_assert_eq!(read_u64(&mut r), v);
+        }
+        prop_assert!(r.is_empty(), "trailing bytes after decoding every value");
+    }
+}

@@ -6,6 +6,7 @@
 //! crates (`repose`, `repose-rptrie`, ...) directly.
 
 pub use repose;
+pub use repose_archive as archive;
 pub use repose_baselines as baselines;
 pub use repose_cluster as cluster;
 pub use repose_datagen as datagen;

@@ -1,0 +1,250 @@
+//! Archive-accelerated crash restarts at the service level: a durable
+//! service with [`ServiceConfig::archive`] configured must restart by
+//! attaching the newest valid archive generation and replaying only the
+//! WAL tail — and the result must be **bitwise identical** to the slow
+//! path (full rebuild from the WAL base snapshot), for every measure.
+//!
+//! The robustness half: corrupt generations are quarantined loudly and
+//! recovery degrades — newest generation → previous generation → full
+//! rebuild — without ever serving a wrong answer.
+
+use repose::{Repose, ReposeConfig};
+use repose_archive::list_generations;
+use repose_distance::{Measure, MeasureParams};
+use repose_durability::{DurabilityConfig, FsyncPolicy};
+use repose_service::{ReposeService, ServiceConfig};
+use repose_testkit::{sorted_dist_bits, tie_dataset, tie_queries, tie_traj};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const PARTITIONS: usize = 4;
+
+fn repose_config(measure: Measure) -> ReposeConfig {
+    ReposeConfig::new(measure)
+        .with_partitions(PARTITIONS)
+        .with_delta(0.7)
+        .with_params(MeasureParams::with_eps(0.5))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("repose-arcrestart-{tag}-{}-{n}", std::process::id()))
+}
+
+fn archived_config(wal: &Path, arc: &Path) -> ServiceConfig {
+    ServiceConfig {
+        cache_capacity: 0,
+        pool_threads: 1,
+        durability: Some(DurabilityConfig::new(wal).with_fsync(FsyncPolicy::Always)),
+        archive: Some(arc.to_path_buf()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Sorted hit-distance bit patterns of the fixed queries — bit-exact
+/// state fingerprint.
+fn fingerprint(svc: &ReposeService, k: usize) -> Vec<Vec<u64>> {
+    tie_queries()
+        .iter()
+        .map(|q| sorted_dist_bits(svc.query(q, k).expect("query").hits.iter().map(|h| h.dist)))
+        .collect()
+}
+
+/// Drives the canonical workload: a burst, a compaction (which installs
+/// an archive generation at the checkpoint sequence), then a tail of
+/// writes that only the WAL holds.
+fn drive(svc: &ReposeService) {
+    for i in 0..8u64 {
+        svc.insert(tie_traj(500 + i)).expect("insert");
+    }
+    svc.remove(3).expect("remove");
+    svc.compact().expect("compact");
+    for i in 8..13u64 {
+        svc.insert(tie_traj(500 + i)).expect("insert");
+    }
+    svc.remove(500).expect("remove");
+}
+
+#[test]
+fn archive_restart_matches_full_rebuild_for_every_measure() {
+    for measure in Measure::ALL {
+        let (wal, arc) = (fresh_dir("eq-wal"), fresh_dir("eq-arc"));
+        let cfg = repose_config(measure);
+        let svc = ReposeService::try_with_config(
+            Repose::build(&tie_dataset(0..40), cfg),
+            archived_config(&wal, &arc),
+        )
+        .expect("archived service");
+        drive(&svc);
+        let want = fingerprint(&svc, 7);
+        let stats = svc.stats();
+        assert!(
+            stats.archive_generations >= 2,
+            "{measure}: construction + compaction must both install generations"
+        );
+        assert_eq!(stats.archive_write_failures, 0, "{measure}");
+        drop(svc);
+
+        // Fast path: attach + WAL tail.
+        let (fast, report) = ReposeService::recover(cfg, archived_config(&wal, &arc))
+            .expect("archive recovery");
+        assert!(report.from_archive, "{measure}: valid archive was not attached");
+        assert_eq!(report.archives_quarantined, 0, "{measure}");
+        let archived_seq = report.archive_op_seq.expect("attached sequence");
+        assert!(
+            report.replayed_records < 15 && report.replayed_records >= 6,
+            "{measure}: expected only the post-compaction tail, replayed {} past seq {}",
+            report.replayed_records,
+            archived_seq
+        );
+
+        // Slow path over the same journal: full rebuild, no archive.
+        let (slow, slow_report) = ReposeService::recover(
+            cfg,
+            ServiceConfig { archive: None, ..archived_config(&wal, &arc) },
+        )
+        .expect("rebuild recovery");
+        assert!(!slow_report.from_archive, "{measure}");
+        assert_eq!(report.last_seq, slow_report.last_seq, "{measure}");
+
+        assert_eq!(fast.len(), slow.len(), "{measure}: live count diverged");
+        let got_fast = fingerprint(&fast, 7);
+        assert_eq!(got_fast, fingerprint(&slow, 7), "{measure}: fast vs slow path diverged");
+        assert_eq!(got_fast, want, "{measure}: restart diverged from pre-crash state");
+
+        let _ = std::fs::remove_dir_all(&wal);
+        let _ = std::fs::remove_dir_all(&arc);
+    }
+}
+
+#[test]
+fn corrupt_newest_generation_is_quarantined_and_recovery_degrades() {
+    let (wal, arc) = (fresh_dir("q-wal"), fresh_dir("q-arc"));
+    let cfg = repose_config(Measure::Hausdorff);
+    let svc = ReposeService::try_with_config(
+        Repose::build(&tie_dataset(0..40), cfg),
+        archived_config(&wal, &arc),
+    )
+    .expect("archived service");
+    drive(&svc);
+    let want = fingerprint(&svc, 7);
+    drop(svc);
+
+    // Flip one byte in the *newest* generation.
+    let gens = list_generations(&arc);
+    assert_eq!(gens.len(), 2, "construction + compaction generations");
+    let newest = gens.last().unwrap().1.clone();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&newest, bytes).unwrap();
+
+    // Recovery quarantines it. The older generation is intact but
+    // pre-dates the WAL checkpoint (its tail was pruned), so it is
+    // unusable and recovery falls back to the full rebuild — correct
+    // answers either way.
+    let (recovered, report) =
+        ReposeService::recover(cfg, archived_config(&wal, &arc)).expect("recovery");
+    assert_eq!(report.archives_quarantined, 1, "corrupt generation not quarantined");
+    assert!(!report.from_archive, "stale generation must not mask lost tail records");
+    assert!(!newest.exists(), "corrupt file left in place");
+    assert!(arc.join(".quarantine").is_dir(), "quarantine evidence missing");
+    assert_eq!(fingerprint(&recovered, 7), want, "fallback recovery diverged");
+
+    // The recovery-time compaction path still works and installs a fresh,
+    // usable generation.
+    recovered.compact().expect("compact");
+    let want2 = fingerprint(&recovered, 7);
+    drop(recovered);
+    let (again, report2) =
+        ReposeService::recover(cfg, archived_config(&wal, &arc)).expect("second recovery");
+    assert!(report2.from_archive, "fresh generation must attach");
+    assert_eq!(fingerprint(&again, 7), want2);
+
+    let _ = std::fs::remove_dir_all(&wal);
+    let _ = std::fs::remove_dir_all(&arc);
+}
+
+#[test]
+fn every_generation_destroyed_still_recovers_from_the_wal_alone() {
+    let (wal, arc) = (fresh_dir("gone-wal"), fresh_dir("gone-arc"));
+    let cfg = repose_config(Measure::Dtw);
+    let svc = ReposeService::try_with_config(
+        Repose::build(&tie_dataset(0..30), cfg),
+        archived_config(&wal, &arc),
+    )
+    .expect("archived service");
+    drive(&svc);
+    let want = fingerprint(&svc, 5);
+    drop(svc);
+
+    let _ = std::fs::remove_dir_all(&arc);
+    let (recovered, report) =
+        ReposeService::recover(cfg, archived_config(&wal, &arc)).expect("recovery");
+    assert!(!report.from_archive);
+    assert_eq!(report.archives_quarantined, 0);
+    assert_eq!(fingerprint(&recovered, 5), want, "WAL-only recovery diverged");
+    let _ = std::fs::remove_dir_all(&wal);
+}
+
+#[test]
+fn scrub_counts_sections_and_stats_track_generations() {
+    let (wal, arc) = (fresh_dir("scrub-wal"), fresh_dir("scrub-arc"));
+    let cfg = repose_config(Measure::Frechet);
+    let svc = ReposeService::try_with_config(
+        Repose::build(&tie_dataset(0..30), cfg),
+        archived_config(&wal, &arc),
+    )
+    .expect("archived service");
+
+    let report = svc.scrub().expect("an archived service must have a scrub target");
+    assert!(report.is_clean(), "fresh generation scrubbed dirty: {:?}", report.corrupt);
+    // 13 array sections per partition + 1 meta section.
+    assert_eq!(report.sections, PARTITIONS * 13 + 1);
+    let stats = svc.stats();
+    assert_eq!(stats.scrubs, 1);
+    assert_eq!(stats.scrub_corruptions, 0);
+    assert_eq!(stats.archive_generations, 1);
+
+    // Compaction rolls the scrub target onto the new generation.
+    drive(&svc);
+    assert!(svc.scrub().expect("scrub").is_clean());
+    assert_eq!(svc.stats().archive_generations, 2);
+    assert_eq!(svc.stats().scrubs, 2);
+    drop(svc);
+
+    // A volatile, archive-less service has nothing to scrub.
+    let plain = ReposeService::with_config(
+        Repose::build(&tie_dataset(0..10), cfg),
+        ServiceConfig { cache_capacity: 0, pool_threads: 1, ..ServiceConfig::default() },
+    );
+    assert!(plain.scrub().is_none());
+    assert_eq!(plain.stats().scrubs, 0);
+
+    let _ = std::fs::remove_dir_all(&wal);
+    let _ = std::fs::remove_dir_all(&arc);
+}
+
+#[test]
+fn generations_are_pruned_to_the_retention_limit() {
+    let (wal, arc) = (fresh_dir("prune-wal"), fresh_dir("prune-arc"));
+    let cfg = repose_config(Measure::Hausdorff);
+    let svc = ReposeService::try_with_config(
+        Repose::build(&tie_dataset(0..20), cfg),
+        archived_config(&wal, &arc),
+    )
+    .expect("archived service");
+    for round in 0..4u64 {
+        svc.insert(tie_traj(900 + round)).expect("insert");
+        svc.compact().expect("compact");
+    }
+    assert_eq!(svc.stats().archive_generations, 5, "1 construction + 4 compactions");
+    assert_eq!(
+        list_generations(&arc).len(),
+        2,
+        "retention must keep exactly the newest generation plus one fallback"
+    );
+    let _ = std::fs::remove_dir_all(&wal);
+    let _ = std::fs::remove_dir_all(&arc);
+}

@@ -81,7 +81,7 @@ proptest! {
         for (pi, pivot) in trie.pivots().pivots().iter().enumerate() {
             for t in &trajs {
                 let d = params.distance(measure, &t.points, pivot);
-                prop_assert!(d >= hr[pi].0 - 1e-9 && d <= hr[pi].1 + 1e-9);
+                prop_assert!(d >= hr[2 * pi] - 1e-9 && d <= hr[2 * pi + 1] + 1e-9);
             }
         }
     }
