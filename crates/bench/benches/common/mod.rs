@@ -21,6 +21,8 @@ pub fn bench_cfg() -> ExpConfig {
         write_burst: 20,
         pool_threads: 4,
         shards: 2,
+        sim_seeds: 2,
+        sim_repro: None,
     }
 }
 

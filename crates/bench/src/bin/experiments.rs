@@ -18,7 +18,8 @@ fn main() {
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
         eprintln!(
             "usage: experiments <name|all> [--scale S] [--queries N] [--k K] [--partitions P] \
-             [--readers R] [--writers W] [--burst B] [--pool-threads T] [--shards N]"
+             [--readers R] [--writers W] [--burst B] [--pool-threads T] [--shards N] \
+             [--seeds N] [--repro FILE]"
         );
         eprintln!("experiments:");
         for e in exp::ALL {
@@ -69,6 +70,14 @@ fn main() {
             }
             Some("--shards") => {
                 cfg.shards = args[i + 1].parse().expect("bad --shards");
+                i += 2;
+            }
+            Some("--seeds") => {
+                cfg.sim_seeds = args[i + 1].parse().expect("bad --seeds");
+                i += 2;
+            }
+            Some("--repro") => {
+                cfg.sim_repro = Some(args[i + 1].clone());
                 i += 2;
             }
             Some(other) => panic!("unknown flag {other}"),

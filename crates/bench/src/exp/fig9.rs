@@ -23,7 +23,7 @@ pub fn run(exp: &ExpConfig) -> Value {
         let mut per_algo: std::collections::HashMap<&str, Vec<f64>> = Default::default();
         for &n in &PARTS {
             eprintln!("fig9: {measure} partitions {n}...");
-            let mut cfg = *exp;
+            let mut cfg = exp.clone();
             cfg.partitions = n;
             for algo_name in ["REPOSE", "DITA", "DFT", "LS"] {
                 let Some(algo) = build_algo(

@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod serve;
 pub mod serve_pool;
 pub mod shard;
+pub mod sim;
 pub mod table4;
 pub mod table5;
 pub mod table6;
@@ -84,5 +85,10 @@ pub const ALL: &[Experiment] = &[
         name: "restart",
         what: "Persistent archives: cold-start rebuild vs mmap attach + scrub throughput",
         run: restart::run,
+    },
+    Experiment {
+        name: "sim",
+        what: "Deterministic simulation soak: seeded chaos schedules vs the shadow oracle",
+        run: sim::run,
     },
 ];

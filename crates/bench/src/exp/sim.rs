@@ -1,0 +1,97 @@
+//! Deterministic simulation soak: run seeded whole-system scenarios and
+//! check every answer against the shadow oracle.
+//!
+//! ```sh
+//! # soak 200 seeds starting at 0
+//! cargo run --release -p repose-bench --bin experiments -- sim --seed 0 --seeds 200
+//! # re-run one seed
+//! cargo run --release -p repose-bench --bin experiments -- sim --seed 1337 --seeds 1
+//! # re-run a shrunk repro file
+//! cargo run --release -p repose-bench --bin experiments -- sim --repro results/sim_repro_1337.json
+//! ```
+//!
+//! On failure the seed is printed, the schedule is auto-shrunk, and the
+//! minimized repro is written to `results/sim_repro_<seed>.json` so it can
+//! be replayed (and attached to a bug report) without the seed.
+
+use crate::runner::ExpConfig;
+use repose_sim::{run_scenario, shrink, Scenario, Verdict};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+pub fn run(cfg: &ExpConfig) -> Value {
+    if let Some(path) = &cfg.sim_repro {
+        return run_repro(path);
+    }
+
+    let start = cfg.seed;
+    let count = cfg.sim_seeds.max(1) as u64;
+    eprintln!("soaking {count} seeds starting at {start}");
+    let t0 = Instant::now();
+    let mut failures: Vec<Value> = Vec::new();
+    for seed in start..start + count {
+        let sc = Scenario::generate(seed);
+        let report = run_scenario(&sc, None);
+        if let Verdict::Failed { op, reason } = &report.verdict {
+            eprintln!("seed {seed} FAILED at op {op}: {reason}");
+            eprintln!("  last events:");
+            for line in report.events.iter().rev().take(6).rev() {
+                eprintln!("    {line}");
+            }
+            let shrunk = shrink(&sc, None, 400);
+            let path = format!("results/sim_repro_{seed}.json");
+            std::fs::write(&path, shrunk.scenario.to_json()).expect("write repro");
+            eprintln!(
+                "  shrunk to {} ops / {} initial trajectories in {} runs -> {path}",
+                shrunk.scenario.ops.len(),
+                shrunk.scenario.initial.len(),
+                shrunk.runs
+            );
+            failures.push(json!({
+                "seed": seed,
+                "op": *op as u64,
+                "reason": reason.clone(),
+                "repro": path,
+                "shrunk_ops": shrunk.scenario.ops.len() as u64,
+            }));
+        }
+    }
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "{}/{count} seeds passed in {elapsed:.1?}",
+        count - failures.len() as u64
+    );
+    if !failures.is_empty() {
+        eprintln!("FAILING SEEDS: re-run any with `experiments -- sim --seed <s> --seeds 1`");
+    }
+    json!({
+        "start_seed": start,
+        "seeds": count,
+        "failed": failures.len() as u64,
+        "elapsed_secs": elapsed.as_secs_f64(),
+        "failures": failures,
+    })
+}
+
+fn run_repro(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).expect("read repro file");
+    let sc = Scenario::from_json(&text).expect("parse repro file");
+    eprintln!(
+        "replaying repro {path}: seed {} / {:?} / {} ops",
+        sc.seed, sc.mode, sc.ops.len()
+    );
+    let report = run_scenario(&sc, None);
+    for line in &report.events {
+        eprintln!("  {line}");
+    }
+    match &report.verdict {
+        Verdict::Ok => eprintln!("repro passed (bug no longer reproduces)"),
+        Verdict::Failed { op, reason } => eprintln!("repro FAILED at op {op}: {reason}"),
+    }
+    json!({
+        "repro": path,
+        "seed": report.seed,
+        "events": report.events.len() as u64,
+        "failed": report.failed(),
+    })
+}

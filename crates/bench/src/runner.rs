@@ -9,7 +9,7 @@ use repose_distance::{Measure, MeasureParams};
 use repose_model::{Dataset, Trajectory};
 
 /// Shared experiment knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Dataset scale factor (1.0 = the datagen base sizes).
     pub scale: f64,
@@ -39,6 +39,11 @@ pub struct ExpConfig {
     /// shard counts are derived from it; 1 is always included as the
     /// single-node baseline).
     pub shards: usize,
+    /// Seeds to soak in the `sim` experiment, starting at `seed`.
+    pub sim_seeds: usize,
+    /// Repro file for the `sim` experiment: replay this shrunk schedule
+    /// instead of generating scenarios from seeds.
+    pub sim_repro: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -55,6 +60,8 @@ impl Default for ExpConfig {
             write_burst: 100,
             pool_threads: 4,
             shards: 4,
+            sim_seeds: 50,
+            sim_repro: None,
         }
     }
 }

@@ -6,13 +6,18 @@
 //! door keeps tail latency bounded under overload: the queries that *are*
 //! admitted run at normal speed rather than every query running slowly.
 //!
-//! [`Deadline`] is a tiny wall-clock budget a query carries through the
+//! [`Deadline`] is a tiny clock budget a query carries through the
 //! partition schedule; work dispatched after expiry is skipped and the
-//! result is marked degraded by the caller.
+//! result is marked degraded by the caller. A deadline is a point on a
+//! [`crate::Clock`]'s timeline: the caller samples the clock **once per
+//! dispatch decision** and passes that sample to every expiry check, so
+//! one decision sees one time (and a simulated clock replays the exact
+//! same skip/run choices).
 
+use crate::clock::Clock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A bounded admission counter for concurrent queries (see module docs).
 /// Cloning shares the gate.
@@ -85,26 +90,33 @@ impl Drop for AdmissionPermit {
     }
 }
 
-/// A wall-clock deadline carried through a query's partition schedule.
+/// A deadline on a [`Clock`]'s timeline, carried through a query's
+/// partition schedule (see module docs for the one-sample discipline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deadline {
-    at: Instant,
+    at: Duration,
 }
 
 impl Deadline {
-    /// A deadline `budget` from now.
-    pub fn after(budget: Duration) -> Self {
-        Deadline { at: Instant::now() + budget }
+    /// A deadline `budget` from `clock`'s current time.
+    pub fn after(clock: &dyn Clock, budget: Duration) -> Self {
+        Deadline { at: clock.now() + budget }
     }
 
-    /// Whether the deadline has passed.
-    pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+    /// A deadline at the absolute clock time `at`.
+    pub fn at(at: Duration) -> Self {
+        Deadline { at }
     }
 
-    /// Time left until expiry (zero once expired).
-    pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
+    /// Whether the deadline has passed as of `now` (one clock sample,
+    /// taken by the caller, shared by every check in one decision).
+    pub fn expired_at(&self, now: Duration) -> bool {
+        now >= self.at
+    }
+
+    /// Time left until expiry as of `now` (zero once expired).
+    pub fn remaining_at(&self, now: Duration) -> Duration {
+        self.at.saturating_sub(now)
     }
 }
 
@@ -163,12 +175,23 @@ mod tests {
     }
 
     #[test]
-    fn deadline_expiry() {
-        let d = Deadline::after(Duration::from_secs(3600));
-        assert!(!d.expired());
-        assert!(d.remaining() > Duration::from_secs(3000));
-        let past = Deadline::after(Duration::ZERO);
-        assert!(past.expired());
-        assert_eq!(past.remaining(), Duration::ZERO);
+    fn deadline_expiry_against_a_clock_sample() {
+        use crate::clock::{SimClock, SystemClock};
+
+        let sys = SystemClock;
+        let d = Deadline::after(&sys, Duration::from_secs(3600));
+        let now = sys.now();
+        assert!(!d.expired_at(now));
+        assert!(d.remaining_at(now) > Duration::from_secs(3000));
+
+        let sim = SimClock::new();
+        let d = Deadline::after(&sim, Duration::from_millis(10));
+        assert!(!d.expired_at(sim.now()));
+        sim.advance(Duration::from_millis(9));
+        assert!(!d.expired_at(sim.now()));
+        sim.advance(Duration::from_millis(1));
+        let now = sim.now();
+        assert!(d.expired_at(now), "expiry is a pure function of the clock");
+        assert_eq!(d.remaining_at(now), Duration::ZERO);
     }
 }

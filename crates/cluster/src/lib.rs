@@ -40,14 +40,18 @@
 
 mod admission;
 mod backoff;
+mod clock;
 mod dataset;
 mod executor;
+mod hedge;
 mod partitioner;
 mod pool;
 mod stats;
 
 pub use admission::{AdmissionGate, AdmissionPermit, Deadline};
 pub use backoff::{Backoff, BackoffConfig};
+pub use clock::{Clock, SimClock, SystemClock};
+pub use hedge::HedgeTracker;
 pub use dataset::DistDataset;
 pub use executor::Cluster;
 pub use partitioner::{HashPartitioner, Partitioner, RandomPartitioner, RoundRobinPartitioner};

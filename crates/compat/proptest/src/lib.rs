@@ -155,6 +155,50 @@ impl_tuple_strategy! {
     (0 A, 1 B) ;
     (0 A, 1 B, 2 C) ;
     (0 A, 1 B, 2 C, 3 D) ;
+    (0 A, 1 B, 2 C, 3 D, 4 E) ;
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F) ;
+}
+
+/// A type-erased strategy (see [`boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Erases a strategy's type so differently-shaped strategies for the same
+/// value type can live in one collection (the basis of [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Box::new(move |rng| s.sample_value(rng)))
+}
+
+/// A uniform choice among strategies (see [`prop_oneof!`]).
+pub struct UnionStrategy<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].sample_value(rng)
+    }
+}
+
+/// A strategy drawing uniformly from `alternatives` (must be non-empty).
+pub fn union<T>(alternatives: Vec<BoxedStrategy<T>>) -> UnionStrategy<T> {
+    assert!(!alternatives.is_empty(), "prop_oneof! of nothing");
+    UnionStrategy(alternatives)
+}
+
+/// Uniform choice among same-valued strategies, like upstream's
+/// `prop_oneof!` (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::boxed($s)),+])
+    };
 }
 
 /// Types with a canonical "any value" strategy.
@@ -252,7 +296,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{any, collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Arbitrary, Just, Strategy};
+    pub use crate::{prop_oneof, Arbitrary, BoxedStrategy, Just, Strategy};
 }
 
 /// Fails the current test case unless `cond` holds.

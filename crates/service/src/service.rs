@@ -49,7 +49,9 @@ use crate::error::ServiceError;
 use crate::stats::{ServiceCounters, ServiceStats};
 use repose::{Repose, ReposeConfig};
 use repose_archive::{latest_valid, prune_generations, quarantine, write_archive, Archive, ScrubReport};
-use repose_cluster::{default_pool_threads, AdmissionGate, Deadline, WorkerPool};
+use repose_cluster::{
+    default_pool_threads, AdmissionGate, Clock, Deadline, SystemClock, WorkerPool,
+};
 use repose_distance::{just_above, Measure, MeasureParams, TrajSummary};
 use repose_durability::{write_snapshot, DurabilityConfig, FailPlan, Wal, WalCounters, WalRecord};
 use repose_model::{Point, TrajId, TrajStore, Trajectory};
@@ -116,6 +118,14 @@ pub struct ServiceConfig {
     /// generation, then to the full WAL rebuild: a corrupt archive can
     /// cost speed, never correctness.
     pub archive: Option<PathBuf>,
+    /// The time source for every timer-driven decision the service makes
+    /// (today: [`ServiceConfig::query_deadline`] expiry). The default
+    /// [`repose_cluster::SystemClock`] is the monotonic clock — production
+    /// behavior unchanged; the deterministic simulator injects a
+    /// [`repose_cluster::SimClock`] so deadline skips replay bit-exact
+    /// from a seed. Observability timings (latency counters) deliberately
+    /// stay on the host clock — they describe the host, not the decision.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +138,7 @@ impl Default for ServiceConfig {
             max_inflight_queries: 0,
             durability: None,
             archive: None,
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -282,8 +293,10 @@ pub struct ReposeService {
     durability: Option<DurabilityConfig>,
     /// Bounded query admission (limit 0 = unbounded).
     admission: AdmissionGate,
-    /// Per-query wall-clock budget (`None` = exact path, no checks).
+    /// Per-query clock budget (`None` = exact path, no checks).
     query_deadline: Option<Duration>,
+    /// The time source deadline decisions read (see [`ServiceConfig::clock`]).
+    clock: Arc<dyn Clock>,
     /// Archive-generation state (`None` = no persistent archives).
     archive: Option<ArchiveState>,
 }
@@ -380,6 +393,7 @@ impl ReposeService {
             durability: config.durability.clone(),
             admission: AdmissionGate::new(config.max_inflight_queries),
             query_deadline: config.query_deadline,
+            clock: Arc::clone(&config.clock),
             archive: config.archive.as_ref().map(|dir| ArchiveState {
                 dir: dir.clone(),
                 failpoints: config
@@ -823,7 +837,9 @@ impl ReposeService {
             }
         };
         ServiceCounters::bump(&self.counters.cache_misses);
-        let deadline = self.query_deadline.map(Deadline::after);
+        let deadline = self
+            .query_deadline
+            .map(|budget| Deadline::after(&*self.clock, budget));
 
         let (frozen, deltas, tombstones, state_seq) = self.snapshot();
         // Hints are matched on the snapshot's op-seq, *after* the
@@ -1046,7 +1062,9 @@ impl ReposeService {
                     });
                 }
             };
-            let deadline = self.query_deadline.map(Deadline::after);
+            let deadline = self
+                .query_deadline
+                .map(|budget| Deadline::after(&*self.clock, budget));
             let (frozen, deltas, tombstones, state_seq) = self.snapshot();
             let n = frozen.num_partitions();
             // Hint seeding happens *after* the snapshot, matched on its
@@ -1105,8 +1123,10 @@ impl ReposeService {
                         let frozen = &frozen;
                         let tombstones = &tombstones;
                         let params = self.params;
+                        let clock = &self.clock;
                         s.submit(move || {
-                            let r = if deadline.is_some_and(|d| d.expired()) {
+                            // One clock sample decides this dispatch.
+                            let r = if deadline.is_some_and(|d| d.expired_at(clock.now())) {
                                 PartResult::skipped()
                             } else {
                                 run_partition(
@@ -1501,8 +1521,10 @@ impl ReposeService {
         let (order, cands) =
             partition_schedule(frozen, deltas, tombstones, query, qsum, self.params);
         let params = self.params;
+        let clock = &self.clock;
         let run = |pi: usize| {
-            if deadline.is_some_and(|d| d.expired()) {
+            // One clock sample decides this dispatch.
+            if deadline.is_some_and(|d| d.expired_at(clock.now())) {
                 return PartResult::skipped();
             }
             run_partition(frozen, tombstones, query, k, collector, params, &cands[pi], pi)

@@ -30,12 +30,20 @@
 //! between the shard's leader and its replica, re-seeded with the
 //! coordinator's current bound so a retry only re-earns what is still
 //! missing. Independently, a shard whose attempt has outlived the observed
-//! latency percentile gets a *hedge*: a duplicate query to the other node
-//! of the pair, first answer wins, duplicates deduplicated by trajectory
-//! id. A shard that exhausts its retries is declared failed; the answer is
-//! returned anyway, marked [`ShardOutcome::degraded`] with an accurate
+//! latency percentile ([`repose_cluster::HedgeTracker`]) gets a *hedge*: a
+//! duplicate query to the other node of the pair, first answer wins,
+//! duplicates deduplicated by trajectory id. A shard that exhausts its
+//! retries is declared failed; the answer is returned anyway, marked
+//! [`ShardOutcome::degraded`] with an accurate
 //! [`ShardOutcome::shards_failed`] — and degraded answers are **never**
 //! admitted to the result cache.
+//!
+//! Every timer — attempt age, hedge trigger, backoff expiry, write
+//! deadline, even the reported latency — reads the cluster's injected
+//! [`Clock`], sampled **once per gather sweep** so one sweep sees one
+//! time. Production builds run on [`SystemClock`]; a simulator passes the
+//! same topology a virtual clock (via [`ShardCluster::build_nodes`]) and
+//! replays the exact retry/hedge schedule from a seed.
 //!
 //! # Write path
 //!
@@ -52,15 +60,15 @@ use crate::protocol::Message;
 use crate::transport::{Loopback, NodeId, Transport};
 use crate::worker::{Role, ShardWorker, WorkerConfig};
 use repose::{Repose, ReposeConfig};
-use repose_cluster::{Backoff, BackoffConfig};
+use repose_cluster::{Backoff, BackoffConfig, Clock, HedgeTracker, SystemClock};
 use repose_model::{Dataset, Point, Trajectory};
 use repose_rptrie::{Hit, SharedTopK};
 use repose_service::{ReposeService, ServiceConfig};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs of a [`ShardCluster`].
 #[derive(Debug, Clone, Copy)]
@@ -141,7 +149,8 @@ pub struct ShardOutcome {
     /// Served from the coordinator cache (never true for a degraded
     /// answer — those are not cached).
     pub cache_hit: bool,
-    /// Wall time of the whole scatter-gather.
+    /// Time of the whole scatter-gather on the cluster's clock (virtual
+    /// under simulation).
     pub latency: Duration,
 }
 
@@ -185,8 +194,8 @@ struct ShardProgress {
     target: NodeId,
     /// Attempt number of the current primary attempt.
     attempt: u32,
-    /// When the current primary attempt was scattered.
-    started: Instant,
+    /// Clock time the current primary attempt was scattered.
+    started: Duration,
     hedged: bool,
     retries: u32,
     backoff: Backoff,
@@ -198,20 +207,25 @@ struct ShardProgress {
 
 enum ShardState {
     Running,
-    /// Backing off; retry when the instant passes.
-    RetryAt(Instant),
+    /// Backing off; retry when the clock passes this time.
+    RetryAt(Duration),
     Completed,
     Failed,
 }
 
 /// A sharded deployment: one coordinator (this object, on the caller's
 /// thread), `shards` leader workers, and optionally one replica per shard,
-/// all joined by an in-process [`Loopback`] transport that a
-/// [`NetFaultPlan`] can make arbitrarily hostile. See module docs.
+/// all joined by a [`Transport`] — in production an in-process
+/// [`Loopback`] that a [`NetFaultPlan`] can make arbitrarily hostile. See
+/// module docs.
 pub struct ShardCluster {
     cfg: ShardClusterConfig,
     measure: repose_distance::Measure,
-    transport: Arc<Loopback>,
+    transport: Arc<dyn Transport>,
+    /// Set when built over a [`Loopback`] ([`ShardCluster::build`]);
+    /// `None` for a simulator-supplied transport.
+    loopback: Option<Arc<Loopback>>,
+    clock: Arc<dyn Clock>,
     /// Current believed leader of each shard (updated on adopt-promotion).
     leaders: Vec<NodeId>,
     /// Replica node of each shard (empty when unreplicated).
@@ -225,9 +239,8 @@ pub struct ShardCluster {
     wid: u64,
     /// Bumped on every acknowledged write; stamps cache entries.
     version: u64,
-    /// Completed attempt latencies (bounded ring) feeding the hedge
-    /// percentile.
-    latencies: VecDeque<Duration>,
+    /// Completed attempt latencies feeding the hedge percentile.
+    hedge: HedgeTracker,
     cache: HashMap<CacheKey, CacheEntry>,
 }
 
@@ -240,7 +253,7 @@ impl ShardCluster {
     /// Builds the deployment: shards `dataset` by `id % shards`, builds one
     /// [`Repose`] + [`ReposeService`] per node (replicas start from the
     /// same shard subset), wires everyone over a [`Loopback`] carrying
-    /// `faults`, and spawns the worker threads.
+    /// `faults`, and spawns the worker threads on the monotonic clock.
     ///
     /// `durability_root`, when given, puts every node's WAL under its own
     /// subdirectory (`shard0/`, `replica0/`, ...) so crash tests can
@@ -252,6 +265,42 @@ impl ShardCluster {
         faults: NetFaultPlan,
         durability_root: Option<&Path>,
     ) -> Self {
+        let mut labels = vec!["coord".to_string()];
+        labels.extend((0..cfg.shards).map(|i| format!("shard{i}")));
+        if cfg.replicate {
+            labels.extend((0..cfg.shards).map(|i| format!("replica{i}")));
+        }
+        let loopback = Arc::new(Loopback::new(labels, faults));
+        let transport = Arc::clone(&loopback) as Arc<dyn Transport>;
+        let (mut cluster, workers) = ShardCluster::build_nodes(
+            dataset,
+            rcfg,
+            cfg,
+            durability_root,
+            transport,
+            Arc::new(SystemClock),
+        );
+        cluster.loopback = Some(loopback);
+        for worker in workers {
+            cluster.handles.push(std::thread::spawn(move || worker.run()));
+        }
+        cluster
+    }
+
+    /// Builds the same topology over a caller-supplied transport and
+    /// clock, returning the workers **unspawned**: the caller decides how
+    /// they run. [`ShardCluster::build`] puts each on its own thread; a
+    /// deterministic simulator registers them as message pumps and drives
+    /// [`ShardWorker::on_message`] / [`ShardWorker::on_tick`] itself on
+    /// virtual time.
+    pub fn build_nodes(
+        dataset: Dataset,
+        rcfg: ReposeConfig,
+        cfg: ShardClusterConfig,
+        durability_root: Option<&Path>,
+        transport: Arc<dyn Transport>,
+        clock: Arc<dyn Clock>,
+    ) -> (Self, Vec<ShardWorker>) {
         assert!(cfg.shards >= 1, "a cluster needs at least one shard");
         assert!(
             (0.0..=1.0).contains(&cfg.hedge_percentile),
@@ -263,13 +312,6 @@ impl ShardCluster {
             subsets[(t.id % shards as u64) as usize].push(t);
         }
 
-        let mut labels = vec!["coord".to_string()];
-        labels.extend((0..shards).map(|i| format!("shard{i}")));
-        if cfg.replicate {
-            labels.extend((0..shards).map(|i| format!("replica{i}")));
-        }
-        let transport = Arc::new(Loopback::new(labels, faults));
-
         let service_for = |subset: &[Trajectory], label: &str| {
             let repose = Repose::build(&Dataset::from_trajectories(subset.to_vec()), rcfg);
             let scfg = ServiceConfig {
@@ -277,6 +319,7 @@ impl ShardCluster {
                 pool_threads: 1,
                 durability: durability_root
                     .map(|root| repose_durability::DurabilityConfig::new(root.join(label))),
+                clock: Arc::clone(&clock),
                 ..ServiceConfig::default()
             };
             Arc::new(ReposeService::with_config(repose, scfg))
@@ -286,7 +329,7 @@ impl ShardCluster {
         let mut replica_services = Vec::new();
         let mut leaders = Vec::with_capacity(shards);
         let mut replicas = Vec::new();
-        let mut handles = Vec::new();
+        let mut workers = Vec::new();
         for (i, subset) in subsets.iter().enumerate() {
             let leader_node = (1 + i) as NodeId;
             let replica_node = (1 + shards + i) as NodeId;
@@ -296,52 +339,59 @@ impl ShardCluster {
             let role = Role::Leader {
                 follower: cfg.replicate.then_some(replica_node),
             };
-            let worker = ShardWorker::new(
+            workers.push(ShardWorker::with_clock(
                 leader_node,
                 0,
                 role,
                 svc,
-                Arc::clone(&transport) as Arc<dyn Transport>,
+                Arc::clone(&transport),
                 cfg.worker,
-            );
-            handles.push(std::thread::spawn(move || worker.run()));
+                Arc::clone(&clock),
+            ));
             if cfg.replicate {
                 replicas.push(replica_node);
                 let rsvc = service_for(subset, &format!("replica{i}"));
                 replica_services.push(Arc::clone(&rsvc));
-                let worker = ShardWorker::new(
+                workers.push(ShardWorker::with_clock(
                     replica_node,
                     0,
                     Role::Follower { leader: leader_node },
                     rsvc,
-                    Arc::clone(&transport) as Arc<dyn Transport>,
+                    Arc::clone(&transport),
                     cfg.worker,
-                );
-                handles.push(std::thread::spawn(move || worker.run()));
+                    Arc::clone(&clock),
+                ));
             }
         }
 
-        ShardCluster {
-            cfg,
+        let cluster = ShardCluster {
             measure: rcfg.measure(),
             transport,
+            loopback: None,
+            clock,
             leaders,
             replicas,
             services,
             replica_services,
-            handles,
+            handles: Vec::new(),
             qid: 0,
             wid: 0,
             version: 0,
-            latencies: VecDeque::new(),
+            hedge: HedgeTracker::new(cfg.seed ^ 0x4ED6),
             cache: HashMap::new(),
-        }
+            cfg,
+        };
+        (cluster, workers)
     }
 
-    /// The underlying transport — for fault-test assertions on
-    /// [`crate::transport::NetStats`] and node liveness.
+    /// The underlying [`Loopback`] — for fault-test assertions on
+    /// [`crate::transport::NetStats`] and node liveness. Panics for a
+    /// cluster built over a simulator transport
+    /// ([`ShardCluster::build_nodes`]).
     pub fn transport(&self) -> &Loopback {
-        &self.transport
+        self.loopback
+            .as_ref()
+            .expect("cluster was built over a caller-supplied transport, not a Loopback")
     }
 
     /// The shard count.
@@ -367,7 +417,7 @@ impl ShardCluster {
     /// Scatter-gathers the exact top-`k` for `query` (see module docs for
     /// the retry/hedge/degradation contract).
     pub fn query(&mut self, query: &[Point], k: usize) -> ShardOutcome {
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         let cache_key = (
             query.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect::<Vec<_>>(),
             k,
@@ -382,7 +432,7 @@ impl ShardCluster {
                     hedges: 0,
                     tightenings: 0,
                     cache_hit: true,
-                    latency: t0.elapsed(),
+                    latency: self.clock.now().saturating_sub(t0),
                 };
             }
         }
@@ -408,7 +458,7 @@ impl ShardCluster {
                     state: ShardState::Running,
                     target,
                     attempt,
-                    started: Instant::now(),
+                    started: t0,
                     hedged: false,
                     retries: 0,
                     backoff: Backoff::new(self.cfg.backoff, self.cfg.seed ^ qid ^ shard as u64),
@@ -431,8 +481,11 @@ impl ShardCluster {
                 break;
             }
 
-            // Drain the inbox.
+            // Drain the inbox, then take the sweep's single clock sample:
+            // every completion latency and timer decision below sees this
+            // one time.
             let mut got = self.transport.recv_timeout(0, self.cfg.tick);
+            let now = self.clock.now();
             while let Some((_, msg)) = got {
                 match msg {
                     Message::Hit { qid: q, attempt, id, dist } if q == qid => {
@@ -443,21 +496,21 @@ impl ShardCluster {
                                 global.publish(dist, id);
                                 all_hits.push(Hit { id, dist });
                             }
-                            Self::check_complete(p, attempt, &mut self.latencies);
+                            Self::check_complete(p, attempt, now, &mut self.hedge);
                         }
                     }
                     Message::Done { qid: q, attempt, hits_sent, .. } if q == qid => {
                         if let Some(&shard) = attempt_shard.get(&attempt) {
                             let p = &mut progress[shard];
                             p.expected.insert(attempt, hits_sent);
-                            Self::check_complete(p, attempt, &mut self.latencies);
+                            Self::check_complete(p, attempt, now, &mut self.hedge);
                         }
                     }
                     // Stale query traffic, stray write acks, anything a
                     // fault replayed: not ours, not now.
                     _ => {}
                 }
-                got = self.transport.try_recv(0).map(Some).unwrap_or(None);
+                got = self.transport.try_recv(0);
             }
 
             // Propagate a tightened global bound to the still-running
@@ -479,11 +532,12 @@ impl ShardCluster {
                 }
             }
 
-            // Timers: hedges, attempt deadlines, backed-off retries.
+            // Timers: hedges, attempt deadlines, backed-off retries — all
+            // judged against the sweep's one `now` sample.
             for (shard, p) in progress.iter_mut().enumerate() {
                 match p.state {
                     ShardState::Running => {
-                        let age = p.started.elapsed();
+                        let age = now.saturating_sub(p.started);
                         if !p.hedged && !self.replicas.is_empty() && age >= hedge_after {
                             p.hedged = true;
                             hedges += 1;
@@ -496,16 +550,14 @@ impl ShardCluster {
                         if age >= self.cfg.attempt_timeout {
                             if p.retries < self.cfg.max_retries {
                                 p.retries += 1;
-                                p.state = ShardState::RetryAt(
-                                    Instant::now() + p.backoff.next_delay(),
-                                );
+                                p.state = ShardState::RetryAt(now + p.backoff.next_delay());
                             } else {
                                 p.state = ShardState::Failed;
                             }
                         }
                     }
                     ShardState::RetryAt(when) => {
-                        if Instant::now() >= when {
+                        if now >= when {
                             retries += 1;
                             let attempt = next_attempt;
                             next_attempt += 1;
@@ -514,7 +566,7 @@ impl ShardCluster {
                             // or partitioned leader's replica answers.
                             p.target = self.other_node(p.target);
                             p.attempt = attempt;
-                            p.started = Instant::now();
+                            p.started = now;
                             p.hedged = false;
                             p.state = ShardState::Running;
                             self.send_query(p.target, qid, attempt, k, global.bound(), query);
@@ -546,7 +598,7 @@ impl ShardCluster {
             hedges,
             tightenings,
             cache_hit: false,
-            latency: t0.elapsed(),
+            latency: self.clock.now().saturating_sub(t0),
         }
     }
 
@@ -610,7 +662,7 @@ impl ShardCluster {
 
     /// Marks the shard completed when `attempt`'s received hits match its
     /// `Done`; records the attempt latency for the hedge percentile.
-    fn check_complete(p: &mut ShardProgress, attempt: u32, latencies: &mut VecDeque<Duration>) {
+    fn check_complete(p: &mut ShardProgress, attempt: u32, now: Duration, hedge: &mut HedgeTracker) {
         if matches!(p.state, ShardState::Completed) {
             return;
         }
@@ -618,25 +670,19 @@ impl ShardCluster {
         let received = p.received.get(&attempt).map_or(0, HashSet::len);
         if received == expected as usize {
             p.state = ShardState::Completed;
-            latencies.push_back(p.started.elapsed());
-            if latencies.len() > 512 {
-                latencies.pop_front();
-            }
+            hedge.record(now.saturating_sub(p.started));
         }
     }
 
     /// The hedge trigger: the configured percentile of observed attempt
     /// latencies, floored by `hedge_floor`; before enough samples exist,
     /// half the attempt timeout (still floored).
-    fn hedge_delay(&self) -> Duration {
-        let floor = self.cfg.hedge_floor;
-        if self.latencies.len() < 8 {
-            return floor.max(self.cfg.attempt_timeout / 2);
-        }
-        let mut sorted: Vec<Duration> = self.latencies.iter().copied().collect();
-        sorted.sort();
-        let idx = ((sorted.len() - 1) as f64 * self.cfg.hedge_percentile).round() as usize;
-        floor.max(sorted[idx])
+    fn hedge_delay(&mut self) -> Duration {
+        self.hedge.delay(
+            self.cfg.hedge_percentile,
+            self.cfg.hedge_floor,
+            self.cfg.attempt_timeout / 2,
+        )
     }
 
     fn write(
@@ -652,13 +698,14 @@ impl ShardCluster {
             self.wid += 1;
             let wid = self.wid;
             self.transport.send(0, target, &make(wid));
-            let deadline = Instant::now() + self.cfg.write_timeout;
+            let deadline = self.clock.now() + self.cfg.write_timeout;
             'wait: loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero() {
+                // One clock sample decides both expiry and the wait span.
+                let now = self.clock.now();
+                if now >= deadline {
                     break 'wait;
                 }
-                match self.transport.recv_timeout(0, remaining) {
+                match self.transport.recv_timeout(0, deadline - now) {
                     Some((_, Message::WriteOk { wid: w, seq })) if w == wid => {
                         let promoted = target != self.leaders[shard];
                         if promoted {
@@ -674,7 +721,7 @@ impl ShardCluster {
             }
             if attempts <= self.cfg.write_retries {
                 target = self.other_node(target);
-                std::thread::sleep(backoff.next_delay());
+                self.clock.sleep(backoff.next_delay());
             }
         }
         Err(WriteFailed { shard, attempts })

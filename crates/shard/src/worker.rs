@@ -32,16 +32,26 @@
 //! but may still be applied (the leader logged it before replicating) —
 //! at-least-once semantics with idempotent upserts; the loss contract is
 //! one-directional: **acknowledged ⇒ survives**.
+//!
+//! # Event-driven core
+//!
+//! All of the worker's behaviour lives in [`ShardWorker::on_message`] and
+//! [`ShardWorker::on_tick`]; [`ShardWorker::run`] is a thin loop that
+//! feeds them from the transport. Every timer reads the injected
+//! [`Clock`], so a deterministic simulator can drive the *same* worker
+//! code on virtual time by calling the handlers directly — no threads,
+//! no wall clock, and the exact tick a heartbeat or promotion fires on
+//! replays from a seed.
 
 use crate::protocol::{Message, RefusalReason};
 use crate::transport::{NodeId, Transport};
-use repose_cluster::{Backoff, BackoffConfig};
+use repose_cluster::{Backoff, BackoffConfig, Clock, SystemClock};
 use repose_durability::WalRecord;
 use repose_model::Trajectory;
 use repose_service::ReposeService;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a node is to its shard's replication pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,11 +115,22 @@ pub struct ShardWorker {
     role: Role,
     service: Arc<ReposeService>,
     transport: Arc<dyn Transport>,
+    clock: Arc<dyn Clock>,
     cfg: WorkerConfig,
+    /// Frames that arrived inside a nested handler (mid-query, or while
+    /// waiting for a replication ack), replayed before the next receive.
+    pending: VecDeque<(NodeId, Message)>,
+    /// The unacknowledged log suffix a leader resends to its follower.
+    unreplicated: Vec<WalRecord>,
+    /// When the last heartbeat went out (`None` = one is due now).
+    last_hb_sent: Option<Duration>,
+    /// When the watched leader was last heard from.
+    last_hb_seen: Duration,
 }
 
 impl ShardWorker {
-    /// Assembles a worker; call [`ShardWorker::run`] on its own thread.
+    /// Assembles a worker on the monotonic clock; call
+    /// [`ShardWorker::run`] on its own thread.
     pub fn new(
         node: NodeId,
         coord: NodeId,
@@ -118,107 +139,196 @@ impl ShardWorker {
         transport: Arc<dyn Transport>,
         cfg: WorkerConfig,
     ) -> Self {
-        ShardWorker { node, coord, role, service, transport, cfg }
+        ShardWorker::with_clock(node, coord, role, service, transport, cfg, Arc::new(SystemClock))
+    }
+
+    /// Assembles a worker reading time from `clock` — the injectable form
+    /// a simulator uses to drive the handlers on virtual time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_clock(
+        node: NodeId,
+        coord: NodeId,
+        role: Role,
+        service: Arc<ReposeService>,
+        transport: Arc<dyn Transport>,
+        cfg: WorkerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let last_hb_seen = clock.now();
+        ShardWorker {
+            node,
+            coord,
+            role,
+            service,
+            transport,
+            clock,
+            cfg,
+            pending: VecDeque::new(),
+            unreplicated: Vec::new(),
+            last_hb_sent: None,
+            last_hb_seen,
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's current replication role (changes on promotion).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The shard's local service (the simulator's oracle reads through
+    /// this).
+    pub fn service(&self) -> &Arc<ReposeService> {
+        &self.service
     }
 
     /// The message loop: runs until shutdown, a crash fault, or a
     /// [`Message::Shutdown`].
     pub fn run(mut self) {
-        let mut pending: VecDeque<(NodeId, Message)> = VecDeque::new();
-        let mut unreplicated: Vec<WalRecord> = Vec::new();
-        // First heartbeat goes out immediately.
-        let mut last_hb_sent = Instant::now() - self.cfg.heartbeat_every;
-        let mut last_hb_seen = Instant::now();
         loop {
             if self.transport.is_shutdown() || self.transport.is_crashed(self.node) {
                 return;
             }
-            self.maybe_heartbeat(&mut last_hb_sent);
-            if let Role::Follower { .. } = self.role {
-                if last_hb_seen.elapsed() > self.cfg.heartbeat_timeout {
-                    // The leader went silent: take over. No follower of
-                    // our own — replication pairs are not chains.
-                    self.role = Role::Leader { follower: None };
-                }
-            }
-            let next = pending
+            self.on_tick();
+            let next = self
+                .pending
                 .pop_front()
                 .or_else(|| self.transport.recv_timeout(self.node, self.cfg.tick));
             let Some((from, msg)) = next else { continue };
-            match msg {
-                Message::Shutdown => return,
-                Message::Heartbeat { .. } => last_hb_seen = Instant::now(),
-                Message::Query { qid, attempt, k, measure, seed_dk, points } => {
-                    debug_assert_eq!(
-                        measure,
-                        self.service.config().measure(),
-                        "coordinator and shard disagree on the deployment measure"
-                    );
-                    self.handle_query(
-                        qid,
-                        attempt,
-                        k as usize,
-                        seed_dk,
-                        &points,
-                        &mut pending,
-                        &mut last_hb_sent,
-                        &mut last_hb_seen,
-                    );
-                }
-                // A tighten with no query running raced a finished (or
-                // retried) attempt; the bound is stale by construction.
-                Message::Tighten { .. } => {}
-                Message::Replicate { records } => {
-                    last_hb_seen = Instant::now();
-                    self.handle_replicate(from, &records);
-                }
-                Message::Upsert { wid, id, points } => {
-                    self.handle_upsert(wid, id, points, &mut pending, &mut unreplicated);
-                }
-                Message::Delete { wid, id } => {
-                    self.handle_delete(wid, id, &mut pending, &mut unreplicated);
-                }
-                // A late ack from a timed-out replication round still
-                // confirms the follower's progress.
-                Message::Ack { seq } => unreplicated.retain(|r| r.seq() > seq),
-                // Addressed to coordinators; nothing for a worker.
-                Message::Hit { .. }
-                | Message::Done { .. }
-                | Message::WriteOk { .. }
-                | Message::WriteRefused { .. } => {}
+            if !self.on_message(from, msg) {
+                return;
             }
         }
+    }
+
+    /// Timer edge: heartbeats a follower when one is due, and promotes a
+    /// follower whose leader has gone silent past the timeout. Drivers
+    /// call this once per tick of their loop (real or virtual).
+    pub fn on_tick(&mut self) {
+        Self::heartbeat_if_due(
+            self.role,
+            self.node,
+            self.cfg.heartbeat_every,
+            &*self.transport,
+            &self.service,
+            &*self.clock,
+            &mut self.last_hb_sent,
+        );
+        if let Role::Follower { .. } = self.role {
+            let now = self.clock.now();
+            if now.saturating_sub(self.last_hb_seen) > self.cfg.heartbeat_timeout {
+                // The leader went silent: take over. No follower of our
+                // own — replication pairs are not chains.
+                self.role = Role::Leader { follower: None };
+            }
+        }
+    }
+
+    /// Handles one frame. Returns `false` when the worker should stop
+    /// (a [`Message::Shutdown`]).
+    pub fn on_message(&mut self, from: NodeId, msg: Message) -> bool {
+        match msg {
+            Message::Shutdown => return false,
+            Message::Heartbeat { .. } => self.last_hb_seen = self.clock.now(),
+            Message::Query { qid, attempt, k, measure, seed_dk, points } => {
+                debug_assert_eq!(
+                    measure,
+                    self.service.config().measure(),
+                    "coordinator and shard disagree on the deployment measure"
+                );
+                self.handle_query(qid, attempt, k as usize, seed_dk, &points);
+            }
+            // A tighten with no query running raced a finished (or
+            // retried) attempt; the bound is stale by construction.
+            Message::Tighten { .. } => {}
+            Message::Replicate { records } => {
+                self.last_hb_seen = self.clock.now();
+                self.handle_replicate(from, &records);
+            }
+            Message::Upsert { wid, id, points } => self.handle_upsert(wid, id, points),
+            Message::Delete { wid, id } => self.handle_delete(wid, id),
+            // A late ack from a timed-out replication round still
+            // confirms the follower's progress.
+            Message::Ack { seq } => self.unreplicated.retain(|r| r.seq() > seq),
+            // Addressed to coordinators; nothing for a worker.
+            Message::Hit { .. }
+            | Message::Done { .. }
+            | Message::WriteOk { .. }
+            | Message::WriteRefused { .. } => {}
+        }
+        true
+    }
+
+    /// Replays frames stashed by a nested handler through
+    /// [`ShardWorker::on_message`]. Returns `false` on shutdown. Drivers
+    /// that bypass [`ShardWorker::run`] call this after each delivery so
+    /// stashed frames don't sit until the next one.
+    pub fn drain_pending(&mut self) -> bool {
+        while let Some((from, msg)) = self.pending.pop_front() {
+            if !self.on_message(from, msg) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Sends a liveness heartbeat when one is due (leaders with followers
-    /// only). Also called between partitions of a running query so a long
-    /// search cannot starve the follower into a spurious promotion.
-    fn maybe_heartbeat(&self, last_hb_sent: &mut Instant) {
-        if let Role::Leader { follower: Some(f) } = self.role {
-            if last_hb_sent.elapsed() >= self.cfg.heartbeat_every {
-                let hb = Message::Heartbeat { seq: self.service.op_seq() };
-                self.transport.send(self.node, f, &hb);
-                *last_hb_sent = Instant::now();
+    /// only). Free-standing over explicit fields so the mid-query closure
+    /// in [`ShardWorker::handle_query`] can call it while holding
+    /// disjoint borrows of the worker.
+    fn heartbeat_if_due(
+        role: Role,
+        node: NodeId,
+        every: Duration,
+        transport: &dyn Transport,
+        service: &ReposeService,
+        clock: &dyn Clock,
+        last_hb_sent: &mut Option<Duration>,
+    ) {
+        if let Role::Leader { follower: Some(f) } = role {
+            let now = clock.now();
+            if last_hb_sent.is_none_or(|t| now.saturating_sub(t) >= every) {
+                let hb = Message::Heartbeat { seq: service.op_seq() };
+                transport.send(node, f, &hb);
+                *last_hb_sent = Some(now);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn handle_query(
-        &self,
+        &mut self,
         qid: u64,
         attempt: u32,
         k: usize,
         seed_dk: f64,
         points: &[repose_model::Point],
-        pending: &mut VecDeque<(NodeId, Message)>,
-        last_hb_sent: &mut Instant,
-        last_hb_seen: &mut Instant,
     ) {
-        let (node, coord) = (self.node, self.coord);
-        let transport = &self.transport;
+        // Destructure so the scatter closure can hold &mut to the stash
+        // and heartbeat state while the service and transport stay
+        // shared.
+        let ShardWorker {
+            node,
+            coord,
+            role,
+            service,
+            transport,
+            clock,
+            cfg,
+            pending,
+            last_hb_sent,
+            last_hb_seen,
+            ..
+        } = self;
+        let (node, coord, role) = (*node, *coord, *role);
+        let transport = &**transport;
+        let clock = &**clock;
+        let service = Arc::clone(service);
         let mut hits_sent = 0u32;
-        let outcome = self.service.query_scatter(points, k, seed_dk, |collector, part_hits| {
+        let outcome = service.query_scatter(points, k, seed_dk, |collector, part_hits| {
             for h in part_hits {
                 let hit = Message::Hit { qid, attempt, id: h.id, dist: h.dist };
                 transport.send(node, coord, &hit);
@@ -234,16 +344,24 @@ impl ShardWorker {
                     // Liveness bookkeeping cannot wait for the search to
                     // finish: a long query on a follower must not read as
                     // leader silence and trigger a spurious promotion.
-                    Message::Heartbeat { .. } => *last_hb_seen = Instant::now(),
+                    Message::Heartbeat { .. } => *last_hb_seen = clock.now(),
                     other => {
                         if matches!(other, Message::Replicate { .. }) {
-                            *last_hb_seen = Instant::now();
+                            *last_hb_seen = clock.now();
                         }
                         pending.push_back((from, other));
                     }
                 }
             }
-            self.maybe_heartbeat(last_hb_sent);
+            Self::heartbeat_if_due(
+                role,
+                node,
+                cfg.heartbeat_every,
+                transport,
+                &service,
+                clock,
+                last_hb_sent,
+            );
         });
         if let Ok(o) = outcome {
             let done = Message::Done {
@@ -272,46 +390,25 @@ impl ShardWorker {
         self.transport.send(self.node, from, &ack);
     }
 
-    fn handle_upsert(
-        &self,
-        wid: u64,
-        id: u64,
-        points: Vec<repose_model::Point>,
-        pending: &mut VecDeque<(NodeId, Message)>,
-        unreplicated: &mut Vec<WalRecord>,
-    ) {
+    fn handle_upsert(&mut self, wid: u64, id: u64, points: Vec<repose_model::Point>) {
         if !matches!(self.role, Role::Leader { .. }) {
             self.refuse(wid, RefusalReason::NotLeader);
             return;
         }
         match self.service.insert_acked(Trajectory::new(id, points.clone())) {
             Err(_) => self.refuse(wid, RefusalReason::Durability),
-            Ok(seq) => self.finish_write(
-                wid,
-                seq,
-                WalRecord::Upsert { seq, id, points },
-                pending,
-                unreplicated,
-            ),
+            Ok(seq) => self.finish_write(wid, seq, WalRecord::Upsert { seq, id, points }),
         }
     }
 
-    fn handle_delete(
-        &self,
-        wid: u64,
-        id: u64,
-        pending: &mut VecDeque<(NodeId, Message)>,
-        unreplicated: &mut Vec<WalRecord>,
-    ) {
+    fn handle_delete(&mut self, wid: u64, id: u64) {
         if !matches!(self.role, Role::Leader { .. }) {
             self.refuse(wid, RefusalReason::NotLeader);
             return;
         }
         match self.service.remove_acked(id) {
             Err(_) => self.refuse(wid, RefusalReason::Durability),
-            Ok(seq) => {
-                self.finish_write(wid, seq, WalRecord::Delete { seq, id }, pending, unreplicated)
-            }
+            Ok(seq) => self.finish_write(wid, seq, WalRecord::Delete { seq, id }),
         }
     }
 
@@ -321,14 +418,7 @@ impl ShardWorker {
     }
 
     /// Local log succeeded; replicate (if paired), then acknowledge.
-    fn finish_write(
-        &self,
-        wid: u64,
-        seq: u64,
-        record: WalRecord,
-        pending: &mut VecDeque<(NodeId, Message)>,
-        unreplicated: &mut Vec<WalRecord>,
-    ) {
+    fn finish_write(&mut self, wid: u64, seq: u64, record: WalRecord) {
         let Role::Leader { follower } = self.role else { unreachable!("checked by callers") };
         match follower {
             None => {
@@ -336,8 +426,8 @@ impl ShardWorker {
                 self.transport.send(self.node, self.coord, &ok);
             }
             Some(f) => {
-                unreplicated.push(record);
-                if self.replicate_until_acked(f, seq, pending, unreplicated) {
+                self.unreplicated.push(record);
+                if self.replicate_until_acked(f, seq) {
                     let ok = Message::WriteOk { wid, seq };
                     self.transport.send(self.node, self.coord, &ok);
                 } else {
@@ -351,40 +441,35 @@ impl ShardWorker {
     /// everything up to `target_seq`, with jittered-backoff resends.
     /// Returns false when the retry budget runs out (write not acked; the
     /// suffix stays queued and rides along with the next write).
-    fn replicate_until_acked(
-        &self,
-        follower: NodeId,
-        target_seq: u64,
-        pending: &mut VecDeque<(NodeId, Message)>,
-        unreplicated: &mut Vec<WalRecord>,
-    ) -> bool {
+    fn replicate_until_acked(&mut self, follower: NodeId, target_seq: u64) -> bool {
         let mut backoff =
             Backoff::new(self.cfg.backoff, self.cfg.seed ^ (self.node as u64) ^ target_seq);
         for attempt in 0..=self.cfg.replication_retries {
             if self.transport.is_shutdown() || self.transport.is_crashed(self.node) {
                 return false;
             }
-            let batch = Message::Replicate { records: unreplicated.clone() };
+            let batch = Message::Replicate { records: self.unreplicated.clone() };
             self.transport.send(self.node, follower, &batch);
-            let deadline = Instant::now() + self.cfg.ack_timeout;
+            let deadline = self.clock.now() + self.cfg.ack_timeout;
             loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero() {
+                // One clock sample decides both expiry and the wait span.
+                let now = self.clock.now();
+                if now >= deadline {
                     break;
                 }
-                match self.transport.recv_timeout(self.node, remaining) {
+                match self.transport.recv_timeout(self.node, deadline - now) {
                     None => {}
                     Some((_, Message::Ack { seq })) => {
-                        unreplicated.retain(|r| r.seq() > seq);
+                        self.unreplicated.retain(|r| r.seq() > seq);
                         if seq >= target_seq {
                             return true;
                         }
                     }
-                    Some(other) => pending.push_back(other),
+                    Some(other) => self.pending.push_back(other),
                 }
             }
             if attempt < self.cfg.replication_retries {
-                std::thread::sleep(backoff.next_delay());
+                self.clock.sleep(backoff.next_delay());
             }
         }
         false

@@ -1,0 +1,602 @@
+//! The simulated network: a [`Transport`] whose message motion and fault
+//! schedule are a pure function of the calls made into it — no threads,
+//! no wall clock.
+//!
+//! # How it replaces [`repose_shard::Loopback`]
+//!
+//! The production loopback gives every node a channel and a thread;
+//! concurrency comes from the OS scheduler, and a `Delay` fault spawns a
+//! real timer thread. Here the whole cluster runs on **one** thread: the
+//! coordinator executes on the simulation's main thread, and every worker
+//! is registered as a *pump* ([`SimNode`]) that the network drives
+//! inline. A send delivers eagerly — the receiving pump runs its
+//! handler before the send returns — so causality is a deterministic
+//! depth-first traversal of the message graph, bounded by
+//! [`MAX_PUMP_DEPTH`] (messages past the bound stay queued and drain on
+//! the next tick).
+//!
+//! Time is a shared [`SimClock`]. A blocking [`Transport::recv_timeout`]
+//! *advances virtual time*: it steps the clock toward its deadline one
+//! quantum at a time, firing due delayed messages and running every
+//! pump's [`SimNode::on_tick`] (heartbeats, promotions) at each step.
+//! `Delay` faults park envelopes in a binary heap ordered by
+//! `(due, insertion sequence)` — the tie-break makes simultaneous
+//! deliveries replay in one canonical order.
+//!
+//! Faults come from the same [`NetFaultPlan`] grammar as the loopback,
+//! and site resolution mirrors [`Loopback`]'s order exactly
+//! (`from.tx`, `to.rx`, `from`, `to`): a fault spec means the same thing
+//! under simulation as in the threaded fault-matrix tests.
+//!
+//! [`Loopback`]: repose_shard::Loopback
+
+use repose_cluster::{Clock, SimClock};
+use repose_shard::{Message, NetFault, NetFaultPlan, NodeId, Transport};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Deepest chain of nested eager deliveries (A's handler sends to B whose
+/// handler sends to C, ...) before further deliveries are parked in the
+/// inbox for the next tick. A backstop against handler ping-pong
+/// recursing the stack away; real schedules sit far below it.
+const MAX_PUMP_DEPTH: usize = 16;
+
+/// A simulated node the network drives inline: `on_message` handles one
+/// decoded frame (returning `false` to stop — a `Shutdown`), `on_tick`
+/// runs the node's timer edge after virtual time moves.
+pub trait SimNode: Send {
+    /// Handle one frame; `false` stops the node for good.
+    fn on_message(&mut self, from: NodeId, msg: Message) -> bool;
+    /// Timer edge, called after every virtual-time step.
+    fn on_tick(&mut self);
+}
+
+#[derive(Clone)]
+struct Envelope {
+    from: NodeId,
+    bytes: Vec<u8>,
+}
+
+/// A `Delay`-faulted envelope parked until its due time.
+struct Delayed {
+    due: Duration,
+    /// Insertion sequence: ties on `due` deliver in send order.
+    seq: u64,
+    to: NodeId,
+    env: Envelope,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    /// Inverted on `(due, seq)` so the std max-heap pops the *earliest*.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Message-motion counters, mirroring [`repose_shard::NetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimNetStats {
+    /// Frames handed to [`Transport::send`].
+    pub sent: u64,
+    /// Frames that reached an inbox.
+    pub delivered: u64,
+    /// Frames lost (faults, severed or crashed endpoints).
+    pub dropped: u64,
+    /// Extra copies delivered by `dup` faults.
+    pub duplicated: u64,
+    /// Frames parked by `delay` faults.
+    pub delayed: u64,
+    /// Frames held back by `reorder` faults.
+    pub reordered: u64,
+}
+
+struct NetState {
+    inboxes: Vec<VecDeque<Envelope>>,
+    delayed: BinaryHeap<Delayed>,
+    /// One held-back message per link (reorder fault), delivered after
+    /// the link's next message.
+    reorder_pending: HashMap<(NodeId, NodeId), Envelope>,
+    severed: HashSet<NodeId>,
+    crashed: HashSet<NodeId>,
+    delay_seq: u64,
+    stats: SimNetStats,
+}
+
+struct Inner {
+    labels: Vec<String>,
+    faults: NetFaultPlan,
+    clock: Arc<SimClock>,
+    /// Largest virtual-time step a blocking receive takes at once.
+    quantum: Duration,
+    state: Mutex<NetState>,
+    /// One slot per node. `None` while the node's handler is on the stack
+    /// (natural re-entrancy guard: a delivery to a busy node parks in its
+    /// inbox), and permanently `None` for pumpless nodes (the
+    /// coordinator, which receives via [`Transport::recv_timeout`]).
+    pumps: Vec<Mutex<Option<Box<dyn SimNode>>>>,
+    /// Current eager-delivery nesting depth (single-threaded stack depth).
+    depth: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// The deterministic simulated network (see module docs). Cloning shares
+/// the network.
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<Inner>,
+}
+
+impl SimNet {
+    /// A network of `labels.len()` nodes on `clock`, with `faults` applied
+    /// at the link layer. `labels[n]` names node `n` for fault sites,
+    /// conventionally `coord`, `shard0`…, `replica0`….
+    pub fn new(
+        labels: Vec<String>,
+        faults: NetFaultPlan,
+        clock: Arc<SimClock>,
+        quantum: Duration,
+    ) -> Self {
+        assert!(quantum > Duration::ZERO, "a zero quantum cannot advance time");
+        let n = labels.len();
+        SimNet {
+            inner: Arc::new(Inner {
+                labels,
+                faults,
+                clock,
+                quantum,
+                state: Mutex::new(NetState {
+                    inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+                    delayed: BinaryHeap::new(),
+                    reorder_pending: HashMap::new(),
+                    severed: HashSet::new(),
+                    crashed: HashSet::new(),
+                    delay_seq: 0,
+                    stats: SimNetStats::default(),
+                }),
+                pumps: (0..n).map(|_| Mutex::new(None)).collect(),
+                depth: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Installs `node`'s message pump. Nodes without one (the
+    /// coordinator) receive via [`Transport::recv_timeout`] instead.
+    pub fn register_pump(&self, node: NodeId, pump: Box<dyn SimNode>) {
+        let mut slot = self.lock_pump(node);
+        assert!(slot.is_none(), "node {node} already has a pump");
+        *slot = Some(pump);
+    }
+
+    /// The fault-site label of `node`.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.inner.labels[node as usize]
+    }
+
+    /// Snapshot of the message-motion counters.
+    pub fn stats(&self) -> SimNetStats {
+        self.lock_state().stats
+    }
+
+    /// The network's virtual clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.inner.clock
+    }
+
+    /// Runs everything that became due: fires delayed deliveries whose
+    /// time has come and gives every pump a timer edge plus a drain of
+    /// its parked inbox. Drivers call this after advancing the clock
+    /// outside a blocking receive (e.g. an `AdvanceTime` op).
+    pub fn kick(&self) {
+        self.fire_due();
+        self.run_ticks();
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, NetState> {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_pump(&self, node: NodeId) -> MutexGuard<'_, Option<Box<dyn SimNode>>> {
+        self.inner.pumps[node as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The first fault armed on any site this (from, to) exchange touches
+    /// — same resolution order as [`repose_shard::Loopback`].
+    fn fault_for(&self, from: NodeId, to: NodeId) -> Option<(NetFault, NodeId)> {
+        let faults = &self.inner.faults;
+        let from_label = self.label(from);
+        let to_label = self.label(to);
+        if let Some(f) = faults.hit(&format!("{from_label}.tx")) {
+            return Some((f, from));
+        }
+        if let Some(f) = faults.hit(&format!("{to_label}.rx")) {
+            return Some((f, to));
+        }
+        if let Some(f) = faults.hit(from_label) {
+            return Some((f, from));
+        }
+        if let Some(f) = faults.hit(to_label) {
+            return Some((f, to));
+        }
+        None
+    }
+
+    /// Parks `env` in `to`'s inbox unless an endpoint is dead or cut off.
+    /// Returns whether it was enqueued.
+    fn enqueue(&self, to: NodeId, env: Envelope) -> bool {
+        let mut st = self.lock_state();
+        if st.severed.contains(&to) || st.severed.contains(&env.from) || st.crashed.contains(&to)
+        {
+            st.stats.dropped += 1;
+            return false;
+        }
+        st.inboxes[to as usize].push_back(env);
+        st.stats.delivered += 1;
+        true
+    }
+
+    /// Delivers `env` to `to` and runs `to`'s pump (if it has one and the
+    /// delivery chain is not already too deep).
+    fn deliver(&self, to: NodeId, env: Envelope) {
+        if self.enqueue(to, env) {
+            self.pump(to);
+        }
+    }
+
+    /// Delivers `env`, then flushes any reorder-held message on the link.
+    fn deliver_and_flush(&self, from: NodeId, to: NodeId, env: Envelope) {
+        self.deliver(to, env);
+        let held = self.lock_state().reorder_pending.remove(&(from, to));
+        if let Some(h) = held {
+            self.deliver(to, h);
+        }
+    }
+
+    /// Drains `node`'s inbox through its pump, one frame per loop so
+    /// frames a handler sends to *itself* are seen, re-entrantly safe
+    /// (the slot holds `None` while the handler runs, so a nested
+    /// delivery to the same node parks instead of recursing).
+    fn pump(&self, node: NodeId) {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if self.inner.depth.load(Ordering::Relaxed) >= MAX_PUMP_DEPTH {
+            return;
+        }
+        self.inner.depth.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let taken = self.lock_pump(node).take();
+            let Some(mut pump) = taken else { break };
+            let popped = {
+                let mut st = self.lock_state();
+                if st.crashed.contains(&node) {
+                    None
+                } else {
+                    st.inboxes[node as usize].pop_front()
+                }
+            };
+            let Some(env) = popped else {
+                *self.lock_pump(node) = Some(pump);
+                break;
+            };
+            let keep = match decode(env) {
+                Some((from, msg)) => pump.on_message(from, msg),
+                None => true,
+            };
+            *self.lock_pump(node) = Some(pump);
+            if !keep {
+                // The node asked to stop (Shutdown): no more deliveries.
+                self.lock_state().crashed.insert(node);
+                break;
+            }
+        }
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Fires every delayed delivery whose due time has passed, in
+    /// `(due, seq)` order.
+    fn fire_due(&self) {
+        loop {
+            let next = {
+                let mut st = self.lock_state();
+                let now = self.inner.clock.now();
+                match st.delayed.peek() {
+                    Some(d) if d.due <= now => st.delayed.pop().map(|d| (d.to, d.env)),
+                    _ => None,
+                }
+            };
+            let Some((to, env)) = next else { break };
+            self.deliver(to, env);
+        }
+    }
+
+    /// The due time of the earliest parked delivery, if any.
+    fn next_due(&self) -> Option<Duration> {
+        self.lock_state().delayed.peek().map(|d| d.due)
+    }
+
+    /// Gives every pump a timer edge (in node order — canonical) and a
+    /// chance to drain frames parked while it was busy.
+    fn run_ticks(&self) {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        for node in 0..self.inner.labels.len() as NodeId {
+            if self.is_crashed(node) {
+                continue;
+            }
+            // A `None` slot is the coordinator, a stopped node, or a pump
+            // already running lower on this same stack — skip, never wait.
+            let taken = self.lock_pump(node).take();
+            if let Some(mut pump) = taken {
+                pump.on_tick();
+                *self.lock_pump(node) = Some(pump);
+                self.pump(node);
+            }
+        }
+    }
+
+    fn pop(&self, node: NodeId) -> Option<Envelope> {
+        let mut st = self.lock_state();
+        if st.crashed.contains(&node) {
+            None
+        } else {
+            st.inboxes[node as usize].pop_front()
+        }
+    }
+}
+
+fn decode(env: Envelope) -> Option<(NodeId, Message)> {
+    let mut cur = env.bytes.as_slice();
+    match Message::decode_frame(&mut cur) {
+        Ok(Some(msg)) => Some((env.from, msg)),
+        // In-process frames are never torn; drop anything undecodable.
+        Ok(None) | Err(_) => None,
+    }
+}
+
+/// Whether `REPOSE_SIM_TRACE` is set: dumps every send and receive-step
+/// to stderr. For debugging stuck or mis-ordered schedules only.
+fn tracing() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("REPOSE_SIM_TRACE").is_some())
+}
+
+impl Transport for SimNet {
+    fn send(&self, from: NodeId, to: NodeId, msg: &Message) {
+        if tracing() {
+            eprintln!(
+                "sim[{:?}] send {}->{} {:?}",
+                self.inner.clock.now(),
+                self.label(from),
+                self.label(to),
+                std::mem::discriminant(msg)
+            );
+        }
+        {
+            let mut st = self.lock_state();
+            st.stats.sent += 1;
+            if st.crashed.contains(&from) || st.severed.contains(&from) {
+                st.stats.dropped += 1;
+                return;
+            }
+        }
+        let env = Envelope { from, bytes: msg.encode_frame() };
+        match self.fault_for(from, to) {
+            None => self.deliver_and_flush(from, to, env),
+            Some((NetFault::Drop, _)) => {
+                self.lock_state().stats.dropped += 1;
+            }
+            Some((NetFault::Duplicate, _)) => {
+                self.lock_state().stats.duplicated += 1;
+                self.deliver(to, env.clone());
+                self.deliver_and_flush(from, to, env);
+            }
+            Some((NetFault::Delay(d), _)) => {
+                let mut st = self.lock_state();
+                st.stats.delayed += 1;
+                let seq = st.delay_seq;
+                st.delay_seq += 1;
+                let due = self.inner.clock.now() + d;
+                st.delayed.push(Delayed { due, seq, to, env });
+                // Fires from fire_due once virtual time reaches `due`.
+            }
+            Some((NetFault::Reorder, _)) => {
+                let prev = {
+                    let mut st = self.lock_state();
+                    st.stats.reordered += 1;
+                    st.reorder_pending.insert((from, to), env)
+                };
+                // Two reorder faults on one link: the first held message
+                // gives way, not disappears.
+                if let Some(p) = prev {
+                    self.deliver(to, p);
+                }
+            }
+            Some((NetFault::Partition, node)) => {
+                let mut st = self.lock_state();
+                st.severed.insert(node);
+                st.stats.dropped += 1;
+            }
+            Some((NetFault::Crash, node)) => {
+                let mut st = self.lock_state();
+                st.crashed.insert(node);
+                st.stats.dropped += 1;
+            }
+        }
+    }
+
+    /// Blocks *virtually*: steps the clock toward the deadline (capped by
+    /// the quantum and the next delayed delivery), firing due messages
+    /// and running timer edges at each step, until a frame arrives for
+    /// `node` or the timeout elapses.
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Option<(NodeId, Message)> {
+        let clock = &self.inner.clock;
+        let deadline = clock.now() + timeout;
+        loop {
+            self.fire_due();
+            if let Some(got) = self.pop(node).and_then(decode) {
+                return Some(got);
+            }
+            if self.is_shutdown() {
+                return None;
+            }
+            // A crashed receiver gets no early return: a real blocking
+            // receive on a dead node burns the whole timeout, and callers
+            // (e.g. a replication wait) rely on `None` meaning "the
+            // deadline passed". The loop below advances virtual time to
+            // the deadline — with every *other* node still ticking — and
+            // `pop` above stays empty for the dead node.
+            let now = clock.now();
+            if now >= deadline {
+                return None;
+            }
+            let mut step = (now + self.inner.quantum).min(deadline);
+            if let Some(due) = self.next_due() {
+                if due > now {
+                    step = step.min(due);
+                }
+            }
+            // Guarantee progress even against a pathological quantum.
+            clock.advance_to(step.max(now + Duration::from_nanos(1)));
+            self.run_ticks();
+        }
+    }
+
+    fn try_recv(&self, node: NodeId) -> Option<(NodeId, Message)> {
+        self.pop(node).and_then(decode)
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.lock_state().crashed.contains(&node)
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    fn shutdown_all(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("nodes", &self.inner.labels)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every frame back to node 0.
+    struct Echo {
+        net: SimNet,
+        node: NodeId,
+        ticks: u64,
+    }
+
+    impl SimNode for Echo {
+        fn on_message(&mut self, from: NodeId, msg: Message) -> bool {
+            if matches!(msg, Message::Shutdown) {
+                return false;
+            }
+            self.net.send(self.node, from, &msg);
+            true
+        }
+        fn on_tick(&mut self) {
+            self.ticks += 1;
+        }
+    }
+
+    fn two_nodes(faults: NetFaultPlan) -> (SimNet, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        let net = SimNet::new(
+            vec!["coord".into(), "shard0".into()],
+            faults,
+            Arc::clone(&clock),
+            Duration::from_millis(1),
+        );
+        let echo = Echo { net: net.clone(), node: 1, ticks: 0 };
+        net.register_pump(1, Box::new(echo));
+        (net, clock)
+    }
+
+    #[test]
+    fn eager_delivery_echoes_within_the_send() {
+        let (net, _clock) = two_nodes(NetFaultPlan::new());
+        net.send(0, 1, &Message::Heartbeat { seq: 7 });
+        // The echo already happened: no time passed, the reply is queued.
+        let (from, msg) = net.try_recv(0).expect("echo delivered eagerly");
+        assert_eq!(from, 1);
+        assert!(matches!(msg, Message::Heartbeat { seq: 7 }));
+    }
+
+    #[test]
+    fn delay_fault_parks_until_virtual_time_reaches_it() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0.rx", NetFault::Delay(Duration::from_millis(5)), 0);
+        let (net, clock) = two_nodes(plan);
+        net.send(0, 1, &Message::Heartbeat { seq: 1 });
+        assert!(net.try_recv(0).is_none(), "parked, not delivered");
+        let got = net.recv_timeout(0, Duration::from_millis(50));
+        assert!(got.is_some(), "fired once the clock reached the due time");
+        assert!(clock.now() >= Duration::from_millis(5));
+        assert!(clock.now() < Duration::from_millis(10), "no overshoot past the echo");
+    }
+
+    #[test]
+    fn recv_timeout_advances_exactly_to_the_deadline_when_idle() {
+        let (net, clock) = two_nodes(NetFaultPlan::new());
+        assert!(net.recv_timeout(0, Duration::from_millis(12)).is_none());
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn crash_fault_silences_the_node() {
+        let plan = NetFaultPlan::new();
+        plan.arm("shard0", NetFault::Crash, 0);
+        let (net, _clock) = two_nodes(plan);
+        net.send(0, 1, &Message::Heartbeat { seq: 1 }); // fires the crash
+        assert!(net.is_crashed(1));
+        net.send(0, 1, &Message::Heartbeat { seq: 2 });
+        assert!(net.recv_timeout(0, Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn identical_call_sequences_produce_identical_stats() {
+        let run = || {
+            let plan = NetFaultPlan::new();
+            plan.arm("shard0.rx", NetFault::Duplicate, 1);
+            let (net, _clock) = two_nodes(plan);
+            for seq in 0..5 {
+                net.send(0, 1, &Message::Heartbeat { seq });
+            }
+            let mut echoes = 0;
+            while net.try_recv(0).is_some() {
+                echoes += 1;
+            }
+            (net.stats(), echoes)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,116 @@
+//! Auto-shrinking of failing schedules.
+//!
+//! A failing seed is a haystack: dozens of ops, several armed faults, big
+//! time jumps. Because faults live *inline* in the op stream, shrinking is
+//! pure subsequence selection — no cross-list coordination. The shrinker
+//! runs delta debugging (ddmin) over the op list, then over the initial
+//! dataset, then bisects `AdvanceTime` magnitudes, re-running the full
+//! simulation after every candidate edit and keeping only edits that still
+//! fail. The result is typically a handful of ops that reproduce the bug
+//! deterministically from `Scenario::from_json`.
+
+use crate::scenario::{Scenario, SimOp};
+use crate::{run_scenario, PlantedBug, Verdict};
+
+/// Outcome of a shrink: the smallest still-failing scenario found, and
+/// how many simulation runs it took to get there.
+#[derive(Debug)]
+pub struct Shrunk {
+    pub scenario: Scenario,
+    pub runs: usize,
+}
+
+fn fails(sc: &Scenario, planted: Option<PlantedBug>, runs: &mut usize) -> bool {
+    *runs += 1;
+    matches!(run_scenario(sc, planted).verdict, Verdict::Failed { .. })
+}
+
+/// ddmin over one list: try dropping chunks (halving the chunk size down
+/// to 1), keeping any drop after which `still_fails` holds.
+fn ddmin<T: Clone>(
+    items: &mut Vec<T>,
+    budget: usize,
+    runs: &mut usize,
+    mut still_fails: impl FnMut(&[T], &mut usize) -> bool,
+) {
+    let mut chunk = items.len().div_ceil(2).max(1);
+    loop {
+        let mut start = 0;
+        while start < items.len() {
+            if *runs >= budget {
+                return;
+            }
+            let end = (start + chunk).min(items.len());
+            let mut candidate = items.clone();
+            candidate.drain(start..end);
+            if still_fails(&candidate, runs) {
+                *items = candidate;
+                // Re-test from the same index: the list shifted left.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            return;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Minimizes `sc` while it keeps failing (with `planted` active, if any).
+/// `budget` caps the number of simulation runs spent; the input scenario
+/// is returned unchanged if it does not fail in the first place.
+pub fn shrink(sc: &Scenario, planted: Option<PlantedBug>, budget: usize) -> Shrunk {
+    let mut runs = 0;
+    let mut best = sc.clone();
+    if !fails(&best, planted, &mut runs) {
+        return Shrunk { scenario: best, runs };
+    }
+
+    // Pass 1: drop ops.
+    let mut ops = best.ops.clone();
+    ddmin(&mut ops, budget, &mut runs, |candidate, runs| {
+        let mut trial = best.clone();
+        trial.ops = candidate.to_vec();
+        fails(&trial, planted, runs)
+    });
+    best.ops = ops;
+
+    // Pass 2: drop initial trajectories.
+    let mut initial = best.initial.clone();
+    ddmin(&mut initial, budget, &mut runs, |candidate, runs| {
+        let mut trial = best.clone();
+        trial.initial = candidate.to_vec();
+        fails(&trial, planted, runs)
+    });
+    best.initial = initial;
+
+    // Pass 3: bisect time jumps toward zero (smaller repros read better
+    // and rule the jump out as causal when it shrinks to nothing).
+    for idx in 0..best.ops.len() {
+        let SimOp::AdvanceTime { micros } = best.ops[idx] else { continue };
+        let mut current = micros;
+        while current > 0 && runs < budget {
+            let smaller = current / 2;
+            let mut trial = best.clone();
+            trial.ops[idx] = SimOp::AdvanceTime { micros: smaller };
+            if fails(&trial, planted, &mut runs) {
+                best = trial;
+                current = smaller;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Pass 4: one more op sweep — time shrinking may have unlocked drops.
+    let mut ops = best.ops.clone();
+    ddmin(&mut ops, budget, &mut runs, |candidate, runs| {
+        let mut trial = best.clone();
+        trial.ops = candidate.to_vec();
+        fails(&trial, planted, runs)
+    });
+    best.ops = ops;
+
+    Shrunk { scenario: best, runs }
+}

@@ -1,0 +1,88 @@
+//! Pinned simulation seeds: the deterministic-simulation regression
+//! suite.
+//!
+//! Each pinned seed expands to a full whole-system schedule (workload +
+//! fault arms + virtual-time jumps) and must uphold the shadow oracle's
+//! exact-or-honestly-degraded contract, byte-identically, forever. When a
+//! soak run finds a new failing seed, the fix lands together with that
+//! seed appended here — the schedule it expands to becomes a permanent
+//! regression test at zero storage cost.
+//!
+//! The suite also proves the harness has teeth: a deliberately planted
+//! answer-truncation bug must be caught by the oracle and auto-shrunk to
+//! a tiny replayable repro.
+
+use repose_sim::{run_scenario, run_seed, shrink, PlantedBug, Scenario, SimMode, Verdict};
+
+/// Seeds chosen to cover both deployment shapes and all six distance
+/// measures (see each scenario's mode/measure in the assertion message).
+/// Single-node durable: 0 (DTW), 3 (LCSS), 7 (Fréchet), 10 (EDR),
+/// 13 (Hausdorff), 18 (ERP). Sharded: 2 (LCSS, replicated), 9 (DTW),
+/// 11 (EDR, 3 shards), 12 (ERP, replicated), 14 (Hausdorff),
+/// 24 (Fréchet, replicated).
+const PINNED: &[u64] = &[0, 2, 3, 7, 9, 10, 11, 12, 13, 14, 18, 24];
+
+#[test]
+fn pinned_seeds_uphold_the_oracle() {
+    for &seed in PINNED {
+        let sc = Scenario::generate(seed);
+        let report = run_scenario(&sc, None);
+        assert_eq!(
+            report.verdict,
+            Verdict::Ok,
+            "pinned seed {seed} ({:?}, {:?}) violated the oracle:\n{}",
+            sc.mode,
+            sc.measure,
+            report.events.join("\n")
+        );
+    }
+}
+
+#[test]
+fn pinned_seeds_cover_both_modes() {
+    let modes: Vec<SimMode> = PINNED
+        .iter()
+        .map(|&s| Scenario::generate(s).mode)
+        .collect();
+    assert!(modes.contains(&SimMode::SingleNode), "pin a single-node seed");
+    assert!(modes.contains(&SimMode::Sharded), "pin a sharded seed");
+}
+
+#[test]
+fn pinned_seeds_are_byte_deterministic() {
+    for &seed in PINNED {
+        let a = run_seed(seed, None);
+        let b = run_seed(seed, None);
+        assert_eq!(
+            a, b,
+            "seed {seed} produced different event logs on identical runs"
+        );
+    }
+}
+
+#[test]
+fn planted_bug_is_caught_and_shrunk_to_a_replayable_repro() {
+    let planted = Some(PlantedBug::TruncateTopK);
+    let seed = (0..64u64)
+        .find(|&s| run_seed(s, planted).failed())
+        .expect("the planted truncation bug must trip within 64 seeds");
+
+    let shrunk = shrink(&Scenario::generate(seed), planted, 300);
+    assert!(
+        run_scenario(&shrunk.scenario, planted).failed(),
+        "shrinking must preserve the failure"
+    );
+    assert!(
+        shrunk.scenario.ops.len() <= 20,
+        "seed {seed} shrank to {} ops; want a <=20-op repro",
+        shrunk.scenario.ops.len()
+    );
+
+    // The minimized repro replays identically after a disk round-trip —
+    // exactly what `experiments -- sim --repro <file>` does.
+    let parsed = Scenario::from_json(&shrunk.scenario.to_json()).expect("repro round-trips");
+    let a = run_scenario(&parsed, planted);
+    let b = run_scenario(&shrunk.scenario, planted);
+    assert!(a.failed(), "replayed repro must still fail");
+    assert_eq!(a, b, "replayed repro must be byte-identical to the original");
+}
